@@ -1,0 +1,334 @@
+//! AES block cipher (FIPS-197), the primitive under the network
+//! encryption role of Section IV.
+//!
+//! A straightforward, constant-table software implementation: correctness
+//! is the point (the FPGA role in the paper computes real ciphertext at
+//! line rate; our simulation does too), validated against the FIPS-197
+//! example vectors. AES-128 and AES-256 are provided because the paper
+//! contrasts GCM-128 against slower 256-bit and CBC modes.
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse S-box (for decryption).
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+fn mul(a: u8, mut b: u8) -> u8 {
+    let mut a = a;
+    let mut result = 0;
+    while b != 0 {
+        if b & 1 != 0 {
+            result ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    result
+}
+
+/// Key size variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+/// An expanded AES key, ready for block operations.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands a 128-bit key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not 16 bytes.
+    pub fn new_128(key: &[u8]) -> Aes {
+        assert_eq!(key.len(), 16, "AES-128 key must be 16 bytes");
+        Aes::expand(key, 10)
+    }
+
+    /// Expands a 256-bit key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not 32 bytes.
+    pub fn new_256(key: &[u8]) -> Aes {
+        assert_eq!(key.len(), 32, "AES-256 key must be 32 bytes");
+        Aes::expand(key, 14)
+    }
+
+    /// Number of rounds (10 for AES-128, 14 for AES-256).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn expand(key: &[u8], rounds: usize) -> Aes {
+        let nk = key.len() / 4;
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for t in &mut temp {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for t in &mut temp {
+                    *t = SBOX[*t as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, rounds }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = SBOX[*s as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = INV_SBOX[*s as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // state is column-major: state[4*col + row]
+        for row in 1..4 {
+            let mut tmp = [0u8; 4];
+            for col in 0..4 {
+                tmp[col] = state[4 * ((col + row) % 4) + row];
+            }
+            for col in 0..4 {
+                state[4 * col + row] = tmp[col];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for row in 1..4 {
+            let mut tmp = [0u8; 4];
+            for col in 0..4 {
+                tmp[(col + row) % 4] = state[4 * col + row];
+            }
+            for col in 0..4 {
+                state[4 * col + row] = tmp[col];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for col in 0..4 {
+            let c = &mut state[4 * col..4 * col + 4];
+            let a = [c[0], c[1], c[2], c[3]];
+            c[0] = mul(a[0], 2) ^ mul(a[1], 3) ^ a[2] ^ a[3];
+            c[1] = a[0] ^ mul(a[1], 2) ^ mul(a[2], 3) ^ a[3];
+            c[2] = a[0] ^ a[1] ^ mul(a[2], 2) ^ mul(a[3], 3);
+            c[3] = mul(a[0], 3) ^ a[1] ^ a[2] ^ mul(a[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for col in 0..4 {
+            let c = &mut state[4 * col..4 * col + 4];
+            let a = [c[0], c[1], c[2], c[3]];
+            c[0] = mul(a[0], 14) ^ mul(a[1], 11) ^ mul(a[2], 13) ^ mul(a[3], 9);
+            c[1] = mul(a[0], 9) ^ mul(a[1], 14) ^ mul(a[2], 11) ^ mul(a[3], 13);
+            c[2] = mul(a[0], 13) ^ mul(a[1], 9) ^ mul(a[2], 14) ^ mul(a[3], 11);
+            c[3] = mul(a[0], 11) ^ mul(a[1], 13) ^ mul(a[2], 9) ^ mul(a[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[self.rounds]);
+        for round in (1..self.rounds).rev() {
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+impl core::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        write!(f, "Aes(rounds: {})", self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128_example() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes256_example() {
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new_256(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn sp800_38a_ecb_vectors() {
+        // NIST SP 800-38A F.1.1 ECB-AES128.Encrypt
+        let aes = Aes::new_128(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let cases = [
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
+        ];
+        for (pt, ct) in cases {
+            let mut b: [u8; 16] = hex(pt).try_into().unwrap();
+            aes.encrypt_block(&mut b);
+            assert_eq!(b.to_vec(), hex(ct));
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random_blocks() {
+        let aes = Aes::new_128(b"0123456789abcdef");
+        let mut x = [0u8; 16];
+        for round in 0..100u8 {
+            for (i, b) in x.iter_mut().enumerate() {
+                *b = b.wrapping_mul(31).wrapping_add(i as u8 ^ round);
+            }
+            let orig = x;
+            aes.encrypt_block(&mut x);
+            assert_ne!(x, orig);
+            aes.decrypt_block(&mut x);
+            assert_eq!(x, orig);
+        }
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        let aes = Aes::new_128(&[0x42; 16]);
+        let s = format!("{aes:?}");
+        assert!(!s.contains("42"), "debug output leaks key: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "16 bytes")]
+    fn wrong_key_size_panics() {
+        let _ = Aes::new_128(&[0; 15]);
+    }
+}

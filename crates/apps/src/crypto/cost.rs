@@ -1,0 +1,199 @@
+//! The Section IV cost comparison: CPU cores consumed by software crypto
+//! at 40 Gb/s versus the FPGA's line-rate offload, and per-packet latency
+//! for both.
+
+use dcsim::SimDuration;
+
+/// Cipher suites the network encryption role supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CipherSuite {
+    /// AES-GCM-128: AES-NI friendly in software, perfectly pipelined on
+    /// the FPGA.
+    AesGcm128,
+    /// AES-GCM-256: 14 rounds instead of 10 — one of the "different
+    /// standards, such as 256b" the paper notes is significantly slower.
+    AesGcm256,
+    /// AES-CBC-128 with HMAC-SHA1: backward-compatibility suite; serial
+    /// block chaining makes it hard for both software and hardware.
+    AesCbc128Sha1,
+}
+
+/// Software (CPU) crypto cost model, from Intel's published Haswell
+/// numbers quoted in the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCryptoModel {
+    /// Core clock in Hz (paper: 2.4 GHz).
+    pub clock_hz: f64,
+    /// AES-GCM-128 cycles/byte, encrypt and decrypt each (paper: 1.26).
+    pub gcm_cycles_per_byte: f64,
+    /// AES-GCM-256 cycles/byte (14/10 rounds plus key-schedule pressure).
+    pub gcm256_cycles_per_byte: f64,
+    /// AES-CBC-128-SHA1 effective cycles/byte (derived from the paper's
+    /// "at least fifteen cores" for 40 Gb/s full duplex at 2.4 GHz).
+    pub cbc_sha1_cycles_per_byte: f64,
+}
+
+impl Default for CpuCryptoModel {
+    fn default() -> Self {
+        CpuCryptoModel {
+            clock_hz: 2.4e9,
+            gcm_cycles_per_byte: 1.26,
+            gcm256_cycles_per_byte: 1.76,
+            // 15 cores * 2.4e9 cyc/s / (2 * 5e9 B/s) = 3.6 cyc/B
+            cbc_sha1_cycles_per_byte: 3.6,
+        }
+    }
+}
+
+impl CpuCryptoModel {
+    fn cycles_per_byte(&self, suite: CipherSuite) -> f64 {
+        match suite {
+            CipherSuite::AesGcm128 => self.gcm_cycles_per_byte,
+            CipherSuite::AesGcm256 => self.gcm256_cycles_per_byte,
+            CipherSuite::AesCbc128Sha1 => self.cbc_sha1_cycles_per_byte,
+        }
+    }
+
+    /// Cores required to sustain `gbps` of traffic. `full_duplex` doubles
+    /// the byte stream (encrypt one direction, decrypt the other).
+    pub fn cores_needed(&self, suite: CipherSuite, gbps: f64, full_duplex: bool) -> f64 {
+        let bytes_per_sec = gbps * 1e9 / 8.0 * if full_duplex { 2.0 } else { 1.0 };
+        bytes_per_sec * self.cycles_per_byte(suite) / self.clock_hz
+    }
+
+    /// Software latency to process one packet of `bytes` on one core
+    /// (paper: ~4 µs for a 1500 B packet with CBC-SHA1, per the Intel
+    /// best-case numbers).
+    pub fn packet_latency(&self, suite: CipherSuite, bytes: usize) -> SimDuration {
+        // The quoted 4us for 1500B CBC-SHA1 includes per-packet software
+        // overhead beyond raw cycles/byte; model it as fixed + per-byte.
+        let per_byte = self.cycles_per_byte(suite) / self.clock_hz;
+        let fixed = 1.75e-6; // syscall/framework overhead per packet
+        SimDuration::from_secs_f64(fixed + bytes as f64 * per_byte)
+    }
+}
+
+/// FPGA crypto role timing.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaCryptoModel {
+    /// Worst-case half-duplex first-flit-to-first-flit latency for a
+    /// 1500 B AES-CBC-128-SHA1 packet (paper: 11 µs — the 33-way
+    /// interleave takes one 128 b block per stream every 33 cycles).
+    pub cbc_sha1_packet_latency: SimDuration,
+    /// AES-GCM-128 per-packet latency: fully pipelined, a small multiple
+    /// of the packet serialization time.
+    pub gcm_packet_latency: SimDuration,
+    /// Line rate sustained regardless of suite, in Gb/s.
+    pub line_rate_gbps: f64,
+    /// Streams the CBC engine interleaves to fill its pipeline.
+    pub cbc_interleave: u32,
+}
+
+impl Default for FpgaCryptoModel {
+    fn default() -> Self {
+        FpgaCryptoModel {
+            cbc_sha1_packet_latency: SimDuration::from_micros(11),
+            gcm_packet_latency: SimDuration::from_nanos(1_800),
+            line_rate_gbps: 40.0,
+            cbc_interleave: 33,
+        }
+    }
+}
+
+impl FpgaCryptoModel {
+    /// Per-packet latency added by the role for `suite` (scaled by packet
+    /// size relative to 1500 B for CBC, whose latency is chain-length
+    /// bound).
+    pub fn packet_latency(&self, suite: CipherSuite, bytes: usize) -> SimDuration {
+        match suite {
+            CipherSuite::AesGcm128 => self.gcm_packet_latency,
+            // Four extra rounds lengthen the pipeline, still fully
+            // streaming.
+            CipherSuite::AesGcm256 => self.gcm_packet_latency * 14 / 10,
+            CipherSuite::AesCbc128Sha1 => {
+                let scale = (bytes as f64 / 1500.0).min(1.0);
+                SimDuration::from_secs_f64(
+                    self.cbc_sha1_packet_latency.as_secs_f64() * scale.max(0.1),
+                )
+            }
+        }
+    }
+
+    /// CPU cores consumed by the FPGA offload (zero: "there is no load on
+    /// the CPUs to encrypt or decrypt the packets").
+    pub fn cores_needed(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcm256_is_slower_than_gcm128_but_faster_than_cbc() {
+        let m = CpuCryptoModel::default();
+        let g128 = m.cores_needed(CipherSuite::AesGcm128, 40.0, true);
+        let g256 = m.cores_needed(CipherSuite::AesGcm256, 40.0, true);
+        let cbc = m.cores_needed(CipherSuite::AesCbc128Sha1, 40.0, true);
+        assert!(g128 < g256 && g256 < cbc, "{g128} {g256} {cbc}");
+        let f = FpgaCryptoModel::default();
+        assert!(
+            f.packet_latency(CipherSuite::AesGcm256, 1500)
+                > f.packet_latency(CipherSuite::AesGcm128, 1500)
+        );
+    }
+
+    #[test]
+    fn gcm_needs_about_five_cores_at_40g() {
+        // "at a 2.4 GHz clock frequency, 40 Gb/s encryption/decryption
+        // consumes roughly five cores"
+        let m = CpuCryptoModel::default();
+        let cores = m.cores_needed(CipherSuite::AesGcm128, 40.0, true);
+        assert!((cores - 5.25).abs() < 0.1, "cores {cores}");
+    }
+
+    #[test]
+    fn cbc_sha1_needs_at_least_fifteen_cores() {
+        let m = CpuCryptoModel::default();
+        let cores = m.cores_needed(CipherSuite::AesCbc128Sha1, 40.0, true);
+        assert!(cores >= 14.9, "cores {cores}");
+    }
+
+    #[test]
+    fn software_packet_latency_about_4us() {
+        let m = CpuCryptoModel::default();
+        let t = m.packet_latency(CipherSuite::AesCbc128Sha1, 1500);
+        assert!(
+            (t.as_micros_f64() - 4.0).abs() < 1.0,
+            "latency {t} vs paper ~4us"
+        );
+    }
+
+    #[test]
+    fn fpga_cbc_latency_11us_but_zero_cores() {
+        let f = FpgaCryptoModel::default();
+        assert_eq!(
+            f.packet_latency(CipherSuite::AesCbc128Sha1, 1500),
+            SimDuration::from_micros(11)
+        );
+        assert_eq!(f.cores_needed(), 0.0);
+    }
+
+    #[test]
+    fn fpga_gcm_latency_much_lower_than_cbc() {
+        let f = FpgaCryptoModel::default();
+        let gcm = f.packet_latency(CipherSuite::AesGcm128, 1500);
+        let cbc = f.packet_latency(CipherSuite::AesCbc128Sha1, 1500);
+        assert!(gcm.as_nanos() * 4 < cbc.as_nanos());
+    }
+
+    #[test]
+    fn fpga_latency_worse_than_software_latency_for_cbc() {
+        // The paper is explicit about this trade: FPGA CBC latency (11us)
+        // is worse than software (4us) — the win is the freed cores.
+        let sw = CpuCryptoModel::default().packet_latency(CipherSuite::AesCbc128Sha1, 1500);
+        let hw = FpgaCryptoModel::default().packet_latency(CipherSuite::AesCbc128Sha1, 1500);
+        assert!(hw > sw);
+    }
+}

@@ -1,0 +1,550 @@
+//! Host-to-host line-rate flow encryption — the bump-in-the-wire network
+//! acceleration of Section IV.
+//!
+//! Software control-plane sets up per-flow keys in the FPGA's flow table;
+//! thereafter every matching packet is encrypted on its way from the NIC
+//! to the TOR and decrypted on the way in, with zero CPU load and
+//! transparently to software, "which sees all packets as unencrypted at
+//! the end points."
+
+use std::collections::HashMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dcnet::{NodeAddr, Packet};
+use dcsim::SimTime;
+
+use super::aes::Aes;
+use super::cbc::{cbc_sha1_open, cbc_sha1_seal};
+use super::cost::{CipherSuite, FpgaCryptoModel};
+use super::gcm::AesGcm;
+use crate::TapStats;
+
+use shell::{NetworkTap, TapAction};
+
+/// Magic marker prefixed to encrypted payloads (stand-in for an ESP-style
+/// header).
+const ENC_MAGIC: u16 = 0xE5E5;
+const ENC_HEADER: usize = 2 + 1 + 1 + 8; // magic, suite, rsvd, counter
+
+/// A flow's 5-tuple key (protocol is always UDP in this simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source host.
+    pub src: NodeAddr,
+    /// Destination host.
+    pub dst: NodeAddr,
+    /// Source UDP port.
+    pub src_port: u16,
+    /// Destination UDP port.
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// Key for a packet as it appears on the wire.
+    pub fn of(pkt: &Packet) -> FlowKey {
+        FlowKey {
+            src: pkt.src,
+            dst: pkt.dst,
+            src_port: pkt.src_port,
+            dst_port: pkt.dst_port,
+        }
+    }
+}
+
+/// Where a flow's key material lives on the board: "the software-provided
+/// encryption key is read from internal FPGA SRAM or the FPGA-attached
+/// DRAM".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyStore {
+    /// On-chip block RAM (hot flows).
+    Sram,
+    /// FPGA-attached DDR3 (flows that spilled past the SRAM capacity).
+    Dram,
+}
+
+impl KeyStore {
+    fn fetch_latency(self) -> dcsim::SimDuration {
+        match self {
+            KeyStore::Sram => fpga::SRAM_ACCESS_LATENCY,
+            KeyStore::Dram => fpga::DRAM_ACCESS_LATENCY,
+        }
+    }
+}
+
+/// Per-flow cipher state.
+struct FlowState {
+    suite: CipherSuite,
+    aes: Aes,
+    gcm: Option<AesGcm>,
+    mac_key: Vec<u8>,
+    salt: [u8; 4],
+    counter: u64,
+    store: KeyStore,
+}
+
+impl FlowState {
+    fn new(suite: CipherSuite, key: &[u8], salt: [u8; 4]) -> FlowState {
+        let aes = match suite {
+            CipherSuite::AesGcm256 => Aes::new_256(key),
+            _ => Aes::new_128(key),
+        };
+        FlowState {
+            gcm: matches!(suite, CipherSuite::AesGcm128 | CipherSuite::AesGcm256)
+                .then(|| AesGcm::new(aes.clone())),
+            suite,
+            aes,
+            mac_key: key.to_vec(),
+            salt,
+            counter: 0,
+            store: KeyStore::Sram,
+        }
+    }
+
+    fn gcm_iv(&self, counter: u64) -> [u8; 12] {
+        let mut iv = [0u8; 12];
+        iv[..4].copy_from_slice(&self.salt);
+        iv[4..].copy_from_slice(&counter.to_be_bytes());
+        iv
+    }
+
+    fn cbc_iv(&self, counter: u64) -> [u8; 16] {
+        // Encrypted-counter IV: unpredictable per record.
+        let mut iv = [0u8; 16];
+        iv[..4].copy_from_slice(&self.salt);
+        iv[8..].copy_from_slice(&counter.to_be_bytes());
+        self.aes.encrypt_block(&mut iv);
+        iv
+    }
+}
+
+/// The flow-encryption role: a [`NetworkTap`] holding the flow table.
+///
+/// # Examples
+///
+/// ```
+/// use apps::crypto::{CipherSuite, CryptoTap, FlowKey};
+/// use dcnet::NodeAddr;
+///
+/// let mut tap = CryptoTap::new();
+/// let flow = FlowKey {
+///     src: NodeAddr::new(0, 0, 1),
+///     dst: NodeAddr::new(0, 1, 2),
+///     src_port: 7000,
+///     dst_port: 8000,
+/// };
+/// tap.add_flow(flow, CipherSuite::AesGcm128, b"0123456789abcdef");
+/// assert_eq!(tap.flow_count(), 1);
+/// ```
+pub struct CryptoTap {
+    flows: HashMap<FlowKey, FlowState>,
+    model: FpgaCryptoModel,
+    stats: TapStats,
+    /// Flows whose keys fit in on-chip SRAM; later flows spill to DRAM.
+    sram_capacity: usize,
+}
+
+impl CryptoTap {
+    /// Creates an empty flow table with the default FPGA timing model.
+    pub fn new() -> CryptoTap {
+        CryptoTap::with_model(FpgaCryptoModel::default())
+    }
+
+    /// Creates a tap with explicit timing.
+    pub fn with_model(model: FpgaCryptoModel) -> CryptoTap {
+        CryptoTap {
+            flows: HashMap::new(),
+            model,
+            stats: TapStats::default(),
+            sram_capacity: 1024,
+        }
+    }
+
+    /// Sets how many flow keys fit in on-chip SRAM before spilling to the
+    /// FPGA-attached DRAM.
+    pub fn set_sram_capacity(&mut self, flows: usize) {
+        self.sram_capacity = flows;
+    }
+
+    /// Where the key for `key` is stored, if installed.
+    pub fn key_store(&self, key: &FlowKey) -> Option<KeyStore> {
+        self.flows.get(key).map(|f| f.store)
+    }
+
+    fn place(&self, mut state: FlowState) -> FlowState {
+        state.store = if self.flows.len() < self.sram_capacity {
+            KeyStore::Sram
+        } else {
+            KeyStore::Dram
+        };
+        state
+    }
+
+    /// Installs a flow key (the software-provided key is read from FPGA
+    /// SRAM/DRAM on every packet in the real system).
+    pub fn add_flow(&mut self, key: FlowKey, suite: CipherSuite, aes_key: &[u8; 16]) {
+        assert!(
+            suite != CipherSuite::AesGcm256,
+            "use add_flow_256 for 256-bit suites"
+        );
+        let salt = [key.src_port as u8, key.dst_port as u8, 0xC5, 0x5C];
+        let state = self.place(FlowState::new(suite, aes_key, salt));
+        self.flows.insert(key, state);
+    }
+
+    /// Installs an AES-GCM-256 flow with a 32-byte key.
+    pub fn add_flow_256(&mut self, key: FlowKey, aes_key: &[u8; 32]) {
+        let salt = [key.src_port as u8, key.dst_port as u8, 0xC5, 0x5C];
+        let state = self.place(FlowState::new(CipherSuite::AesGcm256, aes_key, salt));
+        self.flows.insert(key, state);
+    }
+
+    /// Number of installed flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Tap counters.
+    pub fn stats(&self) -> TapStats {
+        self.stats
+    }
+
+    fn encrypt(&mut self, mut pkt: Packet) -> Option<Packet> {
+        let key = FlowKey::of(&pkt);
+        let state = self.flows.get_mut(&key)?;
+        let counter = state.counter;
+        state.counter += 1;
+        let mut out = BytesMut::with_capacity(ENC_HEADER + pkt.payload.len() + 36);
+        out.put_u16(ENC_MAGIC);
+        out.put_u8(match state.suite {
+            CipherSuite::AesGcm128 => 0,
+            CipherSuite::AesCbc128Sha1 => 1,
+            CipherSuite::AesGcm256 => 2,
+        });
+        out.put_u8(0);
+        out.put_u64(counter);
+        match state.suite {
+            CipherSuite::AesGcm128 | CipherSuite::AesGcm256 => {
+                let gcm = state.gcm.as_ref().expect("gcm state for gcm suite");
+                let mut data = pkt.payload.to_vec();
+                let iv = state.gcm_iv(counter);
+                // Authenticate the flow identity alongside the data.
+                let aad = [
+                    pkt.src.as_u32().to_be_bytes(),
+                    pkt.dst.as_u32().to_be_bytes(),
+                ]
+                .concat();
+                let tag = gcm.seal(&iv, &aad, &mut data);
+                out.put_slice(&data);
+                out.put_slice(&tag);
+            }
+            CipherSuite::AesCbc128Sha1 => {
+                let iv = state.cbc_iv(counter);
+                let record = cbc_sha1_seal(&state.aes, &state.mac_key, &iv, &pkt.payload);
+                out.put_slice(&record);
+            }
+        }
+        pkt.payload = out.freeze();
+        Some(pkt)
+    }
+
+    fn decrypt(&mut self, mut pkt: Packet) -> Result<Option<Packet>, ()> {
+        let key = FlowKey::of(&pkt);
+        let Some(state) = self.flows.get_mut(&key) else {
+            return Ok(None);
+        };
+        let p = &pkt.payload;
+        if p.len() < ENC_HEADER || u16::from_be_bytes([p[0], p[1]]) != ENC_MAGIC {
+            return Ok(None); // not one of ours; bridge it untouched
+        }
+        let suite = match p[2] {
+            0 => CipherSuite::AesGcm128,
+            1 => CipherSuite::AesCbc128Sha1,
+            2 => CipherSuite::AesGcm256,
+            _ => return Err(()),
+        };
+        if suite != state.suite {
+            return Err(());
+        }
+        let counter = u64::from_be_bytes(p[4..12].try_into().expect("header length checked"));
+        let body = &p[ENC_HEADER..];
+        let plain: Vec<u8> = match suite {
+            CipherSuite::AesGcm128 | CipherSuite::AesGcm256 => {
+                if body.len() < 16 {
+                    return Err(());
+                }
+                let (ct, tag) = body.split_at(body.len() - 16);
+                let mut data = ct.to_vec();
+                let iv = state.gcm_iv(counter);
+                let aad = [
+                    pkt.src.as_u32().to_be_bytes(),
+                    pkt.dst.as_u32().to_be_bytes(),
+                ]
+                .concat();
+                let gcm = state.gcm.as_ref().expect("gcm state for gcm suite");
+                gcm.open(&iv, &aad, &mut data, tag.try_into().expect("16-byte tag"))
+                    .map_err(|_| ())?;
+                data
+            }
+            CipherSuite::AesCbc128Sha1 => {
+                let iv = state.cbc_iv(counter);
+                cbc_sha1_open(&state.aes, &state.mac_key, &iv, body).map_err(|_| ())?
+            }
+        };
+        pkt.payload = Bytes::from(plain);
+        Ok(Some(pkt))
+    }
+}
+
+impl Default for CryptoTap {
+    fn default() -> Self {
+        CryptoTap::new()
+    }
+}
+
+impl NetworkTap for CryptoTap {
+    fn outbound(&mut self, pkt: Packet, _now: SimTime) -> TapAction {
+        let key = FlowKey::of(&pkt);
+        let suite = self.flows.get(&key).map(|f| (f.suite, f.store));
+        match suite {
+            Some((suite, store)) => {
+                let delay =
+                    self.model.packet_latency(suite, pkt.payload.len()) + store.fetch_latency();
+                let pkt = self.encrypt(pkt).expect("flow checked present");
+                self.stats.encrypted += 1;
+                TapAction::Forward { pkt, delay }
+            }
+            None => {
+                self.stats.passed += 1;
+                TapAction::pass(pkt)
+            }
+        }
+    }
+
+    fn inbound(&mut self, pkt: Packet, _now: SimTime) -> TapAction {
+        let key = FlowKey::of(&pkt);
+        let Some((suite, store)) = self.flows.get(&key).map(|f| (f.suite, f.store)) else {
+            self.stats.passed += 1;
+            return TapAction::pass(pkt);
+        };
+        let delay = self.model.packet_latency(suite, pkt.payload.len()) + store.fetch_latency();
+        match self.decrypt(pkt) {
+            Ok(Some(pkt)) => {
+                self.stats.decrypted += 1;
+                TapAction::Forward { pkt, delay }
+            }
+            Ok(None) => {
+                self.stats.passed += 1;
+                // A flow-table hit but unencrypted payload: forward as-is
+                // (flow setup race during key installation).
+                TapAction::Drop
+            }
+            Err(()) => {
+                self.stats.auth_failures += 1;
+                TapAction::Drop
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for CryptoTap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CryptoTap")
+            .field("flows", &self.flows.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnet::TrafficClass;
+
+    fn pkt(payload: &[u8]) -> Packet {
+        Packet::new(
+            NodeAddr::new(0, 0, 1),
+            NodeAddr::new(0, 1, 2),
+            5000,
+            6000,
+            TrafficClass::BEST_EFFORT,
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    fn forwarded(action: TapAction) -> Packet {
+        match action {
+            TapAction::Forward { pkt, .. } => pkt,
+            TapAction::Drop => panic!("expected forward"),
+        }
+    }
+
+    fn paired_taps(suite: CipherSuite) -> (CryptoTap, CryptoTap, FlowKey) {
+        let key = FlowKey::of(&pkt(b""));
+        let aes_key = b"0123456789abcdef";
+        let mut tx = CryptoTap::new();
+        let mut rx = CryptoTap::new();
+        tx.add_flow(key, suite, aes_key);
+        rx.add_flow(key, suite, aes_key);
+        (tx, rx, key)
+    }
+
+    #[test]
+    fn gcm_flow_encrypts_and_decrypts_transparently() {
+        let (mut tx, mut rx, _) = paired_taps(CipherSuite::AesGcm128);
+        let original = pkt(b"credit card numbers");
+        let wire = forwarded(tx.outbound(original.clone(), SimTime::ZERO));
+        assert_ne!(wire.payload, original.payload, "ciphertext on the wire");
+        assert!(wire.payload.len() > original.payload.len(), "header + tag");
+        let back = forwarded(rx.inbound(wire, SimTime::ZERO));
+        assert_eq!(back.payload, original.payload);
+        assert_eq!(tx.stats().encrypted, 1);
+        assert_eq!(rx.stats().decrypted, 1);
+    }
+
+    #[test]
+    fn gcm256_flow_roundtrips() {
+        let key = FlowKey::of(&pkt(b""));
+        let aes_key = b"a-32-byte-key-for-aes-256-gcm!!!";
+        let mut tx = CryptoTap::new();
+        let mut rx = CryptoTap::new();
+        tx.add_flow_256(key, aes_key);
+        rx.add_flow_256(key, aes_key);
+        let original = pkt(b"256-bit secrets");
+        let wire = forwarded(tx.outbound(original.clone(), SimTime::ZERO));
+        assert_ne!(wire.payload, original.payload);
+        let back = forwarded(rx.inbound(wire, SimTime::ZERO));
+        assert_eq!(back.payload, original.payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_flow_256")]
+    fn gcm256_rejects_short_key_path() {
+        let mut tap = CryptoTap::new();
+        tap.add_flow(
+            FlowKey::of(&pkt(b"")),
+            CipherSuite::AesGcm256,
+            b"0123456789abcdef",
+        );
+    }
+
+    #[test]
+    fn cbc_sha1_flow_roundtrips() {
+        let (mut tx, mut rx, _) = paired_taps(CipherSuite::AesCbc128Sha1);
+        let original = pkt(&vec![7u8; 1400]);
+        let wire = forwarded(tx.outbound(original.clone(), SimTime::ZERO));
+        let back = forwarded(rx.inbound(wire, SimTime::ZERO));
+        assert_eq!(back.payload, original.payload);
+    }
+
+    #[test]
+    fn multiple_packets_use_distinct_ivs() {
+        let (mut tx, _, _) = paired_taps(CipherSuite::AesGcm128);
+        let w1 = forwarded(tx.outbound(pkt(b"same"), SimTime::ZERO));
+        let w2 = forwarded(tx.outbound(pkt(b"same"), SimTime::ZERO));
+        assert_ne!(w1.payload, w2.payload);
+    }
+
+    #[test]
+    fn out_of_order_decryption_works() {
+        // The counter travels in the header, so reordered packets still
+        // decrypt.
+        let (mut tx, mut rx, _) = paired_taps(CipherSuite::AesGcm128);
+        let w1 = forwarded(tx.outbound(pkt(b"first"), SimTime::ZERO));
+        let w2 = forwarded(tx.outbound(pkt(b"second"), SimTime::ZERO));
+        let b2 = forwarded(rx.inbound(w2, SimTime::ZERO));
+        let b1 = forwarded(rx.inbound(w1, SimTime::ZERO));
+        assert_eq!(b1.payload.as_ref(), b"first");
+        assert_eq!(b2.payload.as_ref(), b"second");
+    }
+
+    #[test]
+    fn non_flow_traffic_passes_untouched() {
+        let (mut tx, _, _) = paired_taps(CipherSuite::AesGcm128);
+        let mut other = pkt(b"other");
+        other.dst_port = 9999; // different flow
+        let out = forwarded(tx.outbound(other.clone(), SimTime::ZERO));
+        assert_eq!(out.payload, other.payload);
+        assert_eq!(tx.stats().passed, 1);
+        assert_eq!(tx.stats().encrypted, 0);
+    }
+
+    #[test]
+    fn tampered_packets_are_dropped() {
+        let (mut tx, mut rx, _) = paired_taps(CipherSuite::AesGcm128);
+        let wire = forwarded(tx.outbound(pkt(b"secret"), SimTime::ZERO));
+        let mut bad = wire.clone();
+        let mut tampered = bad.payload.to_vec();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xFF;
+        bad.payload = Bytes::from(tampered);
+        match rx.inbound(bad, SimTime::ZERO) {
+            TapAction::Drop => {}
+            TapAction::Forward { .. } => panic!("tampered packet forwarded"),
+        }
+        assert_eq!(rx.stats().auth_failures, 1);
+    }
+
+    #[test]
+    fn wrong_key_fails_auth() {
+        let key = FlowKey::of(&pkt(b""));
+        let mut tx = CryptoTap::new();
+        let mut rx = CryptoTap::new();
+        tx.add_flow(key, CipherSuite::AesGcm128, b"0123456789abcdef");
+        rx.add_flow(key, CipherSuite::AesGcm128, b"fedcba9876543210");
+        let wire = forwarded(tx.outbound(pkt(b"secret"), SimTime::ZERO));
+        assert!(matches!(rx.inbound(wire, SimTime::ZERO), TapAction::Drop));
+    }
+
+    #[test]
+    fn keys_spill_from_sram_to_dram() {
+        let mut tap = CryptoTap::new();
+        tap.set_sram_capacity(2);
+        let mk = |port: u16| FlowKey {
+            src: NodeAddr::new(0, 0, 1),
+            dst: NodeAddr::new(0, 1, 2),
+            src_port: port,
+            dst_port: 6000,
+        };
+        for port in 0..4u16 {
+            tap.add_flow(mk(port), CipherSuite::AesGcm128, b"0123456789abcdef");
+        }
+        assert_eq!(tap.key_store(&mk(0)), Some(KeyStore::Sram));
+        assert_eq!(tap.key_store(&mk(1)), Some(KeyStore::Sram));
+        assert_eq!(tap.key_store(&mk(2)), Some(KeyStore::Dram));
+        assert_eq!(tap.key_store(&mk(3)), Some(KeyStore::Dram));
+    }
+
+    #[test]
+    fn dram_keys_cost_more_latency() {
+        let mut tap = CryptoTap::new();
+        tap.set_sram_capacity(0); // every key spills
+        let key = FlowKey::of(&pkt(b""));
+        tap.add_flow(key, CipherSuite::AesGcm128, b"0123456789abcdef");
+        let d_dram = match tap.outbound(pkt(b"x"), SimTime::ZERO) {
+            TapAction::Forward { delay, .. } => delay,
+            _ => panic!(),
+        };
+        let mut hot = CryptoTap::new();
+        hot.add_flow(key, CipherSuite::AesGcm128, b"0123456789abcdef");
+        let d_sram = match hot.outbound(pkt(b"x"), SimTime::ZERO) {
+            TapAction::Forward { delay, .. } => delay,
+            _ => panic!(),
+        };
+        assert!(d_dram > d_sram, "dram {d_dram} vs sram {d_sram}");
+    }
+
+    #[test]
+    fn latency_model_distinguishes_suites() {
+        let (mut tx_gcm, _, _) = paired_taps(CipherSuite::AesGcm128);
+        let (mut tx_cbc, _, _) = paired_taps(CipherSuite::AesCbc128Sha1);
+        let d_gcm = match tx_gcm.outbound(pkt(&vec![0; 1400]), SimTime::ZERO) {
+            TapAction::Forward { delay, .. } => delay,
+            _ => panic!(),
+        };
+        let d_cbc = match tx_cbc.outbound(pkt(&vec![0; 1400]), SimTime::ZERO) {
+            TapAction::Forward { delay, .. } => delay,
+            _ => panic!(),
+        };
+        assert!(d_cbc > d_gcm * 3, "cbc {d_cbc} vs gcm {d_gcm}");
+    }
+}

@@ -1,0 +1,257 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! The paper's preferred line-rate mode: "GCM latency numbers are
+//! significantly better for FPGA since a single packet can be processed
+//! with no dependencies and thus can be perfectly pipelined." CTR
+//! encryption plus a GHASH tag over GF(2^128).
+
+use super::aes::Aes;
+
+/// GCM authentication tag length in bytes.
+pub const TAG_BYTES: usize = 16;
+
+/// Error from [`AesGcm::open`]: the authentication tag did not verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl core::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("gcm authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// GF(2^128) multiplication (bit-serial, GCM's reflected convention).
+fn ghash_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z: u128 = 0;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 != 0 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb != 0 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn block_to_u128(b: &[u8]) -> u128 {
+    let mut arr = [0u8; 16];
+    arr[..b.len()].copy_from_slice(b);
+    u128::from_be_bytes(arr)
+}
+
+/// AES-GCM with a 96-bit IV.
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: u128,
+}
+
+impl AesGcm {
+    /// Creates a GCM instance over an expanded AES key.
+    pub fn new(aes: Aes) -> AesGcm {
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        AesGcm {
+            aes,
+            h: u128::from_be_bytes(h),
+        }
+    }
+
+    /// AES-GCM-128 from a 16-byte key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not 16 bytes.
+    pub fn new_128(key: &[u8]) -> AesGcm {
+        AesGcm::new(Aes::new_128(key))
+    }
+
+    fn counter_block(iv: &[u8; 12], counter: u32) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[..12].copy_from_slice(iv);
+        b[12..].copy_from_slice(&counter.to_be_bytes());
+        b
+    }
+
+    fn ctr_xor(&self, iv: &[u8; 12], data: &mut [u8]) {
+        let mut counter = 2u32; // counter 1 is reserved for the tag
+        for chunk in data.chunks_mut(16) {
+            let mut ks = Self::counter_block(iv, counter);
+            self.aes.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn ghash(&self, aad: &[u8], ct: &[u8]) -> u128 {
+        let mut y: u128 = 0;
+        for chunk in aad.chunks(16) {
+            y = ghash_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        for chunk in ct.chunks(16) {
+            y = ghash_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+        ghash_mul(y ^ lens, self.h)
+    }
+
+    fn tag(&self, iv: &[u8; 12], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let s = self.ghash(aad, ct);
+        let mut ek0 = Self::counter_block(iv, 1);
+        self.aes.encrypt_block(&mut ek0);
+        (s ^ u128::from_be_bytes(ek0)).to_be_bytes()
+    }
+
+    /// Encrypts `data` in place and returns the authentication tag.
+    /// `aad` is authenticated but not encrypted (packet headers).
+    pub fn seal(&self, iv: &[u8; 12], aad: &[u8], data: &mut [u8]) -> [u8; 16] {
+        self.ctr_xor(iv, data);
+        self.tag(iv, aad, data)
+    }
+
+    /// Verifies `tag` and decrypts `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] (leaving `data` as the ciphertext) if the tag
+    /// does not verify.
+    pub fn open(
+        &self,
+        iv: &[u8; 12],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8; 16],
+    ) -> Result<(), AuthError> {
+        let expect = self.tag(iv, aad, data);
+        // Constant-time-ish comparison.
+        let diff = expect
+            .iter()
+            .zip(tag)
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        if diff != 0 {
+            return Err(AuthError);
+        }
+        self.ctr_xor(iv, data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn nist_test_case_1_empty() {
+        let gcm = AesGcm::new_128(&[0u8; 16]);
+        let iv = [0u8; 12];
+        let tag = gcm.seal(&iv, &[], &mut []);
+        assert_eq!(tag.to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    #[test]
+    fn nist_test_case_2_one_block() {
+        let gcm = AesGcm::new_128(&[0u8; 16]);
+        let iv = [0u8; 12];
+        let mut data = [0u8; 16];
+        let tag = gcm.seal(&iv, &[], &mut data);
+        assert_eq!(data.to_vec(), hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    #[test]
+    fn nist_test_case_3_four_blocks() {
+        let gcm = AesGcm::new_128(&hex("feffe9928665731c6d6a8f9467308308"));
+        let iv: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let mut data = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let tag = gcm.seal(&iv, &[], &mut data);
+        assert_eq!(
+            data,
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    #[test]
+    fn nist_test_case_4_with_aad() {
+        let gcm = AesGcm::new_128(&hex("feffe9928665731c6d6a8f9467308308"));
+        let iv: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let mut data = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let tag = gcm.seal(&iv, &aad, &mut data);
+        assert_eq!(
+            data,
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let gcm = AesGcm::new_128(b"0123456789abcdef");
+        let iv = [7u8; 12];
+        let aad = b"packet headers";
+        let mut data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let orig = data.clone();
+        let tag = gcm.seal(&iv, aad, &mut data);
+        assert_ne!(data, orig);
+        gcm.open(&iv, aad, &mut data, &tag).unwrap();
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let gcm = AesGcm::new_128(b"0123456789abcdef");
+        let iv = [7u8; 12];
+        let mut data = b"sensitive".to_vec();
+        let tag = gcm.seal(&iv, &[], &mut data);
+        data[0] ^= 1;
+        assert_eq!(gcm.open(&iv, &[], &mut data, &tag), Err(AuthError));
+    }
+
+    #[test]
+    fn tampered_aad_rejected() {
+        let gcm = AesGcm::new_128(b"0123456789abcdef");
+        let iv = [7u8; 12];
+        let mut data = b"sensitive".to_vec();
+        let tag = gcm.seal(&iv, b"aad", &mut data);
+        assert_eq!(gcm.open(&iv, b"bad", &mut data, &tag), Err(AuthError));
+    }
+
+    #[test]
+    fn distinct_ivs_give_distinct_ciphertexts() {
+        let gcm = AesGcm::new_128(b"0123456789abcdef");
+        let mut a = b"same plaintext".to_vec();
+        let mut b = b"same plaintext".to_vec();
+        gcm.seal(&[1u8; 12], &[], &mut a);
+        gcm.seal(&[2u8; 12], &[], &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,17 @@
+//! Network crypto role (Section IV): real AES-GCM-128 and
+//! AES-CBC-128-SHA1 line-rate flow encryption, plus the CPU/FPGA cost
+//! models behind the paper's core-count comparison.
+
+mod aes;
+mod cbc;
+mod cost;
+mod flows;
+mod gcm;
+mod sha1;
+
+pub use aes::{Aes, KeySize};
+pub use cbc::{cbc_decrypt, cbc_encrypt, cbc_sha1_open, cbc_sha1_seal, CbcError};
+pub use cost::{CipherSuite, CpuCryptoModel, FpgaCryptoModel};
+pub use flows::{CryptoTap, FlowKey, KeyStore};
+pub use gcm::{AesGcm, AuthError, TAG_BYTES};
+pub use sha1::{hmac_sha1, Sha1, DIGEST_BYTES};

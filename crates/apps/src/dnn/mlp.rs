@@ -1,0 +1,156 @@
+//! A small real MLP inference engine — the workload behind the paper's
+//! latency-sensitive DNN accelerator pool (Section V-E).
+//!
+//! Dense layers with ReLU activations and a softmax head. The oversubscribed
+//! pool experiment uses [`crate::remote::AcceleratorRole`] for timing;
+//! this module supplies the actual computation for examples and
+//! correctness tests.
+
+use dcsim::SimRng;
+
+/// A dense layer: `y = relu(W x + b)` (ReLU skipped on the output layer).
+#[derive(Debug, Clone)]
+struct Layer {
+    /// Row-major weights `[outputs][inputs]`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Layer {
+    fn random(inputs: usize, outputs: usize, rng: &mut SimRng) -> Layer {
+        let scale = (2.0 / inputs as f64).sqrt();
+        Layer {
+            weights: (0..inputs * outputs)
+                .map(|_| (rng.gauss() * scale) as f32)
+                .collect(),
+            bias: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
+    }
+
+    fn forward(&self, x: &[f32], relu: bool) -> Vec<f32> {
+        assert_eq!(x.len(), self.inputs, "layer input width mismatch");
+        (0..self.outputs)
+            .map(|o| {
+                let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+                let z: f32 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>() + self.bias[o];
+                if relu {
+                    z.max(0.0)
+                } else {
+                    z
+                }
+            })
+            .collect()
+    }
+}
+
+/// A multi-layer perceptron with deterministic random weights.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths (at least two), weights
+    /// derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], seed: u64) -> Mlp {
+        assert!(widths.len() >= 2, "need input and output widths");
+        let mut rng = SimRng::seed_from(seed);
+        let layers = widths
+            .windows(2)
+            .map(|w| Layer::random(w[0], w[1], &mut rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input width.
+    pub fn input_width(&self) -> usize {
+        self.layers.first().expect("at least one layer").inputs
+    }
+
+    /// Output width.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("at least one layer").outputs
+    }
+
+    /// Multiply-accumulate operations per inference (the quantity that
+    /// sizes the accelerator).
+    pub fn macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.inputs as u64 * l.outputs as u64)
+            .sum()
+    }
+
+    /// Runs inference, returning softmax class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width mismatches.
+    pub fn infer(&self, input: &[f32]) -> Vec<f32> {
+        let mut x = input.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(&x, i != last);
+        }
+        softmax(&x)
+    }
+}
+
+fn softmax(z: &[f32]) -> Vec<f32> {
+    let max = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = z.iter().map(|v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_a_probability_distribution() {
+        let mlp = Mlp::new(&[16, 32, 10], 1);
+        let input: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+        let out = mlp.infer(&input);
+        assert_eq!(out.len(), 10);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(out.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Mlp::new(&[8, 8, 4], 9);
+        let b = Mlp::new(&[8, 8, 4], 9);
+        let x = [0.5f32; 8];
+        assert_eq!(a.infer(&x), b.infer(&x));
+    }
+
+    #[test]
+    fn different_inputs_give_different_outputs() {
+        let mlp = Mlp::new(&[8, 16, 4], 3);
+        let a = mlp.infer(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let b = mlp.infer(&[0.0; 8]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn macs_counts_weights() {
+        let mlp = Mlp::new(&[10, 20, 5], 1);
+        assert_eq!(mlp.macs(), 10 * 20 + 20 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        Mlp::new(&[4, 2], 1).infer(&[0.0; 5]);
+    }
+}

@@ -1,0 +1,7 @@
+//! The DNN workload for the remote accelerator pool (Section V-E).
+
+mod mlp;
+mod role;
+
+pub use mlp::Mlp;
+pub use role::{decode_inference_reply, encode_inference_request, MlpRole};

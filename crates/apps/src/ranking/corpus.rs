@@ -1,0 +1,161 @@
+//! Synthetic query/document corpus for the ranking workload.
+//!
+//! The production pipeline feeds (query, document) pairs to the feature
+//! stages; we generate deterministic Zipf-distributed token streams that
+//! exercise the same code paths (term matches, phrase matches, gaps) with
+//! realistic skew.
+
+use dcsim::SimRng;
+
+/// A tokenised search query (term ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Query terms in order.
+    pub terms: Vec<u32>,
+}
+
+/// A tokenised candidate document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Document tokens in order.
+    pub tokens: Vec<u32>,
+}
+
+/// Deterministic corpus generator with a Zipf-like term distribution.
+#[derive(Debug, Clone)]
+pub struct CorpusGen {
+    vocab: u32,
+    /// Cumulative probability table over a truncated Zipf distribution.
+    cumulative: Vec<f64>,
+}
+
+impl CorpusGen {
+    /// Creates a generator over `vocab` distinct terms with Zipf skew `s`
+    /// (1.0 is classic web-text skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab` is zero.
+    pub fn new(vocab: u32, s: f64) -> CorpusGen {
+        assert!(vocab > 0, "vocabulary must be non-empty");
+        let mut weights: Vec<f64> = (1..=vocab).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        CorpusGen {
+            vocab,
+            cumulative: weights,
+        }
+    }
+
+    /// Samples one term id.
+    pub fn term(&self, rng: &mut SimRng) -> u32 {
+        let u = rng.uniform();
+        match self
+            .cumulative
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in table"))
+        {
+            Ok(i) | Err(i) => (i as u32).min(self.vocab - 1),
+        }
+    }
+
+    /// Generates a query of `len` terms (distinct where possible). Query
+    /// terms are drawn uniformly over the vocabulary — queries select
+    /// *discriminative* terms, unlike body text, which follows the Zipf
+    /// distribution.
+    pub fn query(&self, rng: &mut SimRng, len: usize) -> Query {
+        let mut terms = Vec::with_capacity(len);
+        for _ in 0..len.max(1) {
+            let mut t = rng.index(self.vocab as usize) as u32;
+            let mut guard = 0;
+            while terms.contains(&t) && guard < 16 {
+                t = rng.index(self.vocab as usize) as u32;
+                guard += 1;
+            }
+            terms.push(t);
+        }
+        Query { terms }
+    }
+
+    /// Generates a document of `len` tokens, planting each query term with
+    /// probability `relevance` at random positions so relevant documents
+    /// actually contain the query.
+    pub fn document(
+        &self,
+        rng: &mut SimRng,
+        query: &Query,
+        len: usize,
+        relevance: f64,
+    ) -> Document {
+        let mut tokens: Vec<u32> = (0..len).map(|_| self.term(rng)).collect();
+        if !tokens.is_empty() {
+            for &t in &query.terms {
+                if rng.chance(relevance) {
+                    let n = 1 + rng.index(3);
+                    for _ in 0..n {
+                        let pos = rng.index(tokens.len());
+                        tokens[pos] = t;
+                    }
+                }
+            }
+        }
+        Document { tokens }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let gen = CorpusGen::new(10_000, 1.0);
+        let mut r1 = SimRng::seed_from(1);
+        let mut r2 = SimRng::seed_from(1);
+        assert_eq!(gen.query(&mut r1, 4), gen.query(&mut r2, 4));
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let gen = CorpusGen::new(1_000, 1.0);
+        let mut rng = SimRng::seed_from(2);
+        let n = 50_000;
+        let head = (0..n).filter(|_| gen.term(&mut rng) < 10).count();
+        // Top-10 of 1000 terms should carry ~40% of mass under Zipf(1).
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.3 && frac < 0.55, "head fraction {frac}");
+    }
+
+    #[test]
+    fn relevant_documents_contain_query_terms() {
+        let gen = CorpusGen::new(100_000, 1.0);
+        let mut rng = SimRng::seed_from(3);
+        let q = gen.query(&mut rng, 3);
+        let doc = gen.document(&mut rng, &q, 500, 1.0);
+        for &t in &q.terms {
+            assert!(doc.tokens.contains(&t), "term {t} missing");
+        }
+    }
+
+    #[test]
+    fn irrelevant_documents_usually_lack_rare_terms() {
+        let gen = CorpusGen::new(100_000, 1.0);
+        let mut rng = SimRng::seed_from(4);
+        let q = Query {
+            terms: vec![99_999, 99_998], // rarest terms
+        };
+        let doc = gen.document(&mut rng, &q, 200, 0.0);
+        assert!(!doc.tokens.contains(&99_999));
+    }
+
+    #[test]
+    fn document_length_respected() {
+        let gen = CorpusGen::new(1000, 1.0);
+        let mut rng = SimRng::seed_from(5);
+        let q = gen.query(&mut rng, 2);
+        assert_eq!(gen.document(&mut rng, &q, 777, 0.5).tokens.len(), 777);
+    }
+}

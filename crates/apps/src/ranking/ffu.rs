@@ -1,0 +1,357 @@
+//! The Feature Functional Unit: "traditional finite state machines used in
+//! many search engines (e.g. 'count the number of occurrences of query
+//! term two')".
+//!
+//! Each feature is a genuine FSM stepped once per document token; the
+//! [`FfuBank`] runs all of them in a single pass over the document, which
+//! is exactly how the hardware streams tokens through parallel FSMs.
+
+use super::corpus::{Document, Query};
+
+/// A per-document feature computed by stepping an FSM over the token
+/// stream.
+pub trait FeatureFsm {
+    /// Resets state for a new document.
+    fn reset(&mut self);
+    /// Consumes one token at position `pos`.
+    fn step(&mut self, token: u32, pos: usize);
+    /// The feature value after the stream ends.
+    fn value(&self) -> f32;
+    /// Feature name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Occurrences of one query term.
+#[derive(Debug, Clone)]
+pub struct TermCount {
+    term: u32,
+    count: u32,
+}
+
+impl TermCount {
+    /// Counts occurrences of `term`.
+    pub fn new(term: u32) -> Self {
+        TermCount { term, count: 0 }
+    }
+}
+
+impl FeatureFsm for TermCount {
+    fn reset(&mut self) {
+        self.count = 0;
+    }
+    fn step(&mut self, token: u32, _pos: usize) {
+        if token == self.term {
+            self.count += 1;
+        }
+    }
+    fn value(&self) -> f32 {
+        self.count as f32
+    }
+    fn name(&self) -> &'static str {
+        "term_count"
+    }
+}
+
+/// Earliness of the first occurrence of a term: `1/(1+pos)`, so earlier
+/// is larger and an absent term scores 0.
+#[derive(Debug, Clone)]
+pub struct FirstPosition {
+    term: u32,
+    pos: Option<usize>,
+}
+
+impl FirstPosition {
+    /// Tracks the first occurrence of `term`.
+    pub fn new(term: u32) -> Self {
+        FirstPosition { term, pos: None }
+    }
+}
+
+impl FeatureFsm for FirstPosition {
+    fn reset(&mut self) {
+        self.pos = None;
+    }
+    fn step(&mut self, token: u32, pos: usize) {
+        if token == self.term && self.pos.is_none() {
+            self.pos = Some(pos);
+        }
+    }
+    fn value(&self) -> f32 {
+        self.pos.map(|p| 1.0 / (1.0 + p as f32)).unwrap_or(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "first_position"
+    }
+}
+
+/// Counts adjacent occurrences of an ordered term pair (a two-state FSM).
+#[derive(Debug, Clone)]
+pub struct AdjacentPair {
+    first: u32,
+    second: u32,
+    armed: bool,
+    count: u32,
+}
+
+impl AdjacentPair {
+    /// Counts `first` immediately followed by `second`.
+    pub fn new(first: u32, second: u32) -> Self {
+        AdjacentPair {
+            first,
+            second,
+            armed: false,
+            count: 0,
+        }
+    }
+}
+
+impl FeatureFsm for AdjacentPair {
+    fn reset(&mut self) {
+        self.armed = false;
+        self.count = 0;
+    }
+    fn step(&mut self, token: u32, _pos: usize) {
+        if self.armed && token == self.second {
+            self.count += 1;
+        }
+        self.armed = token == self.first;
+    }
+    fn value(&self) -> f32 {
+        self.count as f32
+    }
+    fn name(&self) -> &'static str {
+        "adjacent_pair"
+    }
+}
+
+/// Counts complete in-order (not necessarily adjacent) traversals of the
+/// whole query — an N-state chain FSM.
+#[derive(Debug, Clone)]
+pub struct OrderedPhrase {
+    terms: Vec<u32>,
+    state: usize,
+    count: u32,
+}
+
+impl OrderedPhrase {
+    /// Counts in-order traversals of `terms`.
+    pub fn new(terms: Vec<u32>) -> Self {
+        OrderedPhrase {
+            terms,
+            state: 0,
+            count: 0,
+        }
+    }
+}
+
+impl FeatureFsm for OrderedPhrase {
+    fn reset(&mut self) {
+        self.state = 0;
+        self.count = 0;
+    }
+    fn step(&mut self, token: u32, _pos: usize) {
+        if self.terms.is_empty() {
+            return;
+        }
+        if token == self.terms[self.state] {
+            self.state += 1;
+            if self.state == self.terms.len() {
+                self.count += 1;
+                self.state = 0;
+            }
+        }
+    }
+    fn value(&self) -> f32 {
+        self.count as f32
+    }
+    fn name(&self) -> &'static str {
+        "ordered_phrase"
+    }
+}
+
+/// Longest run of consecutive tokens that are all query terms.
+#[derive(Debug, Clone)]
+pub struct LongestStreak {
+    terms: Vec<u32>,
+    current: u32,
+    best: u32,
+}
+
+impl LongestStreak {
+    /// Tracks the longest consecutive run of any of `terms`.
+    pub fn new(terms: Vec<u32>) -> Self {
+        LongestStreak {
+            terms,
+            current: 0,
+            best: 0,
+        }
+    }
+}
+
+impl FeatureFsm for LongestStreak {
+    fn reset(&mut self) {
+        self.current = 0;
+        self.best = 0;
+    }
+    fn step(&mut self, token: u32, _pos: usize) {
+        if self.terms.contains(&token) {
+            self.current += 1;
+            self.best = self.best.max(self.current);
+        } else {
+            self.current = 0;
+        }
+    }
+    fn value(&self) -> f32 {
+        self.best as f32
+    }
+    fn name(&self) -> &'static str {
+        "longest_streak"
+    }
+}
+
+/// A bank of FSMs instantiated for one query; computes all features in a
+/// single streaming pass over the document.
+pub struct FfuBank {
+    fsms: Vec<Box<dyn FeatureFsm>>,
+}
+
+impl FfuBank {
+    /// Builds the standard feature set for `query`: per-term counts and
+    /// first positions, adjacent-pair counts, ordered-phrase and streak
+    /// features.
+    pub fn for_query(query: &Query) -> FfuBank {
+        let mut fsms: Vec<Box<dyn FeatureFsm>> = Vec::new();
+        for &t in &query.terms {
+            fsms.push(Box::new(TermCount::new(t)));
+            fsms.push(Box::new(FirstPosition::new(t)));
+        }
+        for pair in query.terms.windows(2) {
+            fsms.push(Box::new(AdjacentPair::new(pair[0], pair[1])));
+        }
+        fsms.push(Box::new(OrderedPhrase::new(query.terms.clone())));
+        fsms.push(Box::new(LongestStreak::new(query.terms.clone())));
+        FfuBank { fsms }
+    }
+
+    /// Number of features this bank produces.
+    pub fn feature_count(&self) -> usize {
+        self.fsms.len()
+    }
+
+    /// Streams the document through every FSM and returns the feature
+    /// vector.
+    pub fn compute(&mut self, doc: &Document) -> Vec<f32> {
+        for fsm in &mut self.fsms {
+            fsm.reset();
+        }
+        for (pos, &tok) in doc.tokens.iter().enumerate() {
+            for fsm in &mut self.fsms {
+                fsm.step(tok, pos);
+            }
+        }
+        self.fsms.iter().map(|f| f.value()).collect()
+    }
+}
+
+impl core::fmt::Debug for FfuBank {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FfuBank({} fsms)", self.fsms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(tokens: &[u32]) -> Document {
+        Document {
+            tokens: tokens.to_vec(),
+        }
+    }
+
+    #[test]
+    fn term_count_counts() {
+        let mut f = TermCount::new(7);
+        for (p, &t) in [7u32, 1, 7, 7, 2].iter().enumerate() {
+            f.step(t, p);
+        }
+        assert_eq!(f.value(), 3.0);
+        f.reset();
+        assert_eq!(f.value(), 0.0);
+    }
+
+    #[test]
+    fn first_position_finds_first() {
+        let mut f = FirstPosition::new(5);
+        for (p, &t) in [1u32, 2, 5, 5].iter().enumerate() {
+            f.step(t, p);
+        }
+        assert_eq!(f.value(), 1.0 / 3.0, "first occurrence at position 2");
+        let mut g = FirstPosition::new(9);
+        g.step(1, 0);
+        assert_eq!(g.value(), 0.0, "absent term");
+    }
+
+    #[test]
+    fn adjacent_pair_requires_adjacency() {
+        let mut f = AdjacentPair::new(1, 2);
+        for (p, &t) in [1u32, 2, 1, 3, 2, 1, 2].iter().enumerate() {
+            f.step(t, p);
+        }
+        assert_eq!(f.value(), 2.0, "1,2 appears adjacently twice");
+    }
+
+    #[test]
+    fn ordered_phrase_spans_gaps() {
+        let mut f = OrderedPhrase::new(vec![1, 2, 3]);
+        for (p, &t) in [1u32, 9, 2, 9, 3, 1, 2, 3].iter().enumerate() {
+            f.step(t, p);
+        }
+        assert_eq!(f.value(), 2.0);
+    }
+
+    #[test]
+    fn longest_streak_tracks_runs() {
+        let mut f = LongestStreak::new(vec![1, 2]);
+        for (p, &t) in [1u32, 2, 1, 9, 2, 2].iter().enumerate() {
+            f.step(t, p);
+        }
+        assert_eq!(f.value(), 3.0);
+    }
+
+    #[test]
+    fn bank_single_pass_matches_individual_fsms() {
+        let q = Query { terms: vec![3, 4] };
+        let d = doc(&[3, 4, 9, 3, 3, 4]);
+        let mut bank = FfuBank::for_query(&q);
+        let features = bank.compute(&d);
+        // term counts: 3 -> 3, 4 -> 2
+        assert_eq!(features[0], 3.0);
+        assert_eq!(features[2], 2.0);
+        // first positions (earliness): pos 0 -> 1.0, pos 1 -> 0.5
+        assert_eq!(features[1], 1.0);
+        assert_eq!(features[3], 0.5);
+        // adjacent pair (3,4): positions (0,1) and (4,5)
+        assert_eq!(features[4], 2.0);
+    }
+
+    #[test]
+    fn bank_is_reusable_across_documents() {
+        let q = Query { terms: vec![1] };
+        let mut bank = FfuBank::for_query(&q);
+        let f1 = bank.compute(&doc(&[1, 1]));
+        let f2 = bank.compute(&doc(&[2]));
+        let f3 = bank.compute(&doc(&[1, 1]));
+        assert_eq!(f1, f3);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn empty_document_gives_defaults() {
+        let q = Query { terms: vec![1, 2] };
+        let mut bank = FfuBank::for_query(&q);
+        let f = bank.compute(&doc(&[]));
+        assert_eq!(f.len(), bank.feature_count());
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+}

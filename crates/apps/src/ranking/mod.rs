@@ -1,0 +1,17 @@
+//! Bing web search ranking acceleration (Section III): FFU finite-state
+//! features, DPF dynamic-programming features, the software scoring stage,
+//! and the calibrated service timing model behind Figures 6-8 and 11.
+
+mod corpus;
+mod dpf;
+mod ffu;
+mod score;
+mod service;
+
+pub use corpus::{CorpusGen, Document, Query};
+pub use dpf::{alignment_score, dpf_features, min_cover_window, AlignParams};
+pub use ffu::{
+    AdjacentPair, FeatureFsm, FfuBank, FirstPosition, LongestStreak, OrderedPhrase, TermCount,
+};
+pub use score::{rank_documents, Scorer};
+pub use service::{QueryArrival, RankingMode, RankingParams, RankingServer};

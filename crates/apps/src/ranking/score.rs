@@ -1,0 +1,138 @@
+//! The machine-learned scoring stage.
+//!
+//! In Catapult v2 the ML model runs in *software* (unlike v1): "neither
+//! compute post-processed synthetic features nor run the machine-learning
+//! portion of search ranking on the FPGAs". This module is that software
+//! stage: a logistic model over the concatenated FFU + DPF feature vector.
+
+use dcsim::SimRng;
+
+use super::corpus::{Document, Query};
+use super::dpf::dpf_features;
+use super::ffu::FfuBank;
+
+/// A logistic scoring model over a fixed-length feature vector.
+#[derive(Debug, Clone)]
+pub struct Scorer {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl Scorer {
+    /// A deterministic model with `features` inputs, weights drawn from
+    /// `seed`. Every feature is "bigger is better" (counts, earliness,
+    /// coverage, alignment), so weights are positive.
+    pub fn from_seed(features: usize, seed: u64) -> Scorer {
+        let mut rng = SimRng::seed_from(seed);
+        let weights = (0..features).map(|_| 0.2 + rng.uniform() as f32).collect();
+        Scorer {
+            weights,
+            bias: -1.0,
+        }
+    }
+
+    /// Number of features the model expects.
+    pub fn feature_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Relevance in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the model width.
+    pub fn score(&self, features: &[f32]) -> f32 {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature vector width mismatch"
+        );
+        let z: f32 = self
+            .weights
+            .iter()
+            .zip(features)
+            .map(|(w, f)| w * f)
+            .sum::<f32>()
+            + self.bias;
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+/// End-to-end ranking of candidate documents for a query: FFU + DPF
+/// feature extraction followed by model scoring. Returns `(index, score)`
+/// pairs, best first. This is the computation the FPGA accelerates; it is
+/// used as-is by the examples and correctness tests.
+pub fn rank_documents(query: &Query, docs: &[Document], seed: u64) -> Vec<(usize, f32)> {
+    let mut bank = FfuBank::for_query(query);
+    let width = bank.feature_count() + 3;
+    let scorer = Scorer::from_seed(width, seed);
+    let mut scored: Vec<(usize, f32)> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut features = bank.compute(d);
+            features.extend(dpf_features(query, d));
+            (i, scorer.score(&features))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::corpus::CorpusGen;
+
+    #[test]
+    fn score_is_probability() {
+        let s = Scorer::from_seed(10, 1);
+        let v = s.score(&[1.0; 10]);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Scorer::from_seed(8, 42);
+        let b = Scorer::from_seed(8, 42);
+        assert_eq!(a.score(&[0.5; 8]), b.score(&[0.5; 8]));
+    }
+
+    #[test]
+    fn more_matches_scores_higher() {
+        let q = Query { terms: vec![1, 2] };
+        let relevant = Document {
+            tokens: vec![1, 2, 9, 1, 2],
+        };
+        let irrelevant = Document {
+            tokens: vec![7, 8, 9, 10, 11],
+        };
+        let ranked = rank_documents(&q, &[irrelevant, relevant], 7);
+        assert_eq!(ranked[0].0, 1, "relevant document ranks first");
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn ranking_separates_planted_relevance_statistically() {
+        let gen = CorpusGen::new(50_000, 1.0);
+        let mut rng = dcsim::SimRng::seed_from(3);
+        let mut wins = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            let q = gen.query(&mut rng, 3);
+            let relevant = gen.document(&mut rng, &q, 300, 0.95);
+            let chaff = gen.document(&mut rng, &q, 300, 0.0);
+            let ranked = rank_documents(&q, &[chaff, relevant], 7);
+            if ranked[0].0 == 1 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= trials * 8 / 10, "wins {wins}/{trials}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        Scorer::from_seed(4, 1).score(&[1.0; 5]);
+    }
+}

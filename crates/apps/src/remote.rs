@@ -1,0 +1,336 @@
+//! Remote acceleration building blocks (Sections V-D and V-E).
+//!
+//! An [`AcceleratorRole`] is the FPGA-side service: it consumes LTL
+//! requests delivered by its shell, runs them through a fixed number of
+//! pipeline slots, and replies over LTL — the host of that FPGA sees no
+//! CPU or memory load. A [`RemoteClient`] is the software side: it fires
+//! requests at the pool through its local shell and records end-to-end
+//! latency from enqueue to response, which is exactly what Figure 12
+//! measures.
+
+use std::collections::HashMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dcnet::Msg;
+use dcsim::{Component, ComponentId, Context, PercentileRecorder, SimDuration, SimRng, SimTime};
+use host::CorePool;
+use shell::ltl::{RecvConnId, SendConnId};
+use shell::{LtlDeliver, ShellCmd};
+
+/// Builds a request payload: an 8-byte id followed by padding to
+/// `total_bytes` (the document/tensor data in the real system).
+pub fn encode_request(id: u64, total_bytes: usize) -> Bytes {
+    let len = total_bytes.max(8);
+    let mut b = BytesMut::with_capacity(len);
+    b.put_u64(id);
+    b.resize(len, 0);
+    b.freeze()
+}
+
+/// Extracts the request id from a request or reply payload.
+pub fn decode_reply(payload: &Bytes) -> Option<u64> {
+    if payload.len() < 8 {
+        return None;
+    }
+    Some(u64::from_be_bytes(
+        payload[..8].try_into().expect("length checked"),
+    ))
+}
+
+/// The FPGA-side accelerator service role.
+///
+/// Roles compose into multi-FPGA services ("services that consume more
+/// than one FPGA, e.g. more aggressive web search ranking, large-scale
+/// machine learning"): a stage with a [`AcceleratorRole::set_forward`]
+/// connection passes its output to the next FPGA over LTL instead of
+/// replying, and the final stage replies to the client.
+pub struct AcceleratorRole {
+    /// This FPGA's shell.
+    shell: ComponentId,
+    /// Mean service time per request.
+    service: SimDuration,
+    /// Lognormal service variability.
+    sigma: f64,
+    /// Pipeline parallelism.
+    slots: CorePool,
+    /// Which send connection answers requests arriving on each receive
+    /// connection.
+    reply_routes: HashMap<RecvConnId, SendConnId>,
+    /// If set, processed requests are forwarded to the next pipeline stage
+    /// instead of being answered.
+    forward: Option<SendConnId>,
+    /// Reply payload size.
+    response_bytes: usize,
+    completed: u64,
+    /// Time requests spend queued + in service on the accelerator.
+    service_latencies: PercentileRecorder,
+}
+
+/// Internal: a reply that becomes ready once its pipeline slot finishes.
+struct ReplyReady {
+    conn: SendConnId,
+    payload: Bytes,
+}
+
+impl AcceleratorRole {
+    /// Creates a role behind `shell` with the given service time and
+    /// `slots`-way pipelining.
+    pub fn new(
+        shell: ComponentId,
+        service: SimDuration,
+        sigma: f64,
+        slots: usize,
+        response_bytes: usize,
+    ) -> AcceleratorRole {
+        AcceleratorRole {
+            shell,
+            service,
+            sigma,
+            slots: CorePool::new(slots),
+            reply_routes: HashMap::new(),
+            forward: None,
+            response_bytes,
+            completed: 0,
+            service_latencies: PercentileRecorder::new(),
+        }
+    }
+
+    /// Registers the send connection used to answer requests arriving on
+    /// `recv`.
+    pub fn add_reply_route(&mut self, recv: RecvConnId, send: SendConnId) {
+        self.reply_routes.insert(recv, send);
+    }
+
+    /// Turns this role into a non-terminal pipeline stage: processed
+    /// requests are forwarded over `next` (same message id) rather than
+    /// answered.
+    pub fn set_forward(&mut self, next: SendConnId) {
+        self.forward = Some(next);
+    }
+
+    /// Requests served.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Accelerator-side queue+service latencies (ns).
+    pub fn service_latencies_mut(&mut self) -> &mut PercentileRecorder {
+        &mut self.service_latencies
+    }
+
+    fn sample_service(&self, rng: &mut SimRng) -> SimDuration {
+        let mu = self.service.as_secs_f64().ln() - self.sigma * self.sigma / 2.0;
+        SimDuration::from_secs_f64(rng.lognormal(mu, self.sigma))
+    }
+}
+
+impl Component<Msg> for AcceleratorRole {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg.downcast::<LtlDeliver>() {
+            Ok(del) => {
+                let Some(id) = decode_reply(&del.payload) else {
+                    return;
+                };
+                let reply_conn = match self.forward {
+                    Some(next) => next,
+                    None => match self.reply_routes.get(&del.conn) {
+                        Some(&conn) => conn,
+                        None => return,
+                    },
+                };
+                let service = self.sample_service(ctx.rng());
+                let now = ctx.now();
+                let (_, done) = self.slots.assign(now, service);
+                self.service_latencies
+                    .record_duration(done.saturating_since(now));
+                self.completed += 1;
+                let payload = encode_request(id, self.response_bytes);
+                ctx.send_to_self_after(
+                    done.saturating_since(now),
+                    Msg::custom(ReplyReady {
+                        conn: reply_conn,
+                        payload,
+                    }),
+                );
+            }
+            Err(msg) => {
+                if let Ok(reply) = msg.downcast::<ReplyReady>() {
+                    ctx.send(
+                        self.shell,
+                        Msg::custom(ShellCmd::LtlSend {
+                            conn: reply.conn,
+                            vc: 1,
+                            payload: reply.payload,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for AcceleratorRole {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AcceleratorRole")
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+/// A software client of a remote accelerator pool: requests go out through
+/// the local shell; latency is measured from enqueue to response receipt.
+///
+/// LTL connections are statically allocated and persistent, so a client
+/// that must survive accelerator failures pre-provisions a connection to a
+/// spare ([`RemoteClient::add_backup`]); when the shell reports the active
+/// connection failed, the client fails over and re-issues every
+/// outstanding request — "failing nodes are removed from the pool with
+/// replacements quickly added."
+pub struct RemoteClient {
+    shell: ComponentId,
+    conn: SendConnId,
+    backups: Vec<SendConnId>,
+    request_bytes: usize,
+    outstanding: HashMap<u64, SimTime>,
+    latencies: PercentileRecorder,
+    next_id: u64,
+    /// High bits distinguishing this client's ids from other clients'.
+    id_tag: u64,
+    failovers: u64,
+}
+
+/// Message asking a [`RemoteClient`] to issue one request.
+#[derive(Debug, Clone, Copy)]
+pub struct IssueRequest;
+
+impl RemoteClient {
+    /// Creates a client sending over `conn` of `shell`. `id_tag` must be
+    /// unique per client sharing an accelerator.
+    pub fn new(shell: ComponentId, conn: SendConnId, request_bytes: usize, id_tag: u16) -> Self {
+        RemoteClient {
+            shell,
+            conn,
+            backups: Vec::new(),
+            request_bytes,
+            outstanding: HashMap::new(),
+            latencies: PercentileRecorder::new(),
+            next_id: 0,
+            id_tag: (id_tag as u64) << 48,
+            failovers: 0,
+        }
+    }
+
+    /// Pre-provisions a spare connection used if the active one fails.
+    pub fn add_backup(&mut self, conn: SendConnId) {
+        self.backups.push(conn);
+    }
+
+    /// Failovers performed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// End-to-end request latencies (ns).
+    pub fn latencies_mut(&mut self) -> &mut PercentileRecorder {
+        &mut self.latencies
+    }
+
+    /// Requests with no response yet.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Responses received.
+    pub fn completed(&self) -> usize {
+        self.latencies.count()
+    }
+}
+
+impl Component<Msg> for RemoteClient {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg.downcast::<IssueRequest>() {
+            Ok(IssueRequest) => {
+                let id = self.id_tag | self.next_id;
+                self.next_id += 1;
+                self.outstanding.insert(id, ctx.now());
+                ctx.send(
+                    self.shell,
+                    Msg::custom(ShellCmd::LtlSend {
+                        conn: self.conn,
+                        vc: 1,
+                        payload: encode_request(id, self.request_bytes),
+                    }),
+                );
+            }
+            Err(msg) => match msg.downcast::<LtlDeliver>() {
+                Ok(del) => {
+                    if let Some(id) = decode_reply(&del.payload) {
+                        if let Some(sent) = self.outstanding.remove(&id) {
+                            self.latencies
+                                .record_duration(ctx.now().saturating_since(sent));
+                        }
+                    }
+                }
+                Err(msg) => {
+                    if let Ok(failed) = msg.downcast::<shell::LtlConnFailed>() {
+                        if failed.conn != self.conn {
+                            return; // some other connection of this shell
+                        }
+                        let Some(spare) = self.backups.pop() else {
+                            return; // no spare: requests stay outstanding
+                        };
+                        self.conn = spare;
+                        self.failovers += 1;
+                        // Re-issue everything in flight on the new node.
+                        // Latency keeps accruing from the original enqueue,
+                        // as Figure 12's end-to-end definition demands.
+                        let ids: Vec<u64> = self.outstanding.keys().copied().collect();
+                        for id in ids {
+                            ctx.send(
+                                self.shell,
+                                Msg::custom(ShellCmd::LtlSend {
+                                    conn: self.conn,
+                                    vc: 1,
+                                    payload: encode_request(id, self.request_bytes),
+                                }),
+                            );
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl core::fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("completed", &self.latencies.count())
+            .field("outstanding", &self.outstanding.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_encoding() {
+        let req = encode_request(0xDEAD_BEEF_0000_0042, 1024);
+        assert_eq!(req.len(), 1024);
+        assert_eq!(decode_reply(&req), Some(0xDEAD_BEEF_0000_0042));
+    }
+
+    #[test]
+    fn tiny_requests_still_carry_id() {
+        let req = encode_request(7, 0);
+        assert_eq!(req.len(), 8);
+        assert_eq!(decode_reply(&req), Some(7));
+    }
+
+    #[test]
+    fn short_payload_rejected() {
+        assert_eq!(decode_reply(&Bytes::from_static(b"short")), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. Elastic vs static ER credit pools — throughput under skewed VC load
+//!    with equal total buffering.
+//! 2. NACK fast retransmit vs timeout-only — recovery time after reorder.
+//! 3. Lossless (PFC) vs lossy network classes for LTL — completion time
+//!    under incast.
+//! 4. LTL vs torus — reach/latency computation cost (the scalability
+//!    argument).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcnet::NodeAddr;
+use dcsim::{SimDuration, SimTime};
+use shell::ltl::{LtlConfig, LtlEngine, Poll};
+use shell::{CreditPolicy, ElasticRouter, ErConfig, Flit};
+
+/// Pushes a skewed workload (90% of traffic on one VC) through a router
+/// and returns the cycles needed to deliver all flits.
+fn skewed_vc_cycles(policy: CreditPolicy) -> u64 {
+    // Same total buffering: static 6+6 per VC vs elastic 2+2 plus 8 shared.
+    let cfg = match policy {
+        CreditPolicy::Static => ErConfig {
+            ports: 4,
+            vcs: 2,
+            credits_per_vc: 6,
+            shared_credits: 0,
+            policy,
+            flit_bytes: 32,
+        },
+        CreditPolicy::Elastic => ErConfig {
+            ports: 4,
+            vcs: 2,
+            credits_per_vc: 2,
+            shared_credits: 8,
+            policy,
+            flit_bytes: 32,
+        },
+    };
+    let mut er = ElasticRouter::new(cfg);
+    let mut pending: Vec<Flit> = (0..400u64)
+        .map(|i| Flit {
+            out_port: (i % 3) as usize + 1,
+            vc: if i % 10 == 0 { 1 } else { 0 }, // 90% on VC 0
+            tail: true,
+            msg_id: i,
+            flit_seq: 0,
+        })
+        .collect();
+    pending.reverse();
+    let mut cycles = 0u64;
+    let mut delivered = 0usize;
+    let total = pending.len();
+    while delivered < total {
+        // Offer as many pending flits as credits allow, all at port 0.
+        while let Some(f) = pending.pop() {
+            if er.inject(0, f.clone()).is_err() {
+                pending.push(f);
+                break;
+            }
+        }
+        delivered += er.step(|_, _| true).len();
+        cycles += 1;
+        assert!(cycles < 100_000, "router wedged");
+    }
+    cycles
+}
+
+fn ablation_er_credits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_er_credits");
+    g.bench_function("elastic_pool", |b| {
+        b.iter(|| skewed_vc_cycles(CreditPolicy::Elastic))
+    });
+    g.bench_function("static_per_vc", |b| {
+        b.iter(|| skewed_vc_cycles(CreditPolicy::Static))
+    });
+    g.finish();
+    // Report the headline numbers once.
+    let e = skewed_vc_cycles(CreditPolicy::Elastic);
+    let s = skewed_vc_cycles(CreditPolicy::Static);
+    println!("** skewed-VC delivery: elastic {e} cycles vs static {s} cycles (same total buffers)");
+}
+
+/// Time to recover from a reordered frame, with and without NACKs.
+fn reorder_recovery_ns(nack: bool) -> u64 {
+    let cfg = LtlConfig {
+        nack_enabled: nack,
+        dcqcn: None,
+        ..LtlConfig::default()
+    };
+    let a = NodeAddr::new(0, 0, 1);
+    let b = NodeAddr::new(0, 0, 2);
+    let mut tx = LtlEngine::new(a, cfg.clone());
+    let mut rx = LtlEngine::new(b, cfg);
+    let recv = rx.add_recv(a);
+    let conn = tx.add_send(b, recv);
+    tx.send_message(conn, 0, Bytes::from_static(b"one"))
+        .unwrap();
+    tx.send_message(conn, 0, Bytes::from_static(b"two"))
+        .unwrap();
+    let mut now = SimTime::ZERO;
+    let Poll::Ready(first) = tx.poll(now) else {
+        panic!()
+    };
+    let Poll::Ready(second) = tx.poll(now) else {
+        panic!()
+    };
+    // Deliver out of order; frame one is "delayed in the network".
+    now += SimDuration::from_micros(2);
+    rx.on_packet(&second, now);
+    // Drive both sides until the first message finally delivers.
+    loop {
+        now += SimDuration::from_micros(1);
+        let mut progressed = false;
+        while let Poll::Ready(pkt) = rx.poll(now) {
+            tx.on_packet(&pkt, now);
+            progressed = true;
+        }
+        tx.on_tick(now);
+        while let Poll::Ready(pkt) = tx.poll(now) {
+            let events = rx.on_packet(&pkt, now);
+            if !events.is_empty() {
+                return now.as_nanos();
+            }
+            progressed = true;
+        }
+        if !progressed && now > SimTime::from_millis(1) {
+            // Late arrival of the original frame (worst case path).
+            let events = rx.on_packet(&first, now);
+            if !events.is_empty() {
+                return now.as_nanos();
+            }
+        }
+        assert!(now < SimTime::from_millis(10), "no recovery");
+    }
+}
+
+fn ablation_nack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_nack");
+    g.bench_function("nack_fast_retransmit", |b| {
+        b.iter(|| reorder_recovery_ns(true))
+    });
+    g.bench_function("timeout_only", |b| b.iter(|| reorder_recovery_ns(false)));
+    g.finish();
+    let with_nack = reorder_recovery_ns(true);
+    let without = reorder_recovery_ns(false);
+    println!(
+        "** reorder recovery: NACK {:.1}us vs timeout-only {:.1}us",
+        with_nack as f64 / 1e3,
+        without as f64 / 1e3
+    );
+    assert!(with_nack < without, "NACK should recover faster");
+}
+
+/// Incast completion time with LTL on a lossless class vs a lossy class.
+fn incast_completion_us(lossless: bool) -> f64 {
+    use catapult::Cluster;
+    use dcnet::Msg;
+    use shell::ShellCmd;
+
+    let shape = catapult::calib::paper_shape(1);
+    let mut fabric_cfg = catapult::calib::fabric_config(shape);
+    if !lossless {
+        fabric_cfg.tor.lossless_mask = 0;
+        fabric_cfg.tor.queue_capacity_bytes = 40_000; // shallow lossy buffers
+        fabric_cfg.agg.lossless_mask = 0;
+        fabric_cfg.spine.lossless_mask = 0;
+    }
+    let mut cluster = Cluster::new(3, &fabric_cfg, catapult::calib::shell_config());
+    let dst = NodeAddr::new(0, 0, 0);
+    cluster.add_shell(dst);
+    let senders: Vec<NodeAddr> = (1..9).map(|h| NodeAddr::new(0, 0, h)).collect();
+    for &s in &senders {
+        cluster.add_shell(s);
+    }
+    for &s in &senders {
+        let (send, _, _, _) = cluster.connect_pair(s, dst);
+        let sid = cluster.shell_id(s).expect("sender exists");
+        for k in 0..10u64 {
+            cluster.engine_mut().schedule(
+                SimTime::from_nanos(k * 120),
+                sid,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: send,
+                    vc: 0,
+                    payload: Bytes::from(vec![0u8; 1_300]),
+                }),
+            );
+        }
+    }
+    cluster.run_to_idle();
+    cluster.now().as_micros_f64()
+}
+
+fn ablation_lossless(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lossless");
+    g.sample_size(10);
+    g.bench_function("pfc_lossless_class", |b| {
+        b.iter(|| incast_completion_us(true))
+    });
+    g.bench_function("lossy_class", |b| b.iter(|| incast_completion_us(false)));
+    g.finish();
+    let pfc = incast_completion_us(true);
+    let lossy = incast_completion_us(false);
+    println!("** 8-way incast completion: lossless {pfc:.1}us vs lossy {lossy:.1}us (retransmit timeouts)");
+}
+
+fn ablation_torus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scale");
+    g.bench_function("torus_all_pairs_rtt", |b| {
+        let t = torus::Torus::new(torus::TorusConfig::catapult_v1());
+        b.iter(|| t.rtt_statistics())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_er_credits,
+    ablation_nack,
+    ablation_lossless,
+    ablation_torus
+);
+criterion_main!(benches);

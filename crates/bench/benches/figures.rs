@@ -1,0 +1,85 @@
+//! One Criterion benchmark per paper table/figure, at smoke scale, so
+//! `cargo bench` regenerates every result. The binaries in `src/bin/`
+//! produce the full-scale numbers; these keep the pipeline exercised and
+//! timed.
+
+use catapult::experiments::{
+    crypto_table, deployment_table, fig05_summary, fig06, fig10, fig11, fig12, power_table,
+    production, RankingSweepParams,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn figure_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig05_area_table", |b| {
+        b.iter(|| {
+            let s = fig05_summary();
+            assert_eq!(s.used_alms, 131_350);
+            s
+        });
+    });
+
+    g.bench_function("fig06_ranking_one_point", |b| {
+        let params = RankingSweepParams {
+            queries_per_point: 5_000,
+            loads: vec![1.0, 2.25],
+            ..RankingSweepParams::default()
+        };
+        b.iter(|| fig06(&params));
+    });
+
+    g.bench_function("fig07_fig08_production_short", |b| {
+        let params = production::ProductionParams {
+            days: 1,
+            day_length: dcsim::SimDuration::from_secs(4),
+            buckets_per_day: 8,
+            ..production::ProductionParams::default()
+        };
+        b.iter(|| production::run(&params));
+    });
+
+    g.bench_function("fig10_ltl_latency_small_fabric", |b| {
+        let params = fig10::Fig10Params {
+            pods: 2,
+            pairs_per_tier: 1,
+            probes_per_pair: 50,
+            ..fig10::Fig10Params::default()
+        };
+        b.iter(|| {
+            let r = fig10::run(&params);
+            assert!((r.tiers[0].avg_us - 2.88).abs() < 0.2);
+            r
+        });
+    });
+
+    g.bench_function("fig11_remote_one_point", |b| {
+        let params = RankingSweepParams {
+            queries_per_point: 3_000,
+            loads: vec![1.5],
+            ..RankingSweepParams::default()
+        };
+        b.iter(|| fig11(&params));
+    });
+
+    g.bench_function("fig12_oversub_one_ratio", |b| {
+        let params = fig12::Fig12Params {
+            accelerators: 2,
+            ratios: vec![1.0],
+            requests_per_client: 500,
+            ..fig12::Fig12Params::default()
+        };
+        b.iter(|| fig12::run(&params));
+    });
+
+    g.bench_function("tab_crypto", |b| b.iter(crypto_table));
+    g.bench_function("tab_deployment_soak", |b| {
+        b.iter(|| deployment_table(5_760, 30.0, 7))
+    });
+    g.bench_function("tab_power", |b| b.iter(power_table));
+    g.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the building blocks: crypto primitives, feature
+//! extraction, DNN inference, the Elastic Router and the LTL engine.
+
+use apps::crypto::{cbc_sha1_seal, Aes, AesGcm, Sha1};
+use apps::dnn::Mlp;
+use apps::ranking::{alignment_score, AlignParams, CorpusGen, FfuBank};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcnet::NodeAddr;
+use dcsim::{SimRng, SimTime};
+use shell::ltl::{LtlConfig, LtlEngine, Poll};
+use shell::{CreditPolicy, ElasticRouter, ErConfig, Flit};
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let aes = Aes::new_128(b"0123456789abcdef");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("aes128_block", |b| {
+        let mut block = [7u8; 16];
+        b.iter(|| aes.encrypt_block(&mut block));
+    });
+    let gcm = AesGcm::new_128(b"0123456789abcdef");
+    let iv = [1u8; 12];
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("gcm_seal_1500B", |b| {
+        let mut data = vec![0u8; 1500];
+        b.iter(|| gcm.seal(&iv, &[], &mut data));
+    });
+    g.bench_function("sha1_1500B", |b| {
+        let data = vec![0u8; 1500];
+        b.iter(|| Sha1::digest(&data));
+    });
+    g.bench_function("cbc_sha1_record_1460B", |b| {
+        let data = vec![0u8; 1460];
+        let iv16 = [2u8; 16];
+        b.iter(|| cbc_sha1_seal(&aes, b"mac", &iv16, &data));
+    });
+    g.finish();
+}
+
+fn ranking_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ranking");
+    let gen = CorpusGen::new(50_000, 1.0);
+    let mut rng = SimRng::seed_from(1);
+    let query = gen.query(&mut rng, 3);
+    let doc = gen.document(&mut rng, &query, 1_000, 0.8);
+    g.throughput(Throughput::Elements(doc.tokens.len() as u64));
+    g.bench_function("ffu_1000_tokens", |b| {
+        let mut bank = FfuBank::for_query(&query);
+        b.iter(|| bank.compute(&doc));
+    });
+    g.bench_function("dpf_alignment_1000_tokens", |b| {
+        b.iter(|| alignment_score(&query, &doc, AlignParams::default()));
+    });
+    g.finish();
+}
+
+fn dnn_benches(c: &mut Criterion) {
+    let mlp = Mlp::new(&[64, 128, 64, 10], 3);
+    let input: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+    c.benchmark_group("dnn")
+        .throughput(Throughput::Elements(mlp.macs()))
+        .bench_function("mlp_infer_17k_macs", |b| {
+            b.iter(|| mlp.infer(&input));
+        });
+}
+
+fn er_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elastic_router");
+    g.bench_function("inject_route_4port_2vc", |b| {
+        let mut er = ElasticRouter::new(ErConfig {
+            policy: CreditPolicy::Elastic,
+            ..ErConfig::default()
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            let flit = Flit {
+                out_port: (i % 4) as usize,
+                vc: (i % 2) as usize,
+                tail: true,
+                msg_id: i,
+                flit_seq: 0,
+            };
+            let _ = er.inject((i % 4) as usize, flit);
+            let out = er.step(|_, _| true);
+            i += 1;
+            out
+        });
+    });
+    g.finish();
+}
+
+fn ltl_benches(c: &mut Criterion) {
+    let a = NodeAddr::new(0, 0, 1);
+    let b_addr = NodeAddr::new(0, 0, 2);
+    c.benchmark_group("ltl")
+        .bench_function("send_poll_ack_1460B", |bch| {
+            let cfg = LtlConfig {
+                dcqcn: None,
+                ..LtlConfig::default()
+            };
+            let mut tx = LtlEngine::new(a, cfg.clone());
+            let mut rx = LtlEngine::new(b_addr, cfg);
+            let recv = rx.add_recv(a);
+            let conn = tx.add_send(b_addr, recv);
+            let payload = Bytes::from(vec![0u8; 1_438]);
+            let mut now = SimTime::ZERO;
+            bch.iter(|| {
+                tx.send_message(conn, 0, payload.clone()).unwrap();
+                while let Poll::Ready(pkt) = tx.poll(now) {
+                    rx.on_packet(&pkt, now);
+                }
+                while let Poll::Ready(ack) = rx.poll(now) {
+                    tx.on_packet(&ack, now);
+                }
+                now += dcsim::SimDuration::from_micros(1);
+            });
+        });
+}
+
+criterion_group!(
+    benches,
+    crypto_benches,
+    ranking_benches,
+    dnn_benches,
+    er_benches,
+    ltl_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 10: LTL round-trip latency by tier vs the 6x8 torus.
+//!
+//! Paper: L0 avg 2.88 µs (p99.9 2.9), L1 avg 7.72 µs (p99.9 8.24),
+//! L2 avg 18.71 µs (p99.9 22.38, never above 23.5); torus 1 µs 1-hop,
+//! 7 µs worst case, capped at 48 FPGAs.
+
+use catapult::experiments::fig10;
+
+fn main() {
+    bench::header("Figure 10", "LTL round-trip latency vs reachable hosts");
+    let params = if bench::quick_mode() {
+        fig10::Fig10Params {
+            pods: 4,
+            pairs_per_tier: 2,
+            probes_per_pair: 100,
+            ..fig10::Fig10Params::default()
+        }
+    } else {
+        fig10::Fig10Params::default()
+    };
+    println!(
+        "fabric: {} pods ({} hosts), {} pairs/tier x {} probes",
+        params.pods,
+        catapult::calib::paper_shape(params.pods).total_hosts(),
+        params.pairs_per_tier,
+        params.probes_per_pair
+    );
+    let result = fig10::run(&params);
+    println!("{}", result.table());
+    println!("paper:   L0 2.88/2.90  L1 7.72/8.24  L2 18.71/22.38 (max 23.5) us; torus 1-7us @48");
+    bench::write_json("fig10_ltl_latency", &result);
+
+    // The paper's idle-rate numbers were taken on a shared network; show
+    // the same probes with 20 Gb/s of best-effort cross-traffic through
+    // every probe TOR (strict priority keeps LTL nearly unaffected).
+    println!("\nwith 20 Gb/s best-effort background through each probe TOR:");
+    let loaded = fig10::run(&fig10::Fig10Params {
+        background_gbps: 20.0,
+        ..params
+    });
+    println!("{}", loaded.table());
+    bench::write_json("fig10_ltl_latency_loaded", &loaded);
+}

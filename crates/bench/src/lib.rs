@@ -1,0 +1,41 @@
+//! Shared plumbing for the experiment binaries: `--quick` scaling and
+//! result output.
+//!
+//! Every binary regenerates one table or figure of the paper. Run with
+//! `--quick` for a fast smoke-scale pass; results print as aligned tables
+//! and are also written as JSON under `results/`.
+
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Whether `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Writes `value` as pretty JSON to `results/<name>.json` (best effort;
+/// failures are reported but not fatal).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+/// Prints a standard experiment header.
+pub fn header(id: &str, title: &str) {
+    println!("=== {id}: {title} ===");
+}

@@ -1,0 +1,232 @@
+//! Cluster construction: a fabric full of bump-in-the-wire FPGAs.
+//!
+//! [`Cluster`] wraps a [`dcsim::Engine`] holding the switching fabric and
+//! one [`Shell`] per populated host slot, and offers the wiring operations
+//! experiments need: attaching shells to TORs, opening LTL connection
+//! pairs, registering consumers, and running the clock.
+
+use std::collections::HashMap;
+
+use dcnet::{Fabric, FabricConfig, Msg, NodeAddr};
+use dcsim::{ComponentId, Engine, SimDuration, SimTime};
+use shell::ltl::{RecvConnId, SendConnId};
+use shell::{Shell, ShellConfig, PORT_TOR};
+
+/// A built cluster: engine + fabric + shells.
+pub struct Cluster {
+    engine: Engine<Msg>,
+    fabric: Fabric,
+    shell_cfg: ShellConfig,
+    shells: HashMap<NodeAddr, ComponentId>,
+}
+
+impl Cluster {
+    /// Builds the switching fabric (no hosts yet).
+    pub fn new(seed: u64, fabric_cfg: &FabricConfig, shell_cfg: ShellConfig) -> Cluster {
+        let mut engine = Engine::new(seed);
+        let fabric = Fabric::build(&mut engine, fabric_cfg);
+        Cluster {
+            engine,
+            fabric,
+            shell_cfg,
+            shells: HashMap::new(),
+        }
+    }
+
+    /// A paper-calibrated cluster with `pods` production-scale pods.
+    pub fn paper_scale(seed: u64, pods: u16) -> Cluster {
+        let shape = crate::calib::paper_shape(pods);
+        Cluster::new(
+            seed,
+            &crate::calib::fabric_config(shape),
+            crate::calib::shell_config(),
+        )
+    }
+
+    /// Adds a bump-in-the-wire FPGA shell at `addr` and cables it to its
+    /// TOR. Returns the shell's component id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the fabric or already populated.
+    pub fn add_shell(&mut self, addr: NodeAddr) -> ComponentId {
+        assert!(
+            !self.shells.contains_key(&addr),
+            "slot {addr} already populated"
+        );
+        let shell_id = self.engine.next_component_id();
+        let mut shell = Shell::new(addr, self.shell_cfg.clone());
+        let attachment = self
+            .fabric
+            .attach(&mut self.engine, addr, shell_id, PORT_TOR);
+        shell.connect_tor(attachment.tor, attachment.port);
+        let id = self.engine.add_component(shell);
+        debug_assert_eq!(id, shell_id);
+        self.shells.insert(addr, id);
+        id
+    }
+
+    /// The shell at `addr`, if populated.
+    pub fn shell_id(&self, addr: NodeAddr) -> Option<ComponentId> {
+        self.shells.get(&addr).copied()
+    }
+
+    /// Immutable access to a shell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not populated.
+    pub fn shell(&self, addr: NodeAddr) -> &Shell {
+        let id = self.shells[&addr];
+        self.engine
+            .component::<Shell>(id)
+            .expect("shell registered at this id")
+    }
+
+    /// Mutable access to a shell (connection setup, stats extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not populated.
+    pub fn shell_mut(&mut self, addr: NodeAddr) -> &mut Shell {
+        let id = self.shells[&addr];
+        self.engine
+            .component_mut::<Shell>(id)
+            .expect("shell registered at this id")
+    }
+
+    /// Opens a bidirectional LTL channel between the shells at `a` and
+    /// `b`. Returns `(a_send, b_send)` plus the receive ids
+    /// `(a_recv, b_recv)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slot is unpopulated.
+    pub fn connect_pair(
+        &mut self,
+        a: NodeAddr,
+        b: NodeAddr,
+    ) -> (SendConnId, SendConnId, RecvConnId, RecvConnId) {
+        let a_recv = self.shell_mut(a).ltl_mut().add_recv(b);
+        let b_recv = self.shell_mut(b).ltl_mut().add_recv(a);
+        let a_send = self.shell_mut(a).ltl_mut().add_send(b, b_recv);
+        let b_send = self.shell_mut(b).ltl_mut().add_send(a, a_recv);
+        (a_send, b_send, a_recv, b_recv)
+    }
+
+    /// Registers `consumer` for LTL deliveries at `addr`.
+    pub fn set_consumer(&mut self, addr: NodeAddr, consumer: ComponentId) {
+        self.shell_mut(addr).set_consumer(consumer);
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The engine, for registering experiment components.
+    pub fn engine_mut(&mut self) -> &mut Engine<Msg> {
+        &mut self.engine
+    }
+
+    /// The engine, read-only.
+    pub fn engine(&self) -> &Engine<Msg> {
+        &self.engine
+    }
+
+    /// Runs the simulation for `span`.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        self.engine.run_for(span)
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run_to_idle(&mut self) -> u64 {
+        self.engine.run_to_idle()
+    }
+
+    /// Runs events up to `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        self.engine.run_until(horizon)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Number of populated host slots.
+    pub fn shell_count(&self) -> usize {
+        self.shells.len()
+    }
+
+    /// Iterates over populated slots.
+    pub fn shells(&self) -> impl Iterator<Item = (NodeAddr, ComponentId)> + '_ {
+        self.shells.iter().map(|(&a, &id)| (a, id))
+    }
+}
+
+impl core::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("switches", &self.fabric.switch_count())
+            .field("shells", &self.shells.len())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dcsim::{Component, Context};
+    use shell::{LtlDeliver, ShellCmd};
+
+    #[derive(Debug, Default)]
+    struct Collector {
+        got: Vec<LtlDeliver>,
+    }
+
+    impl Component<Msg> for Collector {
+        fn on_message(&mut self, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+            if let Ok(d) = msg.downcast::<LtlDeliver>() {
+                self.got.push(d);
+            }
+        }
+    }
+
+    #[test]
+    fn build_small_cluster_and_message_across_it() {
+        let mut cluster = Cluster::paper_scale(1, 1);
+        let a = NodeAddr::new(0, 0, 1);
+        let b = NodeAddr::new(0, 3, 7); // different rack, same pod (L1 path)
+        let a_id = cluster.add_shell(a);
+        cluster.add_shell(b);
+        let (a_send, _b_send, _, _) = cluster.connect_pair(a, b);
+        let collector = cluster.engine_mut().add_component(Collector::default());
+        cluster.set_consumer(b, collector);
+        cluster.engine_mut().schedule(
+            SimTime::ZERO,
+            a_id,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"cross-rack"),
+            }),
+        );
+        cluster.run_to_idle();
+        let c = cluster.engine().component::<Collector>(collector).unwrap();
+        assert_eq!(c.got.len(), 1);
+        assert_eq!(c.got[0].src, a);
+        // L1 one-way should be under 5us.
+        assert!(cluster.now() < SimTime::from_micros(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "already populated")]
+    fn double_population_panics() {
+        let mut cluster = Cluster::paper_scale(1, 1);
+        cluster.add_shell(NodeAddr::new(0, 0, 0));
+        cluster.add_shell(NodeAddr::new(0, 0, 0));
+    }
+}

@@ -1,0 +1,279 @@
+//! Figure 10: LTL round-trip latency at each datacenter tier versus the
+//! Catapult v1 6x8 torus baseline.
+//!
+//! Probe pairs at L0 (same TOR), L1 (same pod) and L2 (cross-pod) exchange
+//! small LTL messages at a low rate; the RTT is measured exactly as the
+//! paper does — from frame generation in the sender's LTL engine to
+//! receipt of the corresponding ACK.
+
+use dcnet::NodeAddr;
+use dcsim::{PercentileRecorder, SimDuration, SimTime};
+use serde::Serialize;
+
+use crate::calib::{paper_shape, reachable_hosts, Tier};
+use crate::cluster::Cluster;
+use crate::probe::schedule_probes;
+use dcnet::{Msg, PortId, Switch, TrafficClass};
+use dcsim::Component;
+use host::{StartGenerator, TrafficGen, TrafficGenConfig};
+
+/// Fig. 10 experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig10Params {
+    /// Pods in the fabric (260 reproduces the paper's quarter-million
+    /// scale; smaller values run faster with identical L0/L1 numbers).
+    pub pods: u16,
+    /// Independent sender/receiver pairs per tier.
+    pub pairs_per_tier: usize,
+    /// Probe messages per pair.
+    pub probes_per_pair: u64,
+    /// Gap between probes (low rate, for idle latencies).
+    pub probe_gap: SimDuration,
+    /// Probe payload size.
+    pub payload_bytes: usize,
+    /// Best-effort background traffic injected through each probe pair's
+    /// TOR, in Gb/s (0 = idle measurements, the paper's methodology; the
+    /// paper notes L1/L2 numbers "are inevitably affected by other
+    /// datacenter traffic").
+    pub background_gbps: f64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for Fig10Params {
+    fn default() -> Self {
+        Fig10Params {
+            pods: 260,
+            pairs_per_tier: 4,
+            probes_per_pair: 500,
+            probe_gap: SimDuration::from_micros(100),
+            payload_bytes: 32,
+            background_gbps: 0.0,
+            seed: 0x0F16_0010,
+        }
+    }
+}
+
+/// One tier's measured latencies.
+#[derive(Debug, Clone, Serialize)]
+pub struct TierRow {
+    /// Tier label ("L0", "L1", "L2").
+    pub tier: String,
+    /// Reachable hosts at this tier (the x-axis).
+    pub reachable_hosts: usize,
+    /// Mean RTT in microseconds.
+    pub avg_us: f64,
+    /// 99.9th percentile RTT.
+    pub p999_us: f64,
+    /// Maximum observed RTT.
+    pub max_us: f64,
+    /// Sample count.
+    pub samples: usize,
+    /// Latency histogram: `(bucket_start_us, count)` with 0.25 us buckets —
+    /// the per-tier distributions Figure 10 inlines.
+    pub histogram: Vec<(f64, usize)>,
+}
+
+/// Torus baseline summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct TorusRow {
+    /// Reachability cap (48).
+    pub reachable_hosts: usize,
+    /// Nearest-neighbour RTT in microseconds.
+    pub nearest_us: f64,
+    /// All-pairs average RTT.
+    pub avg_us: f64,
+    /// Worst-case RTT.
+    pub worst_us: f64,
+}
+
+/// The full Figure 10 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Result {
+    /// One row per tier.
+    pub tiers: Vec<TierRow>,
+    /// The 6x8 torus comparison.
+    pub torus: TorusRow,
+}
+
+impl Fig10Result {
+    /// Renders the result as the paper-style table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>10} {:>10} {:>10} {:>8}\n",
+            "tier", "reachable", "avg(us)", "p99.9(us)", "max(us)", "samples"
+        ));
+        for r in &self.tiers {
+            out.push_str(&format!(
+                "{:<8} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>8}\n",
+                r.tier, r.reachable_hosts, r.avg_us, r.p999_us, r.max_us, r.samples
+            ));
+        }
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>8}\n",
+            "torus",
+            self.torus.reachable_hosts,
+            self.torus.avg_us,
+            self.torus.worst_us,
+            self.torus.worst_us,
+            "-"
+        ));
+        out
+    }
+}
+
+fn tier_pairs(tier: Tier, pairs: usize, pods: u16) -> Vec<(NodeAddr, NodeAddr)> {
+    match tier {
+        Tier::L0 => (0..pairs)
+            .map(|i| {
+                // Distinct racks so pairs do not interfere.
+                let tor = i as u16;
+                (NodeAddr::new(0, tor, 0), NodeAddr::new(0, tor, 1))
+            })
+            .collect(),
+        Tier::L1 => (0..pairs)
+            .map(|i| {
+                let base = 8 + 2 * i as u16; // racks unused by L0 probes
+                (NodeAddr::new(0, base, 2), NodeAddr::new(0, base + 1, 2))
+            })
+            .collect(),
+        Tier::L2 => (0..pairs)
+            .map(|i| {
+                let pod_b = 1 + (i as u16 % (pods - 1).max(1));
+                (
+                    NodeAddr::new(0, 20 + i as u16, 3),
+                    NodeAddr::new(pod_b, 20 + i as u16, 3),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Best-effort sink for background flows.
+#[derive(Debug, Default)]
+struct Blackhole;
+
+impl Component<Msg> for Blackhole {
+    fn on_message(&mut self, _msg: Msg, _ctx: &mut dcsim::Context<'_, Msg>) {}
+}
+
+/// Pumps best-effort cross-traffic through the TOR serving `near`, between
+/// two otherwise-unused host ports of that rack.
+fn add_background(cluster: &mut Cluster, near: NodeAddr, gbps: f64) {
+    let shape = cluster.fabric().shape();
+    let tor = cluster.fabric().tor_switch(near.pod, near.tor);
+    let src_h = shape.hosts_per_tor - 2;
+    let dst_h = shape.hosts_per_tor - 1;
+    let sink = cluster.engine_mut().add_component(Blackhole);
+    cluster
+        .engine_mut()
+        .component_mut::<Switch>(tor)
+        .expect("tor exists")
+        .connect(PortId(dst_h), sink, PortId(0));
+    let cfg = TrafficGenConfig {
+        src: NodeAddr::new(near.pod, near.tor, src_h),
+        dsts: vec![NodeAddr::new(near.pod, near.tor, dst_h)],
+        rate_bps: gbps * 1e9,
+        packet_bytes: 1_400,
+        count: None,
+        class: TrafficClass::BEST_EFFORT,
+    };
+    let gen = cluster
+        .engine_mut()
+        .add_component(TrafficGen::new(cfg, (tor, PortId(src_h))));
+    cluster
+        .engine_mut()
+        .schedule(SimTime::ZERO, gen, Msg::custom(StartGenerator));
+}
+
+/// Runs the Figure 10 experiment.
+pub fn run(params: &Fig10Params) -> Fig10Result {
+    assert!(params.pods >= 2, "L2 needs at least two pods");
+    let shape = paper_shape(params.pods);
+    let mut cluster = Cluster::paper_scale(params.seed, params.pods);
+
+    let tiers = [Tier::L0, Tier::L1, Tier::L2];
+    let mut tier_sets: Vec<Vec<(NodeAddr, NodeAddr)>> = Vec::new();
+    for (ti, &tier) in tiers.iter().enumerate() {
+        let pairs = tier_pairs(tier, params.pairs_per_tier, params.pods);
+        for (pi, &(a, b)) in pairs.iter().enumerate() {
+            cluster.add_shell(a);
+            cluster.add_shell(b);
+            let (a_send, _, _, _) = cluster.connect_pair(a, b);
+            // Stagger pairs so probes do not synchronise.
+            let start = SimTime::from_nanos((ti * 17 + pi * 7) as u64 * 1_000);
+            schedule_probes(
+                &mut cluster,
+                a,
+                a_send,
+                start,
+                params.probe_gap,
+                params.probes_per_pair,
+                params.payload_bytes,
+            );
+            if params.background_gbps > 0.0 {
+                add_background(&mut cluster, a, params.background_gbps);
+            }
+        }
+        tier_sets.push(pairs);
+    }
+
+    if params.background_gbps > 0.0 {
+        // Background generators never stop; run to a horizon instead.
+        let horizon = SimTime::ZERO
+            + params.probe_gap * (params.probes_per_pair + 50)
+            + dcsim::SimDuration::from_millis(1);
+        cluster.run_until(horizon);
+    } else {
+        cluster.run_to_idle();
+    }
+
+    let mut rows = Vec::new();
+    for (ti, &tier) in tiers.iter().enumerate() {
+        let mut all = PercentileRecorder::new();
+        for &(a, _) in &tier_sets[ti] {
+            let shell = cluster.shell_mut(a);
+            all.extend(shell.ltl_mut().rtts_mut().iter());
+        }
+        let samples = all.count();
+        let label = match tier {
+            Tier::L0 => "L0",
+            Tier::L1 => "L1",
+            Tier::L2 => "L2",
+        };
+        // 0.25 us histogram buckets over the observed range.
+        let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
+        for ns in all.iter() {
+            *counts.entry(ns / 250).or_default() += 1;
+        }
+        let histogram = counts
+            .into_iter()
+            .map(|(b, c)| (b as f64 * 0.25, c))
+            .collect();
+        rows.push(TierRow {
+            tier: label.to_string(),
+            reachable_hosts: reachable_hosts(tier, shape),
+            avg_us: all.mean() / 1_000.0,
+            p999_us: all.percentile(99.9).unwrap_or(0) as f64 / 1_000.0,
+            max_us: all.max().unwrap_or(0) as f64 / 1_000.0,
+            samples,
+            histogram,
+        });
+    }
+
+    let torus = torus::Torus::new(torus::TorusConfig::catapult_v1());
+    let (avg, worst) = torus.rtt_statistics();
+    let nearest = torus
+        .rtt((0, 0), (1, 0))
+        .expect("healthy torus neighbours are reachable");
+    Fig10Result {
+        tiers: rows,
+        torus: TorusRow {
+            reachable_hosts: torus.node_count(),
+            nearest_us: nearest.as_micros_f64(),
+            avg_us: avg.as_micros_f64(),
+            worst_us: worst.as_micros_f64(),
+        },
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment drivers: one module per paper table/figure, each returning a
+//! typed, serialisable result. The `bench` crate's binaries and Criterion
+//! benches call these, and integration tests smoke-run them at reduced
+//! scale.
+
+pub mod fig10;
+pub mod fig12;
+pub mod production;
+pub mod ranking;
+pub mod tables;
+
+pub use fig10::{Fig10Params, Fig10Result};
+pub use fig12::{Fig12Params, Fig12Result};
+pub use production::{ProductionParams, ProductionResult};
+pub use ranking::{fig06, fig11, RankingCurves, RankingSweepParams};
+pub use tables::{
+    crypto_table, deployment_table, fig05_summary, fig05_table, power_table, CryptoTable,
+    DeploymentTable, PowerTable,
+};

@@ -1,0 +1,254 @@
+//! The paper's non-figure results: the Figure 5 area table, the Section IV
+//! crypto cost comparison, the Section II-B deployment soak, and the
+//! power-virus measurement.
+
+use apps::crypto::{CipherSuite, CpuCryptoModel, FpgaCryptoModel};
+use dcsim::SimRng;
+use fpga::{production_shell_image, Activity, PowerModel, Region, SoakModel, SoakReport};
+use serde::Serialize;
+
+/// Renders the Figure 5 area/frequency breakdown.
+pub fn fig05_table() -> String {
+    production_shell_image().to_string()
+}
+
+/// Structured Figure 5 summary for assertions and JSON output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig05Summary {
+    /// Total ALMs used.
+    pub used_alms: u32,
+    /// Device ALMs.
+    pub available_alms: u32,
+    /// Fraction used.
+    pub used_fraction: f64,
+    /// Fraction consumed by shell + glue.
+    pub shell_fraction: f64,
+    /// Fraction left to the role.
+    pub role_fraction: f64,
+}
+
+/// Computes the Figure 5 summary.
+pub fn fig05_summary() -> Fig05Summary {
+    let ledger = production_shell_image();
+    Fig05Summary {
+        used_alms: ledger.used_alms(),
+        available_alms: ledger.device().alms,
+        used_fraction: ledger.used_fraction(),
+        shell_fraction: ledger.region_fraction(Region::Shell)
+            + ledger.region_fraction(Region::Other),
+        role_fraction: ledger.region_fraction(Region::Role),
+    }
+}
+
+/// One row of the Section IV crypto comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct CryptoRow {
+    /// Cipher suite name.
+    pub suite: String,
+    /// CPU cores to sustain 40 Gb/s full duplex in software.
+    pub sw_cores_40g: f64,
+    /// CPU cores with the FPGA offload.
+    pub fpga_cores: f64,
+    /// Software per-packet latency (1500 B), µs.
+    pub sw_latency_us: f64,
+    /// FPGA per-packet latency (1500 B), µs.
+    pub fpga_latency_us: f64,
+}
+
+/// The crypto comparison table.
+#[derive(Debug, Clone, Serialize)]
+pub struct CryptoTable {
+    /// Rows per suite.
+    pub rows: Vec<CryptoRow>,
+}
+
+impl CryptoTable {
+    /// Renders as a table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>11} {:>14} {:>15}\n",
+            "suite", "sw cores@40G", "fpga cores", "sw pkt lat", "fpga pkt lat"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<20} {:>14.2} {:>11.1} {:>11.2}us {:>13.2}us\n",
+                r.suite, r.sw_cores_40g, r.fpga_cores, r.sw_latency_us, r.fpga_latency_us
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the Section IV comparison from the calibrated models.
+pub fn crypto_table() -> CryptoTable {
+    let cpu = CpuCryptoModel::default();
+    let hw = FpgaCryptoModel::default();
+    let rows = [
+        (CipherSuite::AesGcm128, "AES-GCM-128"),
+        (CipherSuite::AesGcm256, "AES-GCM-256"),
+        (CipherSuite::AesCbc128Sha1, "AES-CBC-128-SHA1"),
+    ]
+    .into_iter()
+    .map(|(suite, name)| CryptoRow {
+        suite: name.to_string(),
+        sw_cores_40g: cpu.cores_needed(suite, 40.0, true),
+        fpga_cores: hw.cores_needed(),
+        sw_latency_us: cpu.packet_latency(suite, 1500).as_micros_f64(),
+        fpga_latency_us: hw.packet_latency(suite, 1500).as_micros_f64(),
+    })
+    .collect();
+    CryptoTable { rows }
+}
+
+/// Paper-observed versus simulated deployment soak.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeploymentTable {
+    /// Bed size.
+    pub machines: u64,
+    /// Soak length, days.
+    pub days: f64,
+    /// Simulated counts.
+    pub simulated: SoakSummary,
+    /// The paper's observed counts.
+    pub paper: SoakSummary,
+}
+
+/// Counts from one soak.
+#[derive(Debug, Clone, Serialize)]
+pub struct SoakSummary {
+    /// Hard FPGA failures.
+    pub fpga_hard: u64,
+    /// Cable faults.
+    pub cables: u64,
+    /// PCIe training failures.
+    pub pcie_training: u64,
+    /// DRAM calibration failures.
+    pub dram_calibration: u64,
+    /// Configuration bit flips.
+    pub seu_flips: u64,
+    /// Role hangs attributed to SEUs.
+    pub seu_hangs: u64,
+}
+
+impl From<&SoakReport> for SoakSummary {
+    fn from(r: &SoakReport) -> Self {
+        SoakSummary {
+            fpga_hard: r.fpga_hard_failures,
+            cables: r.cable_failures,
+            pcie_training: r.pcie_training_failures,
+            dram_calibration: r.dram_calibration_failures,
+            seu_flips: r.seu.flips,
+            seu_hangs: r.seu.role_hangs,
+        }
+    }
+}
+
+impl DeploymentTable {
+    /// Renders as a table.
+    pub fn table(&self) -> String {
+        let rows = [
+            (
+                "hard FPGA failures",
+                self.simulated.fpga_hard,
+                self.paper.fpga_hard,
+            ),
+            ("cable faults", self.simulated.cables, self.paper.cables),
+            (
+                "PCIe training failures",
+                self.simulated.pcie_training,
+                self.paper.pcie_training,
+            ),
+            (
+                "DRAM calibration failures",
+                self.simulated.dram_calibration,
+                self.paper.dram_calibration,
+            ),
+            (
+                "SEU bit flips",
+                self.simulated.seu_flips,
+                self.paper.seu_flips,
+            ),
+            (
+                "SEU role hangs",
+                self.simulated.seu_hangs,
+                self.paper.seu_hangs,
+            ),
+        ];
+        let mut out = format!(
+            "soak: {} machines x {} days\n{:<28} {:>10} {:>8}\n",
+            self.machines, self.days, "event", "simulated", "paper"
+        );
+        for (name, sim, paper) in rows {
+            out.push_str(&format!("{name:<28} {sim:>10} {paper:>8}\n"));
+        }
+        out
+    }
+}
+
+/// Runs the deployment soak (Section II-B scale by default).
+pub fn deployment_table(machines: u64, days: f64, seed: u64) -> DeploymentTable {
+    let model = SoakModel::default();
+    let mut rng = SimRng::seed_from(seed);
+    let report = model.simulate(&mut rng, machines, days);
+    DeploymentTable {
+        machines,
+        days,
+        simulated: SoakSummary::from(&report),
+        paper: SoakSummary {
+            fpga_hard: 2,
+            cables: 1,
+            pcie_training: 5,
+            dram_calibration: 8,
+            seu_flips: 169, // 5760 * 30 / 1025
+            seu_hangs: 1,
+        },
+    }
+}
+
+/// The power table.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerTable {
+    /// Idle draw, watts.
+    pub idle_watts: f64,
+    /// Power-virus worst-case draw, watts (paper: 29.2).
+    pub virus_watts: f64,
+    /// Board TDP (32 W).
+    pub tdp_watts: f64,
+    /// Electrical limit (35 W).
+    pub limit_watts: f64,
+    /// Whether the virus stays within the TDP.
+    pub within_tdp: bool,
+}
+
+impl PowerTable {
+    /// Renders as a table.
+    pub fn table(&self) -> String {
+        format!(
+            "{:<26} {:>8.1} W\n{:<26} {:>8.1} W\n{:<26} {:>8.1} W\n{:<26} {:>8.1} W\n{:<26} {:>8}\n",
+            "idle draw",
+            self.idle_watts,
+            "power virus (worst case)",
+            self.virus_watts,
+            "TDP",
+            self.tdp_watts,
+            "electrical limit",
+            self.limit_watts,
+            "within TDP",
+            self.within_tdp
+        )
+    }
+}
+
+/// Computes the power table.
+pub fn power_table() -> PowerTable {
+    let m = PowerModel::catapult_v2();
+    let board = fpga::Board::catapult_v2();
+    PowerTable {
+        idle_watts: m.draw_watts(Activity::idle()),
+        virus_watts: m.draw_watts(Activity::power_virus()),
+        tdp_watts: board.tdp_watts,
+        limit_watts: board.power_limit_watts,
+        within_tdp: m.within_tdp(Activity::power_virus()),
+    }
+}

@@ -1,0 +1,60 @@
+//! # catapult — the Configurable Cloud
+//!
+//! Top-level crate of this reproduction of *"A Cloud-Scale Acceleration
+//! Architecture"* (MICRO 2016): an acceleration plane of bump-in-the-wire
+//! FPGAs sharing the datacenter network with the servers, usable as local
+//! compute accelerators (PCIe), network accelerators (the bridge tap), and
+//! a global pool of remote accelerators (LTL + HaaS).
+//!
+//! The crate assembles the substrate crates into runnable clusters and
+//! experiments:
+//!
+//! * [`Cluster`] — a simulated datacenter: three-tier fabric plus a
+//!   [`shell::Shell`] per populated host slot;
+//! * [`calib`] — the switch/link constants that land LTL round trips on
+//!   the paper's Figure 10 measurements;
+//! * [`experiments`] — one driver per paper table and figure.
+//!
+//! # Examples
+//!
+//! Measure a same-TOR LTL round trip:
+//!
+//! ```
+//! use catapult::{probe::schedule_probes, Cluster};
+//! use dcnet::NodeAddr;
+//! use dcsim::{SimDuration, SimTime};
+//!
+//! let mut cluster = Cluster::paper_scale(7, 1);
+//! let a = NodeAddr::new(0, 0, 0);
+//! let b = NodeAddr::new(0, 0, 1);
+//! cluster.add_shell(a);
+//! cluster.add_shell(b);
+//! let (a_send, _, _, _) = cluster.connect_pair(a, b);
+//! schedule_probes(
+//!     &mut cluster,
+//!     a,
+//!     a_send,
+//!     SimTime::ZERO,
+//!     SimDuration::from_micros(100),
+//!     50,
+//!     32,
+//! );
+//! cluster.run_to_idle();
+//! let rtt = cluster
+//!     .shell_mut(a)
+//!     .ltl_mut()
+//!     .rtts_mut()
+//!     .percentile(50.0)
+//!     .unwrap();
+//! assert!(rtt > 2_000 && rtt < 4_000, "same-TOR RTT ~2.88us, got {rtt}ns");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod cluster;
+pub mod experiments;
+pub mod probe;
+
+pub use cluster::Cluster;

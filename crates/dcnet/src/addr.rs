@@ -1,0 +1,166 @@
+//! Datacenter addressing.
+//!
+//! The paper's network is a three-tier hierarchy: top-of-rack (L0) switches
+//! with 24 hosts each, pods of 960 machines behind L1 switches, and an L2
+//! spine connecting pods into a quarter-million-machine fabric. A
+//! [`NodeAddr`] names a host slot by `(pod, tor, host)` coordinates, which
+//! makes hierarchical routing a matter of integer comparison rather than
+//! table lookups.
+
+use core::fmt;
+
+/// Coordinates of a host slot in the three-tier fabric.
+///
+/// # Examples
+///
+/// ```
+/// use dcnet::NodeAddr;
+///
+/// let a = NodeAddr::new(3, 17, 5);
+/// assert_eq!(a.pod, 3);
+/// assert_eq!(NodeAddr::from_u32(a.as_u32()), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeAddr {
+    /// Pod index (group of racks behind one L1 aggregation switch).
+    pub pod: u16,
+    /// Rack index within the pod (one TOR switch per rack).
+    pub tor: u16,
+    /// Host index within the rack.
+    pub host: u16,
+}
+
+impl NodeAddr {
+    /// Creates an address from its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate exceeds the packed-encoding limits
+    /// (`pod < 4096`, `tor < 1024`, `host < 256`).
+    pub fn new(pod: u16, tor: u16, host: u16) -> Self {
+        assert!(pod < 4096, "pod index out of range");
+        assert!(tor < 1024, "tor index out of range");
+        assert!(host < 256, "host index out of range");
+        NodeAddr { pod, tor, host }
+    }
+
+    /// Packs the address into 32 bits (used as the IP address on the wire).
+    pub fn as_u32(self) -> u32 {
+        ((self.pod as u32) << 18) | ((self.tor as u32) << 8) | self.host as u32
+    }
+
+    /// Unpacks an address produced by [`NodeAddr::as_u32`].
+    pub fn from_u32(v: u32) -> Self {
+        NodeAddr {
+            pod: ((v >> 18) & 0xFFF) as u16,
+            tor: ((v >> 8) & 0x3FF) as u16,
+            host: (v & 0xFF) as u16,
+        }
+    }
+
+    /// `true` if `other` hangs off the same TOR switch (an "L0 pair" in the
+    /// paper's latency taxonomy).
+    pub fn same_tor(self, other: NodeAddr) -> bool {
+        self.pod == other.pod && self.tor == other.tor
+    }
+
+    /// `true` if `other` is in the same pod (reachable through L1).
+    pub fn same_pod(self, other: NodeAddr) -> bool {
+        self.pod == other.pod
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}.t{}.h{}", self.pod, self.tor, self.host)
+    }
+}
+
+/// A MAC address; derived deterministically from a [`NodeAddr`] and an
+/// interface index (hosts and their bump-in-the-wire FPGA share a slot but
+/// have distinct interfaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Deterministic MAC for interface `iface` of the node at `addr`.
+    pub fn for_node(addr: NodeAddr, iface: u8) -> Self {
+        let v = addr.as_u32();
+        MacAddr([
+            0x02, // locally administered, unicast
+            iface,
+            (v >> 24) as u8,
+            (v >> 16) as u8,
+            (v >> 8) as u8,
+            v as u8,
+        ])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for &(p, t, h) in &[(0, 0, 0), (1, 2, 3), (4095, 1023, 255), (259, 39, 23)] {
+            let a = NodeAddr::new(p, t, h);
+            assert_eq!(NodeAddr::from_u32(a.as_u32()), a);
+        }
+    }
+
+    #[test]
+    fn packed_addresses_are_unique() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for pod in 0..8 {
+            for tor in 0..8 {
+                for host in 0..24 {
+                    assert!(seen.insert(NodeAddr::new(pod, tor, host).as_u32()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locality_predicates() {
+        let a = NodeAddr::new(1, 2, 3);
+        assert!(a.same_tor(NodeAddr::new(1, 2, 9)));
+        assert!(!a.same_tor(NodeAddr::new(1, 3, 3)));
+        assert!(a.same_pod(NodeAddr::new(1, 9, 0)));
+        assert!(!a.same_pod(NodeAddr::new(2, 2, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "host index")]
+    fn rejects_out_of_range_host() {
+        let _ = NodeAddr::new(0, 0, 256);
+    }
+
+    #[test]
+    fn macs_differ_by_interface() {
+        let a = NodeAddr::new(1, 2, 3);
+        assert_ne!(MacAddr::for_node(a, 0), MacAddr::for_node(a, 1));
+        assert_eq!(MacAddr::for_node(a, 0), MacAddr::for_node(a, 0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeAddr::new(1, 2, 3).to_string(), "p1.t2.h3");
+        assert_eq!(MacAddr([2, 0, 0, 0, 2, 3]).to_string(), "02:00:00:00:02:03");
+    }
+}

@@ -1,0 +1,307 @@
+//! DC-QCN end-to-end congestion control (Zhu et al., SIGCOMM'15), which the
+//! paper's LTL engine implements so FPGAs can inject traffic without
+//! disturbing existing flows.
+//!
+//! Three roles: the *congestion point* (switch) ECN-marks packets when its
+//! queue grows (see [`crate::switch`]); the *notification point* (receiver)
+//! paces Congestion Notification Packets back to the sender
+//! ([`CnpPacer`]); the *reaction point* (sender) adjusts its rate
+//! ([`DcqcnRp`]). The state machines here are pure and driven by the
+//! Shell's LTL engine.
+
+use dcsim::{SimDuration, SimTime};
+
+/// Reaction-point tuning parameters.
+#[derive(Debug, Clone)]
+pub struct DcqcnConfig {
+    /// Full line rate in bits/s (the rate the RP starts at and recovers to).
+    pub line_rate_bps: f64,
+    /// Minimum rate the RP will cut to.
+    pub min_rate_bps: f64,
+    /// EWMA gain `g` used in the alpha update.
+    pub alpha_g: f64,
+    /// Additive increase step (bits/s).
+    pub rai_bps: f64,
+    /// Hyper increase step (bits/s) applied after `stage_threshold` stages.
+    pub rhai_bps: f64,
+    /// Time between rate-increase events when no CNPs arrive.
+    pub increase_timer: SimDuration,
+    /// Bytes between byte-counter rate-increase events.
+    pub byte_counter: u64,
+    /// Stages of fast recovery before additive increase begins.
+    pub stage_threshold: u32,
+    /// Interval after which alpha decays if no CNP was seen.
+    pub alpha_timer: SimDuration,
+}
+
+impl Default for DcqcnConfig {
+    fn default() -> Self {
+        DcqcnConfig {
+            line_rate_bps: 40e9,
+            min_rate_bps: 40e6,
+            alpha_g: 1.0 / 16.0,
+            rai_bps: 40e6 * 5.0,   // 200 Mb/s additive step
+            rhai_bps: 40e6 * 50.0, // 2 Gb/s hyper step
+            increase_timer: SimDuration::from_micros(55),
+            byte_counter: 10 * 1024 * 1024,
+            stage_threshold: 5,
+            alpha_timer: SimDuration::from_micros(55),
+        }
+    }
+}
+
+/// Reaction-point (sender-side) state machine.
+///
+/// # Examples
+///
+/// ```
+/// use dcnet::{DcqcnConfig, DcqcnRp};
+/// use dcsim::SimTime;
+///
+/// let mut rp = DcqcnRp::new(DcqcnConfig::default());
+/// let before = rp.current_rate_bps();
+/// rp.on_cnp(SimTime::from_micros(10));
+/// assert!(rp.current_rate_bps() < before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DcqcnRp {
+    cfg: DcqcnConfig,
+    /// Current sending rate Rc.
+    rate_bps: f64,
+    /// Target rate Rt.
+    target_bps: f64,
+    /// Congestion estimate alpha in [0, 1].
+    alpha: f64,
+    /// Rate-increase stage counters.
+    timer_stage: u32,
+    byte_stage: u32,
+    bytes_since_increase: u64,
+    next_timer_increase: SimTime,
+    next_alpha_update: SimTime,
+    last_cnp: Option<SimTime>,
+    cnps_received: u64,
+}
+
+impl DcqcnRp {
+    /// Creates a reaction point running at full line rate.
+    pub fn new(cfg: DcqcnConfig) -> Self {
+        let rate = cfg.line_rate_bps;
+        DcqcnRp {
+            next_timer_increase: SimTime::ZERO + cfg.increase_timer,
+            next_alpha_update: SimTime::ZERO + cfg.alpha_timer,
+            cfg,
+            rate_bps: rate,
+            target_bps: rate,
+            alpha: 1.0,
+            timer_stage: 0,
+            byte_stage: 0,
+            bytes_since_increase: 0,
+            last_cnp: None,
+            cnps_received: 0,
+        }
+    }
+
+    /// Current permitted sending rate.
+    pub fn current_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// The congestion estimate alpha.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total CNPs absorbed.
+    pub fn cnps_received(&self) -> u64 {
+        self.cnps_received
+    }
+
+    /// Handles a congestion notification packet: multiplicative decrease and
+    /// alpha ramp-up.
+    pub fn on_cnp(&mut self, now: SimTime) {
+        self.cnps_received += 1;
+        self.last_cnp = Some(now);
+        self.target_bps = self.rate_bps;
+        self.rate_bps = (self.rate_bps * (1.0 - self.alpha / 2.0)).max(self.cfg.min_rate_bps);
+        self.alpha = ((1.0 - self.cfg.alpha_g) * self.alpha + self.cfg.alpha_g).min(1.0);
+        self.timer_stage = 0;
+        self.byte_stage = 0;
+        self.bytes_since_increase = 0;
+        self.next_timer_increase = now + self.cfg.increase_timer;
+        self.next_alpha_update = now + self.cfg.alpha_timer;
+    }
+
+    /// Accounts bytes sent; may trigger a byte-counter rate increase.
+    pub fn on_bytes_sent(&mut self, bytes: u64) {
+        self.bytes_since_increase += bytes;
+        while self.bytes_since_increase >= self.cfg.byte_counter {
+            self.bytes_since_increase -= self.cfg.byte_counter;
+            self.byte_stage += 1;
+            self.increase();
+        }
+    }
+
+    /// Advances timers to `now`; call before querying the rate. Returns the
+    /// next instant at which the caller should poll again.
+    pub fn advance(&mut self, now: SimTime) -> SimTime {
+        while self.next_alpha_update <= now {
+            // Decay alpha only if no CNP arrived in the window.
+            if self
+                .last_cnp
+                .map(|t| self.next_alpha_update.saturating_since(t) >= self.cfg.alpha_timer)
+                .unwrap_or(true)
+            {
+                self.alpha *= 1.0 - self.cfg.alpha_g;
+            }
+            self.next_alpha_update += self.cfg.alpha_timer;
+        }
+        while self.next_timer_increase <= now {
+            self.timer_stage += 1;
+            self.increase();
+            self.next_timer_increase += self.cfg.increase_timer;
+        }
+        self.next_timer_increase.min(self.next_alpha_update)
+    }
+
+    /// One rate-increase event (fast recovery, additive, or hyper).
+    fn increase(&mut self) {
+        let stage = self.timer_stage.max(self.byte_stage);
+        if stage > self.cfg.stage_threshold && self.timer_stage > self.cfg.stage_threshold {
+            // Hyper increase.
+            let i = (stage - self.cfg.stage_threshold) as f64;
+            self.target_bps = (self.target_bps + i * self.cfg.rhai_bps).min(self.cfg.line_rate_bps);
+        } else if stage > self.cfg.stage_threshold {
+            // Additive increase.
+            self.target_bps = (self.target_bps + self.cfg.rai_bps).min(self.cfg.line_rate_bps);
+        }
+        // Fast recovery toward the target in all stages.
+        self.rate_bps = ((self.target_bps + self.rate_bps) / 2.0).min(self.cfg.line_rate_bps);
+    }
+}
+
+/// Notification-point CNP pacing: at most one CNP per flow per interval,
+/// matching the NIC behaviour DC-QCN assumes.
+#[derive(Debug, Clone)]
+pub struct CnpPacer {
+    interval: SimDuration,
+    last_sent: std::collections::HashMap<u64, SimTime>,
+}
+
+impl CnpPacer {
+    /// Creates a pacer with the given minimum inter-CNP interval per flow.
+    pub fn new(interval: SimDuration) -> Self {
+        CnpPacer {
+            interval,
+            last_sent: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Called when a congestion-marked packet arrives for `flow`; returns
+    /// `true` if a CNP should be emitted now.
+    pub fn on_ce_packet(&mut self, flow: u64, now: SimTime) -> bool {
+        match self.last_sent.get(&flow) {
+            Some(&t) if now.saturating_since(t) < self.interval => false,
+            _ => {
+                self.last_sent.insert(flow, now);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DcqcnConfig {
+        DcqcnConfig::default()
+    }
+
+    #[test]
+    fn starts_at_line_rate() {
+        let rp = DcqcnRp::new(cfg());
+        assert_eq!(rp.current_rate_bps(), 40e9);
+        assert_eq!(rp.alpha(), 1.0);
+    }
+
+    #[test]
+    fn cnp_halves_rate_initially() {
+        let mut rp = DcqcnRp::new(cfg());
+        rp.on_cnp(SimTime::from_micros(1));
+        // alpha = 1 -> cut by alpha/2 = 50%
+        assert!((rp.current_rate_bps() - 20e9).abs() < 1e6);
+        assert_eq!(rp.cnps_received(), 1);
+    }
+
+    #[test]
+    fn repeated_cnps_cut_toward_min_rate() {
+        let mut rp = DcqcnRp::new(cfg());
+        for i in 0..200 {
+            rp.on_cnp(SimTime::from_micros(i));
+        }
+        assert!(rp.current_rate_bps() <= 40e6 * 2.0);
+        assert!(rp.current_rate_bps() >= 40e6);
+    }
+
+    #[test]
+    fn recovers_to_line_rate_when_quiet() {
+        let mut rp = DcqcnRp::new(cfg());
+        rp.on_cnp(SimTime::from_micros(1));
+        // A few ms with no CNPs: fast recovery + additive/hyper increase
+        // must restore full rate.
+        rp.advance(SimTime::from_millis(10));
+        assert!(
+            rp.current_rate_bps() > 0.99 * 40e9,
+            "rate {}",
+            rp.current_rate_bps()
+        );
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let mut rp = DcqcnRp::new(cfg());
+        rp.on_cnp(SimTime::from_micros(1));
+        let a0 = rp.alpha();
+        rp.advance(SimTime::from_millis(1));
+        assert!(rp.alpha() < a0 * 0.5, "alpha {} -> {}", a0, rp.alpha());
+    }
+
+    #[test]
+    fn later_cnps_cut_less_when_alpha_decayed() {
+        let mut rp = DcqcnRp::new(cfg());
+        rp.on_cnp(SimTime::from_micros(1));
+        rp.advance(SimTime::from_millis(5)); // alpha decays, rate recovers
+        let before = rp.current_rate_bps();
+        rp.on_cnp(SimTime::from_millis(5) + dcsim::SimDuration::from_nanos(1));
+        let cut = 1.0 - rp.current_rate_bps() / before;
+        assert!(cut < 0.25, "cut fraction {cut}");
+    }
+
+    #[test]
+    fn byte_counter_triggers_increase() {
+        let mut rp = DcqcnRp::new(cfg());
+        rp.on_cnp(SimTime::from_micros(1));
+        let r0 = rp.current_rate_bps();
+        rp.on_bytes_sent(11 * 1024 * 1024);
+        assert!(rp.current_rate_bps() > r0);
+    }
+
+    #[test]
+    fn rate_never_exceeds_line_rate() {
+        let mut rp = DcqcnRp::new(cfg());
+        rp.advance(SimTime::from_millis(100));
+        rp.on_bytes_sent(1 << 32);
+        assert!(rp.current_rate_bps() <= 40e9);
+    }
+
+    #[test]
+    fn cnp_pacer_rate_limits_per_flow() {
+        let mut p = CnpPacer::new(SimDuration::from_micros(50));
+        assert!(p.on_ce_packet(1, SimTime::from_micros(0)));
+        assert!(!p.on_ce_packet(1, SimTime::from_micros(10)));
+        assert!(!p.on_ce_packet(1, SimTime::from_micros(49)));
+        assert!(p.on_ce_packet(1, SimTime::from_micros(50)));
+        // Independent flows are paced independently.
+        assert!(p.on_ce_packet(2, SimTime::from_micros(10)));
+    }
+}

@@ -1,0 +1,136 @@
+//! The simulation-wide message type.
+//!
+//! Every engine in this workspace runs over [`Msg`]: network-plane events
+//! are first-class variants, while host- and application-level crates attach
+//! their own payloads through [`Msg::custom`]. Components downcast the
+//! payloads they expect; anything else is a wiring bug and surfaces loudly
+//! in tests.
+
+use std::any::Any;
+
+use crate::packet::{Packet, TrafficClass};
+
+/// Index of a port on a switch or endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The port index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for PortId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// Network-plane events exchanged between switches and endpoints.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// A frame arriving on `ingress` of the receiving component.
+    Packet {
+        /// The frame.
+        pkt: Packet,
+        /// Which local port the frame arrived on.
+        ingress: PortId,
+    },
+    /// A priority flow control (IEEE 802.1Qbb) pause or resume arriving on
+    /// `ingress`: the sender asks us to stop/restart transmitting `class`
+    /// toward it.
+    Pfc {
+        /// Affected traffic class.
+        class: TrafficClass,
+        /// Which local port the control frame arrived on.
+        ingress: PortId,
+        /// `true` = XOFF (pause), `false` = XON (resume).
+        pause: bool,
+    },
+}
+
+/// The global engine message type.
+pub enum Msg {
+    /// Network-plane traffic.
+    Net(NetEvent),
+    /// Crate-specific payloads (PCIe DMA transactions, application requests,
+    /// management RPCs); receivers downcast to the types they expect.
+    Custom(Box<dyn Any>),
+}
+
+impl Msg {
+    /// Wraps an arbitrary payload.
+    pub fn custom<T: Any>(value: T) -> Msg {
+        Msg::Custom(Box::new(value))
+    }
+
+    /// Convenience constructor for a packet delivery.
+    pub fn packet(pkt: Packet, ingress: PortId) -> Msg {
+        Msg::Net(NetEvent::Packet { pkt, ingress })
+    }
+
+    /// Attempts to take the message as a custom payload of type `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the original message if it is not a `Custom` payload of
+    /// type `T`.
+    pub fn downcast<T: Any>(self) -> Result<T, Msg> {
+        match self {
+            Msg::Custom(b) => match b.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(b) => Err(Msg::Custom(b)),
+            },
+            other => Err(other),
+        }
+    }
+}
+
+impl core::fmt::Debug for Msg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Msg::Net(ev) => f.debug_tuple("Net").field(ev).finish(),
+            Msg::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeAddr;
+    use bytes::Bytes;
+
+    #[test]
+    fn downcast_right_type() {
+        let m = Msg::custom(42u32);
+        assert_eq!(m.downcast::<u32>().unwrap(), 42);
+    }
+
+    #[test]
+    fn downcast_wrong_type_returns_original() {
+        let m = Msg::custom(42u32);
+        let back = m.downcast::<String>().unwrap_err();
+        assert_eq!(back.downcast::<u32>().unwrap(), 42);
+    }
+
+    #[test]
+    fn downcast_net_event_fails() {
+        let pkt = Packet::new(
+            NodeAddr::new(0, 0, 0),
+            NodeAddr::new(0, 0, 1),
+            1,
+            2,
+            TrafficClass::BEST_EFFORT,
+            Bytes::new(),
+        );
+        let m = Msg::packet(pkt, PortId(3));
+        assert!(m.downcast::<u32>().is_err());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Msg::custom(1u8)), "Custom(..)");
+    }
+}

@@ -1,0 +1,296 @@
+//! Three-tier fabric construction.
+//!
+//! [`Fabric::build`] instantiates every TOR (L0), aggregation (L1) and
+//! spine (L2) switch for a [`FabricShape`] and cables them together.
+//! Endpoints (hosts, or the bump-in-the-wire FPGA shells that front them)
+//! are attached afterwards with [`Fabric::attach`], which returns the TOR
+//! attachment the endpoint needs in order to transmit.
+
+use dcsim::{ComponentId, Engine};
+
+use crate::addr::NodeAddr;
+use crate::msg::{Msg, PortId};
+use crate::switch::{FabricShape, Switch, SwitchConfig, SwitchRole};
+
+/// Per-tier switch configurations for a fabric.
+#[derive(Debug, Clone, Default)]
+pub struct FabricConfig {
+    /// Fabric dimensions.
+    pub shape: FabricShape,
+    /// Configuration of every TOR switch.
+    pub tor: SwitchConfig,
+    /// Configuration of every aggregation switch.
+    pub agg: SwitchConfig,
+    /// Configuration of every spine switch.
+    pub spine: SwitchConfig,
+}
+
+/// Where an endpoint plugs into the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attachment {
+    /// The TOR switch component.
+    pub tor: ComponentId,
+    /// The TOR port facing the endpoint.
+    pub port: PortId,
+    /// The endpoint's fabric address.
+    pub addr: NodeAddr,
+}
+
+/// A built three-tier switching fabric.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    shape: FabricShape,
+    /// TOR switches, indexed `pod * tors_per_pod + tor`.
+    tors: Vec<ComponentId>,
+    /// Aggregation switches, indexed by pod.
+    aggs: Vec<ComponentId>,
+    /// Spine switches.
+    spines: Vec<ComponentId>,
+}
+
+impl Fabric {
+    /// Builds all switches for `cfg` and cables the tiers together.
+    pub fn build(engine: &mut Engine<Msg>, cfg: &FabricConfig) -> Fabric {
+        let shape = cfg.shape;
+        let mut tors = Vec::with_capacity(shape.pods as usize * shape.tors_per_pod as usize);
+        let mut aggs = Vec::with_capacity(shape.pods as usize);
+        let mut spines = Vec::with_capacity(shape.spines as usize);
+
+        for index in 0..shape.spines {
+            spines.push(engine.add_component(Switch::new(
+                SwitchRole::Spine { index },
+                shape,
+                cfg.spine.clone(),
+            )));
+        }
+        for pod in 0..shape.pods {
+            let agg =
+                engine.add_component(Switch::new(SwitchRole::Agg { pod }, shape, cfg.agg.clone()));
+            aggs.push(agg);
+            for tor in 0..shape.tors_per_pod {
+                let tor_id = engine.add_component(Switch::new(
+                    SwitchRole::Tor { pod, tor },
+                    shape,
+                    cfg.tor.clone(),
+                ));
+                tors.push(tor_id);
+            }
+        }
+
+        let fabric = Fabric {
+            shape,
+            tors,
+            aggs,
+            spines,
+        };
+
+        // Cable TOR uplinks to aggregation switches.
+        for pod in 0..shape.pods {
+            let agg = fabric.aggs[pod as usize];
+            for tor in 0..shape.tors_per_pod {
+                let tor_id = fabric.tor_switch(pod, tor);
+                let uplink = PortId(shape.hosts_per_tor);
+                let down = PortId(tor);
+                engine
+                    .component_mut::<Switch>(tor_id)
+                    .expect("tor exists")
+                    .connect(uplink, agg, down);
+                engine
+                    .component_mut::<Switch>(agg)
+                    .expect("agg exists")
+                    .connect(down, tor_id, uplink);
+            }
+            // Cable aggregation uplinks to each spine.
+            for s in 0..shape.spines {
+                let spine = fabric.spines[s as usize];
+                let up = PortId(shape.tors_per_pod + s);
+                let down = PortId(pod);
+                engine
+                    .component_mut::<Switch>(agg)
+                    .expect("agg exists")
+                    .connect(up, spine, down);
+                engine
+                    .component_mut::<Switch>(spine)
+                    .expect("spine exists")
+                    .connect(down, agg, up);
+            }
+        }
+        fabric
+    }
+
+    /// The fabric dimensions.
+    pub fn shape(&self) -> FabricShape {
+        self.shape
+    }
+
+    /// The TOR switch component for rack `(pod, tor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the fabric shape.
+    pub fn tor_switch(&self, pod: u16, tor: u16) -> ComponentId {
+        assert!(pod < self.shape.pods && tor < self.shape.tors_per_pod);
+        self.tors[pod as usize * self.shape.tors_per_pod as usize + tor as usize]
+    }
+
+    /// The aggregation switch for `pod`.
+    pub fn agg_switch(&self, pod: u16) -> ComponentId {
+        self.aggs[pod as usize]
+    }
+
+    /// All spine switches.
+    pub fn spine_switches(&self) -> &[ComponentId] {
+        &self.spines
+    }
+
+    /// All TOR switches, pod-major.
+    pub fn tor_switches(&self) -> &[ComponentId] {
+        &self.tors
+    }
+
+    /// Cables `endpoint` (via its `endpoint_port`) to the TOR port for
+    /// `addr`, and returns the attachment the endpoint should transmit to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the fabric shape.
+    pub fn attach(
+        &self,
+        engine: &mut Engine<Msg>,
+        addr: NodeAddr,
+        endpoint: ComponentId,
+        endpoint_port: PortId,
+    ) -> Attachment {
+        assert!(addr.host < self.shape.hosts_per_tor, "host out of range");
+        let tor = self.tor_switch(addr.pod, addr.tor);
+        engine
+            .component_mut::<Switch>(tor)
+            .expect("tor exists")
+            .connect(PortId(addr.host), endpoint, endpoint_port);
+        Attachment {
+            tor,
+            port: PortId(addr.host),
+            addr,
+        }
+    }
+
+    /// Number of switches in the fabric.
+    pub fn switch_count(&self) -> usize {
+        self.tors.len() + self.aggs.len() + self.spines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::NetEvent;
+    use crate::packet::{Packet, TrafficClass};
+    use bytes::Bytes;
+    use dcsim::{Component, Context, SimTime};
+
+    #[derive(Debug, Default)]
+    struct Endpoint {
+        got: Vec<Packet>,
+    }
+
+    impl Component<Msg> for Endpoint {
+        fn on_message(&mut self, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+            if let Msg::Net(NetEvent::Packet { pkt, .. }) = msg {
+                self.got.push(pkt);
+            }
+        }
+    }
+
+    fn small_cfg() -> FabricConfig {
+        FabricConfig {
+            shape: FabricShape {
+                hosts_per_tor: 4,
+                tors_per_pod: 3,
+                pods: 2,
+                spines: 2,
+            },
+            ..FabricConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_expected_switch_counts() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let f = Fabric::build(&mut e, &small_cfg());
+        assert_eq!(f.switch_count(), 2 * 3 + 2 + 2);
+        assert_eq!(f.shape().total_hosts(), 24);
+    }
+
+    fn send_between(src: NodeAddr, dst: NodeAddr) -> (Engine<Msg>, ComponentId, SimTime) {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let f = Fabric::build(&mut e, &small_cfg());
+        let src_ep = e.add_component(Endpoint::default());
+        let dst_ep = e.add_component(Endpoint::default());
+        let src_at = f.attach(&mut e, src, src_ep, PortId(0));
+        f.attach(&mut e, dst, dst_ep, PortId(0));
+        let pkt = Packet::new(
+            src,
+            dst,
+            1,
+            2,
+            TrafficClass::BEST_EFFORT,
+            Bytes::from(vec![0u8; 100]),
+        );
+        e.schedule(SimTime::ZERO, src_at.tor, Msg::packet(pkt, src_at.port));
+        e.run_to_idle();
+        let now = e.now();
+        (e, dst_ep, now)
+    }
+
+    #[test]
+    fn same_tor_delivery() {
+        let (e, dst, _) = send_between(NodeAddr::new(0, 0, 1), NodeAddr::new(0, 0, 2));
+        assert_eq!(e.component::<Endpoint>(dst).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn same_pod_crosses_agg() {
+        let (e, dst, _) = send_between(NodeAddr::new(0, 0, 1), NodeAddr::new(0, 2, 2));
+        let ep = e.component::<Endpoint>(dst).unwrap();
+        assert_eq!(ep.got.len(), 1);
+        assert_eq!(ep.got[0].ttl, 64 - 3); // TOR + agg + TOR
+    }
+
+    #[test]
+    fn cross_pod_crosses_spine() {
+        let (e, dst, _) = send_between(NodeAddr::new(0, 0, 1), NodeAddr::new(1, 1, 3));
+        let ep = e.component::<Endpoint>(dst).unwrap();
+        assert_eq!(ep.got.len(), 1);
+        assert_eq!(ep.got[0].ttl, 64 - 5); // TOR + agg + spine + agg + TOR
+    }
+
+    #[test]
+    fn latency_grows_with_tier() {
+        let (_, _, t0) = send_between(NodeAddr::new(0, 0, 1), NodeAddr::new(0, 0, 2));
+        let (_, _, t1) = send_between(NodeAddr::new(0, 0, 1), NodeAddr::new(0, 2, 2));
+        let (_, _, t2) = send_between(NodeAddr::new(0, 0, 1), NodeAddr::new(1, 1, 3));
+        assert!(t0 < t1, "L0 {t0} < L1 {t1}");
+        assert!(t1 < t2, "L1 {t1} < L2 {t2}");
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_across_spines() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let f = Fabric::build(&mut e, &small_cfg());
+        let agg = e.component::<Switch>(f.agg_switch(0)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for flow in 0..16u64 {
+            seen.insert(agg.route(NodeAddr::new(1, 0, 0), flow));
+        }
+        assert_eq!(seen.len(), 2, "both spine uplinks used");
+    }
+
+    #[test]
+    #[should_panic(expected = "host out of range")]
+    fn attach_rejects_bad_host() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let f = Fabric::build(&mut e, &small_cfg());
+        let ep = e.add_component(Endpoint::default());
+        f.attach(&mut e, NodeAddr::new(0, 0, 9), ep, PortId(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of switch invariants: frame conservation,
+//! lossless-class guarantees, and routing totality.
+
+use bytes::Bytes;
+use dcnet::{
+    EcnConfig, FabricShape, Msg, NetEvent, NodeAddr, Packet, PfcConfig, PortId, Switch,
+    SwitchConfig, SwitchRole, TrafficClass,
+};
+use dcsim::{Component, ComponentId, Context, Engine, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Default)]
+struct Sink {
+    frames: usize,
+}
+
+impl Component<Msg> for Sink {
+    fn on_message(&mut self, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+        if let Msg::Net(NetEvent::Packet { .. }) = msg {
+            self.frames += 1;
+        }
+    }
+}
+
+fn shape() -> FabricShape {
+    FabricShape {
+        hosts_per_tor: 8,
+        tors_per_pod: 4,
+        pods: 4,
+        spines: 2,
+    }
+}
+
+proptest! {
+    /// rx = tx + dropped + ttl_expired + no_route, for any traffic mix.
+    #[test]
+    fn frame_conservation(
+        packets in proptest::collection::vec(
+            (0u16..8, 0u16..8, 0u8..8, 1usize..1400, 0u8..2),
+            1..80,
+        ),
+    ) {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let sw_id = e.next_component_id();
+        let mut sw = Switch::new(
+            SwitchRole::Tor { pod: 0, tor: 0 },
+            shape(),
+            SwitchConfig {
+                queue_capacity_bytes: 20_000, // force some lossy drops
+                pfc: Some(PfcConfig { xoff_bytes: u64::MAX, xon_bytes: 0 }),
+                ..SwitchConfig::default()
+            },
+        );
+        // Hosts 0..8 connected; uplink left unwired to exercise no_route.
+        for h in 0..8u16 {
+            sw.connect(PortId(h), ComponentId::from_raw(1), PortId(0));
+        }
+        e.add_component(sw);
+        let sink = e.add_component(Sink::default());
+        prop_assert_eq!(sink, ComponentId::from_raw(1));
+
+        let total = packets.len() as u64;
+        for (src, dst, class, len, ttl_kind) in packets {
+            let mut pkt = Packet::new(
+                NodeAddr::new(0, 0, src),
+                NodeAddr::new(if dst % 3 == 0 { 1 } else { 0 }, 0, dst),
+                100,
+                200,
+                TrafficClass::new(class % 3), // classes 0..3 (3 = LTL lossless)
+                Bytes::from(vec![0u8; len]),
+            );
+            if ttl_kind == 0 {
+                pkt.ttl = 0;
+            }
+            e.schedule(SimTime::ZERO, sw_id, Msg::packet(pkt, PortId(0)));
+        }
+        e.run_to_idle();
+        let stats = e.component::<Switch>(sw_id).unwrap().stats();
+        prop_assert_eq!(stats.rx_frames, total);
+        prop_assert_eq!(
+            stats.tx_frames + stats.dropped + stats.ttl_expired + stats.no_route,
+            total,
+            "conservation violated: {:?}", stats
+        );
+    }
+
+    /// Lossless-class frames are never dropped, whatever the load.
+    #[test]
+    fn lossless_class_never_drops(count in 1usize..120, len in 100usize..1400) {
+        let mut e: Engine<Msg> = Engine::new(2);
+        let sw_id = e.next_component_id();
+        let mut sw = Switch::new(
+            SwitchRole::Tor { pod: 0, tor: 0 },
+            shape(),
+            SwitchConfig {
+                queue_capacity_bytes: 5_000,
+                ..SwitchConfig::default()
+            },
+        );
+        for h in 0..8u16 {
+            sw.connect(PortId(h), ComponentId::from_raw(1), PortId(0));
+        }
+        e.add_component(sw);
+        e.add_component(Sink::default());
+        for _ in 0..count {
+            let pkt = Packet::new(
+                NodeAddr::new(0, 0, 1),
+                NodeAddr::new(0, 0, 2),
+                1,
+                2,
+                TrafficClass::LTL,
+                Bytes::from(vec![0u8; len]),
+            );
+            e.schedule(SimTime::ZERO, sw_id, Msg::packet(pkt, PortId(1)));
+        }
+        e.run_to_idle();
+        let stats = e.component::<Switch>(sw_id).unwrap().stats();
+        prop_assert_eq!(stats.dropped, 0);
+        prop_assert_eq!(stats.tx_frames, count as u64);
+    }
+
+    /// Every (role, destination) pair routes to an in-range port.
+    #[test]
+    fn routing_is_total(
+        pod in 0u16..4, tor in 0u16..4, spine in 0u16..2,
+        dpod in 0u16..4, dtor in 0u16..4, dhost in 0u16..8,
+        flow in any::<u64>(),
+    ) {
+        let shape = shape();
+        for role in [
+            SwitchRole::Tor { pod, tor },
+            SwitchRole::Agg { pod },
+            SwitchRole::Spine { index: spine },
+        ] {
+            let sw = Switch::new(role, shape, SwitchConfig::default());
+            let port = sw.route(NodeAddr::new(dpod, dtor, dhost), flow);
+            prop_assert!(
+                port.index() < sw.port_count(),
+                "{:?} routed {} to out-of-range {}",
+                role, NodeAddr::new(dpod, dtor, dhost), port
+            );
+        }
+    }
+
+    /// ECN marking never rewrites non-capable packets.
+    #[test]
+    fn ecn_marking_respects_capability(count in 1usize..60) {
+        let mut e: Engine<Msg> = Engine::new(3);
+        let sw_id = e.next_component_id();
+        let mut sw = Switch::new(
+            SwitchRole::Tor { pod: 0, tor: 0 },
+            shape(),
+            SwitchConfig {
+                ecn: Some(EcnConfig { kmin_bytes: 0, kmax_bytes: 1, pmax: 1.0 }),
+                ..SwitchConfig::default()
+            },
+        );
+        sw.connect(PortId(2), ComponentId::from_raw(1), PortId(0));
+        e.add_component(sw);
+        #[derive(Debug, Default)]
+        struct EcnCheck {
+            violations: usize,
+        }
+        impl Component<Msg> for EcnCheck {
+            fn on_message(&mut self, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+                if let Msg::Net(NetEvent::Packet { pkt, .. }) = msg {
+                    if pkt.ecn == dcnet::Ecn::CongestionExperienced
+                        && pkt.class == TrafficClass::BEST_EFFORT
+                    {
+                        self.violations += 1;
+                    }
+                }
+            }
+        }
+        let check = e.add_component(EcnCheck::default());
+        for _ in 0..count {
+            // BEST_EFFORT packets default to NotCapable.
+            let pkt = Packet::new(
+                NodeAddr::new(0, 0, 1),
+                NodeAddr::new(0, 0, 2),
+                1,
+                2,
+                TrafficClass::BEST_EFFORT,
+                Bytes::from(vec![0u8; 1000]),
+            );
+            e.schedule(SimTime::ZERO, sw_id, Msg::packet(pkt, PortId(1)));
+        }
+        e.run_to_idle();
+        prop_assert_eq!(e.component::<EcnCheck>(check).unwrap().violations, 0);
+    }
+}

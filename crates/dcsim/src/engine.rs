@@ -1,0 +1,523 @@
+//! The discrete-event engine.
+//!
+//! A simulation is a set of [`Component`]s that exchange typed messages
+//! through the [`Engine`]. Components never hold references to each other;
+//! all interaction is mediated by messages scheduled on the global event
+//! queue, which keeps the simulation deterministic and the borrow checker
+//! happy at any scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcsim::{Component, Context, Engine, SimDuration, SimTime};
+//!
+//! struct Ping {
+//!     peer: dcsim::ComponentId,
+//!     hops: u32,
+//! }
+//!
+//! impl Component<u32> for Ping {
+//!     fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+//!         self.hops += 1;
+//!         if msg > 0 {
+//!             ctx.send_after(SimDuration::from_micros(1), self.peer, msg - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(42);
+//! let a = engine.add_component(Ping { peer: dcsim::ComponentId::from_raw(1), hops: 0 });
+//! let b = engine.add_component(Ping { peer: a, hops: 0 });
+//! engine.schedule(SimTime::ZERO, a, 10u32);
+//! engine.run_to_idle();
+//! assert_eq!(engine.component::<Ping>(a).unwrap().hops + engine.component::<Ping>(b).unwrap().hops, 11);
+//! ```
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a component registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// Constructs an id from its raw index. Only useful for wiring up
+    /// mutually-referential components before both exist; the id must match
+    /// the registration order of `add_component` calls.
+    pub const fn from_raw(index: usize) -> Self {
+        ComponentId(index)
+    }
+
+    /// The raw index of this id.
+    pub const fn as_raw(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A simulation actor. Implementors receive messages of type `M` and timer
+/// callbacks, and react by scheduling further events through the
+/// [`Context`].
+///
+/// The `Any` supertrait lets experiment drivers recover concrete component
+/// state after a run via [`Engine::component`].
+pub trait Component<M>: Any {
+    /// Called when a message scheduled for this component becomes due.
+    fn on_message(&mut self, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Called when a timer armed with [`Context::timer_after`] fires.
+    /// The default implementation ignores timers.
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, M>) {
+        let _ = (token, ctx);
+    }
+}
+
+enum EventKind<M> {
+    Message(M),
+    Timer(u64),
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    dest: ComponentId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle given to a component while it processes an event. Lets it read
+/// the clock, schedule messages and timers, draw random numbers and stop
+/// the simulation.
+pub struct Context<'a, M> {
+    now: SimTime,
+    id: ComponentId,
+    outbox: &'a mut Vec<(SimTime, ComponentId, EventKind<M>)>,
+    rng: &'a mut SimRng,
+    stop: &'a mut bool,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component currently executing.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Sends `msg` to `dest`, delivered at the current time (after all
+    /// events already due now, preserving FIFO order).
+    pub fn send(&mut self, dest: ComponentId, msg: M) {
+        self.send_after(SimDuration::ZERO, dest, msg);
+    }
+
+    /// Sends `msg` to `dest` after `delay`.
+    pub fn send_after(&mut self, delay: SimDuration, dest: ComponentId, msg: M) {
+        self.outbox
+            .push((self.now + delay, dest, EventKind::Message(msg)));
+    }
+
+    /// Sends `msg` back to the executing component after `delay`.
+    pub fn send_to_self_after(&mut self, delay: SimDuration, msg: M) {
+        self.send_after(delay, self.id, msg);
+    }
+
+    /// Arms a timer on the executing component; [`Component::on_timer`] will
+    /// be invoked with `token` after `delay`.
+    pub fn timer_after(&mut self, delay: SimDuration, token: u64) {
+        self.outbox
+            .push((self.now + delay, self.id, EventKind::Timer(token)));
+    }
+
+    /// The simulation-wide deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Requests that the engine stop after the current event completes.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The discrete-event scheduler: owns all components and the event queue.
+pub struct Engine<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    components: Vec<Option<Box<dyn Component<M>>>>,
+    rng: SimRng,
+    stopped: bool,
+    events_processed: u64,
+}
+
+impl<M: 'static> Engine<M> {
+    /// Creates an engine whose random stream is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            components: Vec::new(),
+            rng: SimRng::seed_from(seed),
+            stopped: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a component and returns its id. Ids are assigned in
+    /// registration order starting from zero.
+    pub fn add_component<C: Component<M>>(&mut self, component: C) -> ComponentId {
+        self.add_boxed(Box::new(component))
+    }
+
+    /// Registers an already-boxed component.
+    pub fn add_boxed(&mut self, component: Box<dyn Component<M>>) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(Some(component));
+        id
+    }
+
+    /// The id the next registered component will receive.
+    pub fn next_component_id(&self) -> ComponentId {
+        ComponentId(self.components.len())
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules `msg` for `dest` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn schedule(&mut self, at: SimTime, dest: ComponentId, msg: M) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.push(at, dest, EventKind::Message(msg));
+    }
+
+    /// Schedules `msg` for `dest` after `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, dest: ComponentId, msg: M) {
+        self.push(self.now + delay, dest, EventKind::Message(msg));
+    }
+
+    fn push(&mut self, at: SimTime, dest: ComponentId, kind: EventKind<M>) {
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            dest,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Runs until the queue is empty or a component calls [`Context::stop`].
+    /// Returns the number of events processed by this call.
+    pub fn run_to_idle(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs events with timestamps `<= horizon`; the clock is left at the
+    /// last processed event (or advanced to `horizon` if it is finite and the
+    /// queue drained early). Returns the number of events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut processed = 0;
+        let mut outbox: Vec<(SimTime, ComponentId, EventKind<M>)> = Vec::new();
+        while !self.stopped {
+            let Some(head) = self.queue.peek() else {
+                break;
+            };
+            if head.at > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+
+            let Some(slot) = self.components.get_mut(ev.dest.0) else {
+                panic!("event addressed to unregistered component {}", ev.dest);
+            };
+            let mut component = slot
+                .take()
+                .expect("component is always returned after dispatch");
+
+            {
+                let mut ctx = Context {
+                    now: self.now,
+                    id: ev.dest,
+                    outbox: &mut outbox,
+                    rng: &mut self.rng,
+                    stop: &mut self.stopped,
+                };
+                match ev.kind {
+                    EventKind::Message(msg) => component.on_message(msg, &mut ctx),
+                    EventKind::Timer(token) => component.on_timer(token, &mut ctx),
+                }
+            }
+            self.components[ev.dest.0] = Some(component);
+
+            for (at, dest, kind) in outbox.drain(..) {
+                self.push(at, dest, kind);
+            }
+            processed += 1;
+            self.events_processed += 1;
+        }
+        if !self.stopped && horizon != SimTime::MAX && self.now < horizon {
+            self.now = horizon;
+        }
+        processed
+    }
+
+    /// Runs for `span` of simulated time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let horizon = self.now + span;
+        self.run_until(horizon)
+    }
+
+    /// Whether a component stopped the simulation.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Clears the stop flag so the engine can be resumed.
+    pub fn clear_stop(&mut self) {
+        self.stopped = false;
+    }
+
+    /// Borrows the concrete component at `id`, if it has type `T`.
+    pub fn component<T: Component<M>>(&self, id: ComponentId) -> Option<&T> {
+        let boxed = self.components.get(id.0)?.as_deref()?;
+        (boxed as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the concrete component at `id`, if it has type `T`.
+    pub fn component_mut<T: Component<M>>(&mut self, id: ComponentId) -> Option<&mut T> {
+        let boxed = self.components.get_mut(id.0)?.as_deref_mut()?;
+        (boxed as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// The engine's deterministic random number generator (e.g. to fork
+    /// per-component streams while building a topology).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Number of events still pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<M: 'static> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("components", &self.components.len())
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        timers: Vec<(SimTime, u64)>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                seen: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+    }
+
+    impl Component<u32> for Recorder {
+        fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.seen.push((ctx.now(), msg));
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, u32>) {
+            self.timers.push((ctx.now(), token));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<u32> = Engine::new(1);
+        let r = e.add_component(Recorder::new());
+        e.schedule(SimTime::from_micros(5), r, 5);
+        e.schedule(SimTime::from_micros(1), r, 1);
+        e.schedule(SimTime::from_micros(3), r, 3);
+        e.run_to_idle();
+        let rec = e.component::<Recorder>(r).unwrap();
+        let order: Vec<u32> = rec.seen.iter().map(|&(_, m)| m).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_in_fifo_order() {
+        let mut e: Engine<u32> = Engine::new(1);
+        let r = e.add_component(Recorder::new());
+        for i in 0..10 {
+            e.schedule(SimTime::from_micros(1), r, i);
+        }
+        e.run_to_idle();
+        let rec = e.component::<Recorder>(r).unwrap();
+        let order: Vec<u32> = rec.seen.iter().map(|&(_, m)| m).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e: Engine<u32> = Engine::new(1);
+        let r = e.add_component(Recorder::new());
+        e.schedule(SimTime::from_micros(1), r, 1);
+        e.schedule(SimTime::from_micros(10), r, 10);
+        let n = e.run_until(SimTime::from_micros(5));
+        assert_eq!(n, 1);
+        assert_eq!(e.now(), SimTime::from_micros(5));
+        assert_eq!(e.pending_events(), 1);
+        e.run_to_idle();
+        assert_eq!(e.component::<Recorder>(r).unwrap().seen.len(), 2);
+    }
+
+    #[test]
+    fn timers_are_delivered() {
+        struct Armer;
+        impl Component<u32> for Armer {
+            fn on_message(&mut self, _msg: u32, ctx: &mut Context<'_, u32>) {
+                ctx.timer_after(SimDuration::from_micros(2), 77);
+            }
+            fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, u32>) {
+                assert_eq!(token, 77);
+                assert_eq!(ctx.now(), SimTime::from_micros(3));
+                ctx.stop();
+            }
+        }
+        let mut e: Engine<u32> = Engine::new(1);
+        let a = e.add_component(Armer);
+        e.schedule(SimTime::from_micros(1), a, 0);
+        e.run_to_idle();
+        assert!(e.is_stopped());
+    }
+
+    #[test]
+    fn self_messages_cascade() {
+        struct Counter {
+            left: u32,
+        }
+        impl Component<u32> for Counter {
+            fn on_message(&mut self, _m: u32, ctx: &mut Context<'_, u32>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    ctx.send_to_self_after(SimDuration::from_nanos(100), 0);
+                }
+            }
+        }
+        let mut e: Engine<u32> = Engine::new(1);
+        let c = e.add_component(Counter { left: 1000 });
+        e.schedule(SimTime::ZERO, c, 0);
+        let n = e.run_to_idle();
+        assert_eq!(n, 1001);
+        assert_eq!(e.now(), SimTime::from_nanos(100 * 1000));
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        struct Stopper;
+        impl Component<u32> for Stopper {
+            fn on_message(&mut self, _m: u32, ctx: &mut Context<'_, u32>) {
+                ctx.stop();
+            }
+        }
+        let mut e: Engine<u32> = Engine::new(1);
+        let s = e.add_component(Stopper);
+        let r = e.add_component(Recorder::new());
+        e.schedule(SimTime::from_micros(1), s, 0);
+        e.schedule(SimTime::from_micros(2), r, 9);
+        e.run_to_idle();
+        assert!(e.component::<Recorder>(r).unwrap().seen.is_empty());
+        e.clear_stop();
+        e.run_to_idle();
+        assert_eq!(e.component::<Recorder>(r).unwrap().seen.len(), 1);
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        let mut e: Engine<u32> = Engine::new(1);
+        struct Other;
+        impl Component<u32> for Other {
+            fn on_message(&mut self, _m: u32, _ctx: &mut Context<'_, u32>) {}
+        }
+        let r = e.add_component(Recorder::new());
+        assert!(e.component::<Other>(r).is_none());
+        assert!(e.component::<Recorder>(r).is_some());
+    }
+
+    #[test]
+    fn run_for_advances_clock_even_when_idle() {
+        let mut e: Engine<u32> = Engine::new(1);
+        e.run_for(SimDuration::from_millis(5));
+        assert_eq!(e.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e: Engine<u32> = Engine::new(1);
+        let r = e.add_component(Recorder::new());
+        e.schedule(SimTime::from_micros(2), r, 0);
+        e.run_to_idle();
+        e.schedule(SimTime::from_micros(1), r, 0);
+    }
+}

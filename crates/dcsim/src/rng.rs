@@ -1,0 +1,236 @@
+//! Deterministic random numbers and the distributions the simulator needs.
+//!
+//! Every stochastic element of the simulation draws from a [`SimRng`] seeded
+//! by the experiment driver, so a given seed always reproduces the same run.
+//! The few distributions required (exponential inter-arrival times, lognormal
+//! switch jitter, Gaussian noise) are implemented here rather than pulling in
+//! a distributions crate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Deterministic random number generator for simulation components.
+///
+/// # Examples
+///
+/// ```
+/// use dcsim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Cached second Box-Muller variate.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each component
+    /// its own stream so event-ordering changes do not perturb unrelated
+    /// components.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.gen())
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_range requires lo < hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponentially distributed value with the given rate (events per unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exp requires a positive rate");
+        // Inverse-CDF sampling; 1 - U avoids ln(0).
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// Exponentially distributed inter-arrival gap for a Poisson process with
+    /// `mean` spacing between events.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let gap = self.exp(1.0) * mean.as_nanos() as f64;
+        SimDuration::from_nanos(gap.round() as u64)
+    }
+
+    /// Standard normal variate (Box-Muller, with the spare cached).
+    pub fn gauss(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gauss()
+    }
+
+    /// Lognormal variate: `exp(N(mu, sigma))`.
+    ///
+    /// Used for heavy-tailed switch/queueing jitter where rare large values
+    /// drive the 99.9th percentile.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gauss()).exp()
+    }
+
+    /// Samples one element of `items` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::seed_from(9);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let matches = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(matches < 2);
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(0.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gauss_moments_are_close() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gauss()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_heavy_tailed() {
+        let mut rng = SimRng::seed_from(5);
+        let mut max = 0.0f64;
+        for _ in 0..10_000 {
+            let v = rng.lognormal(0.0, 1.0);
+            assert!(v > 0.0);
+            max = max.max(v);
+        }
+        assert!(max > 10.0, "max {max}");
+    }
+
+    #[test]
+    fn exp_duration_mean() {
+        let mut rng = SimRng::seed_from(6);
+        let mean = SimDuration::from_micros(10);
+        let n = 100_000u64;
+        let total: u64 = (0..n).map(|_| rng.exp_duration(mean).as_nanos()).sum();
+        let avg = total / n;
+        assert!((avg as i64 - 10_000).unsigned_abs() < 200, "avg {avg}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle should change order with high probability"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn exp_rejects_zero_rate() {
+        SimRng::seed_from(1).exp(0.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Measurement collection: streaming moments, exact percentile recording and
+//! compact log-bucketed histograms.
+//!
+//! The paper reports tail percentiles (99th, 99.9th) of latency
+//! distributions; [`PercentileRecorder`] keeps exact samples so those tails
+//! are not distorted by bucketing, while [`LogHistogram`] offers a bounded-
+//! memory alternative for very long soak runs.
+
+use crate::time::SimDuration;
+
+/// Streaming count/mean/variance/min/max over `f64` samples (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use dcsim::StreamingStats;
+///
+/// let mut s = StreamingStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile recorder over `u64` samples (typically latency in ns).
+///
+/// Samples are stored verbatim and sorted lazily at query time, so tail
+/// quantiles such as p99.9 are exact.
+///
+/// # Examples
+///
+/// ```
+/// use dcsim::PercentileRecorder;
+///
+/// let mut r = PercentileRecorder::new();
+/// for v in 1..=100u64 {
+///     r.record(v);
+/// }
+/// assert_eq!(r.percentile(50.0), Some(50));
+/// assert_eq!(r.percentile(99.0), Some(99));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PercentileRecorder {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl PercentileRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        PercentileRecorder {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Creates an empty recorder with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        PercentileRecorder {
+            samples: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Adds one duration sample, recorded as nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) using nearest-rank, or `None`
+    /// if no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        // Tiny epsilon keeps e.g. 99.9% of 1000 samples at rank 999 rather
+        // than letting floating-point round-off push it to 1000.
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
+    }
+
+    /// The `p`-th percentile as a [`SimDuration`].
+    pub fn percentile_duration(&mut self, p: f64) -> Option<SimDuration> {
+        self.percentile(p).map(SimDuration::from_nanos)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&mut self) -> Option<u64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&mut self) -> Option<u64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+
+    /// Iterates over the recorded samples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.samples.iter().copied()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+impl Extend<u64> for PercentileRecorder {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<u64> for PercentileRecorder {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut r = PercentileRecorder::new();
+        r.extend(iter);
+        r
+    }
+}
+
+/// Bounded-memory histogram with logarithmic buckets and linear sub-buckets,
+/// in the spirit of HDR histograms. Relative quantile error is bounded by
+/// the sub-bucket resolution (1/32 by default).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// counts[b * SUBBUCKETS + s]
+    counts: Vec<u64>,
+    total: u64,
+}
+
+const BUCKETS: usize = 64;
+const SUBBUCKETS: usize = 32;
+
+impl LogHistogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS * SUBBUCKETS],
+            total: 0,
+        }
+    }
+
+    fn slot(value: u64) -> usize {
+        if value < SUBBUCKETS as u64 {
+            return value as usize;
+        }
+        let bucket = 63 - value.leading_zeros() as usize; // floor(log2(value))
+        let shift = bucket.saturating_sub(5); // 2^5 = SUBBUCKETS
+        let sub = ((value >> shift) as usize) & (SUBBUCKETS - 1);
+        (bucket - 4) * SUBBUCKETS + sub
+    }
+
+    fn slot_value(slot: usize) -> u64 {
+        if slot < SUBBUCKETS {
+            return slot as u64;
+        }
+        let bucket = slot / SUBBUCKETS + 4;
+        let sub = slot % SUBBUCKETS;
+        let shift = bucket - 5;
+        ((SUBBUCKETS + sub) as u64) << shift
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::slot(value).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate `p`-th percentile (nearest rank over buckets), or `None`
+    /// if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::slot_value(slot));
+            }
+        }
+        Some(Self::slot_value(self.counts.len() - 1))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_moments() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn streaming_stats_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 37 % 91) as f64).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = StreamingStats::new();
+        let mut right = StreamingStats::new();
+        for &x in &xs[..40] {
+            left.record(x);
+        }
+        for &x in &xs[40..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut r: PercentileRecorder = (1..=1000u64).collect();
+        assert_eq!(r.percentile(50.0), Some(500));
+        assert_eq!(r.percentile(99.0), Some(990));
+        assert_eq!(r.percentile(99.9), Some(999));
+        assert_eq!(r.percentile(100.0), Some(1000));
+        assert_eq!(r.min(), Some(1));
+        assert_eq!(r.max(), Some(1000));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let mut r = PercentileRecorder::new();
+        assert_eq!(r.percentile(99.0), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut r = PercentileRecorder::new();
+        r.record(42);
+        assert_eq!(r.percentile(0.1), Some(42));
+        assert_eq!(r.percentile(100.0), Some(42));
+    }
+
+    #[test]
+    fn recorder_interleaves_record_and_query() {
+        let mut r = PercentileRecorder::new();
+        r.record(10);
+        assert_eq!(r.percentile(100.0), Some(10));
+        r.record(5);
+        assert_eq!(r.percentile(100.0), Some(10));
+        assert_eq!(r.min(), Some(5));
+    }
+
+    #[test]
+    fn log_histogram_small_values_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), Some(31));
+        assert_eq!(h.percentile(50.0), Some(15));
+    }
+
+    #[test]
+    fn log_histogram_bounded_relative_error() {
+        let mut h = LogHistogram::new();
+        let mut r = PercentileRecorder::new();
+        let mut x = 1u64;
+        for i in 0..20_000u64 {
+            let v = (x % 10_000_000) + 1;
+            h.record(v);
+            r.record(v);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let exact = r.percentile(p).unwrap() as f64;
+            let approx = h.percentile(p).unwrap() as f64;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.05, "p{p}: exact {exact}, approx {approx}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile(100.0).unwrap() >= 900_000);
+    }
+}

@@ -1,0 +1,118 @@
+//! FPGA device and board description.
+//!
+//! The paper's accelerator is a Stratix V D5 on a half-height half-length
+//! PCIe card with one 4 GB DDR3-1600 channel, two PCIe Gen3 x8 connections
+//! and two 40 GbE QSFP+ ports. The numbers here come straight from
+//! Section II and drive the area, power and timing models.
+
+use dcsim::SimDuration;
+
+/// Programmable-logic resources of an FPGA device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Adaptive logic modules available.
+    pub alms: u32,
+    /// On-chip block RAM, in kilobits.
+    pub bram_kbits: u32,
+    /// Hardened DSP blocks.
+    pub dsps: u32,
+}
+
+/// The Altera Stratix V D5 used throughout the paper (172.6K ALMs).
+pub const STRATIX_V_D5: Device = Device {
+    name: "Altera Stratix V D5",
+    alms: 172_600,
+    bram_kbits: 39_000,
+    dsps: 1_590,
+};
+
+/// The accelerator board (Figure 2/3): device plus its off-chip resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Board {
+    /// The FPGA itself.
+    pub device: Device,
+    /// DRAM capacity in bytes (4 GB DDR3-1600).
+    pub dram_bytes: u64,
+    /// Peak DRAM bandwidth in bytes/s (DDR3-1600, 72-bit with ECC).
+    pub dram_bandwidth: f64,
+    /// Number of independent PCIe Gen3 x8 connections to the host.
+    pub pcie_links: u8,
+    /// Per-link PCIe bandwidth in bytes/s each direction.
+    pub pcie_link_bandwidth: f64,
+    /// Number of 40 GbE QSFP+ ports (one to the NIC, one to the TOR).
+    pub qsfp_ports: u8,
+    /// Configuration flash capacity in bits (holds golden + app image).
+    pub flash_bits: u64,
+    /// Board thermal design power in watts.
+    pub tdp_watts: f64,
+    /// Absolute electrical power limit in watts.
+    pub power_limit_watts: f64,
+}
+
+impl Board {
+    /// The production Catapult v2 board.
+    pub fn catapult_v2() -> Board {
+        Board {
+            device: STRATIX_V_D5,
+            dram_bytes: 4 << 30,
+            dram_bandwidth: 12.8e9, // DDR3-1600 x 64-bit data
+            pcie_links: 2,
+            pcie_link_bandwidth: 8.0e9, // Gen3 x8 ~= 8 GB/s per direction
+            qsfp_ports: 2,
+            flash_bits: 256 << 20,
+            tdp_watts: 32.0,
+            power_limit_watts: 35.0,
+        }
+    }
+
+    /// Aggregate host<->FPGA bandwidth across both PCIe links, one
+    /// direction (the paper quotes 16 GB/s each direction).
+    pub fn total_pcie_bandwidth(&self) -> f64 {
+        self.pcie_links as f64 * self.pcie_link_bandwidth
+    }
+}
+
+/// On-chip SRAM (block RAM) access latency — where hot flow keys live.
+pub const SRAM_ACCESS_LATENCY: SimDuration = SimDuration::from_nanos(5);
+
+/// FPGA-attached DDR3 access latency — where cold flow keys spill.
+pub const DRAM_ACCESS_LATENCY: SimDuration = SimDuration::from_nanos(250);
+
+/// Time for a full-chip reconfiguration, during which the network bridge is
+/// down ("full FPGA reconfiguration briefly brings down this network link").
+pub const FULL_RECONFIG_TIME: SimDuration = SimDuration::from_millis(1_800);
+
+/// Time for a partial reconfiguration of the role region only; the shell
+/// and its NIC<->TOR bridge keep forwarding throughout.
+pub const PARTIAL_RECONFIG_TIME: SimDuration = SimDuration::from_millis(250);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_matches_paper_quotes() {
+        let b = Board::catapult_v2();
+        assert_eq!(b.device.alms, 172_600);
+        assert_eq!(b.dram_bytes, 4 * 1024 * 1024 * 1024);
+        assert_eq!(b.pcie_links, 2);
+        // "an aggregate total of 16 GB/s in each direction"
+        assert_eq!(b.total_pcie_bandwidth(), 16.0e9);
+        assert_eq!(b.qsfp_ports, 2);
+        assert_eq!(b.flash_bits, 256 * 1024 * 1024);
+        assert_eq!(b.tdp_watts, 32.0);
+        assert_eq!(b.power_limit_watts, 35.0);
+    }
+
+    #[test]
+    fn partial_reconfig_faster_than_full() {
+        assert!(PARTIAL_RECONFIG_TIME < FULL_RECONFIG_TIME);
+    }
+
+    #[test]
+    fn memory_hierarchy_ordering() {
+        assert!(SRAM_ACCESS_LATENCY < DRAM_ACCESS_LATENCY);
+    }
+}

@@ -1,0 +1,182 @@
+//! Hard-failure model for the deployment soak (Section II-B).
+//!
+//! During one month of mirrored production traffic on 5,760 servers the
+//! paper observed: two hard FPGA failures (one persistent-SEU part, one
+//! unstable 40 Gb NIC link), one failure that turned out to be a bad
+//! network cable, five boards that would not train the secondary PCIe link
+//! to Gen3 x8, and eight DRAM calibration failures repaired by
+//! reconfiguration. This module turns those counts into per-machine rates
+//! and lets experiments resample the soak.
+
+use dcsim::SimRng;
+
+use crate::seu::{SeuModel, SeuReport};
+
+/// Per-machine-month failure rates, derived from the paper's counts over
+/// 5,760 machine-months.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureRates {
+    /// Hard FPGA failures (device replacement needed).
+    pub fpga_hard_per_machine_month: f64,
+    /// Cabling faults (fixed by replacing a cable).
+    pub cable_per_machine_month: f64,
+    /// Secondary PCIe link fails to train to Gen3 x8 (burn-in screen).
+    pub pcie_train_per_machine: f64,
+    /// DRAM calibration failures (repaired by reconfiguring the FPGA).
+    pub dram_calib_per_machine_month: f64,
+}
+
+impl Default for FailureRates {
+    fn default() -> Self {
+        const MACHINE_MONTHS: f64 = 5_760.0;
+        FailureRates {
+            fpga_hard_per_machine_month: 2.0 / MACHINE_MONTHS,
+            cable_per_machine_month: 1.0 / MACHINE_MONTHS,
+            pcie_train_per_machine: 5.0 / 5_760.0,
+            dram_calib_per_machine_month: 8.0 / MACHINE_MONTHS,
+        }
+    }
+}
+
+/// Counts observed in one simulated soak.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SoakReport {
+    /// Machines in the bed.
+    pub machines: u64,
+    /// Soak length in days.
+    pub days: f64,
+    /// Hard FPGA failures.
+    pub fpga_hard_failures: u64,
+    /// Cable failures (not FPGA faults).
+    pub cable_failures: u64,
+    /// Machines that failed PCIe Gen3 x8 training.
+    pub pcie_training_failures: u64,
+    /// DRAM calibration failures (recovered by reconfiguration).
+    pub dram_calibration_failures: u64,
+    /// SEU behaviour over the soak.
+    pub seu: SeuReport,
+}
+
+impl SoakReport {
+    /// Machines lost to hardware (hard FPGA failures only; everything else
+    /// is repairable in place).
+    pub fn machines_lost(&self) -> u64 {
+        self.fpga_hard_failures
+    }
+
+    /// Fraction of the bed lost to hardware over the soak.
+    pub fn loss_fraction(&self) -> f64 {
+        self.machines_lost() as f64 / self.machines as f64
+    }
+}
+
+/// The soak experiment: failure injection over a simulated bed.
+///
+/// # Examples
+///
+/// ```
+/// use dcsim::SimRng;
+/// use fpga::SoakModel;
+///
+/// let report = SoakModel::default().simulate(&mut SimRng::seed_from(7), 5_760, 30.0);
+/// assert_eq!(
+///     report.seu.flips,
+///     report.seu.corrected_by_scrubber + report.seu.role_hangs
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SoakModel {
+    /// Hard-failure rates.
+    pub rates: FailureRates,
+    /// SEU environment.
+    pub seu: SeuModel,
+}
+
+impl SoakModel {
+    /// Simulates a soak of `machines` for `days`.
+    pub fn simulate(&self, rng: &mut SimRng, machines: u64, days: f64) -> SoakReport {
+        let months = days / 30.0;
+        let draw = |rng: &mut SimRng, lambda: f64| -> u64 {
+            // Poisson by exponential gaps.
+            let mut n = 0u64;
+            let mut acc = rng.exp(1.0);
+            while acc < lambda {
+                n += 1;
+                acc += rng.exp(1.0);
+            }
+            n
+        };
+        let m = machines as f64;
+        SoakReport {
+            machines,
+            days,
+            fpga_hard_failures: draw(rng, self.rates.fpga_hard_per_machine_month * m * months),
+            cable_failures: draw(rng, self.rates.cable_per_machine_month * m * months),
+            pcie_training_failures: draw(rng, self.rates.pcie_train_per_machine * m),
+            dram_calibration_failures: draw(
+                rng,
+                self.rates.dram_calib_per_machine_month * m * months,
+            ),
+            seu: self.seu.simulate(rng, machines, days),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn average_soak(runs: usize) -> SoakReport {
+        let model = SoakModel::default();
+        let mut rng = SimRng::seed_from(21);
+        let mut total = SoakReport::default();
+        for _ in 0..runs {
+            let r = model.simulate(&mut rng, 5_760, 30.0);
+            total.fpga_hard_failures += r.fpga_hard_failures;
+            total.cable_failures += r.cable_failures;
+            total.pcie_training_failures += r.pcie_training_failures;
+            total.dram_calibration_failures += r.dram_calibration_failures;
+            total.seu.flips += r.seu.flips;
+        }
+        total
+    }
+
+    #[test]
+    fn mean_counts_match_paper_observations() {
+        let runs = 300;
+        let t = average_soak(runs);
+        let n = runs as f64;
+        assert!((t.fpga_hard_failures as f64 / n - 2.0).abs() < 0.4);
+        assert!((t.cable_failures as f64 / n - 1.0).abs() < 0.3);
+        assert!((t.pcie_training_failures as f64 / n - 5.0).abs() < 0.6);
+        assert!((t.dram_calibration_failures as f64 / n - 8.0).abs() < 0.8);
+        assert!((t.seu.flips as f64 / n - 168.6).abs() < 5.0);
+    }
+
+    #[test]
+    fn loss_fraction_is_acceptably_low() {
+        // "we deemed the FPGA-related hardware failures to be acceptably
+        // low for production"
+        let model = SoakModel::default();
+        let mut rng = SimRng::seed_from(22);
+        let r = model.simulate(&mut rng, 5_760, 30.0);
+        assert!(r.loss_fraction() < 0.005, "loss {}", r.loss_fraction());
+    }
+
+    #[test]
+    fn scaling_machines_scales_failures() {
+        let model = SoakModel::default();
+        let mut rng = SimRng::seed_from(23);
+        let mut small = 0u64;
+        let mut big = 0u64;
+        for _ in 0..50 {
+            small += model
+                .simulate(&mut rng, 5_760, 30.0)
+                .dram_calibration_failures;
+            big += model
+                .simulate(&mut rng, 57_600, 30.0)
+                .dram_calibration_failures;
+        }
+        assert!(big > small * 5, "big {big} small {small}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Single-event-upset (SEU) modelling and configuration scrubbing.
+//!
+//! Section II-B: the shell scrubs configuration state roughly every 30
+//! seconds and reports flipped bits; the measured rate was one bit-flip in
+//! the configuration logic every 1025 machine-days, and over a month-long
+//! 5,760-server soak at least one role hang was attributed to an SEU.
+
+use dcsim::{SimDuration, SimRng};
+
+/// SEU environment parameters.
+///
+/// # Examples
+///
+/// ```
+/// use fpga::SeuModel;
+///
+/// // The paper's soak: 5,760 machines for a month.
+/// let expected = SeuModel::default().expected_flips(5_760, 30.0);
+/// assert!((expected - 168.6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SeuModel {
+    /// Mean machine-days between configuration bit flips (paper: 1025).
+    pub machine_days_per_flip: f64,
+    /// Scrub pass interval (paper: ~30 s).
+    pub scrub_interval: SimDuration,
+    /// Probability that a flip lands somewhere that hangs the role before
+    /// the scrubber catches it. Calibrated so a 5,760-machine month sees
+    /// on the order of one hang, as observed.
+    pub hang_probability: f64,
+}
+
+impl Default for SeuModel {
+    fn default() -> Self {
+        SeuModel {
+            machine_days_per_flip: 1025.0,
+            scrub_interval: SimDuration::from_secs(30),
+            hang_probability: 0.008,
+        }
+    }
+}
+
+/// Outcome of an SEU soak simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SeuReport {
+    /// Configuration bit flips that occurred.
+    pub flips: u64,
+    /// Flips detected and repaired by the scrubber before functional impact.
+    pub corrected_by_scrubber: u64,
+    /// Flips that hung a role; the scrubber's next pass still recovers the
+    /// role automatically (paper: "our system recovers from hung roles
+    /// automatically").
+    pub role_hangs: u64,
+    /// Mean time from flip to scrubber repair, in seconds.
+    pub mean_detection_latency_s: f64,
+}
+
+impl SeuModel {
+    /// Expected number of flips across `machines` over `days`.
+    pub fn expected_flips(&self, machines: u64, days: f64) -> f64 {
+        machines as f64 * days / self.machine_days_per_flip
+    }
+
+    /// Monte-Carlo soak of `machines` for `days`; every flip is placed
+    /// uniformly within a scrub window to measure detection latency.
+    pub fn simulate(&self, rng: &mut SimRng, machines: u64, days: f64) -> SeuReport {
+        let lambda = self.expected_flips(machines, days);
+        // Sample a Poisson count via exponential gaps (lambda is small
+        // enough in all our experiments for this to be cheap).
+        let mut flips = 0u64;
+        let mut acc = rng.exp(1.0);
+        while acc < lambda {
+            flips += 1;
+            acc += rng.exp(1.0);
+        }
+
+        let scrub_s = self.scrub_interval.as_secs_f64();
+        let mut hangs = 0u64;
+        let mut total_latency = 0.0;
+        for _ in 0..flips {
+            // Flip lands uniformly inside a scrub window; repair happens at
+            // the end of the window.
+            let offset = rng.uniform() * scrub_s;
+            total_latency += scrub_s - offset;
+            if rng.chance(self.hang_probability) {
+                hangs += 1;
+            }
+        }
+        SeuReport {
+            flips,
+            corrected_by_scrubber: flips - hangs,
+            role_hangs: hangs,
+            mean_detection_latency_s: if flips == 0 {
+                0.0
+            } else {
+                total_latency / flips as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_flips_matches_paper_soak() {
+        // 5,760 machines for 30 days at 1 flip / 1025 machine-days
+        let m = SeuModel::default();
+        let expected = m.expected_flips(5_760, 30.0);
+        assert!((expected - 168.6).abs() < 1.0, "expected {expected}");
+    }
+
+    #[test]
+    fn simulated_flip_count_is_poisson_like() {
+        let m = SeuModel::default();
+        let mut rng = SimRng::seed_from(11);
+        let mut total = 0u64;
+        let runs = 200;
+        for _ in 0..runs {
+            total += m.simulate(&mut rng, 5_760, 30.0).flips;
+        }
+        let mean = total as f64 / runs as f64;
+        assert!((mean - 168.6).abs() < 6.0, "mean {mean}");
+    }
+
+    #[test]
+    fn most_flips_are_corrected_by_scrubber() {
+        let m = SeuModel::default();
+        let mut rng = SimRng::seed_from(12);
+        let r = m.simulate(&mut rng, 5_760, 30.0);
+        assert!(r.corrected_by_scrubber as f64 >= 0.9 * r.flips as f64);
+        assert_eq!(r.corrected_by_scrubber + r.role_hangs, r.flips);
+    }
+
+    #[test]
+    fn hangs_are_rare_but_nonzero_at_soak_scale() {
+        // Across many soaks the average hang count should be around
+        // expected_flips * hang_probability ~= 1.3 per soak.
+        let m = SeuModel::default();
+        let mut rng = SimRng::seed_from(13);
+        let mut hangs = 0u64;
+        let runs = 100;
+        for _ in 0..runs {
+            hangs += m.simulate(&mut rng, 5_760, 30.0).role_hangs;
+        }
+        let mean = hangs as f64 / runs as f64;
+        assert!(mean > 0.5 && mean < 3.0, "mean hangs {mean}");
+    }
+
+    #[test]
+    fn detection_latency_is_half_scrub_interval() {
+        let m = SeuModel::default();
+        let mut rng = SimRng::seed_from(14);
+        // Large population to get a stable mean.
+        let r = m.simulate(&mut rng, 1_000_000, 30.0);
+        assert!(r.flips > 10_000);
+        assert!(
+            (r.mean_detection_latency_s - 15.0).abs() < 0.5,
+            "latency {}",
+            r.mean_detection_latency_s
+        );
+    }
+
+    #[test]
+    fn zero_duration_soak_sees_nothing() {
+        let m = SeuModel::default();
+        let mut rng = SimRng::seed_from(15);
+        let r = m.simulate(&mut rng, 5_760, 0.0);
+        assert_eq!(r, SeuReport::default());
+    }
+}

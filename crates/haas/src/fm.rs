@@ -1,0 +1,137 @@
+//! The per-node FPGA Manager: "An FPGA Manager (FM) runs on each node to
+//! provide configuration and status monitoring for the system."
+
+use dcnet::NodeAddr;
+use fpga::{ConfigController, Flash, Image};
+
+/// Health of a node as reported by its FM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Configured and forwarding; reachable over the network.
+    Healthy,
+    /// Mid-reconfiguration.
+    Configuring,
+    /// Bridge down (bad image); needs a management-port power cycle.
+    Unreachable,
+}
+
+/// Per-node configuration and status agent.
+#[derive(Debug)]
+pub struct FpgaManager {
+    addr: NodeAddr,
+    config: ConfigController,
+    reconfigs: u64,
+}
+
+impl FpgaManager {
+    /// Creates the manager for a freshly powered node (golden image).
+    pub fn new(addr: NodeAddr) -> FpgaManager {
+        FpgaManager {
+            addr,
+            config: ConfigController::power_on(Flash::new()),
+            reconfigs: 0,
+        }
+    }
+
+    /// The node this FM manages.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Current status.
+    pub fn status(&self) -> NodeStatus {
+        match self.config.state() {
+            fpga::ConfigState::Reconfiguring { .. } => NodeStatus::Configuring,
+            fpga::ConfigState::Running(_) if self.config.bridge_up() => NodeStatus::Healthy,
+            fpga::ConfigState::Running(_) => NodeStatus::Unreachable,
+        }
+    }
+
+    /// The running (or loading) image name.
+    pub fn image_name(&self) -> &str {
+        &self.config.image().name
+    }
+
+    /// The role compiled into the running (or loading) image.
+    pub fn role_name(&self) -> &str {
+        &self.config.image().role
+    }
+
+    /// Loads a service image by full reconfiguration; the caller (Service
+    /// Manager) waits out the returned load time before routing traffic.
+    pub fn configure(&mut self, image: Image) -> dcsim::SimDuration {
+        self.reconfigs += 1;
+        self.config.start_full_reconfig(image)
+    }
+
+    /// Swaps just the role via partial reconfiguration (bridge stays up).
+    pub fn configure_role(&mut self, role: &str) -> dcsim::SimDuration {
+        self.reconfigs += 1;
+        self.config.start_partial_reconfig(role)
+    }
+
+    /// Completes an in-flight (re)configuration.
+    pub fn configuration_done(&mut self) {
+        self.config.finish_reconfig();
+    }
+
+    /// Management-port power cycle: always recovers to the golden image.
+    pub fn power_cycle(&mut self) {
+        self.config.power_cycle();
+    }
+
+    /// Reconfigurations performed.
+    pub fn reconfigs(&self) -> u64 {
+        self.reconfigs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_healthy_on_golden() {
+        let fm = FpgaManager::new(NodeAddr::new(0, 0, 0));
+        assert_eq!(fm.status(), NodeStatus::Healthy);
+        assert_eq!(fm.image_name(), "golden");
+    }
+
+    #[test]
+    fn configure_cycle() {
+        let mut fm = FpgaManager::new(NodeAddr::new(0, 0, 0));
+        let t = fm.configure(Image::application("rank-v3", "ffu+dpf"));
+        assert!(t > dcsim::SimDuration::ZERO);
+        assert_eq!(fm.status(), NodeStatus::Configuring);
+        fm.configuration_done();
+        assert_eq!(fm.status(), NodeStatus::Healthy);
+        assert_eq!(fm.image_name(), "rank-v3");
+        assert_eq!(fm.reconfigs(), 1);
+    }
+
+    #[test]
+    fn role_swap_keeps_node_reachable() {
+        let mut fm = FpgaManager::new(NodeAddr::new(0, 0, 0));
+        fm.configure(Image::application("multi", "ranking"));
+        fm.configuration_done();
+        fm.configure_role("crypto");
+        // Partial reconfig: still "configuring" but the node never drops
+        // off the network, which FM reports as Configuring with bridge up.
+        assert_eq!(fm.status(), NodeStatus::Configuring);
+        fm.configuration_done();
+        assert_eq!(fm.status(), NodeStatus::Healthy);
+    }
+
+    #[test]
+    fn bad_image_then_power_cycle_recovers() {
+        let mut fm = FpgaManager::new(NodeAddr::new(0, 0, 0));
+        let mut bad = Image::application("buggy", "oops");
+        bad.features.bridge = false;
+        fm.configure(bad);
+        fm.configuration_done();
+        assert_eq!(fm.status(), NodeStatus::Unreachable);
+        fm.power_cycle();
+        assert_eq!(fm.status(), NodeStatus::Healthy);
+        assert_eq!(fm.image_name(), "golden");
+    }
+}

@@ -1,0 +1,36 @@
+//! # haas — Hardware-as-a-Service (Section V-F, Figure 13)
+//!
+//! The management plane that turns the datacenter's FPGAs into a global
+//! pool: a logically centralised [`ResourceManager`] tracks every FPGA and
+//! hands out [`Lease`]s; per-service [`ServiceManager`]s request and
+//! release leases, balance load across their [`HwComponent`]s and replace
+//! failed nodes; a lightweight [`FpgaManager`] per node handles
+//! configuration and status for the machine it runs on.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcnet::NodeAddr;
+//! use haas::{Constraints, ResourceManager, ServiceManager};
+//!
+//! let mut rm = ResourceManager::new();
+//! for h in 0..8 {
+//!     rm.register(NodeAddr::new(0, 0, h));
+//! }
+//! let mut sm = ServiceManager::new("dnn-pool");
+//! sm.grow(&mut rm, 4, &Constraints::default())?;
+//! assert_eq!(sm.endpoints().len(), 4);
+//! assert_eq!(rm.unallocated(), 4);
+//! # Ok::<(), haas::AllocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fm;
+mod rm;
+mod sm;
+
+pub use fm::{FpgaManager, NodeStatus};
+pub use rm::{AllocError, Constraints, FpgaState, Lease, LeaseId, ResourceManager};
+pub use sm::{HwComponent, ServiceManager};

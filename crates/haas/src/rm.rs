@@ -1,0 +1,332 @@
+//! The Resource Manager: a logically centralised allocator that tracks
+//! FPGA resources throughout the datacenter and provides a lease-based
+//! API to Service Managers, "in a manner similar to Yarn and other job
+//! schedulers".
+
+use std::collections::HashMap;
+
+use dcnet::NodeAddr;
+
+/// Lease identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeaseId(pub u64);
+
+/// A granted lease on one FPGA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Lease id (release handle).
+    pub id: LeaseId,
+    /// The leased FPGA.
+    pub addr: NodeAddr,
+    /// Service holding the lease.
+    pub service: String,
+}
+
+/// State of one FPGA in the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaState {
+    /// Available for allocation.
+    Unallocated,
+    /// Leased to a service.
+    Leased {
+        /// Holder.
+        service: String,
+        /// The lease.
+        lease: LeaseId,
+    },
+    /// Removed from the pool pending repair.
+    Failed,
+}
+
+/// Placement constraints for an allocation request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Constraints {
+    /// Require all granted FPGAs to be in this pod (bandwidth locality).
+    pub pod: Option<u16>,
+    /// Require all granted FPGAs to share a TOR with the requester.
+    pub same_tor_as: Option<NodeAddr>,
+}
+
+impl Constraints {
+    fn admits(&self, addr: NodeAddr) -> bool {
+        if let Some(pod) = self.pod {
+            if addr.pod != pod {
+                return false;
+            }
+        }
+        if let Some(peer) = self.same_tor_as {
+            if !addr.same_tor(peer) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough unallocated FPGAs satisfying the constraints.
+    InsufficientCapacity,
+    /// Unknown lease id on release.
+    UnknownLease,
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::InsufficientCapacity => {
+                f.write_str("not enough unallocated fpgas satisfy the constraints")
+            }
+            AllocError::UnknownLease => f.write_str("unknown lease id"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The centralised FPGA pool.
+#[derive(Debug, Default)]
+pub struct ResourceManager {
+    fpgas: HashMap<NodeAddr, FpgaState>,
+    leases: HashMap<LeaseId, NodeAddr>,
+    next_lease: u64,
+    /// Registration order, for deterministic allocation.
+    order: Vec<NodeAddr>,
+}
+
+impl ResourceManager {
+    /// Creates an empty pool.
+    pub fn new() -> ResourceManager {
+        ResourceManager::default()
+    }
+
+    /// Adds an FPGA to the pool (idempotent).
+    pub fn register(&mut self, addr: NodeAddr) {
+        if self.fpgas.insert(addr, FpgaState::Unallocated).is_none() {
+            self.order.push(addr);
+        }
+    }
+
+    /// Total FPGAs known (any state).
+    pub fn total(&self) -> usize {
+        self.fpgas.len()
+    }
+
+    /// FPGAs currently available.
+    pub fn unallocated(&self) -> usize {
+        self.fpgas
+            .values()
+            .filter(|s| matches!(s, FpgaState::Unallocated))
+            .count()
+    }
+
+    /// FPGAs currently failed.
+    pub fn failed(&self) -> usize {
+        self.fpgas
+            .values()
+            .filter(|s| matches!(s, FpgaState::Failed))
+            .count()
+    }
+
+    /// State of one FPGA.
+    pub fn state(&self, addr: NodeAddr) -> Option<&FpgaState> {
+        self.fpgas.get(&addr)
+    }
+
+    /// Grants `count` leases to `service` under `constraints`, atomically:
+    /// either all are granted or none.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InsufficientCapacity`] if fewer than `count` FPGAs are
+    /// available under the constraints.
+    pub fn request(
+        &mut self,
+        service: &str,
+        count: usize,
+        constraints: &Constraints,
+    ) -> Result<Vec<Lease>, AllocError> {
+        let candidates: Vec<NodeAddr> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|a| constraints.admits(*a) && matches!(self.fpgas[a], FpgaState::Unallocated))
+            .take(count)
+            .collect();
+        if candidates.len() < count {
+            return Err(AllocError::InsufficientCapacity);
+        }
+        let leases = candidates
+            .into_iter()
+            .map(|addr| {
+                let id = LeaseId(self.next_lease);
+                self.next_lease += 1;
+                self.fpgas.insert(
+                    addr,
+                    FpgaState::Leased {
+                        service: service.to_string(),
+                        lease: id,
+                    },
+                );
+                self.leases.insert(id, addr);
+                Lease {
+                    id,
+                    addr,
+                    service: service.to_string(),
+                }
+            })
+            .collect();
+        Ok(leases)
+    }
+
+    /// Releases a lease, returning the FPGA to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::UnknownLease`] if the id is not outstanding.
+    pub fn release(&mut self, id: LeaseId) -> Result<(), AllocError> {
+        let addr = self.leases.remove(&id).ok_or(AllocError::UnknownLease)?;
+        // A failed node stays failed even if its lease is released.
+        if matches!(self.fpgas[&addr], FpgaState::Leased { .. }) {
+            self.fpgas.insert(addr, FpgaState::Unallocated);
+        }
+        Ok(())
+    }
+
+    /// Marks an FPGA failed, removing it from the pool. Returns the lease
+    /// that was disrupted, if any — the holding Service Manager uses it to
+    /// request a replacement.
+    pub fn mark_failed(&mut self, addr: NodeAddr) -> Option<LeaseId> {
+        let prev = self.fpgas.insert(addr, FpgaState::Failed)?;
+        match prev {
+            FpgaState::Leased { lease, .. } => {
+                self.leases.remove(&lease);
+                Some(lease)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a repaired FPGA to service.
+    pub fn repair(&mut self, addr: NodeAddr) {
+        if matches!(self.fpgas.get(&addr), Some(FpgaState::Failed)) {
+            self.fpgas.insert(addr, FpgaState::Unallocated);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: u16) -> ResourceManager {
+        let mut rm = ResourceManager::new();
+        for h in 0..n {
+            rm.register(NodeAddr::new(h / 24 / 40, (h / 24) % 40, h % 24));
+        }
+        rm
+    }
+
+    #[test]
+    fn request_and_release_roundtrip() {
+        let mut rm = pool(10);
+        let leases = rm.request("svc", 4, &Constraints::default()).unwrap();
+        assert_eq!(leases.len(), 4);
+        assert_eq!(rm.unallocated(), 6);
+        for l in &leases {
+            assert!(matches!(
+                rm.state(l.addr),
+                Some(FpgaState::Leased { service, .. }) if service == "svc"
+            ));
+        }
+        for l in leases {
+            rm.release(l.id).unwrap();
+        }
+        assert_eq!(rm.unallocated(), 10);
+    }
+
+    #[test]
+    fn allocation_is_atomic() {
+        let mut rm = pool(3);
+        assert_eq!(
+            rm.request("svc", 5, &Constraints::default()).unwrap_err(),
+            AllocError::InsufficientCapacity
+        );
+        assert_eq!(rm.unallocated(), 3, "nothing leaked");
+    }
+
+    #[test]
+    fn constraints_filter_by_pod() {
+        let mut rm = ResourceManager::new();
+        rm.register(NodeAddr::new(0, 0, 0));
+        rm.register(NodeAddr::new(1, 0, 0));
+        rm.register(NodeAddr::new(1, 0, 1));
+        let c = Constraints {
+            pod: Some(1),
+            ..Constraints::default()
+        };
+        let leases = rm.request("svc", 2, &c).unwrap();
+        assert!(leases.iter().all(|l| l.addr.pod == 1));
+        assert!(rm.request("svc", 1, &c).is_err(), "pod 1 exhausted");
+        assert_eq!(rm.unallocated(), 1, "pod 0 still free");
+    }
+
+    #[test]
+    fn constraints_filter_by_tor() {
+        let mut rm = pool(48);
+        let me = NodeAddr::new(0, 1, 0);
+        let c = Constraints {
+            same_tor_as: Some(me),
+            ..Constraints::default()
+        };
+        let leases = rm.request("svc", 3, &c).unwrap();
+        assert!(leases.iter().all(|l| l.addr.same_tor(me)));
+    }
+
+    #[test]
+    fn failure_disrupts_lease_and_removes_from_pool() {
+        let mut rm = pool(4);
+        let leases = rm.request("svc", 2, &Constraints::default()).unwrap();
+        let victim = leases[0].addr;
+        let disrupted = rm.mark_failed(victim);
+        assert_eq!(disrupted, Some(leases[0].id));
+        assert_eq!(rm.failed(), 1);
+        // Replacement can be requested immediately.
+        let replacement = rm.request("svc", 1, &Constraints::default()).unwrap();
+        assert_ne!(replacement[0].addr, victim);
+        // 4 nodes: 2 leased, 1 failed, 1 spare. The failed node is not
+        // allocatable until repaired.
+        assert_eq!(rm.unallocated(), 1);
+        rm.repair(victim);
+        assert_eq!(rm.unallocated(), 2);
+    }
+
+    #[test]
+    fn failing_unallocated_node_disrupts_nothing() {
+        let mut rm = pool(2);
+        assert_eq!(rm.mark_failed(NodeAddr::new(0, 0, 1)), None);
+        assert_eq!(rm.failed(), 1);
+    }
+
+    #[test]
+    fn release_unknown_lease_errors() {
+        let mut rm = pool(1);
+        assert_eq!(
+            rm.release(LeaseId(99)).unwrap_err(),
+            AllocError::UnknownLease
+        );
+    }
+
+    #[test]
+    fn deterministic_allocation_order() {
+        let mut a = pool(10);
+        let mut b = pool(10);
+        let la = a.request("s", 3, &Constraints::default()).unwrap();
+        let lb = b.request("s", 3, &Constraints::default()).unwrap();
+        assert_eq!(
+            la.iter().map(|l| l.addr).collect::<Vec<_>>(),
+            lb.iter().map(|l| l.addr).collect::<Vec<_>>()
+        );
+    }
+}

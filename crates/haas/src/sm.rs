@@ -1,0 +1,263 @@
+//! Service Managers: per-service controllers that assemble leased FPGAs
+//! into hardware Components, balance client load across them, and handle
+//! failures by requesting replacements from the Resource Manager.
+
+use dcnet::NodeAddr;
+
+use crate::rm::{AllocError, Constraints, Lease, LeaseId, ResourceManager};
+
+/// An instance of a hardware service: one or more FPGAs plus the
+/// constraints they were allocated under (the paper's "Component").
+#[derive(Debug, Clone)]
+pub struct HwComponent {
+    /// Leases backing this component.
+    pub leases: Vec<Lease>,
+    /// Constraints it was allocated under.
+    pub constraints: Constraints,
+}
+
+impl HwComponent {
+    /// The FPGAs in this component.
+    pub fn addrs(&self) -> impl Iterator<Item = NodeAddr> + '_ {
+        self.leases.iter().map(|l| l.addr)
+    }
+}
+
+/// A per-service manager holding components and load-balancing clients
+/// across them.
+#[derive(Debug)]
+pub struct ServiceManager {
+    name: String,
+    components: Vec<HwComponent>,
+    rr: usize,
+    replacements: u64,
+}
+
+impl ServiceManager {
+    /// Creates a manager for the named service.
+    pub fn new(name: &str) -> ServiceManager {
+        ServiceManager {
+            name: name.to_string(),
+            components: Vec::new(),
+            rr: 0,
+            replacements: 0,
+        }
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Grows the service by `count` single-FPGA components.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError::InsufficientCapacity`] from the RM; on
+    /// error nothing is allocated.
+    pub fn grow(
+        &mut self,
+        rm: &mut ResourceManager,
+        count: usize,
+        constraints: &Constraints,
+    ) -> Result<(), AllocError> {
+        let leases = rm.request(&self.name, count, constraints)?;
+        for lease in leases {
+            self.components.push(HwComponent {
+                leases: vec![lease],
+                constraints: constraints.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Allocates one multi-FPGA component (e.g. an 8-FPGA ranking
+    /// pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failure; nothing is allocated on error.
+    pub fn grow_component(
+        &mut self,
+        rm: &mut ResourceManager,
+        fpgas: usize,
+        constraints: &Constraints,
+    ) -> Result<&HwComponent, AllocError> {
+        let leases = rm.request(&self.name, fpgas, constraints)?;
+        self.components.push(HwComponent {
+            leases,
+            constraints: constraints.clone(),
+        });
+        Ok(self.components.last().expect("just pushed"))
+    }
+
+    /// Shrinks the service by releasing `count` components back to the
+    /// pool (most recently allocated first).
+    pub fn shrink(&mut self, rm: &mut ResourceManager, count: usize) {
+        for _ in 0..count {
+            let Some(comp) = self.components.pop() else {
+                return;
+            };
+            for lease in comp.leases {
+                let _ = rm.release(lease.id);
+            }
+        }
+    }
+
+    /// All FPGA endpoints across components (what clients connect to).
+    pub fn endpoints(&self) -> Vec<NodeAddr> {
+        self.components.iter().flat_map(|c| c.addrs()).collect()
+    }
+
+    /// Round-robin load balancing: the endpoint the next client should
+    /// use, or `None` if the service has no capacity.
+    pub fn next_endpoint(&mut self) -> Option<NodeAddr> {
+        let endpoints = self.endpoints();
+        if endpoints.is_empty() {
+            return None;
+        }
+        let pick = endpoints[self.rr % endpoints.len()];
+        self.rr += 1;
+        Some(pick)
+    }
+
+    /// Components currently held.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Replacements performed after failures.
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Handles a node failure reported by the RM (or detected via LTL
+    /// timeouts): drops the affected lease and immediately requests a
+    /// replacement under the same constraints — "failing nodes are removed
+    /// from the pool with replacements quickly added".
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocError::InsufficientCapacity`] when no replacement
+    /// is available; the component is left degraded in that case.
+    pub fn handle_failure(
+        &mut self,
+        rm: &mut ResourceManager,
+        failed_lease: LeaseId,
+    ) -> Result<Option<NodeAddr>, AllocError> {
+        for comp in &mut self.components {
+            if let Some(pos) = comp.leases.iter().position(|l| l.id == failed_lease) {
+                comp.leases.remove(pos);
+                let constraints = comp.constraints.clone();
+                let mut replacement = rm.request(&self.name, 1, &constraints)?;
+                let lease = replacement.pop().expect("one requested");
+                let addr = lease.addr;
+                comp.leases.push(lease);
+                self.replacements += 1;
+                return Ok(Some(addr));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig(n: u16) -> (ResourceManager, ServiceManager) {
+        let mut rm = ResourceManager::new();
+        for h in 0..n {
+            rm.register(NodeAddr::new(0, h / 24, h % 24));
+        }
+        (rm, ServiceManager::new("test-svc"))
+    }
+
+    #[test]
+    fn grow_and_shrink_track_pool() {
+        let (mut rm, mut sm) = rig(10);
+        sm.grow(&mut rm, 6, &Constraints::default()).unwrap();
+        assert_eq!(sm.component_count(), 6);
+        assert_eq!(rm.unallocated(), 4);
+        sm.shrink(&mut rm, 2);
+        assert_eq!(sm.component_count(), 4);
+        assert_eq!(rm.unallocated(), 6);
+    }
+
+    #[test]
+    fn round_robin_covers_all_endpoints() {
+        let (mut rm, mut sm) = rig(5);
+        sm.grow(&mut rm, 3, &Constraints::default()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            seen.insert(sm.next_endpoint().unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        // Wraps around.
+        assert!(seen.contains(&sm.next_endpoint().unwrap()));
+    }
+
+    #[test]
+    fn empty_service_has_no_endpoint() {
+        let (_, mut sm) = rig(0);
+        assert_eq!(sm.next_endpoint(), None);
+    }
+
+    #[test]
+    fn multi_fpga_component_allocates_together() {
+        let (mut rm, mut sm) = rig(10);
+        let comp = sm
+            .grow_component(&mut rm, 4, &Constraints::default())
+            .unwrap();
+        assert_eq!(comp.leases.len(), 4);
+        assert_eq!(sm.endpoints().len(), 4);
+        assert_eq!(sm.component_count(), 1);
+    }
+
+    #[test]
+    fn failure_triggers_replacement() {
+        let (mut rm, mut sm) = rig(6);
+        sm.grow(&mut rm, 4, &Constraints::default()).unwrap();
+        let victim = sm.endpoints()[1];
+        let lease = rm.mark_failed(victim).expect("was leased");
+        let replacement = sm.handle_failure(&mut rm, lease).unwrap();
+        let new_addr = replacement.expect("replacement granted");
+        assert_ne!(new_addr, victim);
+        assert_eq!(sm.endpoints().len(), 4, "capacity restored");
+        assert!(!sm.endpoints().contains(&victim));
+        assert_eq!(sm.replacements(), 1);
+    }
+
+    #[test]
+    fn failure_with_exhausted_pool_degrades() {
+        let (mut rm, mut sm) = rig(3);
+        sm.grow(&mut rm, 3, &Constraints::default()).unwrap();
+        let victim = sm.endpoints()[0];
+        let lease = rm.mark_failed(victim).expect("was leased");
+        assert_eq!(
+            sm.handle_failure(&mut rm, lease).unwrap_err(),
+            AllocError::InsufficientCapacity
+        );
+        assert_eq!(sm.endpoints().len(), 2, "degraded but functional");
+    }
+
+    #[test]
+    fn two_services_share_the_pool() {
+        let mut rm = ResourceManager::new();
+        for h in 0..10 {
+            rm.register(NodeAddr::new(0, 0, h));
+        }
+        let mut a = ServiceManager::new("svc-a");
+        let mut b = ServiceManager::new("svc-b");
+        a.grow(&mut rm, 4, &Constraints::default()).unwrap();
+        b.grow(&mut rm, 4, &Constraints::default()).unwrap();
+        assert_eq!(rm.unallocated(), 2);
+        // No endpoint overlap.
+        let ea: std::collections::HashSet<_> = a.endpoints().into_iter().collect();
+        assert!(b.endpoints().iter().all(|e| !ea.contains(e)));
+        // Shrinking one service frees capacity the other can claim.
+        a.shrink(&mut rm, 4);
+        b.grow(&mut rm, 5, &Constraints::default()).unwrap();
+        assert_eq!(b.endpoints().len(), 9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Background datacenter traffic.
+//!
+//! The paper's latency measurements were "inevitably affected by other
+//! datacenter traffic that is potentially flowing through the same
+//! switches". [`TrafficGen`] reproduces that: an endpoint that injects
+//! best-effort UDP flows into the fabric at a configurable rate, used to
+//! load switches under LTL latency measurements and congestion tests.
+
+use bytes::Bytes;
+use dcnet::{Msg, NodeAddr, Packet, PortId, TrafficClass};
+use dcsim::{Component, ComponentId, Context, SimDuration};
+
+use crate::workload::StartGenerator;
+
+/// Configuration of one background traffic source.
+#[derive(Debug, Clone)]
+pub struct TrafficGenConfig {
+    /// Source address stamped on packets.
+    pub src: NodeAddr,
+    /// Destinations cycled round-robin.
+    pub dsts: Vec<NodeAddr>,
+    /// Offered load in bits/s.
+    pub rate_bps: f64,
+    /// Payload bytes per packet.
+    pub packet_bytes: usize,
+    /// Packets to send (`None` = until the horizon).
+    pub count: Option<u64>,
+    /// Traffic class (best-effort by default).
+    pub class: TrafficClass,
+}
+
+impl Default for TrafficGenConfig {
+    fn default() -> Self {
+        TrafficGenConfig {
+            src: NodeAddr::new(0, 0, 0),
+            dsts: Vec::new(),
+            rate_bps: 10e9,
+            packet_bytes: 1_400,
+            count: None,
+            class: TrafficClass::BEST_EFFORT,
+        }
+    }
+}
+
+/// Injects Poisson best-effort traffic directly into a switch port (as if
+/// a host's NIC were transmitting through its bump-in-the-wire).
+///
+/// # Examples
+///
+/// ```
+/// use dcnet::{NodeAddr, PortId};
+/// use dcsim::ComponentId;
+/// use host::{TrafficGen, TrafficGenConfig};
+///
+/// let cfg = TrafficGenConfig {
+///     src: NodeAddr::new(0, 0, 4),
+///     dsts: vec![NodeAddr::new(0, 0, 5)],
+///     rate_bps: 10e9,
+///     ..TrafficGenConfig::default()
+/// };
+/// let generator = TrafficGen::new(cfg, (ComponentId::from_raw(0), PortId(4)));
+/// assert_eq!(generator.sent(), 0);
+/// ```
+pub struct TrafficGen {
+    cfg: TrafficGenConfig,
+    /// Where packets enter the fabric: `(switch, its ingress port)`.
+    entry: (ComponentId, PortId),
+    sent: u64,
+    next_dst: usize,
+}
+
+impl TrafficGen {
+    /// Creates a generator feeding the fabric at `entry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.dsts` is empty.
+    pub fn new(cfg: TrafficGenConfig, entry: (ComponentId, PortId)) -> TrafficGen {
+        assert!(!cfg.dsts.is_empty(), "traffic needs destinations");
+        TrafficGen {
+            cfg,
+            entry,
+            sent: 0,
+            next_dst: 0,
+        }
+    }
+
+    /// Packets injected so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn mean_gap(&self) -> SimDuration {
+        let pkt_bits = (self.cfg.packet_bytes as f64 + 66.0) * 8.0;
+        SimDuration::from_secs_f64(pkt_bits / self.cfg.rate_bps)
+    }
+
+    fn fire(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(count) = self.cfg.count {
+            if self.sent >= count {
+                return;
+            }
+        }
+        let dst = self.cfg.dsts[self.next_dst % self.cfg.dsts.len()];
+        self.next_dst += 1;
+        let pkt = Packet::new(
+            self.cfg.src,
+            dst,
+            40_000 + (self.sent % 64) as u16, // vary flows for ECMP spread
+            9_999,
+            self.cfg.class,
+            Bytes::from(vec![0u8; self.cfg.packet_bytes]),
+        );
+        self.sent += 1;
+        let (comp, port) = self.entry;
+        ctx.send(comp, Msg::packet(pkt, port));
+        let gap = ctx.rng().exp_duration(self.mean_gap());
+        ctx.send_to_self_after(gap, Msg::custom(StartGenerator));
+    }
+}
+
+impl Component<Msg> for TrafficGen {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if msg.downcast::<StartGenerator>().is_ok() {
+            self.fire(ctx);
+        }
+    }
+}
+
+impl core::fmt::Debug for TrafficGen {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TrafficGen")
+            .field("src", &self.cfg.src)
+            .field("sent", &self.sent)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::{Engine, SimTime};
+
+    #[derive(Debug, Default)]
+    struct Sink {
+        packets: u64,
+        bytes: u64,
+    }
+
+    impl Component<Msg> for Sink {
+        fn on_message(&mut self, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+            if let Msg::Net(dcnet::NetEvent::Packet { pkt, .. }) = msg {
+                self.packets += 1;
+                self.bytes += pkt.payload.len() as u64;
+            }
+        }
+    }
+
+    #[test]
+    fn generates_at_the_requested_rate() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let sink = e.next_component_id();
+        e.add_component(Sink::default());
+        let cfg = TrafficGenConfig {
+            src: NodeAddr::new(0, 0, 1),
+            dsts: vec![NodeAddr::new(0, 0, 2)],
+            rate_bps: 1e9,
+            packet_bytes: 1_400,
+            count: None,
+            ..TrafficGenConfig::default()
+        };
+        let gen = e.add_component(TrafficGen::new(cfg, (sink, PortId(0))));
+        e.schedule(SimTime::ZERO, gen, Msg::custom(StartGenerator));
+        e.run_until(SimTime::from_millis(10));
+        let s = e.component::<Sink>(sink).unwrap();
+        let gbps = (s.bytes + s.packets * 66) as f64 * 8.0 / 10e-3 / 1e9;
+        assert!((gbps - 1.0).abs() < 0.1, "rate {gbps} Gb/s");
+    }
+
+    #[test]
+    fn count_limit_respected_and_dsts_cycled() {
+        let mut e: Engine<Msg> = Engine::new(2);
+        let sink = e.next_component_id();
+        e.add_component(Sink::default());
+        let cfg = TrafficGenConfig {
+            src: NodeAddr::new(0, 0, 1),
+            dsts: vec![NodeAddr::new(0, 0, 2), NodeAddr::new(0, 0, 3)],
+            count: Some(7),
+            ..TrafficGenConfig::default()
+        };
+        let gen_id = e.add_component(TrafficGen::new(cfg, (sink, PortId(0))));
+        e.schedule(SimTime::ZERO, gen_id, Msg::custom(StartGenerator));
+        e.run_to_idle();
+        assert_eq!(e.component::<Sink>(sink).unwrap().packets, 7);
+        assert_eq!(e.component::<TrafficGen>(gen_id).unwrap().sent(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "destinations")]
+    fn empty_destinations_rejected() {
+        let _ = TrafficGen::new(
+            TrafficGenConfig::default(),
+            (dcsim::ComponentId::from_raw(0), PortId(0)),
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Open-loop workload generation.
+//!
+//! Production traffic arrives at the rate of arrivals, not in closed loops
+//! (Section III: "it is infeasible to simulate many different points of
+//! query load as there is substantial infrastructure upstream that only
+//! produces requests at the rate of arrivals"). The [`OpenLoopGen`]
+//! component reproduces that: Poisson arrivals at a configurable rate,
+//! optionally modulated by a diurnal [`LoadTrace`] for the five-day
+//! production experiments.
+
+use dcnet::Msg;
+use dcsim::{Component, ComponentId, Context, SimDuration, SimRng, SimTime};
+
+/// Time-varying load multiplier.
+#[derive(Debug, Clone)]
+pub enum LoadTrace {
+    /// Constant multiplier.
+    Constant(f64),
+    /// Diurnal pattern: `mean + swing * sin(2*pi*t/period + phase)`,
+    /// clamped at a small positive floor. One period = one "day".
+    Diurnal {
+        /// Mean multiplier.
+        mean: f64,
+        /// Peak-to-mean swing.
+        swing: f64,
+        /// Length of one day.
+        period: SimDuration,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+    /// An inner trace clamped from above — the paper's "dynamic load
+    /// balancing mechanism that caps the incoming traffic when tail
+    /// latencies begin exceeding acceptable thresholds".
+    Capped {
+        /// The unclamped trace.
+        inner: Box<LoadTrace>,
+        /// Maximum multiplier the load balancer admits.
+        max: f64,
+    },
+}
+
+impl LoadTrace {
+    /// The multiplier at `t`.
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        match self {
+            LoadTrace::Constant(m) => *m,
+            LoadTrace::Diurnal {
+                mean,
+                swing,
+                period,
+                phase,
+            } => {
+                let x = t.as_secs_f64() / period.as_secs_f64();
+                (mean + swing * (2.0 * core::f64::consts::PI * x + phase).sin()).max(0.05)
+            }
+            LoadTrace::Capped { inner, max } => inner.multiplier(t).min(*max),
+        }
+    }
+
+    /// Wraps this trace with a load-balancer cap.
+    pub fn capped(self, max: f64) -> LoadTrace {
+        LoadTrace::Capped {
+            inner: Box::new(self),
+            max,
+        }
+    }
+}
+
+/// Kick-off message for an [`OpenLoopGen`]; schedule it at the desired
+/// start time.
+#[derive(Debug, Clone, Copy)]
+pub struct StartGenerator;
+
+/// Open-loop Poisson request generator.
+///
+/// Each arrival invokes the factory closure to build the request message
+/// and sends it to `target`. Inter-arrival gaps are exponential with mean
+/// `mean_gap / trace.multiplier(now)`.
+pub struct OpenLoopGen<F> {
+    target: ComponentId,
+    mean_gap: SimDuration,
+    remaining: Option<u64>,
+    trace: LoadTrace,
+    sent: u64,
+    make: F,
+}
+
+impl<F> OpenLoopGen<F>
+where
+    F: FnMut(u64, &mut SimRng) -> Msg + 'static,
+{
+    /// Creates a generator sending to `target` with the given mean
+    /// inter-arrival gap. `count` limits total requests (`None` = until the
+    /// simulation horizon).
+    pub fn new(target: ComponentId, mean_gap: SimDuration, count: Option<u64>, make: F) -> Self {
+        OpenLoopGen {
+            target,
+            mean_gap,
+            remaining: count,
+            trace: LoadTrace::Constant(1.0),
+            sent: 0,
+            make,
+        }
+    }
+
+    /// Applies a load trace to the arrival rate.
+    pub fn with_trace(mut self, trace: LoadTrace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Requests generated so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn fire(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                return;
+            }
+            *rem -= 1;
+        }
+        let msg = (self.make)(self.sent, ctx.rng());
+        self.sent += 1;
+        ctx.send(self.target, msg);
+        // Rate = multiplier / mean_gap; gap is exponential.
+        let mult = self.trace.multiplier(ctx.now()).max(1e-9);
+        let gap_mean = SimDuration::from_secs_f64(self.mean_gap.as_secs_f64() / mult);
+        let gap = ctx.rng().exp_duration(gap_mean);
+        ctx.send_to_self_after(gap, Msg::custom(StartGenerator));
+    }
+}
+
+impl<F> Component<Msg> for OpenLoopGen<F>
+where
+    F: FnMut(u64, &mut SimRng) -> Msg + 'static,
+{
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if msg.downcast::<StartGenerator>().is_ok() {
+            self.fire(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::Engine;
+
+    #[derive(Debug, Default)]
+    struct Sink {
+        arrivals: Vec<SimTime>,
+    }
+
+    #[derive(Debug)]
+    struct Req;
+
+    impl Component<Msg> for Sink {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if msg.downcast::<Req>().is_ok() {
+                self.arrivals.push(ctx.now());
+            }
+        }
+    }
+
+    #[test]
+    fn generates_requested_count_at_requested_rate() {
+        let mut e: Engine<Msg> = Engine::new(3);
+        let sink = e.next_component_id();
+        e.add_component(Sink::default());
+        let gen = e.add_component(OpenLoopGen::new(
+            sink,
+            SimDuration::from_micros(100),
+            Some(10_000),
+            |_, _| Msg::custom(Req),
+        ));
+        e.schedule(SimTime::ZERO, gen, Msg::custom(StartGenerator));
+        e.run_to_idle();
+        let sink = e.component::<Sink>(sink).unwrap();
+        assert_eq!(sink.arrivals.len(), 10_000);
+        // Mean gap ~ 100us -> total ~ 1s.
+        let total = sink.arrivals.last().unwrap().as_secs_f64();
+        assert!((total - 1.0).abs() < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn arrivals_are_poisson_not_uniform() {
+        let mut e: Engine<Msg> = Engine::new(4);
+        let sink = e.next_component_id();
+        e.add_component(Sink::default());
+        let gen = e.add_component(OpenLoopGen::new(
+            sink,
+            SimDuration::from_micros(50),
+            Some(20_000),
+            |_, _| Msg::custom(Req),
+        ));
+        e.schedule(SimTime::ZERO, gen, Msg::custom(StartGenerator));
+        e.run_to_idle();
+        let s = e.component::<Sink>(sink).unwrap();
+        let gaps: Vec<f64> = s
+            .arrivals
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        // Exponential: cv^2 = 1. Uniform spacing would give cv^2 ~ 0.
+        let cv2 = var / (mean * mean);
+        assert!((cv2 - 1.0).abs() < 0.1, "cv2 {cv2}");
+    }
+
+    #[test]
+    fn diurnal_trace_modulates_rate() {
+        let day = SimDuration::from_millis(100); // compressed day
+        let trace = LoadTrace::Diurnal {
+            mean: 1.0,
+            swing: 0.8,
+            period: day,
+            phase: 0.0,
+        };
+        let mut e: Engine<Msg> = Engine::new(5);
+        let sink = e.next_component_id();
+        e.add_component(Sink::default());
+        let gen = e.add_component(
+            OpenLoopGen::new(sink, SimDuration::from_micros(20), None, |_, _| {
+                Msg::custom(Req)
+            })
+            .with_trace(trace),
+        );
+        e.schedule(SimTime::ZERO, gen, Msg::custom(StartGenerator));
+        e.run_until(SimTime::ZERO + day);
+        let s = e.component::<Sink>(sink).unwrap();
+        // Compare arrivals in the first quarter (rising peak) vs the third
+        // quarter (trough).
+        let q = day.as_nanos() / 4;
+        let in_range = |lo: u64, hi: u64| {
+            s.arrivals
+                .iter()
+                .filter(|t| t.as_nanos() >= lo && t.as_nanos() < hi)
+                .count()
+        };
+        let peak = in_range(0, q);
+        let trough = in_range(2 * q, 3 * q);
+        assert!(
+            peak as f64 > 2.0 * trough as f64,
+            "peak {peak} trough {trough}"
+        );
+    }
+
+    #[test]
+    fn capped_trace_clamps_peaks_only() {
+        let day = SimDuration::from_secs(1);
+        let raw = LoadTrace::Diurnal {
+            mean: 1.0,
+            swing: 1.0,
+            period: day,
+            phase: 0.0,
+        };
+        let capped = raw.clone().capped(1.3);
+        let peak_t = SimTime::from_millis(250); // sin peak
+        let trough_t = SimTime::from_millis(750);
+        assert!(raw.multiplier(peak_t) > 1.9);
+        assert!((capped.multiplier(peak_t) - 1.3).abs() < 1e-9);
+        assert_eq!(raw.multiplier(trough_t), capped.multiplier(trough_t));
+    }
+
+    #[test]
+    fn trace_multiplier_stays_positive() {
+        let t = LoadTrace::Diurnal {
+            mean: 0.1,
+            swing: 5.0,
+            period: SimDuration::from_secs(1),
+            phase: 0.0,
+        };
+        for i in 0..100 {
+            assert!(t.multiplier(SimTime::from_millis(i * 10)) > 0.0);
+        }
+    }
+}

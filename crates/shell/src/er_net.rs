@@ -1,0 +1,387 @@
+//! Composition of Elastic Routers into larger on-chip topologies.
+//!
+//! Section V-B: "multiple ERs can be composed to form a larger on-chip
+//! network topology, e.g., a ring or a 2-D mesh." An [`ErNetwork`] owns a
+//! set of routers plus a wiring map between their ports, steps them in
+//! lockstep, and source-routes messages between endpoints attached to the
+//! free ports.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::er::{ElasticRouter, ErConfig, Flit};
+
+/// Identifies a port of a router in the network: `(router, port)`.
+pub type NetPort = (usize, usize);
+
+/// A message travelling through the composed network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErMessage {
+    /// Opaque id.
+    pub id: u64,
+    /// Virtual channel used on every hop.
+    pub vc: usize,
+    /// Number of flits.
+    pub flits: u32,
+}
+
+/// A set of Elastic Routers wired into a topology.
+///
+/// # Examples
+///
+/// ```
+/// use shell::{ErConfig, ErMessage, ErNetwork};
+///
+/// // Four routers in a ring; send a 4-flit message two hops around.
+/// let mut net = ErNetwork::ring(4, ErConfig::default(), 3, 2);
+/// net.send((0, 0), &[3, 3, 1], &ErMessage { id: 9, vc: 0, flits: 4 });
+/// let delivered = net.run(100);
+/// assert_eq!(delivered.len(), 4);
+/// assert!(delivered.iter().all(|(port, _)| *port == (2, 1)));
+/// ```
+pub struct ErNetwork {
+    routers: Vec<ElasticRouter>,
+    /// Directed wiring: output `(router, port)` feeds input `(router, port)`.
+    links: HashMap<NetPort, NetPort>,
+    /// Flits waiting to enter a router input (either fresh injections or
+    /// arrivals from a neighbouring router).
+    staging: HashMap<NetPort, VecDeque<(Flit, VecDeque<usize>)>>,
+    /// Per-flit remaining route, keyed by (msg id, flit seq).
+    routes: HashMap<(u64, u32), VecDeque<usize>>,
+    /// Flits that reached an endpoint (unwired output port).
+    delivered: Vec<(NetPort, Flit)>,
+    cycles: u64,
+}
+
+impl ErNetwork {
+    /// Creates `n` routers with identical configuration.
+    pub fn new(n: usize, cfg: ErConfig) -> ErNetwork {
+        ErNetwork {
+            routers: (0..n).map(|_| ElasticRouter::new(cfg.clone())).collect(),
+            links: HashMap::new(),
+            staging: HashMap::new(),
+            routes: HashMap::new(),
+            delivered: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    /// Builds a unidirectional ring of `n` routers: output port `ring_out`
+    /// of router *i* feeds input port `ring_in` of router *i+1 mod n*.
+    pub fn ring(n: usize, cfg: ErConfig, ring_out: usize, ring_in: usize) -> ErNetwork {
+        let mut net = ErNetwork::new(n, cfg);
+        for i in 0..n {
+            net.wire((i, ring_out), ((i + 1) % n, ring_in));
+        }
+        net
+    }
+
+    /// Builds a 2-D mesh of `cols x rows` routers. Port assignment per
+    /// router: 0 = local/endpoint, 1 = east, 2 = west, 3 = north,
+    /// 4 = south (requires `cfg.ports >= 5`). Edge ports stay unwired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.ports < 5`.
+    pub fn mesh(cols: usize, rows: usize, cfg: ErConfig) -> ErNetwork {
+        assert!(cfg.ports >= 5, "mesh needs >= 5 ports per router");
+        let mut net = ErNetwork::new(cols * rows, cfg);
+        let idx = |x: usize, y: usize| y * cols + x;
+        for y in 0..rows {
+            for x in 0..cols {
+                if x + 1 < cols {
+                    net.wire((idx(x, y), 1), (idx(x + 1, y), 2)); // east
+                    net.wire((idx(x + 1, y), 2), (idx(x, y), 1)); // west
+                }
+                if y + 1 < rows {
+                    net.wire((idx(x, y), 4), (idx(x, y + 1), 3)); // south
+                    net.wire((idx(x, y + 1), 3), (idx(x, y), 4)); // north
+                }
+            }
+        }
+        net
+    }
+
+    /// Wires output `from` to input `to`.
+    pub fn wire(&mut self, from: NetPort, to: NetPort) {
+        self.links.insert(from, to);
+    }
+
+    /// Dimension-order route through a mesh built by [`ErNetwork::mesh`]:
+    /// the output-port sequence from router `(sx, sy)` to the local port
+    /// of router `(dx, dy)`.
+    pub fn mesh_route(
+        cols: usize,
+        (sx, sy): (usize, usize),
+        (dx, dy): (usize, usize),
+    ) -> Vec<usize> {
+        let _ = cols;
+        let mut route = Vec::new();
+        let mut x = sx;
+        while x < dx {
+            route.push(1); // east
+            x += 1;
+        }
+        while x > dx {
+            route.push(2); // west
+            x -= 1;
+        }
+        let mut y = sy;
+        while y < dy {
+            route.push(4); // south
+            y += 1;
+        }
+        while y > dy {
+            route.push(3); // north
+            y -= 1;
+        }
+        route.push(0); // local delivery
+        route
+    }
+
+    /// Injects a message at input `port` of a router, following `route`
+    /// (a sequence of output-port choices, one per router traversed).
+    /// Flits enter as credits allow over subsequent cycles.
+    pub fn send(&mut self, entry: NetPort, route: &[usize], msg: &ErMessage) {
+        for seq in 0..msg.flits {
+            let flit = Flit {
+                out_port: route[0],
+                vc: msg.vc,
+                tail: seq + 1 == msg.flits,
+                msg_id: msg.id,
+                flit_seq: seq,
+            };
+            let remaining: VecDeque<usize> = route[1..].iter().copied().collect();
+            self.staging
+                .entry(entry)
+                .or_default()
+                .push_back((flit, remaining));
+        }
+    }
+
+    /// Steps every router one cycle, moving flits across links. Returns
+    /// flits delivered to endpoint (unwired) ports this cycle.
+    pub fn step(&mut self) -> Vec<(NetPort, Flit)> {
+        self.cycles += 1;
+        // 1. Drain staging into router inputs, credit permitting.
+        let keys: Vec<NetPort> = self.staging.keys().copied().collect();
+        for key in keys {
+            let queue = self.staging.get_mut(&key).expect("key just listed");
+            while let Some((flit, _)) = queue.front() {
+                let (router, port) = key;
+                if self.routers[router].can_accept(port, flit.vc) {
+                    let (flit, route) = queue.pop_front().expect("front checked");
+                    self.routes.insert((flit.msg_id, flit.flit_seq), route);
+                    self.routers[router]
+                        .inject(port, flit)
+                        .expect("credit checked");
+                } else {
+                    break;
+                }
+            }
+            if queue.is_empty() {
+                self.staging.remove(&key);
+            }
+        }
+
+        // 2. Step each router; route outputs onward or deliver.
+        let mut out = Vec::new();
+        for r in 0..self.routers.len() {
+            // Downstream readiness: a wired next hop must have a credit;
+            // endpoint ports are always ready.
+            let links = &self.links;
+            let routers = &self.routers;
+            let moved = {
+                let ready = |port: usize, vc: usize| match links.get(&(r, port)) {
+                    Some(&(nr, np)) => routers[nr].can_accept(np, vc),
+                    None => true,
+                };
+                // Split borrow: step router r with readiness computed from
+                // immutable snapshot above. Safe because can_accept does
+                // not alias router r mutably.
+                let ready_snapshot: Vec<(usize, usize, bool)> = (0..routers[r].config().ports)
+                    .flat_map(|p| (0..routers[r].config().vcs).map(move |v| (p, v, ready(p, v))))
+                    .collect();
+                self.routers[r].step(|p, v| {
+                    ready_snapshot
+                        .iter()
+                        .find(|&&(sp, sv, _)| sp == p && sv == v)
+                        .map(|&(_, _, ok)| ok)
+                        .unwrap_or(false)
+                })
+            };
+            for (port, mut flit) in moved {
+                match self.links.get(&(r, port)) {
+                    Some(&next) => {
+                        let mut route = self
+                            .routes
+                            .remove(&(flit.msg_id, flit.flit_seq))
+                            .unwrap_or_default();
+                        let next_out = route.pop_front().unwrap_or(0);
+                        flit.out_port = next_out;
+                        self.staging
+                            .entry(next)
+                            .or_default()
+                            .push_back((flit, route));
+                    }
+                    None => {
+                        self.routes.remove(&(flit.msg_id, flit.flit_seq));
+                        out.push(((r, port), flit));
+                    }
+                }
+            }
+        }
+        self.delivered.extend(out.iter().cloned());
+        out
+    }
+
+    /// Steps until quiescent or `max_cycles`; returns all deliveries.
+    pub fn run(&mut self, max_cycles: usize) -> Vec<(NetPort, Flit)> {
+        let mut all = Vec::new();
+        for _ in 0..max_cycles {
+            let moved = self.step();
+            let idle = moved.is_empty()
+                && self.staging.is_empty()
+                && self.routers.iter().all(|r| r.occupancy() == 0);
+            all.extend(moved);
+            if idle {
+                break;
+            }
+        }
+        all
+    }
+
+    /// Cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Access to a router (stats).
+    pub fn router(&self, i: usize) -> &ElasticRouter {
+        &self.routers[i]
+    }
+}
+
+impl core::fmt::Debug for ErNetwork {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ErNetwork")
+            .field("routers", &self.routers.len())
+            .field("links", &self.links.len())
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ports: usize) -> ErConfig {
+        ErConfig {
+            ports,
+            vcs: 2,
+            credits_per_vc: 4,
+            shared_credits: 4,
+            ..ErConfig::default()
+        }
+    }
+
+    #[test]
+    fn ring_carries_message_around() {
+        // 4 routers in a ring on port 3 -> port 2; endpoints on port 0/1.
+        let mut net = ErNetwork::ring(4, cfg(4), 3, 2);
+        // From router 0 to router 2's endpoint port 1: two ring hops then
+        // out port 1.
+        let msg = ErMessage {
+            id: 9,
+            vc: 0,
+            flits: 4,
+        };
+        net.send((0, 0), &[3, 3, 1], &msg);
+        let delivered = net.run(100);
+        assert_eq!(delivered.len(), 4);
+        assert!(delivered.iter().all(|(p, _)| *p == (2, 1)));
+        assert!(delivered.iter().any(|(_, f)| f.tail));
+    }
+
+    #[test]
+    fn mesh_dimension_order_routing() {
+        let mut net = ErNetwork::mesh(3, 3, cfg(5));
+        let route = ErNetwork::mesh_route(3, (0, 0), (2, 1));
+        assert_eq!(route, vec![1, 1, 4, 0]);
+        let msg = ErMessage {
+            id: 1,
+            vc: 1,
+            flits: 3,
+        };
+        net.send((0, 0), &route, &msg); // inject at router (0,0) local port
+        let delivered = net.run(200);
+        assert_eq!(delivered.len(), 3);
+        // Destination router is index y*cols+x = 1*3+2 = 5, local port 0.
+        assert!(delivered.iter().all(|(p, _)| *p == (5, 0)));
+    }
+
+    #[test]
+    fn mesh_route_handles_all_quadrants() {
+        assert_eq!(
+            ErNetwork::mesh_route(4, (2, 2), (0, 0)),
+            vec![2, 2, 3, 3, 0]
+        );
+        assert_eq!(ErNetwork::mesh_route(4, (1, 1), (1, 1)), vec![0]);
+    }
+
+    #[test]
+    fn two_messages_share_the_ring_without_loss() {
+        let mut net = ErNetwork::ring(3, cfg(4), 3, 2);
+        let m1 = ErMessage {
+            id: 1,
+            vc: 0,
+            flits: 8,
+        };
+        let m2 = ErMessage {
+            id: 2,
+            vc: 1,
+            flits: 8,
+        };
+        net.send((0, 0), &[3, 1], &m1); // to router 1 endpoint
+        net.send((2, 0), &[3, 3, 1], &m2); // to router 1 endpoint, around
+        let delivered = net.run(500);
+        assert_eq!(delivered.len(), 16);
+        let m1_count = delivered.iter().filter(|(_, f)| f.msg_id == 1).count();
+        assert_eq!(m1_count, 8);
+    }
+
+    #[test]
+    fn backpressure_propagates_through_ring_without_deadlock() {
+        // Tiny buffers, long message: the ring must still drain.
+        let tight = ErConfig {
+            ports: 4,
+            vcs: 1,
+            credits_per_vc: 1,
+            shared_credits: 1,
+            ..ErConfig::default()
+        };
+        let mut net = ErNetwork::ring(4, tight, 3, 2);
+        let msg = ErMessage {
+            id: 5,
+            vc: 0,
+            flits: 32,
+        };
+        net.send((0, 0), &[3, 3, 3, 1], &msg); // all the way around
+        let delivered = net.run(2_000);
+        assert_eq!(delivered.len(), 32, "all flits eventually delivered");
+    }
+
+    #[test]
+    fn flit_order_is_preserved_per_message() {
+        let mut net = ErNetwork::ring(4, cfg(4), 3, 2);
+        let msg = ErMessage {
+            id: 3,
+            vc: 0,
+            flits: 10,
+        };
+        net.send((1, 0), &[3, 1], &msg);
+        let delivered = net.run(200);
+        let seqs: Vec<u32> = delivered.iter().map(|(_, f)| f.flit_seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,1034 @@
+//! The LTL protocol engine (Section V-A, Figure 9).
+//!
+//! An ordered, reliable, connection-based transport with statically
+//! allocated, persistent connections held in send and receive connection
+//! tables. Outgoing frames are buffered in an unacknowledged frame store
+//! until the receiver's cumulative ACK releases them; a 50 µs timeout
+//! triggers retransmission, NACKs request timely retransmission when
+//! reordering is detected, and repeated timeouts identify failing nodes.
+//! Egress is shaped by a configurable bandwidth limiter and by per-
+//! connection DC-QCN reaction points, so FPGAs can inject traffic without
+//! disturbing the datacenter's existing flows.
+//!
+//! The engine is a pure state machine: the enclosing
+//! [`Shell`](crate::Shell) component feeds it packets and clock ticks and
+//! transmits whatever [`LtlEngine::poll`] hands back, which keeps every
+//! protocol rule unit-testable without a simulator.
+
+use std::collections::VecDeque;
+
+use bytes::{Bytes, BytesMut};
+use dcnet::{CnpPacer, DcqcnConfig, DcqcnRp, Ecn, NodeAddr, Packet, TrafficClass, LTL_UDP_PORT};
+use dcsim::{PercentileRecorder, SimDuration, SimTime};
+
+use super::frame::{FrameKind, LtlFrame};
+
+/// Index into the send connection table.
+pub type SendConnId = u16;
+/// Index into the receive connection table.
+pub type RecvConnId = u16;
+
+/// LTL engine configuration.
+#[derive(Debug, Clone)]
+pub struct LtlConfig {
+    /// Maximum LTL payload bytes per frame (segmentation threshold).
+    pub mtu_payload: usize,
+    /// Retransmission timeout (paper: configurable, currently 50 µs).
+    pub timeout: SimDuration,
+    /// Retries before a connection is declared failed.
+    pub max_retries: u32,
+    /// Optional egress bandwidth cap in bits/s ("LTL implements bandwidth
+    /// limiting to prevent the FPGA from exceeding a configurable limit").
+    pub rate_limit_bps: Option<f64>,
+    /// DC-QCN reaction-point configuration; `None` disables end-to-end
+    /// congestion control (ablation).
+    pub dcqcn: Option<DcqcnConfig>,
+    /// Minimum interval between CNPs per connection.
+    pub cnp_interval: SimDuration,
+    /// Whether NACK fast retransmission is enabled (ablation: timeout-only).
+    pub nack_enabled: bool,
+}
+
+impl Default for LtlConfig {
+    fn default() -> Self {
+        LtlConfig {
+            mtu_payload: dcnet::MTU_PAYLOAD - super::frame::LTL_HEADER_BYTES,
+            timeout: SimDuration::from_micros(50),
+            max_retries: 8,
+            rate_limit_bps: None,
+            dcqcn: Some(DcqcnConfig::default()),
+            cnp_interval: SimDuration::from_micros(50),
+            nack_enabled: true,
+        }
+    }
+}
+
+/// Simple token bucket used for the engine-wide bandwidth limit.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    rate_bps: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    fn new(rate_bps: f64) -> TokenBucket {
+        let burst_bytes = 2.0 * 1500.0;
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_bps / 8.0).min(self.burst_bytes);
+        self.last = now;
+    }
+
+    /// Earliest time `bytes` could be sent.
+    fn ready_at(&mut self, now: SimTime, bytes: f64) -> SimTime {
+        self.refill(now);
+        if self.tokens >= bytes {
+            now
+        } else {
+            now + SimDuration::from_secs_f64((bytes - self.tokens) * 8.0 / self.rate_bps)
+        }
+    }
+
+    fn consume(&mut self, now: SimTime, bytes: f64) {
+        self.refill(now);
+        self.tokens -= bytes; // may go negative briefly under retransmit bursts
+    }
+}
+
+#[derive(Debug)]
+struct Unacked {
+    frame: LtlFrame,
+    sent_at: SimTime,
+    deadline: SimTime,
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct SendConn {
+    remote: NodeAddr,
+    remote_conn: RecvConnId,
+    next_seq: u32,
+    pending: VecDeque<LtlFrame>,
+    unacked: VecDeque<Unacked>,
+    rp: Option<DcqcnRp>,
+    next_allowed: SimTime,
+    failed: bool,
+}
+
+#[derive(Debug)]
+struct RecvConn {
+    remote: NodeAddr,
+    expected_seq: u32,
+    assembling: BytesMut,
+    assembling_vc: u8,
+    nack_sent_for: Option<u32>,
+}
+
+/// Upcalls produced by the engine for the enclosing shell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LtlEvent {
+    /// A complete message arrived on a receive connection.
+    Deliver {
+        /// Receive connection it arrived on.
+        conn: RecvConnId,
+        /// Sending node.
+        src: NodeAddr,
+        /// Elastic Router virtual channel requested by the sender.
+        vc: u8,
+        /// Reassembled message payload.
+        payload: Bytes,
+    },
+    /// A send connection exhausted its retries; the remote node is
+    /// presumed failed (used for fast reprovisioning by HaaS).
+    ConnectionFailed {
+        /// The failed send connection.
+        conn: SendConnId,
+        /// Its remote endpoint.
+        remote: NodeAddr,
+    },
+}
+
+/// Result of asking the engine for the next frame to transmit.
+#[derive(Debug, Clone)]
+pub enum Poll {
+    /// Transmit this packet now.
+    Ready(Packet),
+    /// Nothing eligible before this instant (rate limiting / pacing).
+    Later(SimTime),
+    /// Nothing to send.
+    Empty,
+}
+
+/// Error from [`LtlEngine::send_message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// Unknown connection id.
+    BadConnection,
+    /// The connection was declared failed after repeated timeouts.
+    ConnectionFailed,
+}
+
+impl core::fmt::Display for SendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SendError::BadConnection => f.write_str("unknown ltl connection"),
+            SendError::ConnectionFailed => f.write_str("ltl connection has failed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LtlStats {
+    /// Data frames transmitted (first transmissions).
+    pub data_sent: u64,
+    /// Data frames retransmitted.
+    pub retransmits: u64,
+    /// Retransmissions triggered by timeout.
+    pub timeouts: u64,
+    /// ACK frames received.
+    pub acks_rx: u64,
+    /// NACK frames sent.
+    pub nacks_tx: u64,
+    /// NACK frames received.
+    pub nacks_rx: u64,
+    /// CNPs sent (we are the notification point).
+    pub cnps_tx: u64,
+    /// CNPs received (we are the reaction point).
+    pub cnps_rx: u64,
+    /// Complete messages delivered to local consumers.
+    pub msgs_delivered: u64,
+    /// Bytes delivered in those messages.
+    pub bytes_delivered: u64,
+    /// Duplicate data frames discarded (re-ACKed).
+    pub duplicates: u64,
+    /// Out-of-order data frames discarded pending retransmission.
+    pub out_of_order: u64,
+    /// Connections declared failed.
+    pub conn_failures: u64,
+}
+
+/// The LTL protocol engine state.
+#[derive(Debug)]
+pub struct LtlEngine {
+    addr: NodeAddr,
+    cfg: LtlConfig,
+    sends: Vec<SendConn>,
+    recvs: Vec<RecvConn>,
+    /// Control frames (ACK/NACK/CNP): transmitted ahead of data, unshaped.
+    control: VecDeque<(NodeAddr, LtlFrame)>,
+    /// (send conn, seq) pairs queued for retransmission.
+    retransmit: VecDeque<(SendConnId, u32)>,
+    bucket: Option<TokenBucket>,
+    pacer: CnpPacer,
+    rtts: PercentileRecorder,
+    stats: LtlStats,
+    next_msg_id: u32,
+    rr_conn: usize,
+}
+
+impl LtlEngine {
+    /// Creates an engine for the FPGA at `addr`.
+    pub fn new(addr: NodeAddr, cfg: LtlConfig) -> LtlEngine {
+        LtlEngine {
+            addr,
+            bucket: cfg.rate_limit_bps.map(TokenBucket::new),
+            pacer: CnpPacer::new(cfg.cnp_interval),
+            cfg,
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            control: VecDeque::new(),
+            retransmit: VecDeque::new(),
+            rtts: PercentileRecorder::new(),
+            stats: LtlStats::default(),
+            next_msg_id: 1,
+            rr_conn: 0,
+        }
+    }
+
+    /// This engine's node address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> LtlStats {
+        self.stats
+    }
+
+    /// Round-trip time samples (transmit to cumulative-ACK receipt),
+    /// excluding retransmitted frames.
+    pub fn rtts_mut(&mut self) -> &mut PercentileRecorder {
+        &mut self.rtts
+    }
+
+    /// Allocates a receive connection for messages from `remote`.
+    pub fn add_recv(&mut self, remote: NodeAddr) -> RecvConnId {
+        let id = self.recvs.len() as RecvConnId;
+        self.recvs.push(RecvConn {
+            remote,
+            expected_seq: 0,
+            assembling: BytesMut::new(),
+            assembling_vc: 0,
+            nack_sent_for: None,
+        });
+        id
+    }
+
+    /// Allocates a send connection to `remote_conn` on the node at
+    /// `remote`. Connections are statically allocated and persistent, as in
+    /// the paper; once established they carry messages with no handshake.
+    pub fn add_send(&mut self, remote: NodeAddr, remote_conn: RecvConnId) -> SendConnId {
+        let id = self.sends.len() as SendConnId;
+        self.sends.push(SendConn {
+            remote,
+            remote_conn,
+            next_seq: 0,
+            pending: VecDeque::new(),
+            unacked: VecDeque::new(),
+            rp: self.cfg.dcqcn.clone().map(DcqcnRp::new),
+            next_allowed: SimTime::ZERO,
+            failed: false,
+        });
+        id
+    }
+
+    /// Number of frames awaiting first transmission plus unacknowledged
+    /// frames, across all connections (idle test helper).
+    pub fn in_flight(&self) -> usize {
+        self.sends
+            .iter()
+            .map(|s| s.pending.len() + s.unacked.len())
+            .sum()
+    }
+
+    /// Whether `conn` has been declared failed.
+    pub fn is_failed(&self, conn: SendConnId) -> bool {
+        self.sends
+            .get(conn as usize)
+            .map(|s| s.failed)
+            .unwrap_or(true)
+    }
+
+    /// Queues `payload` as one message on `conn`, segmenting into MTU-sized
+    /// frames. Returns the message id.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::BadConnection`] for an unknown id,
+    /// [`SendError::ConnectionFailed`] if the connection timed out.
+    pub fn send_message(
+        &mut self,
+        conn: SendConnId,
+        vc: u8,
+        payload: Bytes,
+    ) -> Result<u32, SendError> {
+        let mtu = self.cfg.mtu_payload;
+        let msg_id = self.next_msg_id;
+        let sc = self
+            .sends
+            .get_mut(conn as usize)
+            .ok_or(SendError::BadConnection)?;
+        if sc.failed {
+            return Err(SendError::ConnectionFailed);
+        }
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        let total = payload.len();
+        let mut offset = 0;
+        loop {
+            let end = (offset + mtu).min(total);
+            let last = end == total;
+            sc.pending.push_back(LtlFrame {
+                kind: FrameKind::Data,
+                src_conn: conn,
+                dst_conn: sc.remote_conn,
+                seq: sc.next_seq,
+                msg_id,
+                last_frag: last,
+                vc,
+                payload: payload.slice(offset..end),
+            });
+            sc.next_seq = sc.next_seq.wrapping_add(1);
+            if last {
+                break;
+            }
+            offset = end;
+        }
+        Ok(msg_id)
+    }
+
+    fn wrap(&self, dst: NodeAddr, frame: &LtlFrame) -> Packet {
+        Packet::new(
+            self.addr,
+            dst,
+            LTL_UDP_PORT,
+            LTL_UDP_PORT,
+            TrafficClass::LTL,
+            frame.encode(),
+        )
+    }
+
+    /// Returns the next frame to transmit, if any is eligible at `now`.
+    /// Control frames go first (unshaped), then retransmissions, then new
+    /// data, subject to the bandwidth limiter and per-connection DC-QCN
+    /// pacing.
+    pub fn poll(&mut self, now: SimTime) -> Poll {
+        if let Some((dst, frame)) = self.control.pop_front() {
+            let pkt = self.wrap(dst, &frame);
+            return Poll::Ready(pkt);
+        }
+
+        // Retransmissions: shaped by the bucket only.
+        while let Some(&(conn, seq)) = self.retransmit.front() {
+            let sc = &self.sends[conn as usize];
+            let Some(u) = sc.unacked.iter().find(|u| u.frame.seq == seq) else {
+                self.retransmit.pop_front(); // ACKed in the meantime
+                continue;
+            };
+            let bytes = (u.frame.payload.len() + super::frame::LTL_HEADER_BYTES) as f64;
+            if let Some(b) = &mut self.bucket {
+                let at = b.ready_at(now, bytes);
+                if at > now {
+                    return Poll::Later(at);
+                }
+                b.consume(now, bytes);
+            }
+            self.retransmit.pop_front();
+            let sc = &mut self.sends[conn as usize];
+            let u = sc
+                .unacked
+                .iter_mut()
+                .find(|u| u.frame.seq == seq)
+                .expect("checked above");
+            u.sent_at = now;
+            // Exponential backoff keeps congestion-induced delays from
+            // snowballing into retransmit storms.
+            u.deadline = now + self.cfg.timeout * (1u64 << u.retries.min(4));
+            self.stats.retransmits += 1;
+            let frame = u.frame.clone();
+            let dst = sc.remote;
+            return Poll::Ready(self.wrap(dst, &frame));
+        }
+
+        // New data, round-robin over connections.
+        let n = self.sends.len();
+        let mut earliest: Option<SimTime> = None;
+        for k in 0..n {
+            let idx = (self.rr_conn + k) % n;
+            let sc = &mut self.sends[idx];
+            if sc.failed || sc.pending.is_empty() {
+                continue;
+            }
+            let bytes = (sc.pending[0].payload.len() + super::frame::LTL_HEADER_BYTES) as f64;
+            let mut at = sc.next_allowed.max(now);
+            if at <= now {
+                if let Some(b) = &mut self.bucket {
+                    at = at.max(b.ready_at(now, bytes));
+                }
+            }
+            if at > now {
+                earliest = Some(earliest.map_or(at, |e| e.min(at)));
+                continue;
+            }
+            // Eligible: transmit.
+            if let Some(b) = &mut self.bucket {
+                b.consume(now, bytes);
+            }
+            let frame = sc.pending.pop_front().expect("checked non-empty");
+            if let Some(rp) = &mut sc.rp {
+                rp.advance(now);
+                rp.on_bytes_sent(bytes as u64);
+                let gap = SimDuration::from_secs_f64(bytes * 8.0 / rp.current_rate_bps());
+                sc.next_allowed = now + gap;
+            }
+            sc.unacked.push_back(Unacked {
+                frame: frame.clone(),
+                sent_at: now,
+                deadline: now + self.cfg.timeout,
+                retries: 0,
+            });
+            self.stats.data_sent += 1;
+            self.rr_conn = (idx + 1) % n;
+            let dst = sc.remote;
+            return Poll::Ready(self.wrap(dst, &frame));
+        }
+        match earliest {
+            Some(t) => Poll::Later(t),
+            None => Poll::Empty,
+        }
+    }
+
+    /// Processes an incoming LTL packet. Returns upcalls for the shell.
+    /// Non-LTL or corrupt payloads are ignored (counted nowhere: the shell
+    /// only routes LTL-port packets here).
+    pub fn on_packet(&mut self, pkt: &Packet, now: SimTime) -> Vec<LtlEvent> {
+        let Ok(frame) = LtlFrame::decode(&pkt.payload) else {
+            return Vec::new();
+        };
+        match frame.kind {
+            FrameKind::Data => self.on_data(pkt, frame, now),
+            FrameKind::Ack => {
+                self.on_ack(frame, now);
+                Vec::new()
+            }
+            FrameKind::Nack => {
+                self.on_nack(frame);
+                Vec::new()
+            }
+            FrameKind::Cnp => {
+                self.stats.cnps_rx += 1;
+                if let Some(sc) = self.sends.get_mut(frame.dst_conn as usize) {
+                    if let Some(rp) = &mut sc.rp {
+                        rp.on_cnp(now);
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_data(&mut self, pkt: &Packet, frame: LtlFrame, now: SimTime) -> Vec<LtlEvent> {
+        let mut events = Vec::new();
+        // Unknown connection, or a frame from somewhere other than the
+        // connection's static peer: discard.
+        match self.recvs.get(frame.dst_conn as usize) {
+            Some(rc) if rc.remote == pkt.src => {}
+            _ => return events,
+        }
+
+        // Notification point: congestion-marked data triggers a paced CNP.
+        if pkt.ecn == Ecn::CongestionExperienced {
+            let flow = ((frame.src_conn as u64) << 32) | pkt.src.as_u32() as u64;
+            if self.pacer.on_ce_packet(flow, now) {
+                self.control.push_back((
+                    pkt.src,
+                    LtlFrame::control(FrameKind::Cnp, frame.dst_conn, frame.src_conn, 0),
+                ));
+                self.stats.cnps_tx += 1;
+            }
+        }
+
+        let rc = self
+            .recvs
+            .get_mut(frame.dst_conn as usize)
+            .expect("checked above");
+        if frame.seq == rc.expected_seq {
+            rc.expected_seq = rc.expected_seq.wrapping_add(1);
+            rc.nack_sent_for = None;
+            rc.assembling.extend_from_slice(&frame.payload);
+            rc.assembling_vc = frame.vc;
+            if frame.last_frag {
+                let payload = core::mem::take(&mut rc.assembling).freeze();
+                self.stats.msgs_delivered += 1;
+                self.stats.bytes_delivered += payload.len() as u64;
+                events.push(LtlEvent::Deliver {
+                    conn: frame.dst_conn,
+                    src: pkt.src,
+                    vc: frame.vc,
+                    payload,
+                });
+            }
+            let ack_seq = self.recvs[frame.dst_conn as usize]
+                .expected_seq
+                .wrapping_sub(1);
+            self.control.push_back((
+                pkt.src,
+                LtlFrame::control(FrameKind::Ack, frame.dst_conn, frame.src_conn, ack_seq),
+            ));
+        } else if seq_lt(frame.seq, rc.expected_seq) {
+            // Duplicate: discard but re-ACK so the sender releases it.
+            self.stats.duplicates += 1;
+            let ack_seq = rc.expected_seq.wrapping_sub(1);
+            self.control.push_back((
+                pkt.src,
+                LtlFrame::control(FrameKind::Ack, frame.dst_conn, frame.src_conn, ack_seq),
+            ));
+        } else {
+            // Gap: packet reordering or loss detected.
+            self.stats.out_of_order += 1;
+            if self.cfg.nack_enabled && rc.nack_sent_for != Some(rc.expected_seq) {
+                rc.nack_sent_for = Some(rc.expected_seq);
+                let want = rc.expected_seq;
+                self.control.push_back((
+                    pkt.src,
+                    LtlFrame::control(FrameKind::Nack, frame.dst_conn, frame.src_conn, want),
+                ));
+                self.stats.nacks_tx += 1;
+            }
+        }
+        events
+    }
+
+    fn on_ack(&mut self, frame: LtlFrame, now: SimTime) {
+        self.stats.acks_rx += 1;
+        let Some(sc) = self.sends.get_mut(frame.dst_conn as usize) else {
+            return;
+        };
+        while let Some(front) = sc.unacked.front() {
+            if seq_le(front.frame.seq, frame.seq) {
+                let u = sc.unacked.pop_front().expect("front checked");
+                if u.retries == 0 {
+                    self.rtts.record_duration(now.saturating_since(u.sent_at));
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn on_nack(&mut self, frame: LtlFrame) {
+        self.stats.nacks_rx += 1;
+        let conn = frame.dst_conn;
+        let Some(sc) = self.sends.get_mut(conn as usize) else {
+            return;
+        };
+        for u in sc.unacked.iter_mut() {
+            if seq_le(frame.seq, u.frame.seq) {
+                u.retries += 1;
+                self.retransmit.push_back((conn, u.frame.seq));
+            }
+        }
+    }
+
+    /// Advances timers: retransmits timed-out frames and fails connections
+    /// whose frames exhausted their retries. Call periodically (the shell
+    /// ticks every few microseconds). Returns failure upcalls.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<LtlEvent> {
+        let mut events = Vec::new();
+        for (idx, sc) in self.sends.iter_mut().enumerate() {
+            if sc.failed {
+                continue;
+            }
+            if let Some(rp) = &mut sc.rp {
+                rp.advance(now);
+            }
+            let mut fail = false;
+            for u in sc.unacked.iter_mut() {
+                if u.deadline <= now {
+                    if u.retries >= self.cfg.max_retries {
+                        fail = true;
+                        break;
+                    }
+                    u.retries += 1;
+                    u.deadline = now + self.cfg.timeout * (1u64 << u.retries.min(4));
+                    self.stats.timeouts += 1;
+                    self.retransmit.push_back((idx as SendConnId, u.frame.seq));
+                }
+            }
+            if fail {
+                sc.failed = true;
+                sc.pending.clear();
+                sc.unacked.clear();
+                self.stats.conn_failures += 1;
+                events.push(LtlEvent::ConnectionFailed {
+                    conn: idx as SendConnId,
+                    remote: sc.remote,
+                });
+            }
+        }
+        events
+    }
+}
+
+/// Serial number comparison on 32-bit sequence space.
+fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < u32::MAX / 2
+}
+
+fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: NodeAddr = NodeAddr {
+        pod: 0,
+        tor: 0,
+        host: 1,
+    };
+    const B: NodeAddr = NodeAddr {
+        pod: 0,
+        tor: 0,
+        host: 2,
+    };
+
+    /// Two engines with a unidirectional data path A->B and acks B->A.
+    struct Pair {
+        a: LtlEngine,
+        b: LtlEngine,
+        a_send: SendConnId,
+        now: SimTime,
+    }
+
+    impl Pair {
+        fn new(cfg: LtlConfig) -> Pair {
+            let mut a = LtlEngine::new(A, cfg.clone());
+            let mut b = LtlEngine::new(B, cfg);
+            let b_recv = b.add_recv(A);
+            let a_send = a.add_send(B, b_recv);
+            Pair {
+                a,
+                b,
+                a_send,
+                now: SimTime::ZERO,
+            }
+        }
+
+        /// Moves all eligible traffic in both directions with `delay` per
+        /// hop, delivering every packet. Returns delivered events from B.
+        fn exchange(&mut self, delay: SimDuration) -> Vec<LtlEvent> {
+            let mut events = Vec::new();
+            for _ in 0..10_000 {
+                let mut progressed = false;
+                while let Poll::Ready(pkt) = self.a.poll(self.now) {
+                    self.now += delay;
+                    events.extend(self.b.on_packet(&pkt, self.now));
+                    progressed = true;
+                }
+                while let Poll::Ready(pkt) = self.b.poll(self.now) {
+                    self.now += delay;
+                    self.a.on_packet(&pkt, self.now);
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            events
+        }
+    }
+
+    fn no_dcqcn() -> LtlConfig {
+        LtlConfig {
+            dcqcn: None,
+            ..LtlConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_message_delivered_and_acked() {
+        let mut p = Pair::new(no_dcqcn());
+        p.a.send_message(p.a_send, 1, Bytes::from_static(b"hello"))
+            .unwrap();
+        let events = p.exchange(SimDuration::from_micros(1));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            LtlEvent::Deliver {
+                src, vc, payload, ..
+            } => {
+                assert_eq!(*src, A);
+                assert_eq!(*vc, 1);
+                assert_eq!(payload.as_ref(), b"hello");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.a.in_flight(), 0, "all frames acked");
+        assert_eq!(p.a.stats().data_sent, 1);
+        assert_eq!(p.b.stats().msgs_delivered, 1);
+    }
+
+    #[test]
+    fn large_message_is_segmented_and_reassembled() {
+        let mut p = Pair::new(no_dcqcn());
+        let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        p.a.send_message(p.a_send, 0, Bytes::from(payload.clone()))
+            .unwrap();
+        let events = p.exchange(SimDuration::from_micros(1));
+        assert_eq!(events.len(), 1);
+        let LtlEvent::Deliver { payload: got, .. } = &events[0] else {
+            panic!("expected deliver");
+        };
+        assert_eq!(got.as_ref(), payload.as_slice());
+        assert!(p.a.stats().data_sent >= 7, "segmented into multiple frames");
+    }
+
+    #[test]
+    fn rtt_samples_recorded() {
+        let mut p = Pair::new(no_dcqcn());
+        for _ in 0..5 {
+            p.a.send_message(p.a_send, 0, Bytes::from_static(b"ping"))
+                .unwrap();
+            p.exchange(SimDuration::from_micros(1));
+        }
+        let rtts = p.a.rtts_mut();
+        assert_eq!(rtts.count(), 5);
+        // Each hop advanced the clock 1us; data + ack = 2us.
+        assert_eq!(rtts.percentile(100.0), Some(2_000));
+    }
+
+    #[test]
+    fn lost_packet_recovered_by_timeout() {
+        let mut p = Pair::new(no_dcqcn());
+        p.a.send_message(p.a_send, 0, Bytes::from_static(b"lost"))
+            .unwrap();
+        // First transmission is dropped on the floor.
+        let Poll::Ready(_dropped) = p.a.poll(p.now) else {
+            panic!("expected frame");
+        };
+        // Before the timeout nothing happens.
+        p.now = SimTime::from_micros(49);
+        assert!(p.a.on_tick(p.now).is_empty());
+        assert!(matches!(p.a.poll(p.now), Poll::Empty));
+        // After the timeout the frame is retransmitted and delivery works.
+        p.now = SimTime::from_micros(51);
+        p.a.on_tick(p.now);
+        let events = p.exchange(SimDuration::from_micros(1));
+        assert_eq!(events.len(), 1);
+        assert_eq!(p.a.stats().timeouts, 1);
+        assert_eq!(p.a.stats().retransmits, 1);
+        // The retransmitted frame must not pollute RTT samples (Karn).
+        assert_eq!(p.a.rtts_mut().count(), 0);
+    }
+
+    #[test]
+    fn reorder_triggers_nack_fast_retransmit() {
+        let mut p = Pair::new(no_dcqcn());
+        p.a.send_message(p.a_send, 0, Bytes::from_static(b"one"))
+            .unwrap();
+        p.a.send_message(p.a_send, 0, Bytes::from_static(b"two"))
+            .unwrap();
+        let Poll::Ready(first) = p.a.poll(p.now) else {
+            panic!()
+        };
+        let Poll::Ready(second) = p.a.poll(p.now) else {
+            panic!()
+        };
+        // Deliver out of order: second first.
+        p.now = SimTime::from_micros(1);
+        let ev = p.b.on_packet(&second, p.now);
+        assert!(ev.is_empty(), "gap: nothing delivered");
+        assert_eq!(p.b.stats().nacks_tx, 1);
+        // NACK flows back; sender queues a fast retransmit well before the
+        // 50us timeout.
+        let Poll::Ready(nack) = p.b.poll(p.now) else {
+            panic!()
+        };
+        p.a.on_packet(&nack, p.now);
+        assert_eq!(p.a.stats().nacks_rx, 1);
+        let Poll::Ready(re_first) = p.a.poll(p.now) else {
+            panic!("fast retransmit expected")
+        };
+        assert_eq!(p.a.stats().retransmits, 1);
+        assert_eq!(p.a.stats().timeouts, 0, "no timeout needed");
+        // Now in-order delivery completes both messages.
+        let ev1 = p.b.on_packet(&re_first, p.now);
+        assert_eq!(ev1.len(), 1);
+        let ev2 = p.b.on_packet(&first, p.now);
+        assert_eq!(ev2.len(), 0, "duplicate of already-delivered seq 1");
+        // Drain: the NACK also queued seq 1 for fast retransmit, which
+        // completes the second message.
+        let events = p.exchange(SimDuration::from_micros(1));
+        assert_eq!(events.len(), 1, "second message delivered: {events:?}");
+        assert_eq!(p.b.stats().msgs_delivered, 2);
+    }
+
+    #[test]
+    fn timeout_only_mode_ignores_reorder() {
+        let cfg = LtlConfig {
+            nack_enabled: false,
+            dcqcn: None,
+            ..LtlConfig::default()
+        };
+        let mut p = Pair::new(cfg);
+        p.a.send_message(p.a_send, 0, Bytes::from_static(b"one"))
+            .unwrap();
+        p.a.send_message(p.a_send, 0, Bytes::from_static(b"two"))
+            .unwrap();
+        let Poll::Ready(_first) = p.a.poll(p.now) else {
+            panic!()
+        };
+        let Poll::Ready(second) = p.a.poll(p.now) else {
+            panic!()
+        };
+        p.b.on_packet(&second, SimTime::from_micros(1));
+        assert_eq!(p.b.stats().nacks_tx, 0);
+        assert_eq!(p.b.stats().out_of_order, 1);
+    }
+
+    #[test]
+    fn repeated_timeouts_fail_the_connection() {
+        let mut p = Pair::new(no_dcqcn());
+        p.a.send_message(p.a_send, 0, Bytes::from_static(b"void"))
+            .unwrap();
+        // Transmit into the void repeatedly.
+        let mut failed = Vec::new();
+        for step in 0..200u64 {
+            p.now = SimTime::from_micros(step * 60);
+            while let Poll::Ready(_) = p.a.poll(p.now) {}
+            failed.extend(p.a.on_tick(p.now));
+            if !failed.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            failed,
+            vec![LtlEvent::ConnectionFailed {
+                conn: p.a_send,
+                remote: B
+            }]
+        );
+        assert!(p.a.is_failed(p.a_send));
+        assert_eq!(
+            p.a.send_message(p.a_send, 0, Bytes::new()).unwrap_err(),
+            SendError::ConnectionFailed
+        );
+        // Failure detected quickly: with exponential backoff capped at
+        // 16x the 50us timeout, well under 10ms.
+        assert!(p.now < SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn bandwidth_limit_paces_data() {
+        let cfg = LtlConfig {
+            rate_limit_bps: Some(1e9), // 1 Gb/s
+            dcqcn: None,
+            ..LtlConfig::default()
+        };
+        let mut a = LtlEngine::new(A, cfg);
+        let mut b = LtlEngine::new(B, no_dcqcn());
+        let b_recv = b.add_recv(A);
+        let a_send = a.add_send(B, b_recv);
+        // 100 KB: at 1 Gb/s should take ~0.8 ms to clock out.
+        a.send_message(a_send, 0, Bytes::from(vec![0u8; 100_000]))
+            .unwrap();
+        let mut now = SimTime::ZERO;
+        let mut sent_bytes = 0u64;
+        for _ in 0..10_000 {
+            match a.poll(now) {
+                Poll::Ready(pkt) => {
+                    sent_bytes += pkt.payload.len() as u64;
+                    // ACK immediately so the window never binds.
+                    for ev in b.on_packet(&pkt, now) {
+                        let _ = ev;
+                    }
+                    while let Poll::Ready(ack) = b.poll(now) {
+                        a.on_packet(&ack, now);
+                    }
+                }
+                Poll::Later(t) => now = t,
+                Poll::Empty => break,
+            }
+        }
+        let secs = now.as_secs_f64();
+        let gbps = sent_bytes as f64 * 8.0 / secs / 1e9;
+        assert!(
+            (gbps - 1.0).abs() < 0.15,
+            "paced rate {gbps} Gb/s over {secs}s"
+        );
+    }
+
+    #[test]
+    fn cnp_slows_sender() {
+        let cfg = LtlConfig::default(); // DC-QCN on
+        let mut p = Pair::new(cfg);
+        p.a.send_message(p.a_send, 0, Bytes::from(vec![0u8; 50_000]))
+            .unwrap();
+        // Take one data frame, mark it CE, deliver: B must emit a CNP.
+        let Poll::Ready(mut pkt) = p.a.poll(p.now) else {
+            panic!()
+        };
+        pkt.ecn = Ecn::CongestionExperienced;
+        p.b.on_packet(&pkt, p.now);
+        assert_eq!(p.b.stats().cnps_tx, 1);
+        let Poll::Ready(cnp) = p.b.poll(p.now) else {
+            panic!("CNP should be queued")
+        };
+        p.a.on_packet(&cnp, p.now);
+        assert_eq!(p.a.stats().cnps_rx, 1);
+        // Next data transmissions are paced below line rate: after the next
+        // frame, the inter-frame gap roughly doubles versus line rate.
+        p.now = SimTime::from_micros(5); // clear the pre-CNP pacing gap
+        let Poll::Ready(_d1) = p.a.poll(p.now) else {
+            panic!()
+        };
+        match p.a.poll(p.now) {
+            Poll::Later(t) => {
+                let gap = t.saturating_since(p.now);
+                let line_gap = SimDuration::from_secs_f64(1458.0 * 8.0 / 40e9);
+                assert!(gap > line_gap, "gap {gap} vs line-rate gap {line_gap}");
+            }
+            other => panic!("expected pacing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cnps_are_paced_per_flow() {
+        let mut p = Pair::new(LtlConfig::default());
+        p.a.send_message(p.a_send, 0, Bytes::from(vec![0u8; 20_000]))
+            .unwrap();
+        for _ in 0..5 {
+            if let Poll::Ready(mut pkt) = p.a.poll(p.now) {
+                pkt.ecn = Ecn::CongestionExperienced;
+                p.b.on_packet(&pkt, p.now);
+            }
+        }
+        assert_eq!(p.b.stats().cnps_tx, 1, "one CNP per cnp_interval per flow");
+    }
+
+    #[test]
+    fn control_frames_preempt_data() {
+        let mut p = Pair::new(no_dcqcn());
+        p.a.send_message(p.a_send, 0, Bytes::from_static(b"data"))
+            .unwrap();
+        let Poll::Ready(data) = p.a.poll(p.now) else {
+            panic!()
+        };
+        p.b.on_packet(&data, p.now);
+        // B has an ACK queued; if B also had data it would still send the
+        // ACK first. (B has no send conn, but the ordering contract is in
+        // poll(): control queue first.)
+        let Poll::Ready(ack) = p.b.poll(p.now) else {
+            panic!()
+        };
+        let frame = LtlFrame::decode(&ack.payload).unwrap();
+        assert_eq!(frame.kind, FrameKind::Ack);
+    }
+
+    #[test]
+    fn seq_comparison_wraps() {
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 1, 2));
+        assert!(!seq_lt(2, u32::MAX));
+        assert!(seq_le(5, 5));
+    }
+
+    #[test]
+    fn messages_to_multiple_connections_interleave() {
+        let mut a = LtlEngine::new(A, no_dcqcn());
+        let mut b = LtlEngine::new(B, no_dcqcn());
+        let c_addr = NodeAddr {
+            pod: 0,
+            tor: 0,
+            host: 3,
+        };
+        let mut c = LtlEngine::new(c_addr, no_dcqcn());
+        let b_recv = b.add_recv(A);
+        let c_recv = c.add_recv(A);
+        let to_b = a.add_send(B, b_recv);
+        let to_c = a.add_send(c_addr, c_recv);
+        a.send_message(to_b, 0, Bytes::from_static(b"to-b"))
+            .unwrap();
+        a.send_message(to_c, 0, Bytes::from_static(b"to-c"))
+            .unwrap();
+        let mut dsts = Vec::new();
+        while let Poll::Ready(pkt) = a.poll(SimTime::ZERO) {
+            dsts.push(pkt.dst);
+        }
+        assert_eq!(dsts.len(), 2);
+        assert!(dsts.contains(&B) && dsts.contains(&c_addr));
+    }
+}

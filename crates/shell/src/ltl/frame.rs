@@ -1,0 +1,240 @@
+//! LTL wire format.
+//!
+//! LTL frames ride inside UDP datagrams ([`dcnet::LTL_UDP_PORT`]) so they
+//! route across the ordinary datacenter network. The 20-byte header carries
+//! connection ids (indices into the statically allocated send/receive
+//! connection tables), a sequence number for the reliable, ordered
+//! delivery machinery, and message reassembly metadata.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// LTL header length in bytes.
+pub const LTL_HEADER_BYTES: usize = 20;
+const MAGIC: u16 = 0x4C54; // "LT"
+const VERSION: u8 = 1;
+
+/// Frame type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Payload-bearing frame; `seq` is its sequence number.
+    Data,
+    /// Cumulative acknowledgement; `seq` is the highest in-order sequence
+    /// received.
+    Ack,
+    /// Negative acknowledgement requesting timely retransmission from
+    /// `seq` (sent when reordering is detected).
+    Nack,
+    /// DC-QCN congestion notification packet.
+    Cnp,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Ack => 1,
+            FrameKind::Nack => 2,
+            FrameKind::Cnp => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0 => FrameKind::Data,
+            1 => FrameKind::Ack,
+            2 => FrameKind::Nack,
+            3 => FrameKind::Cnp,
+            _ => return None,
+        })
+    }
+}
+
+/// One LTL frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtlFrame {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Sender's send-connection id (so the receiver's ACK can address the
+    /// right entry in the sender's table).
+    pub src_conn: u16,
+    /// Receiver's receive-connection id.
+    pub dst_conn: u16,
+    /// Sequence number (data) or cumulative ack / requested seq (control).
+    pub seq: u32,
+    /// Message id for multi-frame messages.
+    pub msg_id: u32,
+    /// Set on the final frame of a message.
+    pub last_frag: bool,
+    /// Elastic Router virtual channel the payload is destined for.
+    pub vc: u8,
+    /// Payload (empty for control frames).
+    pub payload: Bytes,
+}
+
+impl LtlFrame {
+    /// Creates a control frame (ACK/NACK/CNP) with no payload.
+    pub fn control(kind: FrameKind, src_conn: u16, dst_conn: u16, seq: u32) -> LtlFrame {
+        LtlFrame {
+            kind,
+            src_conn,
+            dst_conn,
+            seq,
+            msg_id: 0,
+            last_frag: false,
+            vc: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Serializes the frame (header + payload).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(LTL_HEADER_BYTES + self.payload.len());
+        buf.put_u16(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.kind.to_byte());
+        buf.put_u16(self.src_conn);
+        buf.put_u16(self.dst_conn);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.msg_id);
+        let flags = if self.last_frag { 1u8 } else { 0 };
+        buf.put_u8(flags);
+        buf.put_u8(self.vc);
+        buf.put_u16(self.payload.len() as u16);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a frame produced by [`LtlFrame::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] for short buffers, bad magic/version, unknown
+    /// frame kinds, or length mismatches.
+    pub fn decode(bytes: &[u8]) -> Result<LtlFrame, FrameError> {
+        if bytes.len() < LTL_HEADER_BYTES {
+            return Err(FrameError::Truncated);
+        }
+        if u16::from_be_bytes([bytes[0], bytes[1]]) != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        if bytes[2] != VERSION {
+            return Err(FrameError::BadVersion);
+        }
+        let kind = FrameKind::from_byte(bytes[3]).ok_or(FrameError::BadKind)?;
+        let len = u16::from_be_bytes([bytes[18], bytes[19]]) as usize;
+        if bytes.len() < LTL_HEADER_BYTES + len {
+            return Err(FrameError::Truncated);
+        }
+        Ok(LtlFrame {
+            kind,
+            src_conn: u16::from_be_bytes([bytes[4], bytes[5]]),
+            dst_conn: u16::from_be_bytes([bytes[6], bytes[7]]),
+            seq: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            msg_id: u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
+            last_frag: bytes[16] & 1 != 0,
+            vc: bytes[17],
+            payload: Bytes::copy_from_slice(&bytes[LTL_HEADER_BYTES..LTL_HEADER_BYTES + len]),
+        })
+    }
+}
+
+/// Why an LTL frame failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer shorter than the header or the declared payload.
+    Truncated,
+    /// Magic bytes mismatch (not an LTL frame).
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion,
+    /// Unknown frame kind.
+    BadKind,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            FrameError::Truncated => "ltl frame truncated",
+            FrameError::BadMagic => "not an ltl frame",
+            FrameError::BadVersion => "unsupported ltl version",
+            FrameError::BadKind => "unknown ltl frame kind",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_frame_roundtrip() {
+        let f = LtlFrame {
+            kind: FrameKind::Data,
+            src_conn: 7,
+            dst_conn: 9,
+            seq: 0xDEADBEEF,
+            msg_id: 1234,
+            last_frag: true,
+            vc: 2,
+            payload: Bytes::from_static(b"remote acceleration"),
+        };
+        let enc = f.encode();
+        assert_eq!(enc.len(), LTL_HEADER_BYTES + 19);
+        assert_eq!(LtlFrame::decode(&enc).unwrap(), f);
+    }
+
+    #[test]
+    fn control_frame_roundtrip() {
+        for kind in [FrameKind::Ack, FrameKind::Nack, FrameKind::Cnp] {
+            let f = LtlFrame::control(kind, 1, 2, 42);
+            let dec = LtlFrame::decode(&f.encode()).unwrap();
+            assert_eq!(dec, f);
+            assert!(dec.payload.is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let f = LtlFrame::control(FrameKind::Ack, 0, 0, 0);
+        let mut bytes = f.encode().to_vec();
+        bytes[0] = 0;
+        assert_eq!(LtlFrame::decode(&bytes).unwrap_err(), FrameError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_kind() {
+        let f = LtlFrame::control(FrameKind::Ack, 0, 0, 0);
+        let mut v = f.encode().to_vec();
+        v[2] = 99;
+        assert_eq!(LtlFrame::decode(&v).unwrap_err(), FrameError::BadVersion);
+        let mut k = f.encode().to_vec();
+        k[3] = 99;
+        assert_eq!(LtlFrame::decode(&k).unwrap_err(), FrameError::BadKind);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let f = LtlFrame {
+            kind: FrameKind::Data,
+            src_conn: 0,
+            dst_conn: 0,
+            seq: 0,
+            msg_id: 0,
+            last_frag: false,
+            vc: 0,
+            payload: Bytes::from_static(b"abcdef"),
+        };
+        let enc = f.encode();
+        assert_eq!(
+            LtlFrame::decode(&enc[..10]).unwrap_err(),
+            FrameError::Truncated
+        );
+        assert_eq!(
+            LtlFrame::decode(&enc[..enc.len() - 1]).unwrap_err(),
+            FrameError::Truncated
+        );
+    }
+}

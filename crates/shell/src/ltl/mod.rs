@@ -1,0 +1,10 @@
+//! Lightweight Transport Layer: reliable, ordered, low-latency
+//! FPGA-to-FPGA messaging over the datacenter network (Section V-A).
+
+mod engine;
+mod frame;
+
+pub use engine::{
+    LtlConfig, LtlEngine, LtlEvent, LtlStats, Poll, RecvConnId, SendConnId, SendError,
+};
+pub use frame::{FrameError, FrameKind, LtlFrame, LTL_HEADER_BYTES};

@@ -1,0 +1,901 @@
+//! The Shell component (Figure 4): the always-present logic on every FPGA.
+//!
+//! A [`Shell`] sits as a bump-in-the-wire between the server's NIC and the
+//! TOR switch. It owns:
+//!
+//! * the **network bridge** forwarding all host traffic in both directions,
+//!   with a [`NetworkTap`] through which roles inspect/alter/inject packets;
+//! * the **LTL protocol engine** for direct FPGA-to-FPGA messaging over the
+//!   datacenter network;
+//! * PFC reaction on the TOR-facing port so lossless-class pauses from the
+//!   switch stall the shell's transmissions.
+//!
+//! Local consumers (roles, host drivers) talk to the shell with
+//! [`ShellCmd`] messages and receive [`LtlDeliver`] / [`LtlConnFailed`]
+//! payloads in return.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use dcnet::{
+    LinkParams, LinkTx, Msg, NetEvent, NodeAddr, Packet, PortId, TrafficClass, LTL_UDP_PORT,
+};
+#[cfg(test)]
+use dcsim::SimTime;
+use dcsim::{Component, ComponentId, Context, SimDuration};
+
+use crate::ltl::{LtlConfig, LtlEngine, LtlEvent, Poll, RecvConnId, SendConnId};
+use crate::tap::{NetworkTap, PassthroughTap, TapAction};
+
+/// Shell port facing the TOR switch.
+pub const PORT_TOR: PortId = PortId(0);
+/// Shell port facing the host NIC.
+pub const PORT_NIC: PortId = PortId(1);
+
+const TIMER_TOR_FREE: u64 = 0;
+const TIMER_NIC_FREE: u64 = 1;
+const TIMER_LTL_TICK: u64 = 2;
+const TIMER_LTL_POLL: u64 = 3;
+const TIMER_RECONFIG_DONE: u64 = 4;
+
+/// Shell timing and protocol configuration.
+#[derive(Debug, Clone)]
+pub struct ShellConfig {
+    /// LTL protocol configuration.
+    pub ltl: LtlConfig,
+    /// Egress link toward the TOR.
+    pub tor_link: LinkParams,
+    /// Egress link toward the NIC.
+    pub nic_link: LinkParams,
+    /// Latency from LTL deciding to send a frame to its first bit on the
+    /// wire (packetizer, Elastic Router traversal, MAC).
+    pub ltl_tx_latency: SimDuration,
+    /// Latency from last bit received to the LTL engine reacting
+    /// (MAC, depacketizer, receive state machine).
+    pub ltl_rx_latency: SimDuration,
+    /// Store-and-forward latency of the bridge for host traffic.
+    pub bridge_latency: SimDuration,
+    /// Period of the retransmission-timeout scan.
+    pub tick: SimDuration,
+    /// Duration of a full-chip reconfiguration (bridge and LTL down).
+    pub full_reconfig: SimDuration,
+    /// Duration of a role partial reconfiguration (bridge stays up, role
+    /// tap bypassed).
+    pub partial_reconfig: SimDuration,
+}
+
+impl Default for ShellConfig {
+    fn default() -> Self {
+        ShellConfig {
+            ltl: LtlConfig::default(),
+            tor_link: LinkParams::default(),
+            nic_link: LinkParams::default(),
+            ltl_tx_latency: SimDuration::from_nanos(460),
+            ltl_rx_latency: SimDuration::from_nanos(450),
+            bridge_latency: SimDuration::from_nanos(250),
+            tick: SimDuration::from_micros(10),
+            full_reconfig: SimDuration::from_millis(1_800),
+            partial_reconfig: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// Commands local components send to their shell (wrapped in
+/// [`Msg::custom`]).
+#[derive(Debug)]
+pub enum ShellCmd {
+    /// Send a message over an LTL connection.
+    LtlSend {
+        /// Send connection id (from [`LtlEngine::add_send`]).
+        conn: SendConnId,
+        /// Elastic Router virtual channel for the receiver.
+        vc: u8,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// Begin a reconfiguration. A *full* reconfiguration takes the whole
+    /// FPGA down — bridge included, so the server drops off the network
+    /// for the load time. A *partial* reconfiguration swaps only the role:
+    /// packets keep passing through (with the tap bypassed) and LTL keeps
+    /// running.
+    Reconfigure {
+        /// `true` = role-only partial reconfiguration.
+        partial: bool,
+    },
+}
+
+/// Delivered LTL message, sent to the registered consumer component.
+#[derive(Debug, Clone)]
+pub struct LtlDeliver {
+    /// Receive connection the message arrived on.
+    pub conn: RecvConnId,
+    /// Sending FPGA.
+    pub src: NodeAddr,
+    /// Virtual channel.
+    pub vc: u8,
+    /// Reassembled payload.
+    pub payload: Bytes,
+}
+
+/// Connection-failure notification, sent to the registered consumer.
+#[derive(Debug, Clone, Copy)]
+pub struct LtlConnFailed {
+    /// The failed send connection.
+    pub conn: SendConnId,
+    /// Its remote endpoint.
+    pub remote: NodeAddr,
+}
+
+/// Internal self-messages (delayed pipeline stages).
+enum Internal {
+    Egress(PortId, Packet),
+    LtlRx(Packet),
+}
+
+/// Bridge/shell counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShellStats {
+    /// Host->TOR packets bridged.
+    pub bridged_out: u64,
+    /// TOR->host packets bridged.
+    pub bridged_in: u64,
+    /// Packets dropped by the tap.
+    pub tap_drops: u64,
+    /// LTL frames handed to the wire.
+    pub ltl_tx_frames: u64,
+    /// LTL frames received from the wire.
+    pub ltl_rx_frames: u64,
+    /// Packets lost while a full reconfiguration had the link down.
+    pub reconfig_drops: u64,
+}
+
+/// Reconfiguration state of the FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reconfig {
+    /// Normal operation.
+    Running,
+    /// Full-chip load in progress: everything is down.
+    Full,
+    /// Role-only load: bridge forwards (tap bypassed), LTL runs.
+    Partial,
+}
+
+struct Egress {
+    tx: LinkTx,
+    peer: Option<(ComponentId, PortId)>,
+    queues: [VecDeque<Packet>; TrafficClass::COUNT],
+    paused: [bool; TrafficClass::COUNT],
+    busy: bool,
+}
+
+impl Egress {
+    fn new(link: LinkParams) -> Egress {
+        Egress {
+            tx: LinkTx::new(link),
+            peer: None,
+            queues: Default::default(),
+            paused: [false; TrafficClass::COUNT],
+            busy: false,
+        }
+    }
+}
+
+/// The per-FPGA shell component.
+pub struct Shell {
+    addr: NodeAddr,
+    cfg: ShellConfig,
+    ltl: LtlEngine,
+    tap: Box<dyn NetworkTap>,
+    tor: Egress,
+    nic: Egress,
+    consumer: Option<ComponentId>,
+    stats: ShellStats,
+    tick_armed: bool,
+    poll_armed: bool,
+    reconfig: Reconfig,
+}
+
+impl Shell {
+    /// Creates a shell for the FPGA at `addr` with the default passthrough
+    /// tap.
+    pub fn new(addr: NodeAddr, cfg: ShellConfig) -> Shell {
+        Shell {
+            addr,
+            ltl: LtlEngine::new(addr, cfg.ltl.clone()),
+            tap: Box::new(PassthroughTap),
+            tor: Egress::new(cfg.tor_link),
+            nic: Egress::new(cfg.nic_link),
+            cfg,
+            consumer: None,
+            stats: ShellStats::default(),
+            tick_armed: false,
+            poll_armed: false,
+            reconfig: Reconfig::Running,
+        }
+    }
+
+    /// Whether the bump-in-the-wire is currently forwarding host traffic.
+    pub fn bridge_up(&self) -> bool {
+        self.reconfig != Reconfig::Full
+    }
+
+    /// This FPGA's fabric address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Bridge and LTL wire counters.
+    pub fn stats(&self) -> ShellStats {
+        self.stats
+    }
+
+    /// Installs a role tap on the bridge (replacing the passthrough).
+    pub fn set_tap(&mut self, tap: Box<dyn NetworkTap>) {
+        self.tap = tap;
+    }
+
+    /// Borrows the installed tap as a concrete type (to read role state
+    /// after a run).
+    pub fn tap_as<T: NetworkTap>(&self) -> Option<&T> {
+        (self.tap.as_ref() as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Registers the component that receives [`LtlDeliver`] /
+    /// [`LtlConnFailed`] payloads.
+    pub fn set_consumer(&mut self, consumer: ComponentId) {
+        self.consumer = Some(consumer);
+    }
+
+    /// Cables the TOR-facing port to its switch port.
+    pub fn connect_tor(&mut self, comp: ComponentId, port: PortId) {
+        self.tor.peer = Some((comp, port));
+    }
+
+    /// Cables the NIC-facing port to the host NIC.
+    pub fn connect_nic(&mut self, comp: ComponentId, port: PortId) {
+        self.nic.peer = Some((comp, port));
+    }
+
+    /// The LTL engine, for connection setup and statistics.
+    pub fn ltl(&self) -> &LtlEngine {
+        &self.ltl
+    }
+
+    /// Mutable LTL engine access (connection setup before a run, RTT
+    /// sample extraction after).
+    pub fn ltl_mut(&mut self) -> &mut LtlEngine {
+        &mut self.ltl
+    }
+
+    fn egress(&mut self, port: PortId) -> &mut Egress {
+        match port {
+            PORT_TOR => &mut self.tor,
+            PORT_NIC => &mut self.nic,
+            other => panic!("shell has no port {other}"),
+        }
+    }
+
+    fn enqueue(&mut self, port: PortId, pkt: Packet, ctx: &mut Context<'_, Msg>) {
+        let class = pkt.class.index();
+        let e = self.egress(port);
+        e.queues[class].push_back(pkt);
+        self.try_send(port, ctx);
+    }
+
+    fn try_send(&mut self, port: PortId, ctx: &mut Context<'_, Msg>) {
+        let free_timer = if port == PORT_TOR {
+            TIMER_TOR_FREE
+        } else {
+            TIMER_NIC_FREE
+        };
+        let e = self.egress(port);
+        if e.busy {
+            return;
+        }
+        let Some(ci) = (0..TrafficClass::COUNT)
+            .rev()
+            .find(|&c| !e.paused[c] && !e.queues[c].is_empty())
+        else {
+            return;
+        };
+        let pkt = e.queues[ci].pop_front().expect("checked non-empty");
+        let Some((peer, peer_port)) = e.peer else {
+            return; // uncabled port: drop silently (host absent in some rigs)
+        };
+        let timing = e.tx.transmit(ctx.now(), pkt.wire_bytes());
+        e.busy = true;
+        ctx.timer_after(timing.departs - ctx.now(), free_timer);
+        ctx.send_after(
+            timing.arrives - ctx.now(),
+            peer,
+            Msg::packet(pkt, peer_port),
+        );
+    }
+
+    /// Whether the TOR egress path can take more LTL frames right now.
+    /// Mirrors the credit interface between the LTL engine and the MAC:
+    /// while PFC has the lossless class paused (or the egress queue is
+    /// deep), frames stay inside the engine — unsent and untimed — instead
+    /// of aging toward a spurious retransmission timeout in a queue.
+    fn ltl_egress_open(&self) -> bool {
+        let ci = TrafficClass::LTL.index();
+        !self.tor.paused[ci] && self.tor.queues[ci].len() < 4
+    }
+
+    /// Pulls transmittable frames out of the LTL engine into the TOR
+    /// egress queue, scheduling a poll retry if the engine is pacing.
+    fn pump_ltl(&mut self, ctx: &mut Context<'_, Msg>) {
+        loop {
+            if !self.ltl_egress_open() {
+                // Re-pumped when the pause lifts or the queue drains.
+                break;
+            }
+            match self.ltl.poll(ctx.now()) {
+                Poll::Ready(pkt) => {
+                    self.stats.ltl_tx_frames += 1;
+                    // Tx pipeline latency (packetizer + ER + MAC), then wire.
+                    ctx.send_to_self_after(
+                        self.cfg.ltl_tx_latency,
+                        Msg::custom(Internal::Egress(PORT_TOR, pkt)),
+                    );
+                }
+                Poll::Later(t) => {
+                    if !self.poll_armed {
+                        self.poll_armed = true;
+                        ctx.timer_after(t.saturating_since(ctx.now()), TIMER_LTL_POLL);
+                    }
+                    break;
+                }
+                Poll::Empty => break,
+            }
+        }
+        self.ensure_tick(ctx);
+    }
+
+    fn ensure_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.tick_armed && self.ltl.in_flight() > 0 {
+            self.tick_armed = true;
+            ctx.timer_after(self.cfg.tick, TIMER_LTL_TICK);
+        }
+    }
+
+    fn dispatch_ltl_events(&mut self, events: Vec<LtlEvent>, ctx: &mut Context<'_, Msg>) {
+        for ev in events {
+            match ev {
+                LtlEvent::Deliver {
+                    conn,
+                    src,
+                    vc,
+                    payload,
+                } => {
+                    if let Some(consumer) = self.consumer {
+                        ctx.send(
+                            consumer,
+                            Msg::custom(LtlDeliver {
+                                conn,
+                                src,
+                                vc,
+                                payload,
+                            }),
+                        );
+                    }
+                }
+                LtlEvent::ConnectionFailed { conn, remote } => {
+                    if let Some(consumer) = self.consumer {
+                        ctx.send(consumer, Msg::custom(LtlConnFailed { conn, remote }));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ingress: PortId, ctx: &mut Context<'_, Msg>) {
+        if self.reconfig == Reconfig::Full {
+            // The link is down during a full reconfiguration; the server
+            // is unreachable until the image load completes.
+            self.stats.reconfig_drops += 1;
+            return;
+        }
+        let tap_bypassed = self.reconfig == Reconfig::Partial;
+        match ingress {
+            PORT_NIC => {
+                if tap_bypassed {
+                    self.stats.bridged_out += 1;
+                    ctx.send_to_self_after(
+                        self.cfg.bridge_latency,
+                        Msg::custom(Internal::Egress(PORT_TOR, pkt)),
+                    );
+                    return;
+                }
+                // Host -> datacenter: through the tap, out the TOR port.
+                match self.tap.outbound(pkt, ctx.now()) {
+                    TapAction::Forward { pkt, delay } => {
+                        self.stats.bridged_out += 1;
+                        ctx.send_to_self_after(
+                            self.cfg.bridge_latency + delay,
+                            Msg::custom(Internal::Egress(PORT_TOR, pkt)),
+                        );
+                    }
+                    TapAction::Drop => self.stats.tap_drops += 1,
+                }
+            }
+            PORT_TOR => {
+                // LTL frames addressed to this FPGA terminate here.
+                if pkt.dst_port == LTL_UDP_PORT && pkt.dst == self.addr {
+                    self.stats.ltl_rx_frames += 1;
+                    ctx.send_to_self_after(
+                        self.cfg.ltl_rx_latency,
+                        Msg::custom(Internal::LtlRx(pkt)),
+                    );
+                    return;
+                }
+                if tap_bypassed {
+                    self.stats.bridged_in += 1;
+                    ctx.send_to_self_after(
+                        self.cfg.bridge_latency,
+                        Msg::custom(Internal::Egress(PORT_NIC, pkt)),
+                    );
+                    return;
+                }
+                // Everything else bridges to the host.
+                match self.tap.inbound(pkt, ctx.now()) {
+                    TapAction::Forward { pkt, delay } => {
+                        self.stats.bridged_in += 1;
+                        ctx.send_to_self_after(
+                            self.cfg.bridge_latency + delay,
+                            Msg::custom(Internal::Egress(PORT_NIC, pkt)),
+                        );
+                    }
+                    TapAction::Drop => self.stats.tap_drops += 1,
+                }
+            }
+            other => panic!("shell has no port {other}"),
+        }
+    }
+}
+
+impl Component<Msg> for Shell {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::Net(NetEvent::Packet { pkt, ingress }) => self.on_packet(pkt, ingress, ctx),
+            Msg::Net(NetEvent::Pfc {
+                class,
+                ingress,
+                pause,
+            }) => {
+                // Only the TOR can pause us (lossless classes).
+                if ingress == PORT_TOR {
+                    self.tor.paused[class.index()] = pause;
+                    if !pause {
+                        self.try_send(PORT_TOR, ctx);
+                        if self.reconfig != Reconfig::Full {
+                            self.pump_ltl(ctx);
+                        }
+                    }
+                }
+            }
+            Msg::Custom(any) => {
+                match any.downcast::<Internal>() {
+                    Ok(internal) => {
+                        match *internal {
+                            Internal::Egress(port, pkt) => self.enqueue(port, pkt, ctx),
+                            Internal::LtlRx(pkt) => {
+                                let events = self.ltl.on_packet(&pkt, ctx.now());
+                                self.dispatch_ltl_events(events, ctx);
+                                // ACKs/CNPs may now be queued.
+                                self.pump_ltl(ctx);
+                            }
+                        }
+                    }
+                    Err(any) => {
+                        if let Ok(cmd) = any.downcast::<ShellCmd>() {
+                            match *cmd {
+                                ShellCmd::LtlSend { conn, vc, payload } => {
+                                    // Errors surface as ConnectionFailed
+                                    // notifications; sends on failed
+                                    // connections are dropped.
+                                    let _ = self.ltl.send_message(conn, vc, payload);
+                                    if self.reconfig != Reconfig::Full {
+                                        self.pump_ltl(ctx);
+                                    }
+                                }
+                                ShellCmd::Reconfigure { partial } => {
+                                    let (state, t) = if partial {
+                                        (Reconfig::Partial, self.cfg.partial_reconfig)
+                                    } else {
+                                        (Reconfig::Full, self.cfg.full_reconfig)
+                                    };
+                                    self.reconfig = state;
+                                    ctx.timer_after(t, TIMER_RECONFIG_DONE);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Msg>) {
+        match token {
+            TIMER_TOR_FREE => {
+                self.tor.busy = false;
+                self.try_send(PORT_TOR, ctx);
+                // Egress queue drained a slot: the LTL engine may have
+                // more frames waiting on this credit.
+                if self.reconfig != Reconfig::Full {
+                    self.pump_ltl(ctx);
+                }
+            }
+            TIMER_NIC_FREE => {
+                self.nic.busy = false;
+                self.try_send(PORT_NIC, ctx);
+            }
+            TIMER_LTL_TICK => {
+                self.tick_armed = false;
+                let events = self.ltl.on_tick(ctx.now());
+                self.dispatch_ltl_events(events, ctx);
+                self.pump_ltl(ctx);
+                self.ensure_tick(ctx);
+            }
+            TIMER_LTL_POLL => {
+                self.poll_armed = false;
+                if self.reconfig != Reconfig::Full {
+                    self.pump_ltl(ctx);
+                }
+            }
+            TIMER_RECONFIG_DONE => {
+                self.reconfig = Reconfig::Running;
+                self.pump_ltl(ctx);
+            }
+            other => panic!("unknown shell timer {other}"),
+        }
+    }
+}
+
+impl core::fmt::Debug for Shell {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Shell")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::Engine;
+
+    /// Records packets (a stand-in for a NIC or TOR) and LTL deliveries.
+    #[derive(Debug, Default)]
+    struct Probe {
+        packets: Vec<(SimTime, Packet, PortId)>,
+        deliveries: Vec<(SimTime, LtlDeliver)>,
+        failures: Vec<LtlConnFailed>,
+    }
+
+    impl Component<Msg> for Probe {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Net(NetEvent::Packet { pkt, ingress }) => {
+                    self.packets.push((ctx.now(), pkt, ingress));
+                }
+                Msg::Custom(any) => match any.downcast::<LtlDeliver>() {
+                    Ok(d) => self.deliveries.push((ctx.now(), *d)),
+                    Err(any) => {
+                        if let Ok(f) = any.downcast::<LtlConnFailed>() {
+                            self.failures.push(*f);
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+    }
+
+    fn addr(h: u16) -> NodeAddr {
+        NodeAddr::new(0, 0, h)
+    }
+
+    fn host_pkt(src: u16, dst: u16) -> Packet {
+        Packet::new(
+            addr(src),
+            addr(dst),
+            1111,
+            2222,
+            TrafficClass::BEST_EFFORT,
+            Bytes::from_static(b"host traffic"),
+        )
+    }
+
+    /// Shell with a probe on each side. Returns (engine, shell, nic, tor).
+    fn rig() -> (Engine<Msg>, ComponentId, ComponentId, ComponentId) {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let shell_id = e.next_component_id();
+        let mut shell = Shell::new(addr(1), ShellConfig::default());
+        let nic_id = ComponentId::from_raw(shell_id.as_raw() + 1);
+        let tor_id = ComponentId::from_raw(shell_id.as_raw() + 2);
+        shell.connect_nic(nic_id, PortId(0));
+        shell.connect_tor(tor_id, PortId(0));
+        e.add_component(shell);
+        e.add_component(Probe::default());
+        e.add_component(Probe::default());
+        (e, shell_id, nic_id, tor_id)
+    }
+
+    #[test]
+    fn bridges_outbound_host_traffic_to_tor() {
+        let (mut e, shell, _nic, tor) = rig();
+        e.schedule(SimTime::ZERO, shell, Msg::packet(host_pkt(1, 5), PORT_NIC));
+        e.run_to_idle();
+        let tor_probe = e.component::<Probe>(tor).unwrap();
+        assert_eq!(tor_probe.packets.len(), 1);
+        // bridge latency (250ns) + serialization + propagation
+        assert!(tor_probe.packets[0].0 >= SimTime::from_nanos(250));
+        assert_eq!(e.component::<Shell>(shell).unwrap().stats().bridged_out, 1);
+    }
+
+    #[test]
+    fn bridges_inbound_traffic_to_nic() {
+        let (mut e, shell, nic, _tor) = rig();
+        e.schedule(SimTime::ZERO, shell, Msg::packet(host_pkt(5, 1), PORT_TOR));
+        e.run_to_idle();
+        let nic_probe = e.component::<Probe>(nic).unwrap();
+        assert_eq!(nic_probe.packets.len(), 1);
+        assert_eq!(e.component::<Shell>(shell).unwrap().stats().bridged_in, 1);
+    }
+
+    #[test]
+    fn ltl_frames_for_us_do_not_reach_the_host() {
+        let (mut e, shell, nic, _tor) = rig();
+        // A fake LTL frame addressed to this shell.
+        let mut pkt = host_pkt(5, 1);
+        pkt.src_port = LTL_UDP_PORT;
+        pkt.dst_port = LTL_UDP_PORT;
+        e.schedule(SimTime::ZERO, shell, Msg::packet(pkt, PORT_TOR));
+        e.run_to_idle();
+        assert!(e.component::<Probe>(nic).unwrap().packets.is_empty());
+        assert_eq!(
+            e.component::<Shell>(shell).unwrap().stats().ltl_rx_frames,
+            1
+        );
+    }
+
+    #[test]
+    fn ltl_udp_traffic_for_other_hosts_is_bridged() {
+        let (mut e, shell, nic, _tor) = rig();
+        let mut pkt = host_pkt(5, 9); // dst != shell addr
+        pkt.dst_port = LTL_UDP_PORT;
+        e.schedule(SimTime::ZERO, shell, Msg::packet(pkt, PORT_TOR));
+        e.run_to_idle();
+        assert_eq!(e.component::<Probe>(nic).unwrap().packets.len(), 1);
+    }
+
+    #[test]
+    fn pfc_pause_from_tor_stalls_ltl_class() {
+        let (mut e, shell, _nic, tor) = rig();
+        e.schedule(
+            SimTime::ZERO,
+            shell,
+            Msg::Net(NetEvent::Pfc {
+                class: TrafficClass::LTL,
+                ingress: PORT_TOR,
+                pause: true,
+            }),
+        );
+        let mut pkt = host_pkt(1, 5);
+        pkt.class = TrafficClass::LTL;
+        e.schedule(SimTime::from_nanos(10), shell, Msg::packet(pkt, PORT_NIC));
+        // Best-effort traffic still flows.
+        e.schedule(
+            SimTime::from_nanos(10),
+            shell,
+            Msg::packet(host_pkt(1, 6), PORT_NIC),
+        );
+        e.run_until(SimTime::from_micros(100));
+        let tor_probe = e.component::<Probe>(tor).unwrap();
+        assert_eq!(tor_probe.packets.len(), 1, "only the BE packet");
+        // Resume releases the LTL packet.
+        e.schedule(
+            SimTime::from_micros(101),
+            shell,
+            Msg::Net(NetEvent::Pfc {
+                class: TrafficClass::LTL,
+                ingress: PORT_TOR,
+                pause: false,
+            }),
+        );
+        e.run_to_idle();
+        assert_eq!(e.component::<Probe>(tor).unwrap().packets.len(), 2);
+    }
+
+    /// Two shells wired back-to-back through their TOR ports (no switch):
+    /// the minimal LTL end-to-end rig.
+    fn back_to_back() -> (
+        Engine<Msg>,
+        ComponentId,
+        ComponentId,
+        ComponentId,
+        SendConnId,
+    ) {
+        let mut e: Engine<Msg> = Engine::new(7);
+        let a_id = ComponentId::from_raw(0);
+        let b_id = ComponentId::from_raw(1);
+        let consumer_id = ComponentId::from_raw(2);
+        let mut a = Shell::new(addr(1), ShellConfig::default());
+        let mut b = Shell::new(addr(2), ShellConfig::default());
+        a.connect_tor(b_id, PORT_TOR);
+        b.connect_tor(a_id, PORT_TOR);
+        a.set_consumer(consumer_id);
+        b.set_consumer(consumer_id);
+        let b_recv = b.ltl_mut().add_recv(addr(1));
+        let a_send = a.ltl_mut().add_send(addr(2), b_recv);
+        e.add_component(a);
+        e.add_component(b);
+        e.add_component(Probe::default());
+        (e, a_id, b_id, consumer_id, a_send)
+    }
+
+    #[test]
+    fn end_to_end_ltl_message_delivery() {
+        let (mut e, a, _b, consumer, a_send) = back_to_back();
+        e.schedule(
+            SimTime::ZERO,
+            a,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 1,
+                payload: Bytes::from_static(b"hello fpga"),
+            }),
+        );
+        e.run_to_idle();
+        let probe = e.component::<Probe>(consumer).unwrap();
+        assert_eq!(probe.deliveries.len(), 1);
+        let (t, d) = &probe.deliveries[0];
+        assert_eq!(d.payload.as_ref(), b"hello fpga");
+        assert_eq!(d.src, addr(1));
+        assert_eq!(d.vc, 1);
+        // One-way latency: tx pipeline + wire + rx pipeline, under 2us
+        // back-to-back.
+        assert!(*t < SimTime::from_micros(2), "delivery at {t}");
+        // Sender saw the ACK and retired the frame.
+        let shell_a = e.component::<Shell>(a).unwrap();
+        assert_eq!(shell_a.ltl().in_flight(), 0);
+    }
+
+    #[test]
+    fn back_to_back_rtt_is_about_two_pipelines_plus_wire() {
+        let (mut e, a, _b, _c, a_send) = back_to_back();
+        for i in 0..10u64 {
+            e.schedule(
+                SimTime::from_micros(i * 100),
+                a,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: a_send,
+                    vc: 0,
+                    payload: Bytes::from_static(b"probe"),
+                }),
+            );
+        }
+        e.run_to_idle();
+        let shell_a = e.component_mut::<Shell>(a).unwrap();
+        let rtts = shell_a.ltl_mut().rtts_mut();
+        assert_eq!(rtts.count(), 10);
+        let p50 = rtts.percentile(50.0).unwrap();
+        // tx 460 + wire ~120 + rx 450, times two for the ACK path,
+        // plus serialization: ~2.1us. No switch in this rig.
+        assert!(p50 > 1_800 && p50 < 2_500, "rtt {p50}ns");
+    }
+
+    #[test]
+    fn connection_failure_reported_to_consumer() {
+        // Shell A's TOR port is cabled to a black hole (the consumer probe),
+        // so nothing ever ACKs.
+        let mut e: Engine<Msg> = Engine::new(9);
+        let a_id = ComponentId::from_raw(0);
+        let probe_id = ComponentId::from_raw(1);
+        let mut a = Shell::new(addr(1), ShellConfig::default());
+        a.connect_tor(probe_id, PortId(0));
+        a.set_consumer(probe_id);
+        let a_send = a.ltl_mut().add_send(addr(2), 0);
+        e.add_component(a);
+        e.add_component(Probe::default());
+        e.schedule(
+            SimTime::ZERO,
+            a_id,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"into the void"),
+            }),
+        );
+        e.run_until(SimTime::from_millis(10));
+        let probe = e.component::<Probe>(probe_id).unwrap();
+        assert_eq!(probe.failures.len(), 1);
+        assert_eq!(probe.failures[0].remote, addr(2));
+        // 9 transmissions: original + 8 retries.
+        assert!(probe.packets.len() >= 9);
+    }
+
+    #[test]
+    fn tap_can_rewrite_packets() {
+        struct XorTap;
+        impl NetworkTap for XorTap {
+            fn outbound(&mut self, mut pkt: Packet, _now: SimTime) -> TapAction {
+                let flipped: Vec<u8> = pkt.payload.iter().map(|b| b ^ 0xFF).collect();
+                pkt.payload = Bytes::from(flipped);
+                TapAction::Forward {
+                    pkt,
+                    delay: SimDuration::from_micros(1),
+                }
+            }
+            fn inbound(&mut self, pkt: Packet, _now: SimTime) -> TapAction {
+                TapAction::pass(pkt)
+            }
+        }
+        let (mut e, shell, _nic, tor) = rig();
+        e.component_mut::<Shell>(shell)
+            .unwrap()
+            .set_tap(Box::new(XorTap));
+        e.schedule(SimTime::ZERO, shell, Msg::packet(host_pkt(1, 5), PORT_NIC));
+        e.run_to_idle();
+        let tor_probe = e.component::<Probe>(tor).unwrap();
+        assert_eq!(tor_probe.packets.len(), 1);
+        let flipped: Vec<u8> = b"host traffic".iter().map(|b| b ^ 0xFF).collect();
+        assert_eq!(tor_probe.packets[0].1.payload.as_ref(), flipped.as_slice());
+        // The tap's processing delay is visible in the arrival time.
+        assert!(tor_probe.packets[0].0 >= SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn tap_can_drop_packets() {
+        struct DropTap;
+        impl NetworkTap for DropTap {
+            fn outbound(&mut self, _pkt: Packet, _now: SimTime) -> TapAction {
+                TapAction::Drop
+            }
+            fn inbound(&mut self, pkt: Packet, _now: SimTime) -> TapAction {
+                TapAction::pass(pkt)
+            }
+        }
+        let (mut e, shell, _nic, tor) = rig();
+        e.component_mut::<Shell>(shell)
+            .unwrap()
+            .set_tap(Box::new(DropTap));
+        e.schedule(SimTime::ZERO, shell, Msg::packet(host_pkt(1, 5), PORT_NIC));
+        e.run_to_idle();
+        assert!(e.component::<Probe>(tor).unwrap().packets.is_empty());
+        assert_eq!(e.component::<Shell>(shell).unwrap().stats().tap_drops, 1);
+    }
+
+    #[test]
+    fn passthrough_and_ranking_traffic_do_not_interact() {
+        // "The passthrough traffic and the search ranking acceleration have
+        // no performance interaction": bridged host traffic on the BE class
+        // and LTL traffic on the lossless class share the TOR link but the
+        // LTL class has priority; both make progress.
+        let (mut e, a, _b, consumer, a_send) = back_to_back();
+        for i in 0..50u64 {
+            e.schedule(
+                SimTime::from_nanos(i * 300),
+                a,
+                Msg::packet(host_pkt(1, 9), PORT_NIC),
+            );
+        }
+        e.schedule(
+            SimTime::from_micros(2),
+            a,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from(vec![0u8; 4000]),
+            }),
+        );
+        e.run_to_idle();
+        let probe = e.component::<Probe>(consumer).unwrap();
+        assert_eq!(probe.deliveries.len(), 1);
+        let shell_a = e.component::<Shell>(a).unwrap();
+        assert_eq!(shell_a.stats().bridged_out, 50);
+    }
+}

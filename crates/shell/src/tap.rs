@@ -1,0 +1,92 @@
+//! The bridge tap: how roles inject, inspect, and alter network traffic.
+//!
+//! The shell's NIC<->TOR bridge exposes a tap through which a role sees
+//! every packet in both directions. The crypto role (Section IV) uses it to
+//! encrypt and decrypt flows at line rate; the default [`PassthroughTap`]
+//! is the golden image's bypass logic.
+
+use std::any::Any;
+
+use dcnet::Packet;
+use dcsim::{SimDuration, SimTime};
+
+/// What the tap wants done with a packet.
+#[derive(Debug)]
+pub enum TapAction {
+    /// Forward the (possibly rewritten) packet after `delay` of role
+    /// processing time.
+    Forward {
+        /// Packet to forward.
+        pkt: Packet,
+        /// Extra processing latency introduced by the role.
+        delay: SimDuration,
+    },
+    /// Drop the packet (e.g. deep packet inspection verdict).
+    Drop,
+}
+
+impl TapAction {
+    /// Forward unchanged with zero added latency.
+    pub fn pass(pkt: Packet) -> TapAction {
+        TapAction::Forward {
+            pkt,
+            delay: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A role's view of bridged traffic. `outbound` sees host->TOR packets,
+/// `inbound` sees TOR->host packets. Implementations must be deterministic
+/// for reproducible runs.
+pub trait NetworkTap: Any {
+    /// Processes a packet leaving the host toward the datacenter.
+    fn outbound(&mut self, pkt: Packet, now: SimTime) -> TapAction;
+
+    /// Processes a packet arriving from the datacenter toward the host.
+    fn inbound(&mut self, pkt: Packet, now: SimTime) -> TapAction;
+}
+
+/// The bypass logic of the golden image: forwards everything untouched.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassthroughTap;
+
+impl NetworkTap for PassthroughTap {
+    fn outbound(&mut self, pkt: Packet, _now: SimTime) -> TapAction {
+        TapAction::pass(pkt)
+    }
+
+    fn inbound(&mut self, pkt: Packet, _now: SimTime) -> TapAction {
+        TapAction::pass(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dcnet::{NodeAddr, TrafficClass};
+
+    #[test]
+    fn passthrough_does_not_touch_packets() {
+        let mut tap = PassthroughTap;
+        let pkt = Packet::new(
+            NodeAddr::new(0, 0, 0),
+            NodeAddr::new(0, 0, 1),
+            1,
+            2,
+            TrafficClass::BEST_EFFORT,
+            Bytes::from_static(b"payload"),
+        );
+        match tap.outbound(pkt.clone(), SimTime::ZERO) {
+            TapAction::Forward { pkt: out, delay } => {
+                assert_eq!(out.payload, pkt.payload);
+                assert_eq!(delay, SimDuration::ZERO);
+            }
+            TapAction::Drop => panic!("passthrough must forward"),
+        }
+        match tap.inbound(pkt.clone(), SimTime::ZERO) {
+            TapAction::Forward { pkt: out, .. } => assert_eq!(out.payload, pkt.payload),
+            TapAction::Drop => panic!("passthrough must forward"),
+        }
+    }
+}

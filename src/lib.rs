@@ -1,0 +1,1 @@
+//! Workspace umbrella crate; see the catapult crate for the public API.

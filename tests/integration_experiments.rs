@@ -1,0 +1,197 @@
+//! Smoke-runs every experiment driver at reduced scale and asserts the
+//! paper's headline shapes: who wins, by roughly what factor, and where
+//! the crossovers fall.
+
+use catapult::experiments::{
+    crypto_table, deployment_table, fig05_summary, fig06, fig10, fig11, fig12, power_table,
+    production, RankingSweepParams,
+};
+
+#[test]
+fn fig05_shape() {
+    let s = fig05_summary();
+    assert_eq!(s.used_alms, 131_350);
+    assert_eq!(s.available_alms, 172_600);
+    assert!((s.shell_fraction - 0.44).abs() < 0.01);
+    assert!((s.role_fraction - 0.32).abs() < 0.01);
+}
+
+#[test]
+fn fig06_fpga_gain_about_2_25x() {
+    let params = RankingSweepParams {
+        queries_per_point: 15_000,
+        loads: vec![0.5, 1.0, 1.5, 2.0, 2.25, 2.5],
+        ..RankingSweepParams::default()
+    };
+    let curves = fig06(&params);
+    assert!(
+        curves.fpga_gain_at_target > 2.0 && curves.fpga_gain_at_target < 2.6,
+        "gain {}",
+        curves.fpga_gain_at_target
+    );
+    // The software curve reaches p99 ~ 1.0 at offered ~ 1.0 by
+    // construction, and explodes past capacity.
+    let sw_sat = curves
+        .software
+        .iter()
+        .find(|p| p.offered > 1.4)
+        .expect("overload point exists");
+    assert!(sw_sat.p99 > 5.0, "software overload p99 {}", sw_sat.p99);
+    // The FPGA curve stays under target through 2x load.
+    let fpga_2x = curves
+        .local_fpga
+        .iter()
+        .find(|p| (p.offered - 2.0).abs() < 0.01)
+        .expect("2x point exists");
+    assert!(fpga_2x.p99 < 1.0, "fpga p99 at 2x: {}", fpga_2x.p99);
+}
+
+#[test]
+fn fig07_fig08_fpga_dc_absorbs_double_load_with_tighter_tail() {
+    let params = production::ProductionParams {
+        days: 2,
+        day_length: dcsim::SimDuration::from_secs(8),
+        buckets_per_day: 12,
+        ..production::ProductionParams::default()
+    };
+    let r = production::run(&params);
+    assert!(
+        r.fpga_peak_load > 1.4 * r.sw_peak_load,
+        "fpga peak {} vs sw peak {}",
+        r.fpga_peak_load,
+        r.sw_peak_load
+    );
+    assert!(
+        r.sw_worst_p999 > 2.0,
+        "software latency spikes: {}",
+        r.sw_worst_p999
+    );
+    assert!(
+        r.fpga_worst_p999 < 1.0,
+        "fpga tail stays under target: {}",
+        r.fpga_worst_p999
+    );
+    // Figure 8: at every load level the FPGA latency never exceeds the
+    // software latency at that load.
+    let (sw, fpga) = r.scatter();
+    for &(fl, fp) in &fpga {
+        // Compare against software buckets at similar or lower load.
+        let sw_floor = sw
+            .iter()
+            .filter(|&&(sl, _)| sl <= fl + 0.05)
+            .map(|&(_, sp)| sp)
+            .fold(f64::INFINITY, f64::min);
+        if sw_floor.is_finite() {
+            assert!(
+                fp <= sw_floor * 1.5 + 0.3,
+                "fpga p999 {fp} at load {fl} worse than best software {sw_floor}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_tiers_and_torus() {
+    let params = fig10::Fig10Params {
+        pods: 3,
+        pairs_per_tier: 2,
+        probes_per_pair: 150,
+        ..fig10::Fig10Params::default()
+    };
+    let r = fig10::run(&params);
+    assert_eq!(r.tiers.len(), 3);
+    let l0 = &r.tiers[0];
+    let l1 = &r.tiers[1];
+    let l2 = &r.tiers[2];
+    assert!((l0.avg_us - 2.88).abs() < 0.15, "L0 {}", l0.avg_us);
+    assert!((l1.avg_us - 7.72).abs() < 0.8, "L1 {}", l1.avg_us);
+    assert!((l2.avg_us - 18.71).abs() < 2.0, "L2 {}", l2.avg_us);
+    assert!(l0.reachable_hosts == 24);
+    assert!(l1.reachable_hosts == 960);
+    assert!(l2.reachable_hosts > 2_000);
+    // Torus: comparable latency at tiny scale, hard 48-node cap.
+    assert_eq!(r.torus.reachable_hosts, 48);
+    assert!((r.torus.nearest_us - 1.0).abs() < 0.01);
+    assert!((r.torus.worst_us - 7.0).abs() < 0.01);
+    // LTL reaches 40x more hosts than the torus at comparable latency.
+    assert!(l1.reachable_hosts >= 20 * r.torus.reachable_hosts);
+    assert!(l1.avg_us < 2.0 * r.torus.worst_us);
+}
+
+#[test]
+fn fig11_remote_overhead_minimal() {
+    let params = RankingSweepParams {
+        queries_per_point: 8_000,
+        loads: vec![1.0, 2.0],
+        seed: 0x11F,
+        ..RankingSweepParams::default()
+    };
+    let curves = fig11(&params);
+    for (r, l) in curves.remote_fpga.iter().zip(&curves.local_fpga) {
+        let overhead = r.mean / l.mean - 1.0;
+        assert!(
+            overhead.abs() < 0.1,
+            "remote mean overhead {overhead} at load {}",
+            r.offered
+        );
+    }
+}
+
+#[test]
+fn fig12_flat_until_saturation() {
+    let mut params = fig12::Fig12Params {
+        accelerators: 2,
+        ratios: vec![1.0, 3.0],
+        requests_per_client: 1_000,
+        ..fig12::Fig12Params::default()
+    };
+    let r = fig12::run(&params);
+    assert!((r.saturation_clients - 22.5).abs() < 0.5);
+    for row in &r.rows {
+        assert!(row.avg < 1.15, "ratio {} avg {}", row.ratio, row.avg);
+        assert!(row.p99 < 1.3, "ratio {} p99 {}", row.ratio, row.p99);
+    }
+    // Past the knee latencies spike prohibitively.
+    params.ratios = vec![24.0];
+    params.seed ^= 1;
+    let sat = fig12::run(&params);
+    assert!(sat.rows[0].avg > 3.0, "saturated avg {}", sat.rows[0].avg);
+}
+
+#[test]
+fn crypto_table_shape() {
+    let t = crypto_table();
+    let find = |name: &str| {
+        t.rows
+            .iter()
+            .find(|r| r.suite == name)
+            .unwrap_or_else(|| panic!("missing row {name}"))
+    };
+    let gcm = find("AES-GCM-128");
+    let gcm256 = find("AES-GCM-256");
+    let cbc = find("AES-CBC-128-SHA1");
+    assert!(gcm.sw_cores_40g < gcm256.sw_cores_40g, "256b is slower");
+    assert!((gcm.sw_cores_40g - 5.25).abs() < 0.1);
+    assert!(cbc.sw_cores_40g >= 14.9);
+    assert_eq!(gcm.fpga_cores, 0.0);
+    // The FPGA's CBC latency is worse than software's — the win is cores.
+    assert!(cbc.fpga_latency_us > cbc.sw_latency_us);
+    assert!((cbc.fpga_latency_us - 11.0).abs() < 0.1);
+}
+
+#[test]
+fn deployment_soak_in_paper_band() {
+    let t = deployment_table(5_760, 30.0, 0xD0);
+    // Counts are Poisson; accept generous bands around the paper's counts.
+    assert!(t.simulated.fpga_hard <= 8);
+    assert!(t.simulated.seu_flips > 120 && t.simulated.seu_flips < 230);
+    assert!(t.simulated.seu_hangs <= 6);
+}
+
+#[test]
+fn power_within_limits() {
+    let t = power_table();
+    assert!((t.virus_watts - 29.2).abs() < 0.3);
+    assert!(t.within_tdp);
+    assert!(t.virus_watts < t.tdp_watts && t.tdp_watts < t.limit_watts);
+}

@@ -1,0 +1,211 @@
+//! Property-based tests on the core data structures and protocol
+//! invariants, spanning crates.
+
+use apps::crypto::{cbc_sha1_open, cbc_sha1_seal, Aes, AesGcm, Sha1};
+use apps::ranking::{min_cover_window, Document, FfuBank, Query};
+use bytes::Bytes;
+use dcnet::{NodeAddr, Packet, TrafficClass};
+use dcsim::{PercentileRecorder, SimDuration, SimTime};
+use proptest::prelude::*;
+use shell::ltl::{FrameKind, LtlFrame};
+use shell::{CreditPolicy, ElasticRouter, ErConfig, Flit};
+
+proptest! {
+    #[test]
+    fn sim_time_add_sub_roundtrip(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(mut xs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut rec: PercentileRecorder = xs.iter().copied().collect();
+        let p50 = rec.percentile(50.0).unwrap();
+        let p99 = rec.percentile(99.0).unwrap();
+        let p100 = rec.percentile(100.0).unwrap();
+        prop_assert!(p50 <= p99 && p99 <= p100);
+        xs.sort_unstable();
+        prop_assert_eq!(p100, *xs.last().unwrap());
+        prop_assert!(rec.percentile(0.0001).unwrap() >= *xs.first().unwrap());
+    }
+
+    #[test]
+    fn packet_wire_roundtrip(
+        pod in 0u16..4096, tor in 0u16..1024, host in 0u16..256,
+        sp in 0u16.., dp in 0u16..,
+        class in 0u8..8,
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let pkt = Packet::new(
+            NodeAddr::new(pod, tor, host),
+            NodeAddr::new(tor % 256, pod % 256, host % 24),
+            sp, dp,
+            TrafficClass::new(class),
+            Bytes::from(payload),
+        );
+        let decoded = Packet::decode_wire(&pkt.encode_wire()).unwrap();
+        prop_assert_eq!(decoded.src, pkt.src);
+        prop_assert_eq!(decoded.dst, pkt.dst);
+        prop_assert_eq!(decoded.src_port, pkt.src_port);
+        prop_assert_eq!(decoded.dst_port, pkt.dst_port);
+        prop_assert_eq!(decoded.class, pkt.class);
+        prop_assert_eq!(decoded.payload, pkt.payload);
+    }
+
+    #[test]
+    fn ltl_frame_roundtrip(
+        kind in 0u8..4,
+        src_conn in any::<u16>(), dst_conn in any::<u16>(),
+        seq in any::<u32>(), msg_id in any::<u32>(),
+        last in any::<bool>(), vc in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1000),
+    ) {
+        let kind = match kind {
+            0 => FrameKind::Data,
+            1 => FrameKind::Ack,
+            2 => FrameKind::Nack,
+            _ => FrameKind::Cnp,
+        };
+        let frame = LtlFrame {
+            kind, src_conn, dst_conn, seq, msg_id,
+            last_frag: last, vc,
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(LtlFrame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn aes_roundtrips_any_block(key in proptest::array::uniform16(any::<u8>()), block in proptest::array::uniform16(any::<u8>())) {
+        let aes = Aes::new_128(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn gcm_roundtrips_any_payload(
+        key in proptest::array::uniform16(any::<u8>()),
+        iv in proptest::array::uniform12(any::<u8>()),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let gcm = AesGcm::new_128(&key);
+        let mut buf = data.clone();
+        let tag = gcm.seal(&iv, &aad, &mut buf);
+        gcm.open(&iv, &aad, &mut buf, &tag).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn gcm_detects_any_single_bitflip(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let gcm = AesGcm::new_128(b"0123456789abcdef");
+        let iv = [9u8; 12];
+        let mut buf = data;
+        let tag = gcm.seal(&iv, &[], &mut buf);
+        let idx = flip_byte % buf.len();
+        buf[idx] ^= 1 << flip_bit;
+        prop_assert!(gcm.open(&iv, &[], &mut buf, &tag).is_err());
+    }
+
+    #[test]
+    fn cbc_sha1_record_roundtrips(
+        key in proptest::array::uniform16(any::<u8>()),
+        iv in proptest::array::uniform16(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let aes = Aes::new_128(&key);
+        let record = cbc_sha1_seal(&aes, &key, &iv, &data);
+        prop_assert_eq!(cbc_sha1_open(&aes, &key, &iv, &record).unwrap(), data);
+    }
+
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in any::<usize>(),
+    ) {
+        let oneshot = Sha1::digest(&data);
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        let mut h = Sha1::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn ffu_term_count_matches_naive(
+        terms in proptest::collection::vec(0u32..50, 1..4),
+        tokens in proptest::collection::vec(0u32..50, 0..300),
+    ) {
+        let query = Query { terms: terms.clone() };
+        let doc = Document { tokens: tokens.clone() };
+        let mut bank = FfuBank::for_query(&query);
+        let features = bank.compute(&doc);
+        for (i, &t) in terms.iter().enumerate() {
+            let expected = tokens.iter().filter(|&&x| x == t).count() as f32;
+            prop_assert_eq!(features[2 * i], expected);
+        }
+    }
+
+    #[test]
+    fn min_window_contains_all_terms(
+        terms in proptest::collection::vec(0u32..20, 1..4),
+        tokens in proptest::collection::vec(0u32..20, 0..200),
+    ) {
+        let query = Query { terms: terms.clone() };
+        let doc = Document { tokens: tokens.clone() };
+        match min_cover_window(&query, &doc) {
+            Some(w) => {
+                // Verify some window of length w covers all query terms.
+                prop_assert!(w <= tokens.len() || terms.is_empty());
+                let ok = (0..=tokens.len().saturating_sub(w)).any(|s| {
+                    terms.iter().all(|t| tokens[s..s + w].contains(t))
+                }) || w == 0;
+                prop_assert!(ok, "no window of {} covers {:?}", w, terms);
+            }
+            None => {
+                prop_assert!(terms.iter().any(|t| !tokens.contains(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_router_conserves_flits(
+        injections in proptest::collection::vec((0usize..4, 0usize..4, 0usize..2), 0..64),
+    ) {
+        let mut er = ElasticRouter::new(ErConfig {
+            ports: 4,
+            vcs: 2,
+            credits_per_vc: 4,
+            shared_credits: 8,
+            policy: CreditPolicy::Elastic,
+            flit_bytes: 32,
+        });
+        let mut accepted = 0u64;
+        for (i, &(port, out, vc)) in injections.iter().enumerate() {
+            let flit = Flit {
+                out_port: out,
+                vc,
+                tail: true,
+                msg_id: i as u64,
+                flit_seq: 0,
+            };
+            if er.inject(port, flit).is_ok() {
+                accepted += 1;
+            }
+        }
+        let drained = er.drain(10_000);
+        prop_assert_eq!(drained.len() as u64, accepted);
+        prop_assert_eq!(er.occupancy(), 0);
+        // Every accepted flit leaves on its requested output port.
+        for (port, flit) in &drained {
+            prop_assert_eq!(*port, flit.out_port);
+        }
+    }
+}
