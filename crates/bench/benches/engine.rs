@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the `dcsim` event engine: scheduler throughput
+//! under the workloads the simulation substrate actually generates. The
+//! `perf` binary gives the same workloads as an absolute events/sec
+//! comparison against the pre-calendar-queue binary heap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcsim::{Component, Context, Engine, SimDuration, SimTime};
+
+const CHAINS: u64 = 256;
+const EVENTS_PER_CHAIN: u64 = 200;
+
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Self-rescheduling chain; the message counts remaining events and the
+/// delay function sets the workload profile.
+struct Chain {
+    rng: u64,
+    delay: fn(u64) -> u64,
+}
+
+impl Component<u64> for Chain {
+    fn on_message(&mut self, left: u64, ctx: &mut Context<'_, u64>) {
+        if left > 0 {
+            let delay = (self.delay)(splitmix(&mut self.rng));
+            ctx.send_to_self_after(SimDuration::from_nanos(delay), left - 1);
+        }
+    }
+}
+
+fn run_chains(delay: fn(u64) -> u64) -> u64 {
+    let mut e: Engine<u64> = Engine::new(7);
+    for i in 0..CHAINS {
+        let id = e.add_component(Chain {
+            rng: 0xC0FFEE ^ i,
+            delay,
+        });
+        e.schedule(SimTime::from_nanos(i), id, EVENTS_PER_CHAIN);
+    }
+    e.run_to_idle();
+    e.events_processed()
+}
+
+fn short_delay(r: u64) -> u64 {
+    100 + r % 1_000
+}
+
+fn mixed_delay(r: u64) -> u64 {
+    match r % 100 {
+        0 => 1_000_000 + (r >> 8) % 9_000_000, // 1–10 ms
+        1..=9 => 10_000 + (r >> 8) % 90_000,   // 10–100 µs
+        _ => 100 + (r >> 8) % 1_000,           // 0.1–1.1 µs
+    }
+}
+
+fn engine_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let events = CHAINS * (EVENTS_PER_CHAIN + 1);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("short_delay", |b| {
+        b.iter(|| black_box(run_chains(short_delay)))
+    });
+    g.bench_function("mixed_delay", |b| {
+        b.iter(|| black_box(run_chains(mixed_delay)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Engine-throughput microbenchmark: events/second through the `dcsim`
+//! scheduler, against the binary-heap scheduler it replaced.
+//!
+//! Two workloads drive a fleet of self-rescheduling event chains:
+//!
+//! * `short_delay` — every event reschedules 0.1–1.1 µs out, the
+//!   steady-state profile of the network substrate (NIC hops, switch
+//!   traversals, LTL probes);
+//! * `mixed_delay` — 90% short, 9% 10–100 µs, 1% 1–10 ms, the profile of
+//!   a full ranking experiment (service times and open-loop arrivals on
+//!   top of network events).
+//!
+//! The baseline is a verbatim replica of the `BinaryHeap` engine this
+//! repository used before the calendar queue landed: same component
+//! dispatch, same outbox, only the pending-event set differs. Results are
+//! printed and written to `BENCH_dcsim.json`.
+
+use dcsim::{Component, Context, Engine, SimDuration, SimTime};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Pending event chains (the steady-state queue depth).
+const CHAINS: u64 = 1024;
+
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Short,
+    Mixed,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Short => "short_delay",
+            Workload::Mixed => "mixed_delay",
+        }
+    }
+
+    /// The next reschedule delay in nanoseconds.
+    #[inline]
+    fn delay_ns(self, r: u64) -> u64 {
+        match self {
+            Workload::Short => 100 + r % 1_000,
+            Workload::Mixed => match r % 100 {
+                0 => 1_000_000 + (r >> 8) % 9_000_000, // 1–10 ms
+                1..=9 => 10_000 + (r >> 8) % 90_000,   // 10–100 µs
+                _ => 100 + (r >> 8) % 1_000,           // 0.1–1.1 µs
+            },
+        }
+    }
+}
+
+/// A self-rescheduling chain on the real `dcsim` engine. The message is
+/// the number of events left in the chain.
+struct Chain {
+    rng: u64,
+    workload: Workload,
+}
+
+impl Component<u64> for Chain {
+    fn on_message(&mut self, left: u64, ctx: &mut Context<'_, u64>) {
+        if left > 0 {
+            let delay = self.workload.delay_ns(splitmix(&mut self.rng));
+            ctx.send_to_self_after(SimDuration::from_nanos(delay), left - 1);
+        }
+    }
+}
+
+/// Events/second through the calendar-queue engine.
+fn run_engine(workload: Workload, events_per_chain: u64) -> f64 {
+    let mut e: Engine<u64> = Engine::new(7);
+    for i in 0..CHAINS {
+        let id = e.add_component(Chain {
+            rng: 0xC0FFEE ^ i,
+            workload,
+        });
+        e.schedule(SimTime::from_nanos(i), id, events_per_chain);
+    }
+    let start = Instant::now();
+    e.run_to_idle();
+    let elapsed = start.elapsed().as_secs_f64();
+    e.events_processed() as f64 / elapsed
+}
+
+/// The binary-heap engine this repository used before the calendar
+/// queue: kept verbatim (component slots, outbox, peek-then-pop loop) so
+/// the comparison isolates the pending-event set.
+mod heap_baseline {
+    use super::{splitmix, Workload};
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Scheduled {
+        at: u64,
+        seq: u64,
+        dest: usize,
+        msg: u64,
+    }
+
+    impl PartialEq for Scheduled {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl Eq for Scheduled {}
+    impl PartialOrd for Scheduled {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Scheduled {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap and we want the earliest.
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    struct Chain {
+        rng: u64,
+        workload: Workload,
+    }
+
+    pub struct HeapEngine {
+        now: u64,
+        seq: u64,
+        queue: BinaryHeap<Scheduled>,
+        components: Vec<Option<Box<Chain>>>,
+        events_processed: u64,
+    }
+
+    impl HeapEngine {
+        pub fn new(workload: Workload, chains: u64, events_per_chain: u64) -> Self {
+            let mut e = HeapEngine {
+                now: 0,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                components: Vec::new(),
+                events_processed: 0,
+            };
+            for i in 0..chains {
+                e.components.push(Some(Box::new(Chain {
+                    rng: 0xC0FFEE ^ i,
+                    workload,
+                })));
+                e.push(i, e.components.len() - 1, events_per_chain);
+            }
+            e
+        }
+
+        fn push(&mut self, at: u64, dest: usize, msg: u64) {
+            self.queue.push(Scheduled {
+                at,
+                seq: self.seq,
+                dest,
+                msg,
+            });
+            self.seq += 1;
+        }
+
+        pub fn run_to_idle(&mut self) -> u64 {
+            let mut outbox: Vec<(u64, usize, u64)> = Vec::new();
+            while let Some(ev) = self.queue.pop() {
+                self.now = ev.at;
+                let mut component = self.components[ev.dest]
+                    .take()
+                    .expect("component is always returned after dispatch");
+                if ev.msg > 0 {
+                    let delay = component.workload.delay_ns(splitmix(&mut component.rng));
+                    outbox.push((self.now + delay, ev.dest, ev.msg - 1));
+                }
+                self.components[ev.dest] = Some(component);
+                for (at, dest, msg) in outbox.drain(..) {
+                    self.push(at, dest, msg);
+                }
+                self.events_processed += 1;
+            }
+            self.events_processed
+        }
+    }
+}
+
+/// Events/second through the binary-heap baseline.
+fn run_heap(workload: Workload, events_per_chain: u64) -> f64 {
+    let mut e = heap_baseline::HeapEngine::new(workload, CHAINS, events_per_chain);
+    let start = Instant::now();
+    let events = e.run_to_idle();
+    let elapsed = start.elapsed().as_secs_f64();
+    events as f64 / elapsed
+}
+
+#[derive(Debug, Serialize)]
+struct WorkloadResult {
+    workload: String,
+    heap_events_per_sec: f64,
+    calendar_events_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfResult {
+    chains: u64,
+    events_per_workload: u64,
+    workloads: Vec<WorkloadResult>,
+}
+
+fn main() {
+    bench::header(
+        "perf",
+        "dcsim engine throughput: calendar queue vs binary heap",
+    );
+    let events_per_chain: u64 = if bench::quick_mode() { 400 } else { 4_000 };
+    let total = CHAINS * (events_per_chain + 1);
+
+    let mut results = Vec::new();
+    for workload in [Workload::Short, Workload::Mixed] {
+        // Warm-up pass at a tenth of the size, then the measured pass.
+        run_heap(workload, events_per_chain / 10);
+        run_engine(workload, events_per_chain / 10);
+        let heap = run_heap(workload, events_per_chain);
+        let calendar = run_engine(workload, events_per_chain);
+        let speedup = calendar / heap;
+        println!(
+            "{:<12}  heap {:>12.0} ev/s   calendar {:>12.0} ev/s   speedup {:.2}x",
+            workload.name(),
+            heap,
+            calendar,
+            speedup
+        );
+        results.push(WorkloadResult {
+            workload: workload.name().to_string(),
+            heap_events_per_sec: heap,
+            calendar_events_per_sec: calendar,
+            speedup,
+        });
+    }
+
+    let result = PerfResult {
+        chains: CHAINS,
+        events_per_workload: total,
+        workloads: results,
+    };
+    match serde_json::to_string_pretty(&result) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_dcsim.json", json) {
+                eprintln!("warning: cannot write BENCH_dcsim.json: {e}");
+            } else {
+                eprintln!("wrote BENCH_dcsim.json");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise perf result: {e}"),
+    }
+}

@@ -187,36 +187,32 @@ fn add_background(cluster: &mut Cluster, near: NodeAddr, gbps: f64) {
         .schedule(SimTime::ZERO, gen, Msg::custom(StartGenerator));
 }
 
-/// Runs the Figure 10 experiment.
-pub fn run(params: &Fig10Params) -> Fig10Result {
-    assert!(params.pods >= 2, "L2 needs at least two pods");
+/// Simulates one tier's probe pairs on its own cluster and returns the
+/// merged RTT row. Tiers use disjoint rack sets, so giving each tier an
+/// independent fabric reproduces the shared-fabric measurements while
+/// letting the three tiers run on separate threads.
+fn run_tier(params: &Fig10Params, ti: usize, tier: Tier) -> TierRow {
     let shape = paper_shape(params.pods);
-    let mut cluster = Cluster::paper_scale(params.seed, params.pods);
-
-    let tiers = [Tier::L0, Tier::L1, Tier::L2];
-    let mut tier_sets: Vec<Vec<(NodeAddr, NodeAddr)>> = Vec::new();
-    for (ti, &tier) in tiers.iter().enumerate() {
-        let pairs = tier_pairs(tier, params.pairs_per_tier, params.pods);
-        for (pi, &(a, b)) in pairs.iter().enumerate() {
-            cluster.add_shell(a);
-            cluster.add_shell(b);
-            let (a_send, _, _, _) = cluster.connect_pair(a, b);
-            // Stagger pairs so probes do not synchronise.
-            let start = SimTime::from_nanos((ti * 17 + pi * 7) as u64 * 1_000);
-            schedule_probes(
-                &mut cluster,
-                a,
-                a_send,
-                start,
-                params.probe_gap,
-                params.probes_per_pair,
-                params.payload_bytes,
-            );
-            if params.background_gbps > 0.0 {
-                add_background(&mut cluster, a, params.background_gbps);
-            }
+    let mut cluster = Cluster::paper_scale(params.seed.wrapping_add(ti as u64), params.pods);
+    let pairs = tier_pairs(tier, params.pairs_per_tier, params.pods);
+    for (pi, &(a, b)) in pairs.iter().enumerate() {
+        cluster.add_shell(a);
+        cluster.add_shell(b);
+        let (a_send, _, _, _) = cluster.connect_pair(a, b);
+        // Stagger pairs so probes do not synchronise.
+        let start = SimTime::from_nanos((ti * 17 + pi * 7) as u64 * 1_000);
+        schedule_probes(
+            &mut cluster,
+            a,
+            a_send,
+            start,
+            params.probe_gap,
+            params.probes_per_pair,
+            params.payload_bytes,
+        );
+        if params.background_gbps > 0.0 {
+            add_background(&mut cluster, a, params.background_gbps);
         }
-        tier_sets.push(pairs);
     }
 
     if params.background_gbps > 0.0 {
@@ -229,38 +225,43 @@ pub fn run(params: &Fig10Params) -> Fig10Result {
         cluster.run_to_idle();
     }
 
-    let mut rows = Vec::new();
-    for (ti, &tier) in tiers.iter().enumerate() {
-        let mut all = PercentileRecorder::new();
-        for &(a, _) in &tier_sets[ti] {
-            let shell = cluster.shell_mut(a);
-            all.extend(shell.ltl_mut().rtts_mut().iter());
-        }
-        let samples = all.count();
-        let label = match tier {
-            Tier::L0 => "L0",
-            Tier::L1 => "L1",
-            Tier::L2 => "L2",
-        };
-        // 0.25 us histogram buckets over the observed range.
-        let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
-        for ns in all.iter() {
-            *counts.entry(ns / 250).or_default() += 1;
-        }
-        let histogram = counts
-            .into_iter()
-            .map(|(b, c)| (b as f64 * 0.25, c))
-            .collect();
-        rows.push(TierRow {
-            tier: label.to_string(),
-            reachable_hosts: reachable_hosts(tier, shape),
-            avg_us: all.mean() / 1_000.0,
-            p999_us: all.percentile(99.9).unwrap_or(0) as f64 / 1_000.0,
-            max_us: all.max().unwrap_or(0) as f64 / 1_000.0,
-            samples,
-            histogram,
-        });
+    let mut all = PercentileRecorder::new();
+    for &(a, _) in &pairs {
+        let shell = cluster.shell_mut(a);
+        all.extend(shell.ltl_mut().rtts_mut().iter());
     }
+    let samples = all.count();
+    let label = match tier {
+        Tier::L0 => "L0",
+        Tier::L1 => "L1",
+        Tier::L2 => "L2",
+    };
+    // 0.25 us histogram buckets over the observed range.
+    let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
+    for ns in all.iter() {
+        *counts.entry(ns / 250).or_default() += 1;
+    }
+    let histogram = counts
+        .into_iter()
+        .map(|(b, c)| (b as f64 * 0.25, c))
+        .collect();
+    TierRow {
+        tier: label.to_string(),
+        reachable_hosts: reachable_hosts(tier, shape),
+        avg_us: all.mean() / 1_000.0,
+        p999_us: all.percentile(99.9).unwrap_or(0) as f64 / 1_000.0,
+        max_us: all.max().unwrap_or(0) as f64 / 1_000.0,
+        samples,
+        histogram,
+    }
+}
+
+/// Runs the Figure 10 experiment.
+pub fn run(params: &Fig10Params) -> Fig10Result {
+    assert!(params.pods >= 2, "L2 needs at least two pods");
+    let tiers = [Tier::L0, Tier::L1, Tier::L2];
+    let jobs: Vec<(usize, Tier)> = tiers.iter().copied().enumerate().collect();
+    let rows = crate::sweep::parallel_map(jobs, |(ti, tier)| run_tier(params, ti, tier));
 
     let torus = torus::Torus::new(torus::TorusConfig::catapult_v1());
     let (avg, worst) = torus.rtt_statistics();

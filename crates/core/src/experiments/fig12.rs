@@ -252,23 +252,20 @@ fn run_ratio(params: &Fig12Params, ratio: f64, seed: u64) -> (f64, f64, f64, usi
 /// Runs the Figure 12 sweep.
 pub fn run(params: &Fig12Params) -> Fig12Result {
     let local = local_baseline(params);
-    let rows = params
-        .ratios
-        .iter()
-        .enumerate()
-        .map(|(i, &ratio)| {
-            let (avg, p95, p99, samples) =
-                run_ratio(params, ratio, params.seed.wrapping_add(i as u64));
-            Fig12Row {
-                ratio,
-                avg: avg / local.0,
-                p95: p95 / local.1,
-                p99: p99 / local.2,
-                avg_us: avg,
-                samples,
-            }
-        })
-        .collect();
+    // Each ratio point is an independent cluster with an index-derived
+    // seed; fan the sweep out across worker threads.
+    let points: Vec<(usize, f64)> = params.ratios.iter().copied().enumerate().collect();
+    let rows = crate::sweep::parallel_map(points, |(i, ratio)| {
+        let (avg, p95, p99, samples) = run_ratio(params, ratio, params.seed.wrapping_add(i as u64));
+        Fig12Row {
+            ratio,
+            avg: avg / local.0,
+            p95: p95 / local.1,
+            p99: p99 / local.2,
+            avg_us: avg,
+            samples,
+        }
+    });
     Fig12Result {
         rows,
         local_us: local,

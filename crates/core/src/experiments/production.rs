@@ -44,7 +44,7 @@ impl Default for ProductionParams {
             day_length: SimDuration::from_secs(40),
             base_qps: 0.85 * ranking.software_capacity(),
             swing: 1.15,
-            balancer_cap: 0.90,
+            balancer_cap: 0.97,
             buckets_per_day: 24,
             ranking,
             seed: 0x0F16_0007,
@@ -162,13 +162,17 @@ pub fn run(params: &ProductionParams) -> ProductionResult {
     let cap = params.balancer_cap * params.ranking.software_capacity() / params.base_qps;
     let sw_trace = diurnal.clone().capped(cap);
 
-    let sw = run_datacenter(params, RankingMode::Software, sw_trace, params.seed);
-    let fpga = run_datacenter(
-        params,
-        RankingMode::LocalFpga,
-        diurnal,
-        params.seed.wrapping_add(1),
-    );
+    // The two datacenters are independent simulations; run them on
+    // separate worker threads.
+    let jobs = vec![
+        (RankingMode::Software, sw_trace, params.seed),
+        (RankingMode::LocalFpga, diurnal, params.seed.wrapping_add(1)),
+    ];
+    let mut traces = crate::sweep::parallel_map(jobs, |(mode, trace, seed)| {
+        run_datacenter(params, mode, trace, seed)
+    });
+    let fpga = traces.pop().expect("two datacenters simulated");
+    let sw = traces.pop().expect("two datacenters simulated");
 
     // Latency target: the software DC's healthy-hours p99.9 — computed
     // over the lowest-load half of its buckets below.

@@ -235,50 +235,88 @@ pub fn fig11(params: &RankingSweepParams) -> RankingCurves {
     run_sweep(params, true)
 }
 
+/// Which output curve a sweep job belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CurveKind {
+    /// The normalisation probe at the software operating point.
+    Probe,
+    Software,
+    LocalFpga,
+    RemoteFpga,
+}
+
+/// One independent sweep point, ready to fan out to a worker thread.
+struct SweepJob {
+    curve: CurveKind,
+    qps: f64,
+    seed: u64,
+}
+
 fn run_sweep(params: &RankingSweepParams, include_remote: bool) -> RankingCurves {
     // Normalisation: the software operating point is 90% of software
-    // capacity; the latency target is the software p99 at that point.
+    // capacity; the latency target is the software p99 at that point
+    // (measured by the probe job below).
     let unit_qps = 0.9 * params.ranking.software_capacity();
-    let probe = run_point(
-        RankingMode::Software,
-        &params.ranking,
-        unit_qps,
-        params.queries_per_point,
-        params.seed,
-    );
-    let target_ns = probe.p99_ns;
 
-    let mut software = Vec::new();
-    let mut local = Vec::new();
-    let mut remote = Vec::new();
+    // Every point is an independent engine with a seed derived from the
+    // point index, so the whole sweep — probe included — fans out across
+    // threads and stays byte-identical at any thread count.
+    let mut jobs = vec![SweepJob {
+        curve: CurveKind::Probe,
+        qps: unit_qps,
+        seed: params.seed,
+    }];
     for (i, &load) in params.loads.iter().enumerate() {
         let qps = load * unit_qps;
         let seed = params.seed.wrapping_add(1 + i as u64);
         // Skip deep-overload software points beyond 1.5x: the open-loop
         // queue grows without bound and teaches nothing new.
         if load <= 1.5 {
-            software.push(run_point(
-                RankingMode::Software,
-                &params.ranking,
+            jobs.push(SweepJob {
+                curve: CurveKind::Software,
                 qps,
-                params.queries_per_point,
                 seed,
-            ));
+            });
         }
-        local.push(run_point(
-            RankingMode::LocalFpga,
-            &params.ranking,
+        jobs.push(SweepJob {
+            curve: CurveKind::LocalFpga,
             qps,
-            params.queries_per_point,
             seed,
-        ));
+        });
         if include_remote && load <= 2.6 {
-            remote.push(run_remote_point(
-                &params.ranking,
+            jobs.push(SweepJob {
+                curve: CurveKind::RemoteFpga,
                 qps,
-                params.queries_per_point,
                 seed,
-            ));
+            });
+        }
+    }
+
+    let ranking = &params.ranking;
+    let queries = params.queries_per_point;
+    let points = crate::sweep::parallel_map(jobs, |job| {
+        let raw = match job.curve {
+            CurveKind::Probe | CurveKind::Software => {
+                run_point(RankingMode::Software, ranking, job.qps, queries, job.seed)
+            }
+            CurveKind::LocalFpga => {
+                run_point(RankingMode::LocalFpga, ranking, job.qps, queries, job.seed)
+            }
+            CurveKind::RemoteFpga => run_remote_point(ranking, job.qps, queries, job.seed),
+        };
+        (job.curve, raw)
+    });
+
+    let mut target_ns = 0.0;
+    let mut software = Vec::new();
+    let mut local = Vec::new();
+    let mut remote = Vec::new();
+    for (curve, raw) in points {
+        match curve {
+            CurveKind::Probe => target_ns = raw.p99_ns,
+            CurveKind::Software => software.push(raw),
+            CurveKind::LocalFpga => local.push(raw),
+            CurveKind::RemoteFpga => remote.push(raw),
         }
     }
 

@@ -56,5 +56,6 @@ pub mod calib;
 mod cluster;
 pub mod experiments;
 pub mod probe;
+pub mod sweep;
 
 pub use cluster::Cluster;

@@ -1,0 +1,140 @@
+//! Parallel sweep execution.
+//!
+//! Every figure driver sweeps an axis — offered load, client/FPGA ratio,
+//! latency tier — and each sweep point runs its own independent [`dcsim`]
+//! engine with a seed derived from the sweep seed. Points share nothing,
+//! so they fan out across OS threads with plain [`std::thread::scope`]:
+//! no dependencies, no work stealing, just a shared atomic cursor over the
+//! job list.
+//!
+//! Determinism: results are returned in input order and each job's output
+//! depends only on its input (drivers derive per-point seeds by index),
+//! so a sweep produces byte-identical results at any thread count —
+//! including the serial in-line path used when one thread is requested.
+//!
+//! The thread count defaults to the machine's parallelism and can be
+//! pinned with the `CATAPULT_THREADS` environment variable (`1` forces
+//! the serial path; experiment binaries expose it for reproducible
+//! timing runs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the sweep worker-thread count.
+pub const THREADS_ENV: &str = "CATAPULT_THREADS";
+
+/// The worker-thread count a sweep will use for `jobs` independent jobs:
+/// the `CATAPULT_THREADS` override if set, otherwise the machine's
+/// available parallelism, capped at the job count.
+pub fn thread_count(jobs: usize) -> usize {
+    let configured = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    configured.min(jobs.max(1))
+}
+
+/// Runs `f` over every element of `inputs` and returns the outputs in
+/// input order, fanning the calls across [`thread_count`] threads.
+///
+/// `f` must be a pure function of its input for the sweep to be
+/// deterministic; all experiment drivers guarantee this by deriving each
+/// point's seed from the point index.
+///
+/// # Examples
+///
+/// ```
+/// let squares = catapult::sweep::parallel_map(vec![1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let threads = thread_count(inputs.len());
+    if threads <= 1 || inputs.len() <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    // Job slots: each worker claims the next index from the cursor, takes
+    // the input out of its slot and deposits the result in the matching
+    // output slot, preserving input order.
+    let jobs: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(idx) else {
+                    break;
+                };
+                let input = job
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("each job index is claimed once");
+                let output = f(input);
+                *results[idx].lock().expect("result mutex poisoned") = Some(output);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result mutex poisoned")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = parallel_map(Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn moves_non_clone_inputs_and_outputs() {
+        let inputs: Vec<Box<u64>> = (0..16).map(Box::new).collect();
+        let out = parallel_map(inputs, |b| Box::new(*b + 1));
+        assert_eq!(*out[15], 16);
+    }
+
+    #[test]
+    fn thread_count_respects_job_cap() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(64) >= 1);
+    }
+
+    #[test]
+    fn matches_serial_result() {
+        // The parallel path must agree with a plain serial map on a
+        // seed-style computation.
+        let serial: Vec<u64> = (0..50u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let parallel = parallel_map((0..50u64).collect(), |i| i.wrapping_mul(0x9E3779B9));
+        assert_eq!(serial, parallel);
+    }
+}

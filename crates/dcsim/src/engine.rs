@@ -34,10 +34,9 @@
 //! ```
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::queue::CalendarQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -85,34 +84,6 @@ pub trait Component<M>: Any {
 enum EventKind<M> {
     Message(M),
     Timer(u64),
-}
-
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    dest: ComponentId,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// Handle given to a component while it processes an event. Lets it read
@@ -176,7 +147,7 @@ impl<'a, M> Context<'a, M> {
 pub struct Engine<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: CalendarQueue<(ComponentId, EventKind<M>)>,
     components: Vec<Option<Box<dyn Component<M>>>>,
     rng: SimRng,
     stopped: bool,
@@ -189,7 +160,7 @@ impl<M: 'static> Engine<M> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             components: Vec::new(),
             rng: SimRng::seed_from(seed),
             stopped: false,
@@ -246,12 +217,7 @@ impl<M: 'static> Engine<M> {
     }
 
     fn push(&mut self, at: SimTime, dest: ComponentId, kind: EventKind<M>) {
-        self.queue.push(Scheduled {
-            at,
-            seq: self.seq,
-            dest,
-            kind,
-        });
+        self.queue.push(at.as_nanos(), self.seq, (dest, kind));
         self.seq += 1;
     }
 
@@ -268,18 +234,15 @@ impl<M: 'static> Engine<M> {
         let mut processed = 0;
         let mut outbox: Vec<(SimTime, ComponentId, EventKind<M>)> = Vec::new();
         while !self.stopped {
-            let Some(head) = self.queue.peek() else {
+            let Some(ev) = self.queue.pop_due(horizon.as_nanos()) else {
                 break;
             };
-            if head.at > horizon {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event must exist");
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
+            debug_assert!(ev.at >= self.now.as_nanos(), "event queue went backwards");
+            self.now = SimTime::from_nanos(ev.at);
+            let (dest, kind) = ev.value;
 
-            let Some(slot) = self.components.get_mut(ev.dest.0) else {
-                panic!("event addressed to unregistered component {}", ev.dest);
+            let Some(slot) = self.components.get_mut(dest.0) else {
+                panic!("event addressed to unregistered component {dest}");
             };
             let mut component = slot
                 .take()
@@ -288,17 +251,17 @@ impl<M: 'static> Engine<M> {
             {
                 let mut ctx = Context {
                     now: self.now,
-                    id: ev.dest,
+                    id: dest,
                     outbox: &mut outbox,
                     rng: &mut self.rng,
                     stop: &mut self.stopped,
                 };
-                match ev.kind {
+                match kind {
                     EventKind::Message(msg) => component.on_message(msg, &mut ctx),
                     EventKind::Timer(token) => component.on_timer(token, &mut ctx),
                 }
             }
-            self.components[ev.dest.0] = Some(component);
+            self.components[dest.0] = Some(component);
 
             for (at, dest, kind) in outbox.drain(..) {
                 self.push(at, dest, kind);

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod queue;
 mod rng;
 mod stats;
 mod time;

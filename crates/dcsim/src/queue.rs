@@ -1,0 +1,433 @@
+//! The pending-event set: a two-level calendar queue.
+//!
+//! Discrete-event simulation of a datacenter schedules almost every event a
+//! short, bounded delay into the future — a NIC hop, a switch traversal, a
+//! service time — so the pending set behaves like a sliding window over
+//! time. A binary heap pays `O(log n)` pointer-chasing per operation and
+//! re-sorts that window on every push. The calendar queue instead hashes
+//! each event by time into a wheel of buckets whose width tracks the
+//! observed inter-event spacing: pushes are `O(1)` appends, and pops scan
+//! forward over a handful of buckets holding ~1 event each.
+//!
+//! Layout:
+//!
+//! * a **wheel** of `nbuckets` (power of two) buckets, each `1 <<
+//!   width_shift` nanoseconds wide, covering the year starting at the
+//!   wheel cursor — events due soon;
+//! * a **far heap** (plain binary heap) for events beyond the wheel's
+//!   range — rare long timers, day-scale horizons;
+//! * an adaptive retune step that resizes the wheel from the observed
+//!   average push delay and queue length, keeping ~1 event per bucket.
+//!
+//! Ordering is exact, not approximate: within a bucket the minimum
+//! `(time, seq)` entry is selected by scan, and the wheel and far heads
+//! are compared on the same key, so events pop in precisely the order the
+//! previous binary-heap scheduler produced — timestamp order with FIFO
+//! tie-break. All `Engine` ordering tests and every experiment seed
+//! reproduce unchanged.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One pending event with its ordering key.
+#[derive(Debug)]
+pub(crate) struct Entry<T> {
+    /// Due time in nanoseconds.
+    pub at: u64,
+    /// Global FIFO sequence number (unique; breaks timestamp ties).
+    pub seq: u64,
+    /// The scheduled payload.
+    pub value: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and the far set needs its
+        // earliest entry on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Initial bucket count (power of two).
+const INITIAL_BUCKETS: usize = 64;
+/// Initial bucket width: 256 ns, the substrate's typical hop delay scale.
+const INITIAL_WIDTH_SHIFT: u32 = 8;
+/// Bounds on the adaptive bucket width: 1 ns .. ~69 s.
+const MIN_WIDTH_SHIFT: u32 = 0;
+const MAX_WIDTH_SHIFT: u32 = 36;
+/// Bounds on the wheel size.
+const MIN_BUCKETS: usize = 64;
+const MAX_BUCKETS: usize = 1 << 17;
+/// Pushes between retune checks.
+const TUNE_INTERVAL: u64 = 4096;
+
+/// A two-level calendar queue over `(time, seq)`-keyed entries.
+///
+/// Semantically identical to a min-heap ordered by `(at, seq)`; tuned so
+/// that the common short-delay case costs `O(1)` per operation.
+pub(crate) struct CalendarQueue<T> {
+    /// The wheel. `buckets[vslot & mask]` holds events whose virtual slot
+    /// (`at >> width_shift`) lies in `[cur_vslot, cur_vslot + nbuckets)`.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Power-of-two bucket index mask (`buckets.len() - 1`).
+    mask: usize,
+    /// log2 of the bucket width in nanoseconds.
+    width_shift: u32,
+    /// Virtual slot of the wheel cursor; all wheel events live at or after
+    /// it. Only advances when an event is popped.
+    cur_vslot: u64,
+    /// Events beyond the wheel's current year.
+    far: BinaryHeap<Entry<T>>,
+    /// Events stored in the wheel (not counting `far`).
+    wheel_len: usize,
+    /// Time of the most recently popped entry; a floor for all pending
+    /// and future events.
+    floor_at: u64,
+    /// Pushes since the last retune check.
+    pushes_since_tune: u64,
+    /// Sum of `at - floor_at` over those pushes (delay profile sample).
+    delay_sum: u128,
+}
+
+impl<T> CalendarQueue<T> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: INITIAL_BUCKETS - 1,
+            width_shift: INITIAL_WIDTH_SHIFT,
+            cur_vslot: 0,
+            far: BinaryHeap::new(),
+            wheel_len: 0,
+            floor_at: 0,
+            pushes_since_tune: 0,
+            delay_sum: 0,
+        }
+    }
+
+    /// Total pending entries.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.far.len()
+    }
+
+    /// Inserts an entry. `at` must be at or after the most recently popped
+    /// entry's time (the engine's no-scheduling-into-the-past rule).
+    pub fn push(&mut self, at: u64, seq: u64, value: T) {
+        debug_assert!(at >= self.floor_at, "push behind the queue floor");
+        self.pushes_since_tune += 1;
+        self.delay_sum += (at - self.floor_at) as u128;
+        if self.pushes_since_tune >= TUNE_INTERVAL {
+            self.maybe_retune();
+        }
+
+        let entry = Entry { at, seq, value };
+        let vslot = at >> self.width_shift;
+        if vslot < self.cur_vslot + self.buckets.len() as u64 {
+            self.buckets[(vslot as usize) & self.mask].push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.far.push(entry);
+        }
+    }
+
+    /// Removes and returns the earliest entry if it is due at or before
+    /// `horizon`; otherwise leaves the queue untouched and returns `None`.
+    pub fn pop_due(&mut self, horizon: u64) -> Option<Entry<T>> {
+        let wheel_key = self.wheel_min();
+        let far_key = self.far.peek().map(|e| (e.at, e.seq));
+
+        let take_wheel = match (wheel_key, far_key) {
+            (Some(w), Some(f)) => (w.0, w.1) <= f,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+
+        if take_wheel {
+            let (at, _, vslot, pos) = wheel_key.expect("wheel head exists");
+            if at > horizon {
+                return None;
+            }
+            // Commit: the cursor moves to the popped event's slot. Every
+            // remaining event is at or after it, and all future pushes are
+            // at or after `at`, so nothing can land behind the cursor.
+            self.cur_vslot = vslot;
+            self.floor_at = at;
+            self.wheel_len -= 1;
+            Some(self.buckets[(vslot as usize) & self.mask].swap_remove(pos))
+        } else {
+            let (at, _) = far_key.expect("far head exists");
+            if at > horizon {
+                return None;
+            }
+            self.cur_vslot = at >> self.width_shift;
+            self.floor_at = at;
+            self.far.pop()
+        }
+    }
+
+    /// Finds the wheel's minimum `(at, seq)` entry: scans slots forward
+    /// from the cursor, then scans the first non-empty bucket linearly.
+    /// Returns `(at, seq, vslot, position-in-bucket)` without removing.
+    fn wheel_min(&self) -> Option<(u64, u64, u64, usize)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        for vslot in self.cur_vslot..self.cur_vslot + n {
+            let bucket = &self.buckets[(vslot as usize) & self.mask];
+            if bucket.is_empty() {
+                continue;
+            }
+            let (pos, head) = bucket
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.at, e.seq))
+                .expect("bucket is non-empty");
+            return Some((head.at, head.seq, vslot, pos));
+        }
+        unreachable!("wheel_len > 0 but no bucket within the wheel year");
+    }
+
+    /// Resizes the wheel to fit the observed workload: bucket width tracks
+    /// the average spacing between pending events (so buckets hold ~1
+    /// event) and the bucket count tracks the queue length.
+    fn maybe_retune(&mut self) {
+        let avg_delay = (self.delay_sum / self.pushes_since_tune as u128) as u64;
+        self.pushes_since_tune = 0;
+        self.delay_sum = 0;
+
+        let n = self.len().max(1) as u64;
+        // Events spread over roughly [floor, floor + 2*avg_delay); aim for
+        // one event per bucket across that span.
+        let target_width = (avg_delay.saturating_mul(2) / n).max(1);
+        let new_shift =
+            (63 - target_width.leading_zeros().min(63)).clamp(MIN_WIDTH_SHIFT, MAX_WIDTH_SHIFT);
+        let new_buckets = (2 * n as usize)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+
+        if new_shift == self.width_shift && new_buckets == self.buckets.len() {
+            return;
+        }
+
+        // Rebuild: drain everything and re-bin under the new geometry.
+        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len());
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        entries.extend(self.far.drain());
+
+        self.width_shift = new_shift;
+        if new_buckets != self.buckets.len() {
+            self.buckets = (0..new_buckets).map(|_| Vec::new()).collect();
+            self.mask = new_buckets - 1;
+        }
+        self.cur_vslot = self.floor_at >> new_shift;
+        self.wheel_len = 0;
+
+        let year = self.buckets.len() as u64;
+        for entry in entries {
+            let vslot = entry.at >> self.width_shift;
+            if vslot < self.cur_vslot + year {
+                self.buckets[(vslot as usize) & self.mask].push(entry);
+                self.wheel_len += 1;
+            } else {
+                self.far.push(entry);
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for CalendarQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("len", &self.len())
+            .field("wheel_len", &self.wheel_len)
+            .field("far_len", &self.far.len())
+            .field("nbuckets", &self.buckets.len())
+            .field("width_shift", &self.width_shift)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: a plain min-ordered heap over `(at, seq)`.
+    struct Reference {
+        heap: BinaryHeap<Entry<u32>>,
+    }
+
+    impl Reference {
+        fn new() -> Self {
+            Reference {
+                heap: BinaryHeap::new(),
+            }
+        }
+        fn push(&mut self, at: u64, seq: u64, value: u32) {
+            self.heap.push(Entry { at, seq, value });
+        }
+        fn pop_due(&mut self, horizon: u64) -> Option<Entry<u32>> {
+            if self.heap.peek()?.at > horizon {
+                return None;
+            }
+            self.heap.pop()
+        }
+    }
+
+    /// Deterministic operation-sequence generator (SplitMix64).
+    struct OpRng(u64);
+    impl OpRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Drives the calendar queue and the reference heap through the same
+    /// random schedule and asserts identical pop sequences.
+    fn check_against_reference(seed: u64, ops: usize, delay_mask: u64) {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let mut reference = Reference::new();
+        let mut rng = OpRng(seed);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+
+        for _ in 0..ops {
+            let r = rng.next();
+            if !r.is_multiple_of(3) || cal.len() == 0 {
+                // Push a batch with mixed delays.
+                let batch = 1 + (r >> 8) % 4;
+                for _ in 0..batch {
+                    let delay = rng.next() & delay_mask;
+                    cal.push(now + delay, seq, seq as u32);
+                    reference.push(now + delay, seq, seq as u32);
+                    seq += 1;
+                }
+            } else {
+                // Pop everything due within a random horizon.
+                let horizon = now + (rng.next() & delay_mask);
+                loop {
+                    let a = cal.pop_due(horizon);
+                    let b = reference.pop_due(horizon);
+                    match (a, b) {
+                        (None, None) => break,
+                        (Some(x), Some(y)) => {
+                            assert_eq!((x.at, x.seq, x.value), (y.at, y.seq, y.value));
+                            assert!(x.at >= now, "time went backwards");
+                            now = x.at;
+                        }
+                        (a, b) => panic!(
+                            "queues disagree: cal={:?} ref={:?}",
+                            a.map(|e| (e.at, e.seq)),
+                            b.map(|e| (e.at, e.seq))
+                        ),
+                    }
+                }
+            }
+        }
+        // Drain both completely.
+        loop {
+            match (cal.pop_due(u64::MAX), reference.pop_due(u64::MAX)) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.at, x.seq, x.value), (y.at, y.seq, y.value));
+                }
+                (a, b) => panic!(
+                    "drain disagrees: cal={:?} ref={:?}",
+                    a.map(|e| (e.at, e.seq)),
+                    b.map(|e| (e.at, e.seq))
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_short_delays() {
+        // ns-scale delays: everything lands in the wheel.
+        check_against_reference(1, 4000, 0x3FF);
+    }
+
+    #[test]
+    fn matches_reference_mixed_delays() {
+        // Up to ~4 ms delays: wheel and far heap both exercised.
+        check_against_reference(2, 4000, 0x3F_FFFF);
+    }
+
+    #[test]
+    fn matches_reference_long_delays() {
+        // Up to ~17 s delays: mostly far heap, forces cursor jumps.
+        check_against_reference(3, 2000, 0x3_FFFF_FFFF);
+    }
+
+    #[test]
+    fn matches_reference_across_retunes() {
+        // Enough pushes to trigger several retune cycles.
+        for seed in 10..14 {
+            check_against_reference(seed, 20_000, 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn fifo_ties_pop_in_seq_order() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        for seq in 0..100 {
+            q.push(500, seq, seq as u32);
+        }
+        for expect in 0..100 {
+            let e = q.pop_due(u64::MAX).unwrap();
+            assert_eq!(e.seq, expect);
+        }
+        assert!(q.pop_due(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn pop_due_respects_horizon_without_disturbing() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(1000, 0, 0);
+        q.push(2000, 1, 1);
+        assert!(q.pop_due(999).is_none());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_due(1000).unwrap().at, 1000);
+        assert!(q.pop_due(1999).is_none());
+        // A push between failed pops must stay ordered.
+        q.push(1500, 2, 2);
+        assert_eq!(q.pop_due(u64::MAX).unwrap().at, 1500);
+        assert_eq!(q.pop_due(u64::MAX).unwrap().at, 2000);
+    }
+
+    #[test]
+    fn far_events_become_due_after_cursor_jump() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        // One near event, one far beyond the initial wheel year (64
+        // buckets * 256 ns = 16384 ns).
+        q.push(100, 0, 0);
+        q.push(1_000_000, 1, 1);
+        q.push(50_000_000_000, 2, 2); // 50 s out
+        assert_eq!(q.pop_due(u64::MAX).unwrap().value, 0);
+        assert_eq!(q.pop_due(u64::MAX).unwrap().value, 1);
+        // Push near events after the jump; they must pop before the 50 s one.
+        q.push(1_000_100, 3, 3);
+        assert_eq!(q.pop_due(u64::MAX).unwrap().value, 3);
+        assert_eq!(q.pop_due(u64::MAX).unwrap().value, 2);
+        assert!(q.pop_due(u64::MAX).is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! Determinism regression tests for the parallel sweep driver.
+//!
+//! A sweep is a pure function of its seed: running it twice must produce
+//! byte-identical result rows, and the thread count used to fan the points
+//! out across cores must never leak into the numbers. Both properties are
+//! what let `CATAPULT_THREADS` be a pure performance knob.
+
+use catapult::experiments::{fig06, RankingSweepParams};
+
+fn quick_params() -> RankingSweepParams {
+    RankingSweepParams {
+        queries_per_point: 4_000,
+        loads: vec![0.5, 1.0, 1.5, 2.0, 2.5],
+        ..RankingSweepParams::default()
+    }
+}
+
+/// Serialise every curve of a fig06 run so runs can be compared for exact
+/// (bitwise) equality, not approximate float closeness.
+fn fingerprint(params: &RankingSweepParams) -> String {
+    let curves = fig06(params);
+    serde_json::to_string(&curves).expect("curves serialise")
+}
+
+#[test]
+fn fig06_same_seed_is_byte_identical() {
+    let params = quick_params();
+    let first = fingerprint(&params);
+    let second = fingerprint(&params);
+    assert_eq!(first, second, "same seed must reproduce identical rows");
+}
+
+#[test]
+fn fig06_serial_and_parallel_agree() {
+    let params = quick_params();
+
+    // Environment mutation is process-global; Rust runs tests in this file
+    // on separate threads of one process, so take care to restore the
+    // variable even on panic.
+    struct EnvGuard(Option<String>);
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match self.0.take() {
+                Some(prev) => std::env::set_var(catapult::sweep::THREADS_ENV, prev),
+                None => std::env::remove_var(catapult::sweep::THREADS_ENV),
+            }
+        }
+    }
+    let _guard = EnvGuard(std::env::var(catapult::sweep::THREADS_ENV).ok());
+
+    std::env::set_var(catapult::sweep::THREADS_ENV, "1");
+    let serial = fingerprint(&params);
+
+    std::env::set_var(catapult::sweep::THREADS_ENV, "4");
+    let parallel = fingerprint(&params);
+
+    assert_eq!(
+        serial, parallel,
+        "thread count must not change simulation results"
+    );
+}
+
+#[test]
+fn fig06_different_seeds_differ() {
+    // Sanity check that the fingerprint is sensitive at all: a different
+    // seed must actually move the measured latencies.
+    let base = quick_params();
+    let reseeded = RankingSweepParams {
+        seed: base.seed.wrapping_add(1),
+        ..base.clone()
+    };
+    assert_ne!(fingerprint(&base), fingerprint(&reseeded));
+}

@@ -45,9 +45,11 @@ fn run_shared(servers: usize, qps_each: f64, queries_each: u64) -> (f64, Vec<f64
             Some(queries_each),
             |id, _| Msg::custom(QueryArrival { id }),
         ));
-        cluster
-            .engine_mut()
-            .schedule(SimTime::from_nanos(31 * s as u64), gen, Msg::custom(StartGenerator));
+        cluster.engine_mut().schedule(
+            SimTime::from_nanos(31 * s as u64),
+            gen,
+            Msg::custom(StartGenerator),
+        );
         server_ids.push(server);
     }
     let role_id = cluster.engine_mut().add_component(role);
@@ -90,10 +92,7 @@ fn three_servers_share_one_fpga_without_latency_penalty() {
     // Every server's p99 stays at the single-tenant level (within 15%).
     let base = p99_1[0];
     for (i, p) in p99_3.iter().enumerate() {
-        assert!(
-            *p < base * 1.15,
-            "server {i} p99 {p}ms vs solo {base}ms"
-        );
+        assert!(*p < base * 1.15, "server {i} p99 {p}ms vs solo {base}ms");
     }
 
     // The single-tenant FPGA is underutilised; sharing triples its use,

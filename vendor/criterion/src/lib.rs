@@ -1,0 +1,184 @@
+//! Offline stub of the `criterion` crate.
+//!
+//! Benchmarks compile and run with a plain wall-clock timing loop and
+//! report mean ns/iter (plus derived throughput) to stdout. No
+//! statistical analysis, baselines or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measure_for: Duration::from_millis(40),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measure_for: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timing samples (kept for API compatibility;
+    /// the stub uses it to bound the measurement loop).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure_for = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f` and prints the mean ns/iter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measure_for,
+            max_samples: self.sample_size.max(2),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let ns = if b.iters > 0 {
+            b.total.as_nanos() as f64 / b.iters as f64
+        } else {
+            0.0
+        };
+        let mut line = format!("{}/{}: {:>12.1} ns/iter", self.name, id, ns);
+        if ns > 0.0 {
+            match self.throughput {
+                Some(Throughput::Bytes(n)) => {
+                    let gbps = n as f64 / ns;
+                    line.push_str(&format!("  ({gbps:.3} GB/s)"));
+                }
+                Some(Throughput::Elements(n)) => {
+                    let meps = n as f64 * 1e3 / ns;
+                    line.push_str(&format!("  ({meps:.3} Melem/s)"));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    max_samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = ((self.budget.as_nanos() / self.max_samples as u128) / once.as_nanos())
+            .clamp(1, 1 << 20) as u64;
+
+        let mut samples = 0;
+        while samples < self.max_samples && self.total < self.budget {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iters += per_sample;
+            samples += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        g.throughput(Throughput::Elements(1))
+            .bench_function("f", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

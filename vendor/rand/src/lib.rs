@@ -1,0 +1,332 @@
+//! Offline stub of the `rand` crate.
+//!
+//! Implements the exact API surface this workspace uses: `SmallRng`
+//! (xoshiro256++ seeded through SplitMix64 — the same algorithm real
+//! rand 0.8 uses for `SmallRng` on 64-bit platforms), the `RngCore`,
+//! `SeedableRng` and `Rng` traits, `gen`, `gen_range`, `gen_bool` and
+//! `fill_bytes`.
+//!
+//! The distributions are draw-compatible with rand 0.8.5: given the
+//! same engine state, `gen`, `gen_range` and `gen_bool` consume the
+//! same raw outputs and return the same values as the real crate, so
+//! seeds reproduce the simulation traces recorded before vendoring.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Core random-number generation interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Sign test on the most significant bit, as in rand 0.8.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1), matching rand's Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Sized {
+    /// Draws a value uniformly from `[lo, hi)` without modulo bias.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Lemire widening-multiply sampling over `[lo, lo + range)`, matching
+/// rand 0.8.5's `UniformInt::sample_single_inclusive` for types whose
+/// "large" sampling width is u32 (u8, u16, u32). One `next_u32` draw
+/// per attempt.
+#[inline]
+fn sample_int_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32, small: bool) -> u32 {
+    debug_assert!(range != 0);
+    let zone = if small {
+        // Small types use the exact-modulus zone.
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        u32::MAX - ints_to_reject
+    } else {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64) * (range as u64);
+        let (hi, lo) = ((m >> 32) as u32, m as u32);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// As [`sample_int_u32`] but for 64-bit-wide types (u64, usize).
+#[inline]
+fn sample_int_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range != 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        let (hi, lo) = ((m >> 64) as u64, m as u64);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int32 {
+    ($($t:ty => $small:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let range = hi.wrapping_sub(lo) as u32;
+                if range == 0 {
+                    // Full-width range: every value is acceptable.
+                    return rng.next_u32() as $t;
+                }
+                lo.wrapping_add(sample_int_u32(rng, range, $small) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int32!(u8 => true, u16 => true, u32 => false);
+
+macro_rules! impl_sample_uniform_int64 {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let range = hi.wrapping_sub(lo) as u64;
+                if range == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_int_u64(rng, range) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int64!(u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        // rand 0.8's UniformFloat: 52 mantissa bits mapped to [1, 2),
+        // rescaled into [lo, hi).
+        let mut scale = hi - lo;
+        loop {
+            let fraction = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits(fraction | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + lo;
+            if res < hi {
+                return res;
+            }
+            // Astronomically rare rounding edge: shrink scale one ulp.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // Bernoulli via integer comparison, as in rand 0.8.
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires 0 <= p <= 1");
+        let p_int = if p == 1.0 {
+            u64::MAX
+        } else {
+            (p * (2.0 * (1u64 << 63) as f64)) as u64
+        };
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++, seeded via
+    /// SplitMix64 — the same construction real rand 0.8 uses for
+    /// `SmallRng` on 64-bit platforms, so streams are reproducible.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The low bits of xoshiro256++ have linear dependencies, so
+            // rand 0.8 takes the upper half.
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let x = r.gen_range(3.0f64..9.0);
+            assert!((3.0..9.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_roughly_holds() {
+        let mut r = SmallRng::seed_from_u64(8);
+        let hits = (0..4000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

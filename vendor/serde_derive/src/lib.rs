@@ -1,0 +1,175 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize)]` for plain
+//! structs, written against the raw `proc_macro` API (no `syn`/`quote`,
+//! which are equally unreachable in an air-gapped build).
+//!
+//! Supports named-field structs, tuple structs and unit structs without
+//! generics — the only shapes this workspace derives on. Enum or
+//! generic inputs produce a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the stub's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => i += 1,
+        other => {
+            return Err(format!(
+                "serde_derive stub supports only structs, found {other}"
+            ))
+        }
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde_derive stub does not support generic structs".to_string());
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_fields(g.stream())?;
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = tuple_arity(g.stream());
+            let entries: Vec<String> = (0..arity)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        // Unit struct.
+        _ => "::serde::Value::Null".to_string(),
+    };
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("serde_derive stub generated invalid code: {e:?}"))
+}
+
+/// Extracts field names from the token stream of a braced struct body,
+/// splitting on top-level commas (commas inside `<...>` generics or
+/// parenthesized groups do not count).
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other}")),
+        };
+        fields.push(name);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts fields of a tuple struct body by top-level commas.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        saw_token = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if saw_token && !trailing_comma {
+        arity += 1;
+    }
+    arity
+}

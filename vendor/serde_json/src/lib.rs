@@ -1,0 +1,168 @@
+//! Offline stub of the `serde_json` crate: renders the stub `serde`
+//! [`Value`] model as JSON text. Only serialization is provided — the
+//! workspace never deserializes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error (currently only non-string object keys could
+/// produce one; kept for API compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(items.iter(), indent, depth, out, '[', ']', |v, d, o| {
+            write_value(v, indent, d, o)
+        }),
+        Value::Object(entries) => write_seq(
+            entries.iter(),
+            indent,
+            depth,
+            out,
+            '{',
+            '}',
+            |(k, v), d, o| {
+                write_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(v, indent, d, o);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(I::Item, usize, &mut String),
+{
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(item, depth + 1, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        // Real serde_json errors on non-finite floats; results data is
+        // always finite, so render null rather than failing the run.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Keep integral floats readable and round-trippable.
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&x.to_string());
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_pretty() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("x".into())),
+            (
+                "pts".into(),
+                Value::Array(vec![Value::F64(1.0), Value::F64(2.5)]),
+            ),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&Raw(v)).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"x\",\n  \"pts\": [\n    1.0,\n    2.5\n  ]\n}"
+        );
+        let c = to_string(&Raw(Value::Array(vec![]))).unwrap();
+        assert_eq!(c, "[]");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}
