@@ -185,23 +185,54 @@ impl core::fmt::Debug for AcceleratorRole {
 /// spare ([`RemoteClient::add_backup`]); when the shell reports the active
 /// connection failed, the client fails over and re-issues every
 /// outstanding request — "failing nodes are removed from the pool with
-/// replacements quickly added."
+/// replacements quickly added." With [`RemoteClient::set_request_timeout`]
+/// the client also re-issues individual requests that have gone
+/// unanswered (covering faults the transport cannot see, like a hung
+/// role that still ACKs), and with [`RemoteClient::set_monitor`] it
+/// reports dead nodes to a [`haas::FailureMonitor`] so the management
+/// plane can drain and re-map them.
 pub struct RemoteClient {
     shell: ComponentId,
     conn: SendConnId,
     backups: Vec<SendConnId>,
     request_bytes: usize,
-    outstanding: HashMap<u64, SimTime>,
+    outstanding: HashMap<u64, Pending>,
     latencies: PercentileRecorder,
     next_id: u64,
     /// High bits distinguishing this client's ids from other clients'.
     id_tag: u64,
     failovers: u64,
+    request_timeout: Option<SimDuration>,
+    max_attempts: u32,
+    retry_timer_armed: bool,
+    stalled_until: Option<SimTime>,
+    monitor: Option<ComponentId>,
+    completion_log: Option<Vec<(SimTime, u64)>>,
+    retries: u64,
+    abandoned: u64,
+}
+
+/// Book-keeping for one in-flight request.
+struct Pending {
+    /// Original enqueue time; latency accrues from here across retries
+    /// and failovers, as Figure 12's end-to-end definition demands.
+    sent: SimTime,
+    last_attempt: SimTime,
+    attempts: u32,
 }
 
 /// Message asking a [`RemoteClient`] to issue one request.
 #[derive(Debug, Clone, Copy)]
 pub struct IssueRequest;
+
+/// Fault injection: the client's host stalls (GC pause, VM freeze,
+/// kernel hiccup) for the given duration. Requests that would be issued
+/// during the stall are deferred to its end, bunching up as real stalled
+/// hosts do.
+#[derive(Debug, Clone, Copy)]
+pub struct StallFor(pub SimDuration);
+
+const RETRY_TIMER: u64 = 0;
 
 impl RemoteClient {
     /// Creates a client sending over `conn` of `shell`. `id_tag` must be
@@ -217,6 +248,14 @@ impl RemoteClient {
             next_id: 0,
             id_tag: (id_tag as u64) << 48,
             failovers: 0,
+            request_timeout: None,
+            max_attempts: 1,
+            retry_timer_armed: false,
+            stalled_until: None,
+            monitor: None,
+            completion_log: None,
+            retries: 0,
+            abandoned: 0,
         }
     }
 
@@ -225,9 +264,46 @@ impl RemoteClient {
         self.backups.push(conn);
     }
 
+    /// Enables application-level retries: a request unanswered for
+    /// `timeout` is re-issued on the current connection, up to
+    /// `max_attempts` total attempts, after which it counts as abandoned
+    /// (a lost request in the recovery report).
+    pub fn set_request_timeout(&mut self, timeout: SimDuration, max_attempts: u32) {
+        self.request_timeout = Some(timeout);
+        self.max_attempts = max_attempts.max(1);
+    }
+
+    /// Registers the failure monitor to notify when the active connection
+    /// is declared dead.
+    pub fn set_monitor(&mut self, monitor: ComponentId) {
+        self.monitor = Some(monitor);
+    }
+
+    /// Starts recording `(completion time, latency ns)` for every
+    /// response, so a harness can carve per-fault latency windows.
+    pub fn enable_completion_log(&mut self) {
+        self.completion_log = Some(Vec::new());
+    }
+
+    /// The completion log, if enabled: `(completion time, latency ns)`
+    /// in completion order.
+    pub fn completion_log(&self) -> Option<&[(SimTime, u64)]> {
+        self.completion_log.as_deref()
+    }
+
     /// Failovers performed.
     pub fn failovers(&self) -> u64 {
         self.failovers
+    }
+
+    /// Timeout-driven re-issues performed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Requests given up on after `max_attempts` attempts.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     /// End-to-end request latencies (ns).
@@ -244,61 +320,139 @@ impl RemoteClient {
     pub fn completed(&self) -> usize {
         self.latencies.count()
     }
+
+    fn send_request(&self, id: u64, ctx: &mut Context<'_, Msg>) {
+        ctx.send(
+            self.shell,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: self.conn,
+                vc: 1,
+                payload: encode_request(id, self.request_bytes),
+            }),
+        );
+    }
+
+    fn ensure_retry_timer(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(timeout) = self.request_timeout {
+            if !self.retry_timer_armed && !self.outstanding.is_empty() {
+                self.retry_timer_armed = true;
+                ctx.timer_after(timeout, RETRY_TIMER);
+            }
+        }
+    }
 }
 
 impl Component<Msg> for RemoteClient {
     fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg.downcast::<IssueRequest>() {
             Ok(IssueRequest) => {
+                if let Some(until) = self.stalled_until {
+                    if ctx.now() < until {
+                        // The host is frozen: the request is issued when
+                        // it thaws.
+                        ctx.send_to_self_after(
+                            until.saturating_since(ctx.now()),
+                            Msg::custom(IssueRequest),
+                        );
+                        return;
+                    }
+                    self.stalled_until = None;
+                }
                 let id = self.id_tag | self.next_id;
                 self.next_id += 1;
-                self.outstanding.insert(id, ctx.now());
-                ctx.send(
-                    self.shell,
-                    Msg::custom(ShellCmd::LtlSend {
-                        conn: self.conn,
-                        vc: 1,
-                        payload: encode_request(id, self.request_bytes),
-                    }),
+                self.outstanding.insert(
+                    id,
+                    Pending {
+                        sent: ctx.now(),
+                        last_attempt: ctx.now(),
+                        attempts: 1,
+                    },
                 );
+                self.send_request(id, ctx);
+                self.ensure_retry_timer(ctx);
             }
             Err(msg) => match msg.downcast::<LtlDeliver>() {
                 Ok(del) => {
                     if let Some(id) = decode_reply(&del.payload) {
-                        if let Some(sent) = self.outstanding.remove(&id) {
-                            self.latencies
-                                .record_duration(ctx.now().saturating_since(sent));
+                        // A retried request can be answered twice; only the
+                        // first response completes it.
+                        if let Some(pending) = self.outstanding.remove(&id) {
+                            let latency = ctx.now().saturating_since(pending.sent);
+                            self.latencies.record_duration(latency);
+                            if let Some(log) = &mut self.completion_log {
+                                log.push((ctx.now(), latency.as_nanos()));
+                            }
                         }
                     }
                 }
-                Err(msg) => {
-                    if let Ok(failed) = msg.downcast::<shell::LtlConnFailed>() {
+                Err(msg) => match msg.downcast::<shell::LtlConnFailed>() {
+                    Ok(failed) => {
                         if failed.conn != self.conn {
                             return; // some other connection of this shell
+                        }
+                        if let Some(monitor) = self.monitor {
+                            ctx.send(
+                                monitor,
+                                Msg::custom(haas::NodeDownReport {
+                                    addr: failed.remote,
+                                }),
+                            );
                         }
                         let Some(spare) = self.backups.pop() else {
                             return; // no spare: requests stay outstanding
                         };
                         self.conn = spare;
                         self.failovers += 1;
-                        // Re-issue everything in flight on the new node.
-                        // Latency keeps accruing from the original enqueue,
-                        // as Figure 12's end-to-end definition demands.
-                        let ids: Vec<u64> = self.outstanding.keys().copied().collect();
+                        // Re-issue everything in flight on the new node, in
+                        // id order so the replay is deterministic.
+                        let mut ids: Vec<u64> = self.outstanding.keys().copied().collect();
+                        ids.sort_unstable();
                         for id in ids {
-                            ctx.send(
-                                self.shell,
-                                Msg::custom(ShellCmd::LtlSend {
-                                    conn: self.conn,
-                                    vc: 1,
-                                    payload: encode_request(id, self.request_bytes),
-                                }),
-                            );
+                            let pending = self.outstanding.get_mut(&id).expect("key just listed");
+                            pending.last_attempt = ctx.now();
+                            pending.attempts += 1;
+                            self.send_request(id, ctx);
                         }
                     }
-                }
+                    Err(msg) => {
+                        if let Ok(stall) = msg.downcast::<StallFor>() {
+                            let until = ctx.now() + stall.0;
+                            if self.stalled_until.is_none_or(|t| until > t) {
+                                self.stalled_until = Some(until);
+                            }
+                        }
+                    }
+                },
             },
         }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_, Msg>) {
+        self.retry_timer_armed = false;
+        let Some(timeout) = self.request_timeout else {
+            return;
+        };
+        let now = ctx.now();
+        let mut due: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, p)| now.saturating_since(p.last_attempt) >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_unstable();
+        for id in due {
+            let pending = self.outstanding.get_mut(&id).expect("key just listed");
+            if pending.attempts >= self.max_attempts {
+                self.outstanding.remove(&id);
+                self.abandoned += 1;
+            } else {
+                pending.attempts += 1;
+                pending.last_attempt = now;
+                self.retries += 1;
+                self.send_request(id, ctx);
+            }
+        }
+        self.ensure_retry_timer(ctx);
     }
 }
 

@@ -13,7 +13,7 @@
 //! The baseline is a verbatim replica of the `BinaryHeap` engine this
 //! repository used before the calendar queue landed: same component
 //! dispatch, same outbox, only the pending-event set differs. Results are
-//! printed and written to `BENCH_dcsim.json`.
+//! printed and written to `results/BENCH_dcsim.json`.
 
 use dcsim::{Component, Context, Engine, SimDuration, SimTime};
 use serde::Serialize;
@@ -251,14 +251,5 @@ fn main() {
         events_per_workload: total,
         workloads: results,
     };
-    match serde_json::to_string_pretty(&result) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write("BENCH_dcsim.json", json) {
-                eprintln!("warning: cannot write BENCH_dcsim.json: {e}");
-            } else {
-                eprintln!("wrote BENCH_dcsim.json");
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise perf result: {e}"),
-    }
+    bench::write_json("BENCH_dcsim", &result);
 }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+pub mod chaos;
 mod cluster;
 pub mod experiments;
 pub mod probe;

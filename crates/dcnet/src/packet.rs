@@ -100,6 +100,10 @@ pub struct Packet {
     pub ecn: Ecn,
     /// IP time-to-live.
     pub ttl: u8,
+    /// Simulation-only marker set by fault injection: the frame's FCS is
+    /// bad and the receiving MAC must discard it. Never carried on the
+    /// wire format ([`Packet::encode_wire`] ignores it).
+    pub corrupt: bool,
     /// Application payload carried after the UDP header.
     pub payload: Bytes,
 }
@@ -126,6 +130,7 @@ impl Packet {
                 Ecn::NotCapable
             },
             ttl: 64,
+            corrupt: false,
             payload,
         }
     }
@@ -237,6 +242,7 @@ impl Packet {
             class: TrafficClass::new(dscp_ecn >> 5),
             ecn: Ecn::from_bits(dscp_ecn),
             ttl: ip[8],
+            corrupt: false,
             payload,
         })
     }

@@ -189,6 +189,17 @@ pub struct SwitchStats {
     pub no_route: u64,
     /// TTL-expired frames.
     pub ttl_expired: u64,
+    /// Frames lost to an administratively/physically down link
+    /// ([`SwitchCmd::SetLinkUp`]), including frames flushed from the
+    /// egress queue when the link went down.
+    pub link_down_drops: u64,
+    /// Frames lost because the switch was crashed ([`SwitchCmd::Crash`]).
+    pub crash_drops: u64,
+    /// Frames whose FCS was corrupted on egress
+    /// ([`SwitchCmd::CorruptNext`]).
+    pub corrupted: u64,
+    /// Crash/reboot cycles this switch has been through.
+    pub crashes: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -211,6 +222,8 @@ struct Port {
     queued_bytes: [u64; TrafficClass::COUNT],
     tx_paused: [bool; TrafficClass::COUNT],
     busy: bool,
+    up: bool,
+    corrupt_pending: u32,
     ingress_bytes: [u64; TrafficClass::COUNT],
     pause_sent: [bool; TrafficClass::COUNT],
 }
@@ -224,11 +237,34 @@ impl Port {
             queued_bytes: [0; TrafficClass::COUNT],
             tx_paused: [false; TrafficClass::COUNT],
             busy: false,
+            up: true,
+            corrupt_pending: 0,
             ingress_bytes: [0; TrafficClass::COUNT],
             pause_sent: [false; TrafficClass::COUNT],
         }
     }
+
+    /// Drops all buffered frames and clears link-local protocol state
+    /// (PFC pause bookkeeping), as a real port does on link-down or
+    /// switch reset. Returns the number of frames flushed.
+    fn flush(&mut self) -> u64 {
+        let mut flushed = 0;
+        for q in &mut self.queues {
+            flushed += q.len() as u64;
+            q.clear();
+        }
+        self.queued_bytes = [0; TrafficClass::COUNT];
+        self.tx_paused = [false; TrafficClass::COUNT];
+        self.ingress_bytes = [0; TrafficClass::COUNT];
+        self.pause_sent = [false; TrafficClass::COUNT];
+        self.corrupt_pending = 0;
+        flushed
+    }
 }
+
+/// Timer token used for the crash-reboot timer; port serialization timers
+/// use the port index, which can never reach this sentinel.
+const REBOOT_TOKEN: u64 = u64::MAX;
 
 /// Operator commands a switch accepts via [`Msg::custom`] (used by
 /// failure-injection experiments to make a node go dark mid-run).
@@ -237,6 +273,30 @@ pub enum SwitchCmd {
     /// Uncable a port: packets routed to it count as `no_route` and
     /// vanish, exactly like a dead endpoint.
     Disconnect(PortId),
+    /// Takes the port's link down (`up = false`) or back up. While down,
+    /// buffered and newly routed frames are lost (`link_down_drops`) and
+    /// PFC state for the link resets, as on a physical cable pull.
+    SetLinkUp {
+        /// Port whose link changes state.
+        port: PortId,
+        /// New link state.
+        up: bool,
+    },
+    /// Crashes the whole switch: every buffered frame is lost, all
+    /// protocol state resets, and frames arriving before the reboot
+    /// completes are dropped (`crash_drops`).
+    Crash {
+        /// Time until the switch has rebooted and forwards again.
+        reboot_after: SimDuration,
+    },
+    /// Corrupts the FCS of the next `frames` frames leaving `port`
+    /// (a flaky optic / SEU burst): receivers must discard them.
+    CorruptNext {
+        /// Egress port with the flaky transmitter.
+        port: PortId,
+        /// Number of frames to corrupt.
+        frames: u32,
+    },
 }
 
 /// An output-queued switch component.
@@ -245,6 +305,7 @@ pub struct Switch {
     shape: FabricShape,
     cfg: SwitchConfig,
     ports: Vec<Port>,
+    crashed: bool,
     stats: SwitchStats,
 }
 
@@ -262,6 +323,7 @@ impl Switch {
             shape,
             ports: (0..ports).map(|_| Port::new(cfg.link)).collect(),
             cfg,
+            crashed: false,
             stats: SwitchStats::default(),
         }
     }
@@ -303,6 +365,41 @@ impl Switch {
         self.ports[port.index()].peer = None;
     }
 
+    /// Whether `port`'s link is up (see [`SwitchCmd::SetLinkUp`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn link_up(&self, port: PortId) -> bool {
+        self.ports[port.index()].up
+    }
+
+    /// Whether the switch is currently crashed (see [`SwitchCmd::Crash`]).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn set_link_up(&mut self, port: PortId, up: bool) {
+        let p = &mut self.ports[port.index()];
+        if p.up == up {
+            return;
+        }
+        p.up = up;
+        if !up {
+            self.stats.link_down_drops += p.flush();
+        }
+    }
+
+    fn crash(&mut self, reboot_after: SimDuration, ctx: &mut Context<'_, Msg>) {
+        for p in &mut self.ports {
+            self.stats.crash_drops += p.flush();
+            p.busy = false;
+        }
+        self.crashed = true;
+        self.stats.crashes += 1;
+        ctx.timer_after(reboot_after, REBOOT_TOKEN);
+    }
+
     /// Current queue depth in bytes for `port`/`class` (test/diagnostic).
     pub fn queue_bytes(&self, port: PortId, class: TrafficClass) -> u64 {
         self.ports[port.index()].queued_bytes[class.index()]
@@ -334,6 +431,15 @@ impl Switch {
     }
 
     fn handle_packet(&mut self, mut pkt: Packet, ingress: PortId, ctx: &mut Context<'_, Msg>) {
+        if self.crashed {
+            self.stats.crash_drops += 1;
+            return;
+        }
+        if !self.ports[ingress.index()].up {
+            // Frame was in flight when the link went down.
+            self.stats.link_down_drops += 1;
+            return;
+        }
         self.stats.rx_frames += 1;
         if pkt.ttl == 0 {
             self.stats.ttl_expired += 1;
@@ -344,6 +450,10 @@ impl Switch {
         let egress = self.route(pkt.dst, pkt.flow_hash());
         if self.ports[egress.index()].peer.is_none() {
             self.stats.no_route += 1;
+            return;
+        }
+        if !self.ports[egress.index()].up {
+            self.stats.link_down_drops += 1;
             return;
         }
         let class = pkt.class;
@@ -420,7 +530,7 @@ impl Switch {
 
     fn try_transmit(&mut self, egress: PortId, ctx: &mut Context<'_, Msg>) {
         let ei = egress.index();
-        if self.ports[ei].busy {
+        if self.crashed || self.ports[ei].busy || !self.ports[ei].up {
             return;
         }
         // Strict priority: highest non-paused, non-empty class first.
@@ -430,11 +540,16 @@ impl Switch {
         else {
             return;
         };
-        let q = self.ports[ei].queues[ci]
+        let mut q = self.ports[ei].queues[ci]
             .pop_front()
             .expect("class queue checked non-empty");
         let wire = q.pkt.wire_bytes() as u64;
         self.ports[ei].queued_bytes[ci] -= wire;
+        if self.ports[ei].corrupt_pending > 0 {
+            self.ports[ei].corrupt_pending -= 1;
+            q.pkt.corrupt = true;
+            self.stats.corrupted += 1;
+        }
 
         // Release ingress accounting and possibly send XON.
         if self.is_lossless(q.pkt.class) {
@@ -483,6 +598,9 @@ impl Component<Msg> for Switch {
                 ingress,
                 pause,
             }) => {
+                if self.crashed {
+                    return;
+                }
                 self.ports[ingress.index()].tx_paused[class.index()] = pause;
                 if !pause {
                     self.try_transmit(ingress, ctx);
@@ -492,6 +610,11 @@ impl Component<Msg> for Switch {
                 if let Ok(cmd) = any.downcast::<SwitchCmd>() {
                     match *cmd {
                         SwitchCmd::Disconnect(port) => self.disconnect(port),
+                        SwitchCmd::SetLinkUp { port, up } => self.set_link_up(port, up),
+                        SwitchCmd::Crash { reboot_after } => self.crash(reboot_after, ctx),
+                        SwitchCmd::CorruptNext { port, frames } => {
+                            self.ports[port.index()].corrupt_pending += frames;
+                        }
                     }
                 }
             }
@@ -499,6 +622,18 @@ impl Component<Msg> for Switch {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Msg>) {
+        if token == REBOOT_TOKEN {
+            self.crashed = false;
+            for p in &mut self.ports {
+                p.busy = false;
+            }
+            return;
+        }
+        if self.crashed {
+            // Stale serialization timer from before the crash; port state
+            // was already reset.
+            return;
+        }
         let port = PortId(token as u16);
         self.ports[port.index()].busy = false;
         self.try_transmit(port, ctx);
@@ -820,6 +955,153 @@ mod tests {
         assert!(marked >= 5, "marked {marked}");
         let first = &e.component::<Sink>(sink_id).unwrap().packets[0].1;
         assert_eq!(first.ecn, Ecn::Capable, "first packet saw empty queue");
+    }
+
+    #[test]
+    fn link_down_drops_and_link_up_restores() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let sw_id = e.next_component_id();
+        let mut sw = Switch::new(
+            SwitchRole::Tor { pod: 0, tor: 0 },
+            shape(),
+            SwitchConfig::default(),
+        );
+        sw.connect(PortId(2), ComponentId::from_raw(1), PortId(0));
+        e.add_component(sw);
+        let sink_id = e.add_component(Sink::default());
+
+        e.schedule(
+            SimTime::ZERO,
+            sw_id,
+            Msg::custom(SwitchCmd::SetLinkUp {
+                port: PortId(2),
+                up: false,
+            }),
+        );
+        let dropped = mk_pkt(
+            NodeAddr::new(0, 0, 1),
+            NodeAddr::new(0, 0, 2),
+            TrafficClass::LTL,
+            100,
+        );
+        e.schedule(
+            SimTime::from_nanos(10),
+            sw_id,
+            Msg::packet(dropped, PortId(1)),
+        );
+        e.schedule(
+            SimTime::from_micros(10),
+            sw_id,
+            Msg::custom(SwitchCmd::SetLinkUp {
+                port: PortId(2),
+                up: true,
+            }),
+        );
+        let delivered = mk_pkt(
+            NodeAddr::new(0, 0, 1),
+            NodeAddr::new(0, 0, 2),
+            TrafficClass::LTL,
+            100,
+        );
+        e.schedule(
+            SimTime::from_micros(20),
+            sw_id,
+            Msg::packet(delivered, PortId(1)),
+        );
+        e.run_to_idle();
+        assert_eq!(e.component::<Sink>(sink_id).unwrap().packets.len(), 1);
+        let sw = e.component::<Switch>(sw_id).unwrap();
+        assert_eq!(sw.stats().link_down_drops, 1);
+        assert!(sw.link_up(PortId(2)));
+    }
+
+    #[test]
+    fn crash_flushes_and_reboot_restores_forwarding() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let sw_id = e.next_component_id();
+        let mut sw = Switch::new(
+            SwitchRole::Tor { pod: 0, tor: 0 },
+            shape(),
+            SwitchConfig::default(),
+        );
+        sw.connect(PortId(2), ComponentId::from_raw(1), PortId(0));
+        e.add_component(sw);
+        let sink_id = e.add_component(Sink::default());
+
+        e.schedule(
+            SimTime::ZERO,
+            sw_id,
+            Msg::custom(SwitchCmd::Crash {
+                reboot_after: SimDuration::from_micros(100),
+            }),
+        );
+        // Arrives while crashed: lost.
+        let lost = mk_pkt(
+            NodeAddr::new(0, 0, 1),
+            NodeAddr::new(0, 0, 2),
+            TrafficClass::LTL,
+            100,
+        );
+        e.schedule(
+            SimTime::from_micros(50),
+            sw_id,
+            Msg::packet(lost, PortId(1)),
+        );
+        // Arrives after reboot: forwarded.
+        let ok = mk_pkt(
+            NodeAddr::new(0, 0, 1),
+            NodeAddr::new(0, 0, 2),
+            TrafficClass::LTL,
+            100,
+        );
+        e.schedule(SimTime::from_micros(200), sw_id, Msg::packet(ok, PortId(1)));
+        e.run_to_idle();
+        assert_eq!(e.component::<Sink>(sink_id).unwrap().packets.len(), 1);
+        let sw = e.component::<Switch>(sw_id).unwrap();
+        assert!(!sw.is_crashed());
+        assert_eq!(sw.stats().crashes, 1);
+        assert_eq!(sw.stats().crash_drops, 1);
+    }
+
+    #[test]
+    fn corrupt_next_marks_exactly_n_frames() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let sw_id = e.next_component_id();
+        let mut sw = Switch::new(
+            SwitchRole::Tor { pod: 0, tor: 0 },
+            shape(),
+            SwitchConfig::default(),
+        );
+        sw.connect(PortId(2), ComponentId::from_raw(1), PortId(0));
+        e.add_component(sw);
+        let sink_id = e.add_component(Sink::default());
+        e.schedule(
+            SimTime::ZERO,
+            sw_id,
+            Msg::custom(SwitchCmd::CorruptNext {
+                port: PortId(2),
+                frames: 2,
+            }),
+        );
+        for i in 0..4u64 {
+            let pkt = mk_pkt(
+                NodeAddr::new(0, 0, 1),
+                NodeAddr::new(0, 0, 2),
+                TrafficClass::LTL,
+                100,
+            );
+            e.schedule(
+                SimTime::from_nanos(10 + i),
+                sw_id,
+                Msg::packet(pkt, PortId(1)),
+            );
+        }
+        e.run_to_idle();
+        let sink = e.component::<Sink>(sink_id).unwrap();
+        assert_eq!(sink.packets.len(), 4);
+        let corrupt = sink.packets.iter().filter(|(_, p)| p.corrupt).count();
+        assert_eq!(corrupt, 2);
+        assert_eq!(e.component::<Switch>(sw_id).unwrap().stats().corrupted, 2);
     }
 
     #[test]

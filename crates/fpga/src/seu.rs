@@ -97,6 +97,45 @@ impl SeuModel {
             },
         }
     }
+
+    /// Samples the role hangs an accelerated soak of `machines` over
+    /// `days` machine-days would produce, compressed onto a simulation
+    /// window of `horizon`: each hang lands on a uniformly chosen machine
+    /// at a uniform offset into the window. Used by fault plans to turn
+    /// the paper's SEU statistics into concrete injectable events.
+    ///
+    /// Returns `(machine index, offset into the window)` pairs sorted by
+    /// offset, so the schedule is deterministic for a given `rng` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is zero.
+    pub fn sample_hang_times(
+        &self,
+        rng: &mut SimRng,
+        machines: u64,
+        days: f64,
+        horizon: SimDuration,
+    ) -> Vec<(usize, SimDuration)> {
+        assert!(machines > 0, "sample_hang_times requires machines > 0");
+        let lambda = self.expected_flips(machines, days) * self.hang_probability;
+        let mut hangs = 0u64;
+        let mut acc = rng.exp(1.0);
+        while acc < lambda {
+            hangs += 1;
+            acc += rng.exp(1.0);
+        }
+        let span = horizon.as_nanos() as f64;
+        let mut out: Vec<(usize, SimDuration)> = (0..hangs)
+            .map(|_| {
+                let machine = rng.index(machines as usize);
+                let at = SimDuration::from_nanos((rng.uniform() * span) as u64);
+                (machine, at)
+            })
+            .collect();
+        out.sort_by_key(|&(machine, at)| (at, machine));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +199,26 @@ mod tests {
             "latency {}",
             r.mean_detection_latency_s
         );
+    }
+
+    #[test]
+    fn sampled_hang_times_are_sorted_and_in_window() {
+        let m = SeuModel::default();
+        let horizon = SimDuration::from_millis(100);
+        // Enough machine-days that hangs are all but certain.
+        let mut rng = SimRng::seed_from(16);
+        let hangs = m.sample_hang_times(&mut rng, 5_760, 300.0, horizon);
+        assert!(!hangs.is_empty());
+        for w in hangs.windows(2) {
+            assert!(w[0].1 <= w[1].1, "sorted by offset");
+        }
+        for &(machine, at) in &hangs {
+            assert!(machine < 5_760);
+            assert!(at < horizon);
+        }
+        // Deterministic for the same rng seed.
+        let mut rng2 = SimRng::seed_from(16);
+        assert_eq!(m.sample_hang_times(&mut rng2, 5_760, 300.0, horizon), hangs);
     }
 
     #[test]

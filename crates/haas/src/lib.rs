@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 mod fm;
+mod health;
 mod rm;
 mod sm;
 
 pub use fm::{FpgaManager, NodeStatus};
+pub use health::{DeployImage, FailureMonitor, NodeDownReport, RecoveryRecord};
 pub use rm::{AllocError, Constraints, FpgaState, Lease, LeaseId, ResourceManager};
 pub use sm::{HwComponent, ServiceManager};

@@ -20,9 +20,7 @@ use bytes::Bytes;
 use dcnet::{
     LinkParams, LinkTx, Msg, NetEvent, NodeAddr, Packet, PortId, TrafficClass, LTL_UDP_PORT,
 };
-#[cfg(test)]
-use dcsim::SimTime;
-use dcsim::{Component, ComponentId, Context, SimDuration};
+use dcsim::{Component, ComponentId, Context, SimDuration, SimTime};
 
 use crate::ltl::{LtlConfig, LtlEngine, LtlEvent, Poll, RecvConnId, SendConnId};
 use crate::tap::{NetworkTap, PassthroughTap, TapAction};
@@ -37,6 +35,7 @@ const TIMER_NIC_FREE: u64 = 1;
 const TIMER_LTL_TICK: u64 = 2;
 const TIMER_LTL_POLL: u64 = 3;
 const TIMER_RECONFIG_DONE: u64 = 4;
+const TIMER_ROLE_RECOVERED: u64 = 5;
 
 /// Shell timing and protocol configuration.
 #[derive(Debug, Clone)]
@@ -102,6 +101,18 @@ pub enum ShellCmd {
         /// `true` = role-only partial reconfiguration.
         partial: bool,
     },
+    /// Fault injection: drop each egress LTL frame with this probability
+    /// (models a lossy path between this FPGA and the fabric, exercising
+    /// the LTL retransmission machinery). `0.0` disables injection.
+    SetLtlLossRate(f64),
+    /// Fault injection: the role logic wedges (an SEU flipped role state)
+    /// for `duration`. The shell keeps bridging and ACKing — the node
+    /// looks healthy from the network — but LTL deliveries to the
+    /// consumer are lost until the role recovers (scrub / role reset).
+    HangRole {
+        /// How long the role stays wedged.
+        duration: SimDuration,
+    },
 }
 
 /// Delivered LTL message, sent to the registered consumer component.
@@ -147,6 +158,14 @@ pub struct ShellStats {
     pub ltl_rx_frames: u64,
     /// Packets lost while a full reconfiguration had the link down.
     pub reconfig_drops: u64,
+    /// Frames discarded because their FCS was corrupted in the fabric.
+    pub corrupt_drops: u64,
+    /// Egress LTL frames dropped by injected loss
+    /// ([`ShellCmd::SetLtlLossRate`]).
+    pub injected_drops: u64,
+    /// LTL deliveries lost because the role was hung
+    /// ([`ShellCmd::HangRole`]).
+    pub hang_drops: u64,
 }
 
 /// Reconfiguration state of the FPGA.
@@ -193,6 +212,8 @@ pub struct Shell {
     tick_armed: bool,
     poll_armed: bool,
     reconfig: Reconfig,
+    ltl_loss_rate: f64,
+    hang_until: Option<SimTime>,
 }
 
 impl Shell {
@@ -211,7 +232,14 @@ impl Shell {
             tick_armed: false,
             poll_armed: false,
             reconfig: Reconfig::Running,
+            ltl_loss_rate: 0.0,
+            hang_until: None,
         }
+    }
+
+    /// Whether the role is currently wedged by [`ShellCmd::HangRole`].
+    pub fn role_hung(&self) -> bool {
+        self.hang_until.is_some()
     }
 
     /// Whether the bump-in-the-wire is currently forwarding host traffic.
@@ -333,6 +361,12 @@ impl Shell {
             match self.ltl.poll(ctx.now()) {
                 Poll::Ready(pkt) => {
                     self.stats.ltl_tx_frames += 1;
+                    if self.ltl_loss_rate > 0.0 && ctx.rng().chance(self.ltl_loss_rate) {
+                        // Injected loss: the frame vanishes on the wire and
+                        // the retransmission timeout must recover it.
+                        self.stats.injected_drops += 1;
+                        continue;
+                    }
                     // Tx pipeline latency (packetizer + ER + MAC), then wire.
                     ctx.send_to_self_after(
                         self.cfg.ltl_tx_latency,
@@ -368,6 +402,12 @@ impl Shell {
                     vc,
                     payload,
                 } => {
+                    if self.hang_until.is_some() {
+                        // The wedged role consumes and loses the message;
+                        // the shell has already ACKed it.
+                        self.stats.hang_drops += 1;
+                        continue;
+                    }
                     if let Some(consumer) = self.consumer {
                         ctx.send(
                             consumer,
@@ -390,6 +430,12 @@ impl Shell {
     }
 
     fn on_packet(&mut self, pkt: Packet, ingress: PortId, ctx: &mut Context<'_, Msg>) {
+        if pkt.corrupt {
+            // Bad FCS: the MAC discards the frame before any higher layer
+            // sees it. LTL senders recover via retransmission.
+            self.stats.corrupt_drops += 1;
+            return;
+        }
         if self.reconfig == Reconfig::Full {
             // The link is down during a full reconfiguration; the server
             // is unreachable until the image load completes.
@@ -508,6 +554,16 @@ impl Component<Msg> for Shell {
                                     self.reconfig = state;
                                     ctx.timer_after(t, TIMER_RECONFIG_DONE);
                                 }
+                                ShellCmd::SetLtlLossRate(rate) => {
+                                    self.ltl_loss_rate = rate.clamp(0.0, 1.0);
+                                }
+                                ShellCmd::HangRole { duration } => {
+                                    let until = ctx.now() + duration;
+                                    if self.hang_until.is_none_or(|t| until > t) {
+                                        self.hang_until = Some(until);
+                                    }
+                                    ctx.timer_after(duration, TIMER_ROLE_RECOVERED);
+                                }
                             }
                         }
                     }
@@ -547,6 +603,13 @@ impl Component<Msg> for Shell {
             TIMER_RECONFIG_DONE => {
                 self.reconfig = Reconfig::Running;
                 self.pump_ltl(ctx);
+            }
+            TIMER_ROLE_RECOVERED => {
+                // Only the timer for the furthest-out hang clears the state
+                // (overlapping hangs extend, never shorten).
+                if self.hang_until.is_some_and(|t| ctx.now() >= t) {
+                    self.hang_until = None;
+                }
             }
             other => panic!("unknown shell timer {other}"),
         }
@@ -816,6 +879,85 @@ mod tests {
         assert_eq!(probe.failures[0].remote, addr(2));
         // 9 transmissions: original + 8 retries.
         assert!(probe.packets.len() >= 9);
+    }
+
+    #[test]
+    fn corrupt_frames_are_discarded_at_the_mac() {
+        let (mut e, shell, nic, _tor) = rig();
+        let mut pkt = host_pkt(5, 1);
+        pkt.corrupt = true;
+        e.schedule(SimTime::ZERO, shell, Msg::packet(pkt, PORT_TOR));
+        e.run_to_idle();
+        assert!(e.component::<Probe>(nic).unwrap().packets.is_empty());
+        let stats = e.component::<Shell>(shell).unwrap().stats();
+        assert_eq!(stats.corrupt_drops, 1);
+        assert_eq!(stats.bridged_in, 0);
+    }
+
+    #[test]
+    fn injected_ltl_loss_is_recovered_by_retransmission() {
+        let (mut e, a, _b, consumer, a_send) = back_to_back();
+        e.schedule(SimTime::ZERO, a, Msg::custom(ShellCmd::SetLtlLossRate(0.3)));
+        for i in 0..20u64 {
+            e.schedule(
+                SimTime::from_micros(1 + i * 200),
+                a,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: a_send,
+                    vc: 0,
+                    payload: Bytes::from_static(b"lossy"),
+                }),
+            );
+        }
+        e.run_to_idle();
+        let probe = e.component::<Probe>(consumer).unwrap();
+        assert_eq!(probe.deliveries.len(), 20, "exactly-once despite loss");
+        assert!(probe.failures.is_empty());
+        let shell_a = e.component::<Shell>(a).unwrap();
+        assert!(shell_a.stats().injected_drops > 0);
+        assert!(shell_a.ltl().stats().retransmits > 0);
+    }
+
+    #[test]
+    fn hung_role_loses_deliveries_until_recovery() {
+        let (mut e, a, b, consumer, a_send) = back_to_back();
+        e.schedule(
+            SimTime::ZERO,
+            b,
+            Msg::custom(ShellCmd::HangRole {
+                duration: SimDuration::from_micros(100),
+            }),
+        );
+        // During the hang: ACKed by the shell, lost by the role.
+        e.schedule(
+            SimTime::from_micros(1),
+            a,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"wedged"),
+            }),
+        );
+        // After recovery: delivered normally.
+        e.schedule(
+            SimTime::from_micros(200),
+            a,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"recovered"),
+            }),
+        );
+        e.run_to_idle();
+        let probe = e.component::<Probe>(consumer).unwrap();
+        assert_eq!(probe.deliveries.len(), 1);
+        assert_eq!(probe.deliveries[0].1.payload.as_ref(), b"recovered");
+        let shell_b = e.component::<Shell>(b).unwrap();
+        assert_eq!(shell_b.stats().hang_drops, 1);
+        assert!(!shell_b.role_hung());
+        // The sender saw ACKs for both messages: the hang is invisible to
+        // the transport, which is exactly why app-level health checks exist.
+        assert_eq!(e.component::<Shell>(a).unwrap().ltl().in_flight(), 0);
     }
 
     #[test]

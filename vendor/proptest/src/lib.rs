@@ -269,7 +269,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// A length range for [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// A length range for [`vec()`]: an exact `usize` or a `Range<usize>`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
