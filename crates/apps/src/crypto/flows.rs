@@ -20,6 +20,7 @@ use super::gcm::AesGcm;
 use crate::TapStats;
 
 use shell::{NetworkTap, TapAction};
+use telemetry::{MetricSource, MetricVisitor};
 
 /// Magic marker prefixed to encrypted payloads (stand-in for an ESP-style
 /// header).
@@ -204,6 +205,10 @@ impl CryptoTap {
     }
 
     /// Tap counters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the registry view via telemetry::MetricSource::metrics instead"
+    )]
     pub fn stats(&self) -> TapStats {
         self.stats
     }
@@ -346,6 +351,16 @@ impl NetworkTap for CryptoTap {
     }
 }
 
+impl MetricSource for CryptoTap {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("encrypted", self.stats.encrypted);
+        m.counter("decrypted", self.stats.decrypted);
+        m.counter("passed", self.stats.passed);
+        m.counter("auth_failures", self.stats.auth_failures);
+        m.gauge("flows", self.flows.len() as f64);
+    }
+}
+
 impl core::fmt::Debug for CryptoTap {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("CryptoTap")
@@ -356,6 +371,8 @@ impl core::fmt::Debug for CryptoTap {
 }
 
 #[cfg(test)]
+// `stats()` stays covered while it remains a supported (deprecated) shim.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dcnet::TrafficClass;

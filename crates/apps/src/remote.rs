@@ -16,6 +16,7 @@ use dcsim::{Component, ComponentId, Context, PercentileRecorder, SimDuration, Si
 use host::CorePool;
 use shell::ltl::{RecvConnId, SendConnId};
 use shell::{LtlDeliver, ShellCmd};
+use telemetry::{MetricSource, MetricVisitor, TrackTracer};
 
 /// Builds a request payload: an 8-byte id followed by padding to
 /// `total_bytes` (the document/tensor data in the real system).
@@ -66,6 +67,14 @@ pub struct AcceleratorRole {
     service_latencies: PercentileRecorder,
 }
 
+/// Accelerator-role counters (the legacy struct view; [`MetricSource`]
+/// is the registry view of the same numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoleStats {
+    /// Requests served.
+    pub completed: u64,
+}
+
 /// Internal: a reply that becomes ready once its pipeline slot finishes.
 struct ReplyReady {
     conn: SendConnId,
@@ -111,6 +120,14 @@ impl AcceleratorRole {
     /// Requests served.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Role counters as a struct, mirroring the other components' legacy
+    /// `stats()` surface.
+    pub fn stats(&self) -> RoleStats {
+        RoleStats {
+            completed: self.completed,
+        }
     }
 
     /// Accelerator-side queue+service latencies (ns).
@@ -169,6 +186,13 @@ impl Component<Msg> for AcceleratorRole {
     }
 }
 
+impl MetricSource for AcceleratorRole {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("completed", self.completed);
+        m.histogram_samples("service_lat_ns", 1_000, self.service_latencies.iter());
+    }
+}
+
 impl core::fmt::Debug for AcceleratorRole {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("AcceleratorRole")
@@ -210,6 +234,23 @@ pub struct RemoteClient {
     completion_log: Option<Vec<(SimTime, u64)>>,
     retries: u64,
     abandoned: u64,
+    tracer: Option<TrackTracer>,
+}
+
+/// Client counters (the legacy struct view; [`MetricSource`] is the
+/// registry view of the same numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Responses received.
+    pub completed: u64,
+    /// Requests with no response yet.
+    pub outstanding: u64,
+    /// Failovers performed.
+    pub failovers: u64,
+    /// Timeout-driven re-issues performed.
+    pub retries: u64,
+    /// Requests given up on after the attempt budget.
+    pub abandoned: u64,
 }
 
 /// Book-keeping for one in-flight request.
@@ -256,6 +297,26 @@ impl RemoteClient {
             completion_log: None,
             retries: 0,
             abandoned: 0,
+            tracer: None,
+        }
+    }
+
+    /// Installs a flight-recorder track; the client then records one
+    /// `request` complete-span per response (start = first issue, duration
+    /// = end-to-end latency).
+    pub fn set_tracer(&mut self, tracer: TrackTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Client counters as a struct, mirroring the other components' legacy
+    /// `stats()` surface.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            completed: self.latencies.count() as u64,
+            outstanding: self.outstanding.len() as u64,
+            failovers: self.failovers,
+            retries: self.retries,
+            abandoned: self.abandoned,
         }
     }
 
@@ -382,6 +443,17 @@ impl Component<Msg> for RemoteClient {
                             if let Some(log) = &mut self.completion_log {
                                 log.push((ctx.now(), latency.as_nanos()));
                             }
+                            if let Some(tracer) = &self.tracer {
+                                tracer.complete(
+                                    pending.sent,
+                                    latency,
+                                    "request",
+                                    &[
+                                        ("id", id & 0xFFFF_FFFF_FFFF),
+                                        ("attempts", pending.attempts as u64),
+                                    ],
+                                );
+                            }
                         }
                     }
                 }
@@ -453,6 +525,17 @@ impl Component<Msg> for RemoteClient {
             }
         }
         self.ensure_retry_timer(ctx);
+    }
+}
+
+impl MetricSource for RemoteClient {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("completed", self.latencies.count() as u64);
+        m.counter("failovers", self.failovers);
+        m.counter("retries", self.retries);
+        m.counter("abandoned", self.abandoned);
+        m.gauge("outstanding", self.outstanding.len() as f64);
+        m.histogram_samples("latency_ns", 1_000, self.latencies.iter());
     }
 }
 

@@ -10,7 +10,7 @@
 //!       [--fault-rate X]
 //! ```
 
-use catapult::chaos::{ChaosConfig, ChaosRig, Preset};
+use catapult::prelude::*;
 
 /// Parses `--flag value` from the command line.
 fn arg_value(flag: &str) -> Option<String> {
@@ -41,7 +41,7 @@ fn main() {
         ChaosConfig::full(seed, preset)
     };
     if let Some(rate) = arg_value("--fault-rate") {
-        cfg.fault_rate = rate.parse().expect("--fault-rate takes a float");
+        cfg = cfg.with_fault_rate(rate.parse().expect("--fault-rate takes a float"));
     }
 
     let rig = ChaosRig::build(cfg);

@@ -1,7 +1,8 @@
 //! Figure 5: area and frequency breakdown of the production-deployed
 //! shell image with remote acceleration support.
 
-use catapult::experiments::{fig05_summary, fig05_table};
+use catapult::prelude::*;
+use experiments::{fig05_summary, fig05_table};
 
 fn main() {
     bench::header("Figure 5", "Shell area/frequency breakdown");

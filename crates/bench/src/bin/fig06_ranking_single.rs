@@ -2,7 +2,8 @@
 //! single server, software vs local FPGA. Paper: at the target 99th
 //! percentile latency, the FPGA sustains 2.25x the software throughput.
 
-use catapult::experiments::{fig06, RankingSweepParams};
+use catapult::prelude::*;
+use experiments::{fig06, RankingSweepParams};
 
 fn main() {
     bench::header("Figure 6", "Ranking latency vs throughput (single box)");

@@ -3,7 +3,8 @@
 //! datacenter shows latency spikes as load varies; the FPGA datacenter
 //! holds lower, tighter latencies at much higher served load.
 
-use catapult::experiments::{production, ProductionParams};
+use catapult::prelude::*;
+use experiments::{production, ProductionParams};
 
 fn main() {
     bench::header(

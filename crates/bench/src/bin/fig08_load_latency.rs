@@ -3,7 +3,8 @@
 //! is capped by the load balancer; the FPGA datacenter absorbs more than
 //! twice the load while never exceeding the software latency.
 
-use catapult::experiments::{production, ProductionParams};
+use catapult::prelude::*;
+use experiments::{production, ProductionParams};
 
 fn main() {
     bench::header("Figure 8", "Query p99.9 latency vs offered load");

@@ -3,8 +3,18 @@
 //! Paper: L0 avg 2.88 µs (p99.9 2.9), L1 avg 7.72 µs (p99.9 8.24),
 //! L2 avg 18.71 µs (p99.9 22.38, never above 23.5); torus 1 µs 1-hop,
 //! 7 µs worst case, capped at 48 FPGAs.
+//!
+//! Pass `--trace` to also record each tier's flight-recorder timeline and
+//! write it as Chrome trace-event JSON (`results/fig10_trace_<tier>.json`,
+//! loadable in Perfetto / `chrome://tracing`).
 
-use catapult::experiments::fig10;
+use catapult::prelude::*;
+use catapult::telemetry::json::validate_chrome_trace;
+use experiments::fig10;
+
+/// Ring-buffer capacity for `--trace` runs: enough for every probe event
+/// at quick scale without letting full scale allocate without bound.
+const TRACE_EVENTS: usize = 262_144;
 
 fn main() {
     bench::header("Figure 10", "LTL round-trip latency vs reachable hosts");
@@ -18,17 +28,23 @@ fn main() {
     } else {
         fig10::Fig10Params::default()
     };
+    let tracing = std::env::args().any(|a| a == "--trace");
     println!(
         "fabric: {} pods ({} hosts), {} pairs/tier x {} probes",
         params.pods,
-        catapult::calib::paper_shape(params.pods).total_hosts(),
+        calib::paper_shape(params.pods).total_hosts(),
         params.pairs_per_tier,
         params.probes_per_pair
     );
-    let result = fig10::run(&params);
+    let (result, traces) = fig10::run_traced(&params, if tracing { TRACE_EVENTS } else { 0 });
     println!("{}", result.table());
     println!("paper:   L0 2.88/2.90  L1 7.72/8.24  L2 18.71/22.38 (max 23.5) us; torus 1-7us @48");
     bench::write_json("fig10_ltl_latency", &result);
+    for (tier, trace) in ["l0", "l1", "l2"].iter().zip(&traces) {
+        validate_chrome_trace(trace)
+            .expect("flight-recorder export must be valid Chrome trace JSON");
+        bench::write_raw(&format!("fig10_trace_{tier}.json"), trace);
+    }
 
     // The paper's idle-rate numbers were taken on a shared network; show
     // the same probes with 20 Gb/s of best-effort cross-traffic through

@@ -3,7 +3,8 @@
 //! through the simulated network; the paper finds the latency overhead of
 //! remote access minimal across the throughput range.
 
-use catapult::experiments::{fig11, RankingSweepParams};
+use catapult::prelude::*;
+use experiments::{fig11, RankingSweepParams};
 
 fn main() {
     bench::header("Figure 11", "Remote acceleration of ranking over LTL");

@@ -3,7 +3,8 @@
 //! locally-attached performance. Paper at 1:1: +1% average, +4.7% p95,
 //! +32% p99; saturation at ~22.5 clients per FPGA.
 
-use catapult::experiments::{fig12, Fig12Params};
+use catapult::prelude::*;
+use experiments::{fig12, Fig12Params};
 
 fn main() {
     bench::header("Figure 12", "Remote DNN pool oversubscription");

@@ -15,7 +15,7 @@
 //! dispatch, same outbox, only the pending-event set differs. Results are
 //! printed and written to `results/BENCH_dcsim.json`.
 
-use dcsim::{Component, Context, Engine, SimDuration, SimTime};
+use catapult::prelude::*;
 use serde::Serialize;
 use std::time::Instant;
 

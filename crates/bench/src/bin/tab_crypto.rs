@@ -3,7 +3,8 @@
 //! this crate's AES implementations.
 
 use apps::crypto::{Aes, AesGcm};
-use catapult::experiments::crypto_table;
+use catapult::prelude::*;
+use experiments::crypto_table;
 use std::time::Instant;
 
 fn measure_impl_throughput() {

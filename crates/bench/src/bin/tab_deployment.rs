@@ -1,7 +1,8 @@
 //! Section II-B: the 5,760-server one-month deployment soak, reproduced by
 //! failure injection at the paper's measured rates.
 
-use catapult::experiments::deployment_table;
+use catapult::prelude::*;
+use experiments::deployment_table;
 
 fn main() {
     bench::header("Section II-B", "Deployment soak failure statistics");

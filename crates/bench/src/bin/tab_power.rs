@@ -1,7 +1,8 @@
 //! Section II: the power-virus measurement — 29.2 W worst case against the
 //! 32 W TDP and 35 W electrical limit.
 
-use catapult::experiments::power_table;
+use catapult::prelude::*;
+use experiments::power_table;
 
 fn main() {
     bench::header("Section II", "Board power: virus vs TDP");

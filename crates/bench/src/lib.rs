@@ -35,6 +35,23 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Writes a pre-rendered document (e.g. a Chrome trace export) verbatim
+/// to `results/<name>` (best effort; failures are reported but not
+/// fatal).
+pub fn write_raw(name: &str, content: &str) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 /// Prints a standard experiment header.
 pub fn header(id: &str, title: &str) {
     println!("=== {id}: {title} ===");

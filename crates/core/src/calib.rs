@@ -31,46 +31,38 @@ pub enum Tier {
 
 /// Paper-calibrated shell configuration.
 pub fn shell_config() -> ShellConfig {
-    ShellConfig {
-        ltl_tx_latency: SimDuration::from_nanos(460),
-        ltl_rx_latency: SimDuration::from_nanos(450),
-        tor_link: LinkParams::gbe40(SimDuration::from_nanos(100)),
-        nic_link: LinkParams::gbe40(SimDuration::from_nanos(100)),
-        ..ShellConfig::default()
-    }
+    ShellConfig::default()
+        .with_ltl_tx_latency(SimDuration::from_nanos(460))
+        .with_ltl_rx_latency(SimDuration::from_nanos(450))
+        .with_tor_link(LinkParams::gbe40(SimDuration::from_nanos(100)))
+        .with_nic_link(LinkParams::gbe40(SimDuration::from_nanos(100)))
 }
 
 /// Paper-calibrated fabric configuration for the given shape.
 pub fn fabric_config(shape: FabricShape) -> FabricConfig {
     FabricConfig {
         shape,
-        tor: SwitchConfig {
-            base_latency: SimDuration::from_nanos(280),
-            jitter: Some(Jitter {
+        tor: SwitchConfig::default()
+            .with_base_latency(SimDuration::from_nanos(280))
+            .with_jitter(Jitter {
                 median_ns: 8.0,
                 sigma: 0.5,
-            }),
-            link: LinkParams::gbe40(SimDuration::from_nanos(100)),
-            ..SwitchConfig::default()
-        },
-        agg: SwitchConfig {
-            base_latency: SimDuration::from_nanos(1_560),
-            jitter: Some(Jitter {
+            })
+            .with_link(LinkParams::gbe40(SimDuration::from_nanos(100))),
+        agg: SwitchConfig::default()
+            .with_base_latency(SimDuration::from_nanos(1_560))
+            .with_jitter(Jitter {
                 median_ns: 45.0,
                 sigma: 0.85,
-            }),
-            link: LinkParams::gbe40(SimDuration::from_nanos(370)),
-            ..SwitchConfig::default()
-        },
-        spine: SwitchConfig {
-            base_latency: SimDuration::from_nanos(2_610),
-            jitter: Some(Jitter {
+            })
+            .with_link(LinkParams::gbe40(SimDuration::from_nanos(370))),
+        spine: SwitchConfig::default()
+            .with_base_latency(SimDuration::from_nanos(2_610))
+            .with_jitter(Jitter {
                 median_ns: 260.0,
                 sigma: 0.88,
-            }),
-            link: LinkParams::gbe40(SimDuration::from_nanos(485)),
-            ..SwitchConfig::default()
-        },
+            })
+            .with_link(LinkParams::gbe40(SimDuration::from_nanos(485))),
     }
 }
 

@@ -26,11 +26,11 @@
 //! assert!(report.recovery.failovers >= 1);
 //! ```
 
-use dcnet::{Msg, NodeAddr, PortId, Switch, SwitchCmd, SwitchStats};
+use dcnet::{Msg, NodeAddr, PortId, SwitchCmd};
 use dcsim::{ComponentId, SimDuration, SimRng, SimTime};
 use fpga::{Image, SeuModel};
 use serde::Serialize;
-use shell::ltl::{LtlStats, SendConnId};
+use shell::ltl::SendConnId;
 use shell::{ShellCmd, ShellConfig};
 
 use apps::remote::{AcceleratorRole, IssueRequest, RemoteClient, StallFor};
@@ -427,14 +427,92 @@ impl ChaosConfig {
             ..ChaosConfig::full(seed, preset)
         }
     }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> ChaosConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault scenario.
+    pub fn with_preset(mut self, preset: Preset) -> ChaosConfig {
+        self.preset = preset;
+        self
+    }
+
+    /// Scales the random preset's expected fault counts.
+    pub fn with_fault_rate(mut self, rate: f64) -> ChaosConfig {
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Sets the run length.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> ChaosConfig {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the per-client request period.
+    pub fn with_request_period(mut self, period: SimDuration) -> ChaosConfig {
+        self.request_period = period;
+        self
+    }
+
+    /// Sets the number of ranking-service (client, primary, spare) triples.
+    pub fn with_ranking_pairs(mut self, pairs: usize) -> ChaosConfig {
+        self.ranking_pairs = pairs;
+        self
+    }
+
+    /// Sets the number of DNN-pool (client, primary, spare) triples.
+    pub fn with_dnn_pairs(mut self, pairs: usize) -> ChaosConfig {
+        self.dnn_pairs = pairs;
+        self
+    }
+
+    /// Sets the client retry timeout and attempt budget.
+    pub fn with_request_timeout(mut self, timeout: SimDuration, max_attempts: u32) -> ChaosConfig {
+        self.request_timeout = timeout;
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the degraded-completion latency threshold.
+    pub fn with_degraded_threshold(mut self, threshold: SimDuration) -> ChaosConfig {
+        self.degraded_threshold = threshold;
+        self
+    }
+
+    /// Sets the width of the per-fault during/after latency windows.
+    pub fn with_fault_window(mut self, window: SimDuration) -> ChaosConfig {
+        self.fault_window = window;
+        self
+    }
+
+    /// Sets the repair delay; `None` keeps failed nodes out of the pool.
+    pub fn with_repair_after(mut self, repair: Option<SimDuration>) -> ChaosConfig {
+        self.repair_after = repair;
+        self
+    }
+
+    /// Sets the full-chip reconfiguration time.
+    pub fn with_full_reconfig(mut self, reconfig: SimDuration) -> ChaosConfig {
+        self.full_reconfig = reconfig;
+        self
+    }
+}
+
+impl Default for ChaosConfig {
+    /// The full-length run at seed 0 with the random fault mix.
+    fn default() -> ChaosConfig {
+        ChaosConfig::full(0, Preset::Random)
+    }
 }
 
 /// One workload triple: a client host plus its primary and spare
 /// accelerators.
 struct Triple {
     client_addr: NodeAddr,
-    primary: NodeAddr,
-    spare: NodeAddr,
     client_id: ComponentId,
     primary_role: ComponentId,
     spare_role: ComponentId,
@@ -546,8 +624,6 @@ impl ChaosRig {
             cluster.set_consumer(client_addr, client_id);
             triples.push(Triple {
                 client_addr,
-                primary,
-                spare,
                 client_id,
                 primary_role,
                 spare_role,
@@ -926,18 +1002,20 @@ fn build_report(rig: ChaosRig) -> ChaosReport {
             .engine()
             .component::<RemoteClient>(t.client_id)
             .expect("client registered");
-        completed += c.completed() as u64;
-        lost += c.abandoned();
-        stranded += c.outstanding() as u64;
-        failovers += c.failovers();
-        client_retries += c.retries();
+        let cs = c.stats();
+        completed += cs.completed;
+        lost += cs.abandoned;
+        stranded += cs.outstanding;
+        failovers += cs.failovers;
+        client_retries += cs.retries;
         completions.extend_from_slice(c.completion_log().expect("log enabled"));
         let served = |id| {
             cluster
                 .engine()
                 .component::<AcceleratorRole>(id)
                 .expect("role registered")
-                .completed()
+                .stats()
+                .completed
         };
         served_by_primaries += served(t.primary_role);
         served_by_spares += served(t.spare_role);
@@ -1019,58 +1097,28 @@ fn build_report(rig: ChaosRig) -> ChaosReport {
         records,
     };
 
-    // Shell/LTL counters summed in triple order.
-    let mut transport = TransportStats {
-        retransmits: 0,
-        timeouts: 0,
-        conn_failures: 0,
-        duplicates: 0,
-        msgs_delivered: 0,
-        corrupt_drops: 0,
-        hang_drops: 0,
-        reconfig_drops: 0,
+    // Transport and fabric sections come from one registry snapshot:
+    // every shell (LTL included) and every switch publishes through
+    // `telemetry::MetricSource`, and suffix sums aggregate across the
+    // cluster in deterministic path order.
+    let snap = cluster.metrics_snapshot();
+    let transport = TransportStats {
+        retransmits: snap.sum_counters("ltl/retransmits"),
+        timeouts: snap.sum_counters("ltl/timeouts"),
+        conn_failures: snap.sum_counters("ltl/conn_failures"),
+        duplicates: snap.sum_counters("ltl/duplicates"),
+        msgs_delivered: snap.sum_counters("ltl/msgs_delivered"),
+        corrupt_drops: snap.sum_counters("corrupt_drops"),
+        hang_drops: snap.sum_counters("hang_drops"),
+        reconfig_drops: snap.sum_counters("reconfig_drops"),
     };
-    let mut shell_addrs: Vec<NodeAddr> = Vec::new();
-    for t in &triples {
-        shell_addrs.extend([t.client_addr, t.primary, t.spare]);
-    }
-    for addr in shell_addrs {
-        let shell = cluster.shell(addr);
-        let s = shell.stats();
-        let l: LtlStats = shell.ltl().stats();
-        transport.retransmits += l.retransmits;
-        transport.timeouts += l.timeouts;
-        transport.conn_failures += l.conn_failures;
-        transport.duplicates += l.duplicates;
-        transport.msgs_delivered += l.msgs_delivered;
-        transport.corrupt_drops += s.corrupt_drops;
-        transport.hang_drops += s.hang_drops;
-        transport.reconfig_drops += s.reconfig_drops;
-    }
-
-    // Switch counters over the whole fabric, in topology order.
-    let mut fabric = FabricStats {
-        link_down_drops: 0,
-        crash_drops: 0,
-        corrupted: 0,
-        crashes: 0,
-        congestion_drops: 0,
+    let fabric = FabricStats {
+        link_down_drops: snap.sum_counters("link_down_drops"),
+        crash_drops: snap.sum_counters("crash_drops"),
+        corrupted: snap.sum_counters("corrupted"),
+        crashes: snap.sum_counters("crashes"),
+        congestion_drops: snap.sum_counters("dropped"),
     };
-    let mut switch_ids: Vec<ComponentId> = cluster.fabric().tor_switches().to_vec();
-    switch_ids.push(cluster.fabric().agg_switch(0));
-    switch_ids.extend_from_slice(cluster.fabric().spine_switches());
-    for id in switch_ids {
-        let s: SwitchStats = cluster
-            .engine()
-            .component::<Switch>(id)
-            .expect("fabric switch")
-            .stats();
-        fabric.link_down_drops += s.link_down_drops;
-        fabric.crash_drops += s.crash_drops;
-        fabric.corrupted += s.corrupted;
-        fabric.crashes += s.crashes;
-        fabric.congestion_drops += s.dropped;
-    }
 
     ChaosReport {
         seed: cfg.seed,

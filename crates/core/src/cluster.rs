@@ -5,19 +5,23 @@
 //! experiments need: attaching shells to TORs, opening LTL connection
 //! pairs, registering consumers, and running the clock.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use dcnet::{Fabric, FabricConfig, Msg, NodeAddr};
+use dcnet::{Fabric, FabricConfig, Msg, NodeAddr, Switch};
 use dcsim::{ComponentId, Engine, SimDuration, SimTime};
 use shell::ltl::{RecvConnId, SendConnId};
 use shell::{Shell, ShellConfig, PORT_TOR};
+use telemetry::{MetricsSnapshot, Tracer};
 
 /// A built cluster: engine + fabric + shells.
 pub struct Cluster {
     engine: Engine<Msg>,
     fabric: Fabric,
     shell_cfg: ShellConfig,
-    shells: HashMap<NodeAddr, ComponentId>,
+    /// Populated slots in address order, so registry snapshots and trace
+    /// track registration are deterministic.
+    shells: BTreeMap<NodeAddr, ComponentId>,
+    tracer: Option<Tracer>,
 }
 
 impl Cluster {
@@ -29,7 +33,8 @@ impl Cluster {
             engine,
             fabric,
             shell_cfg,
-            shells: HashMap::new(),
+            shells: BTreeMap::new(),
+            tracer: None,
         }
     }
 
@@ -60,6 +65,9 @@ impl Cluster {
             .fabric
             .attach(&mut self.engine, addr, shell_id, PORT_TOR);
         shell.connect_tor(attachment.tor, attachment.port);
+        if let Some(tracer) = &self.tracer {
+            shell.set_tracer(tracer.track(&format!("shell/{addr}")));
+        }
         let id = self.engine.add_component(shell);
         debug_assert_eq!(id, shell_id);
         self.shells.insert(addr, id);
@@ -162,6 +170,89 @@ impl Cluster {
     /// Iterates over populated slots.
     pub fn shells(&self) -> impl Iterator<Item = (NodeAddr, ComponentId)> + '_ {
         self.shells.iter().map(|(&a, &id)| (a, id))
+    }
+
+    /// Turns on flight-recorder tracing with a ring buffer of `capacity`
+    /// events, installing a track per switch and per populated shell.
+    ///
+    /// Shells added after this call are traced too. Call before running
+    /// the clock; events emitted while tracing is off are simply not
+    /// recorded.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        let tracer = Tracer::new(capacity);
+        let shape = self.fabric.shape();
+        for pod in 0..shape.pods {
+            for tor in 0..shape.tors_per_pod {
+                let id = self.fabric.tor_switch(pod, tor);
+                let track = tracer.track(&format!("tor{pod:02}.{tor:02}"));
+                if let Some(sw) = self.engine.component_mut::<Switch>(id) {
+                    sw.set_tracer(track);
+                }
+            }
+        }
+        for pod in 0..shape.pods {
+            let id = self.fabric.agg_switch(pod);
+            let track = tracer.track(&format!("agg{pod:02}"));
+            if let Some(sw) = self.engine.component_mut::<Switch>(id) {
+                sw.set_tracer(track);
+            }
+        }
+        for (i, &id) in self.fabric.spine_switches().iter().enumerate() {
+            let track = tracer.track(&format!("spine{i:02}"));
+            if let Some(sw) = self.engine.component_mut::<Switch>(id) {
+                sw.set_tracer(track);
+            }
+        }
+        let slots: Vec<(NodeAddr, ComponentId)> = self.shells().collect();
+        for (addr, id) in slots {
+            let track = tracer.track(&format!("shell/{addr}"));
+            if let Some(shell) = self.engine.component_mut::<Shell>(id) {
+                shell.set_tracer(track);
+            }
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The flight recorder, if [`Cluster::enable_tracing`] has been called.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// One registry snapshot covering every switch and shell, taken at the
+    /// current simulated time.
+    ///
+    /// Component paths are stable across runs: `fabric/torPP.TT`,
+    /// `fabric/aggPP`, `fabric/spineII` in topology order, then
+    /// `shellP.T.H` in address order, so the serialized snapshot is
+    /// byte-identical for identical seeds.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new(self.now());
+        let shape = self.fabric.shape();
+        for pod in 0..shape.pods {
+            for tor in 0..shape.tors_per_pod {
+                let id = self.fabric.tor_switch(pod, tor);
+                if let Some(sw) = self.engine.component::<Switch>(id) {
+                    snap.visit(&format!("fabric/tor{pod:02}.{tor:02}"), sw);
+                }
+            }
+        }
+        for pod in 0..shape.pods {
+            let id = self.fabric.agg_switch(pod);
+            if let Some(sw) = self.engine.component::<Switch>(id) {
+                snap.visit(&format!("fabric/agg{pod:02}"), sw);
+            }
+        }
+        for (i, &id) in self.fabric.spine_switches().iter().enumerate() {
+            if let Some(sw) = self.engine.component::<Switch>(id) {
+                snap.visit(&format!("fabric/spine{i:02}"), sw);
+            }
+        }
+        for (&addr, &id) in &self.shells {
+            if let Some(shell) = self.engine.component::<Shell>(id) {
+                snap.visit(&format!("shell/{addr}"), shell);
+            }
+        }
+        snap
     }
 }
 

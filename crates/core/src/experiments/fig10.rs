@@ -7,8 +7,9 @@
 //! receipt of the corresponding ACK.
 
 use dcnet::NodeAddr;
-use dcsim::{PercentileRecorder, SimDuration, SimTime};
+use dcsim::{SimDuration, SimTime};
 use serde::Serialize;
+use telemetry::Histogram;
 
 use crate::calib::{paper_shape, reachable_hosts, Tier};
 use crate::cluster::Cluster;
@@ -191,9 +192,17 @@ fn add_background(cluster: &mut Cluster, near: NodeAddr, gbps: f64) {
 /// merged RTT row. Tiers use disjoint rack sets, so giving each tier an
 /// independent fabric reproduces the shared-fabric measurements while
 /// letting the three tiers run on separate threads.
-fn run_tier(params: &Fig10Params, ti: usize, tier: Tier) -> TierRow {
+fn run_tier(
+    params: &Fig10Params,
+    ti: usize,
+    tier: Tier,
+    trace_capacity: usize,
+) -> (TierRow, Option<String>) {
     let shape = paper_shape(params.pods);
     let mut cluster = Cluster::paper_scale(params.seed.wrapping_add(ti as u64), params.pods);
+    if trace_capacity > 0 {
+        cluster.enable_tracing(trace_capacity);
+    }
     let pairs = tier_pairs(tier, params.pairs_per_tier, params.pods);
     for (pi, &(a, b)) in pairs.iter().enumerate() {
         cluster.add_shell(a);
@@ -225,50 +234,65 @@ fn run_tier(params: &Fig10Params, ti: usize, tier: Tier) -> TierRow {
         cluster.run_to_idle();
     }
 
-    let mut all = PercentileRecorder::new();
-    for &(a, _) in &pairs {
-        let shell = cluster.shell_mut(a);
-        all.extend(shell.ltl_mut().rtts_mut().iter());
-    }
-    let samples = all.count();
+    // One registry snapshot covers every shell; the merged LTL RTT
+    // histogram (250 ns buckets, exact percentiles) replaces the old
+    // per-shell recorder gathering.
+    let snap = cluster.metrics_snapshot();
+    let rtts = snap
+        .merged_histogram("ltl/rtt_ns")
+        .unwrap_or_else(|| Histogram::with_bucket_width(250).snapshot());
     let label = match tier {
         Tier::L0 => "L0",
         Tier::L1 => "L1",
         Tier::L2 => "L2",
     };
-    // 0.25 us histogram buckets over the observed range.
-    let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
-    for ns in all.iter() {
-        *counts.entry(ns / 250).or_default() += 1;
-    }
-    let histogram = counts
-        .into_iter()
-        .map(|(b, c)| (b as f64 * 0.25, c))
+    let histogram = rtts
+        .buckets
+        .iter()
+        .map(|&(start_ns, c)| (start_ns as f64 / 1_000.0, c as usize))
         .collect();
-    TierRow {
+    let trace = cluster.tracer().map(|t| t.to_chrome_json());
+    let row = TierRow {
         tier: label.to_string(),
         reachable_hosts: reachable_hosts(tier, shape),
-        avg_us: all.mean() / 1_000.0,
-        p999_us: all.percentile(99.9).unwrap_or(0) as f64 / 1_000.0,
-        max_us: all.max().unwrap_or(0) as f64 / 1_000.0,
-        samples,
+        avg_us: rtts.mean / 1_000.0,
+        p999_us: rtts.p999.unwrap_or(0) as f64 / 1_000.0,
+        max_us: rtts.max.unwrap_or(0) as f64 / 1_000.0,
+        samples: rtts.count as usize,
         histogram,
-    }
+    };
+    (row, trace)
 }
 
 /// Runs the Figure 10 experiment.
 pub fn run(params: &Fig10Params) -> Fig10Result {
+    run_traced(params, 0).0
+}
+
+/// Runs the Figure 10 experiment with the flight recorder on: each tier's
+/// cluster keeps up to `trace_capacity` events (0 disables tracing), and
+/// the per-tier Chrome trace-event JSON documents come back alongside the
+/// result, in L0/L1/L2 order.
+pub fn run_traced(params: &Fig10Params, trace_capacity: usize) -> (Fig10Result, Vec<String>) {
     assert!(params.pods >= 2, "L2 needs at least two pods");
     let tiers = [Tier::L0, Tier::L1, Tier::L2];
     let jobs: Vec<(usize, Tier)> = tiers.iter().copied().enumerate().collect();
-    let rows = crate::sweep::parallel_map(jobs, |(ti, tier)| run_tier(params, ti, tier));
+    let out = crate::sweep::parallel_map(jobs, |(ti, tier)| {
+        run_tier(params, ti, tier, trace_capacity)
+    });
+    let mut rows = Vec::with_capacity(out.len());
+    let mut traces = Vec::new();
+    for (row, trace) in out {
+        rows.push(row);
+        traces.extend(trace);
+    }
 
     let torus = torus::Torus::new(torus::TorusConfig::catapult_v1());
     let (avg, worst) = torus.rtt_statistics();
     let nearest = torus
         .rtt((0, 0), (1, 0))
         .expect("healthy torus neighbours are reachable");
-    Fig10Result {
+    let result = Fig10Result {
         tiers: rows,
         torus: TorusRow {
             reachable_hosts: torus.node_count(),
@@ -276,5 +300,6 @@ pub fn run(params: &Fig10Params) -> Fig10Result {
             avg_us: avg.as_micros_f64(),
             worst_us: worst.as_micros_f64(),
         },
-    }
+    };
+    (result, traces)
 }

@@ -13,6 +13,7 @@ use dcsim::{PercentileRecorder, SimDuration, SimRng, SimTime};
 use haas::{Constraints, ResourceManager, ServiceManager};
 use host::{CorePool, OpenLoopGen, PcieModel, StartGenerator};
 use serde::Serialize;
+use telemetry::Histogram;
 
 use crate::cluster::Cluster;
 
@@ -233,19 +234,26 @@ fn run_ratio(params: &Fig12Params, ratio: f64, seed: u64) -> (f64, f64, f64, usi
 
     cluster.run_to_idle();
 
-    let mut merged = PercentileRecorder::new();
-    for id in client_ids {
+    // Clients publish through the registry like everything else: extend
+    // the cluster snapshot with one child per client (zero-padded so the
+    // registry's path order matches wiring order) and read the row off
+    // the merged end-to-end latency histogram.
+    let mut snap = cluster.metrics_snapshot();
+    for (i, &id) in client_ids.iter().enumerate() {
         let client = cluster
-            .engine_mut()
-            .component_mut::<RemoteClient>(id)
+            .engine()
+            .component::<RemoteClient>(id)
             .expect("client registered");
-        merged.extend(client.latencies_mut().iter());
+        snap.visit(&format!("client{i:03}"), client);
     }
+    let merged = snap
+        .merged_histogram("latency_ns")
+        .unwrap_or_else(|| Histogram::new().snapshot());
     (
-        merged.mean() / 1e3,
+        merged.mean / 1e3,
         merged.percentile(95.0).unwrap_or(0) as f64 / 1e3,
-        merged.percentile(99.0).unwrap_or(0) as f64 / 1e3,
-        merged.count(),
+        merged.p99.unwrap_or(0) as f64 / 1e3,
+        merged.count as usize,
     )
 }
 

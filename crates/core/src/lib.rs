@@ -60,3 +60,22 @@ pub mod probe;
 pub mod sweep;
 
 pub use cluster::Cluster;
+pub use telemetry;
+
+/// One-stop imports for experiment drivers and binaries.
+///
+/// Pulls the cluster-assembly types, the experiment modules and the
+/// telemetry registry surface into scope with a single
+/// `use catapult::prelude::*;`.
+pub mod prelude {
+    pub use crate::calib::{self, Tier};
+    pub use crate::chaos::{ChaosConfig, ChaosReport, ChaosRig, Preset};
+    pub use crate::experiments;
+    pub use crate::probe::schedule_probes;
+    pub use crate::Cluster;
+    pub use dcnet::{FabricConfig, FabricShape, Msg, NodeAddr};
+    pub use dcsim::{Component, ComponentId, Context, Engine, SimDuration, SimTime};
+    pub use shell::ltl::LtlConfig;
+    pub use shell::{Shell, ShellConfig};
+    pub use telemetry::{MetricSource, MetricsSnapshot, Tracer};
+}

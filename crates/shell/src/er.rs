@@ -17,6 +17,8 @@
 
 use std::collections::VecDeque;
 
+use telemetry::{MetricSource, MetricVisitor};
+
 /// How input-buffer credits are allocated across VCs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CreditPolicy {
@@ -56,6 +58,44 @@ impl Default for ErConfig {
             shared_credits: 8,
             policy: CreditPolicy::Elastic,
         }
+    }
+}
+
+impl ErConfig {
+    /// Sets the number of ports.
+    pub fn with_ports(mut self, ports: usize) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Sets the number of virtual channels per link.
+    pub fn with_vcs(mut self, vcs: usize) -> Self {
+        self.vcs = vcs;
+        self
+    }
+
+    /// Sets the flit payload size in bytes.
+    pub fn with_flit_bytes(mut self, bytes: usize) -> Self {
+        self.flit_bytes = bytes;
+        self
+    }
+
+    /// Sets the dedicated credits per VC.
+    pub fn with_credits_per_vc(mut self, credits: usize) -> Self {
+        self.credits_per_vc = credits;
+        self
+    }
+
+    /// Sets the shared credit pool per input port.
+    pub fn with_shared_credits(mut self, credits: usize) -> Self {
+        self.shared_credits = credits;
+        self
+    }
+
+    /// Sets the credit policy.
+    pub fn with_policy(mut self, policy: CreditPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -177,6 +217,10 @@ impl ElasticRouter {
     }
 
     /// Performance counters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the registry view via telemetry::MetricSource::metrics instead"
+    )]
     pub fn stats(&self) -> ErStats {
         self.stats
     }
@@ -295,6 +339,17 @@ impl ElasticRouter {
     }
 }
 
+impl MetricSource for ElasticRouter {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("flits_injected", self.stats.flits_injected);
+        m.counter("flits_routed", self.stats.flits_routed);
+        m.counter("credit_stalls", self.stats.credit_stalls);
+        m.counter("cycles", self.stats.cycles);
+        m.gauge("occupancy", self.occupancy as f64);
+        m.gauge("peak_occupancy", self.stats.peak_occupancy as f64);
+    }
+}
+
 impl core::fmt::Debug for ElasticRouter {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ElasticRouter")
@@ -307,6 +362,8 @@ impl core::fmt::Debug for ElasticRouter {
 }
 
 #[cfg(test)]
+// `stats()` stays covered while it remains a supported (deprecated) shim.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

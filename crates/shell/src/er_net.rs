@@ -8,6 +8,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use telemetry::{MetricSource, MetricVisitor, TrackTracer};
+
 use crate::er::{ElasticRouter, ErConfig, Flit};
 
 /// Identifies a port of a router in the network: `(router, port)`.
@@ -50,6 +52,9 @@ pub struct ErNetwork {
     /// Flits that reached an endpoint (unwired output port).
     delivered: Vec<(NetPort, Flit)>,
     cycles: u64,
+    /// Flight-recorder track for per-hop instants, with the nanoseconds one
+    /// router cycle represents (the network itself is cycle-stepped).
+    tracer: Option<(TrackTracer, u64)>,
 }
 
 impl ErNetwork {
@@ -62,7 +67,14 @@ impl ErNetwork {
             routes: HashMap::new(),
             delivered: Vec::new(),
             cycles: 0,
+            tracer: None,
         }
+    }
+
+    /// Records an `er_hop` instant on `tracer` for every flit that leaves a
+    /// router, stamping cycle counts as `cycle_ns`-nanosecond sim time.
+    pub fn set_tracer(&mut self, tracer: TrackTracer, cycle_ns: u64) {
+        self.tracer = Some((tracer, cycle_ns));
     }
 
     /// Builds a unidirectional ring of `n` routers: output port `ring_out`
@@ -210,6 +222,18 @@ impl ErNetwork {
                 })
             };
             for (port, mut flit) in moved {
+                if let Some((tracer, cycle_ns)) = &self.tracer {
+                    tracer.instant(
+                        dcsim::SimTime::from_nanos(self.cycles * cycle_ns),
+                        "er_hop",
+                        &[
+                            ("router", r as u64),
+                            ("port", port as u64),
+                            ("msg", flit.msg_id),
+                            ("seq", flit.flit_seq as u64),
+                        ],
+                    );
+                }
                 match self.links.get(&(r, port)) {
                     Some(&next) => {
                         let mut route = self
@@ -258,6 +282,17 @@ impl ErNetwork {
     /// Access to a router (stats).
     pub fn router(&self, i: usize) -> &ElasticRouter {
         &self.routers[i]
+    }
+}
+
+impl MetricSource for ErNetwork {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("cycles", self.cycles);
+        m.counter("delivered", self.delivered.len() as u64);
+        for (i, r) in self.routers.iter().enumerate() {
+            // Zero-padded so BTreeMap key order equals router order.
+            m.child(&format!("router{i:02}"), r);
+        }
     }
 }
 

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use bytes::{Bytes, BytesMut};
 use dcnet::{CnpPacer, DcqcnConfig, DcqcnRp, Ecn, NodeAddr, Packet, TrafficClass, LTL_UDP_PORT};
 use dcsim::{PercentileRecorder, SimDuration, SimTime};
+use telemetry::{MetricSource, MetricVisitor};
 
 use super::frame::{FrameKind, LtlFrame};
 
@@ -60,6 +61,62 @@ impl Default for LtlConfig {
             cnp_interval: SimDuration::from_micros(50),
             nack_enabled: true,
         }
+    }
+}
+
+impl LtlConfig {
+    /// Sets the maximum LTL payload bytes per frame.
+    pub fn with_mtu_payload(mut self, bytes: usize) -> Self {
+        self.mtu_payload = bytes;
+        self
+    }
+
+    /// Sets the retransmission timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the retry budget before a connection is declared failed.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Caps egress bandwidth at `bps` bits/s.
+    pub fn with_rate_limit_bps(mut self, bps: f64) -> Self {
+        self.rate_limit_bps = Some(bps);
+        self
+    }
+
+    /// Removes the egress bandwidth cap.
+    pub fn without_rate_limit(mut self) -> Self {
+        self.rate_limit_bps = None;
+        self
+    }
+
+    /// Sets the DC-QCN reaction-point configuration.
+    pub fn with_dcqcn(mut self, dcqcn: DcqcnConfig) -> Self {
+        self.dcqcn = Some(dcqcn);
+        self
+    }
+
+    /// Disables DC-QCN congestion control (ablation).
+    pub fn without_dcqcn(mut self) -> Self {
+        self.dcqcn = None;
+        self
+    }
+
+    /// Sets the minimum per-connection CNP interval.
+    pub fn with_cnp_interval(mut self, interval: SimDuration) -> Self {
+        self.cnp_interval = interval;
+        self
+    }
+
+    /// Enables or disables NACK fast retransmission.
+    pub fn with_nack_enabled(mut self, enabled: bool) -> Self {
+        self.nack_enabled = enabled;
+        self
     }
 }
 
@@ -264,8 +321,18 @@ impl LtlEngine {
     }
 
     /// Protocol counters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the registry view via telemetry::MetricSource::metrics instead"
+    )]
     pub fn stats(&self) -> LtlStats {
         self.stats
+    }
+
+    /// Protocol counters (internal, non-deprecated accessor for the shell
+    /// and the engine's own bookkeeping).
+    pub(crate) fn stats_ref(&self) -> &LtlStats {
+        &self.stats
     }
 
     /// Round-trip time samples (transmit to cumulative-ACK receipt),
@@ -642,6 +709,27 @@ impl LtlEngine {
     }
 }
 
+impl MetricSource for LtlEngine {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("data_sent", self.stats.data_sent);
+        m.counter("retransmits", self.stats.retransmits);
+        m.counter("timeouts", self.stats.timeouts);
+        m.counter("acks_rx", self.stats.acks_rx);
+        m.counter("nacks_tx", self.stats.nacks_tx);
+        m.counter("nacks_rx", self.stats.nacks_rx);
+        m.counter("cnps_tx", self.stats.cnps_tx);
+        m.counter("cnps_rx", self.stats.cnps_rx);
+        m.counter("msgs_delivered", self.stats.msgs_delivered);
+        m.counter("bytes_delivered", self.stats.bytes_delivered);
+        m.counter("duplicates", self.stats.duplicates);
+        m.counter("out_of_order", self.stats.out_of_order);
+        m.counter("conn_failures", self.stats.conn_failures);
+        m.gauge("in_flight", self.in_flight() as f64);
+        // 250 ns buckets match the fig10 RTT distribution resolution.
+        m.histogram_samples("rtt_ns", 250, self.rtts.iter());
+    }
+}
+
 /// Serial number comparison on 32-bit sequence space.
 fn seq_lt(a: u32, b: u32) -> bool {
     a != b && b.wrapping_sub(a) < u32::MAX / 2
@@ -652,6 +740,8 @@ fn seq_le(a: u32, b: u32) -> bool {
 }
 
 #[cfg(test)]
+// `stats()` stays covered while it remains a supported (deprecated) shim.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -713,10 +803,7 @@ mod tests {
     }
 
     fn no_dcqcn() -> LtlConfig {
-        LtlConfig {
-            dcqcn: None,
-            ..LtlConfig::default()
-        }
+        LtlConfig::default().without_dcqcn()
     }
 
     #[test]
@@ -838,11 +925,9 @@ mod tests {
 
     #[test]
     fn timeout_only_mode_ignores_reorder() {
-        let cfg = LtlConfig {
-            nack_enabled: false,
-            dcqcn: None,
-            ..LtlConfig::default()
-        };
+        let cfg = LtlConfig::default()
+            .without_dcqcn()
+            .with_nack_enabled(false);
         let mut p = Pair::new(cfg);
         p.a.send_message(p.a_send, 0, Bytes::from_static(b"one"))
             .unwrap();
@@ -893,11 +978,9 @@ mod tests {
 
     #[test]
     fn bandwidth_limit_paces_data() {
-        let cfg = LtlConfig {
-            rate_limit_bps: Some(1e9), // 1 Gb/s
-            dcqcn: None,
-            ..LtlConfig::default()
-        };
+        let cfg = LtlConfig::default()
+            .without_dcqcn()
+            .with_rate_limit_bps(1e9); // 1 Gb/s
         let mut a = LtlEngine::new(A, cfg);
         let mut b = LtlEngine::new(B, no_dcqcn());
         let b_recv = b.add_recv(A);

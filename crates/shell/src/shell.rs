@@ -21,6 +21,7 @@ use dcnet::{
     LinkParams, LinkTx, Msg, NetEvent, NodeAddr, Packet, PortId, TrafficClass, LTL_UDP_PORT,
 };
 use dcsim::{Component, ComponentId, Context, SimDuration, SimTime};
+use telemetry::{MetricSource, MetricVisitor, TrackTracer};
 
 use crate::ltl::{LtlConfig, LtlEngine, LtlEvent, Poll, RecvConnId, SendConnId};
 use crate::tap::{NetworkTap, PassthroughTap, TapAction};
@@ -76,6 +77,62 @@ impl Default for ShellConfig {
             full_reconfig: SimDuration::from_millis(1_800),
             partial_reconfig: SimDuration::from_millis(250),
         }
+    }
+}
+
+impl ShellConfig {
+    /// Sets the LTL protocol configuration.
+    pub fn with_ltl(mut self, ltl: LtlConfig) -> Self {
+        self.ltl = ltl;
+        self
+    }
+
+    /// Sets the TOR-facing egress link parameters.
+    pub fn with_tor_link(mut self, link: LinkParams) -> Self {
+        self.tor_link = link;
+        self
+    }
+
+    /// Sets the NIC-facing egress link parameters.
+    pub fn with_nic_link(mut self, link: LinkParams) -> Self {
+        self.nic_link = link;
+        self
+    }
+
+    /// Sets the LTL transmit pipeline latency.
+    pub fn with_ltl_tx_latency(mut self, latency: SimDuration) -> Self {
+        self.ltl_tx_latency = latency;
+        self
+    }
+
+    /// Sets the LTL receive pipeline latency.
+    pub fn with_ltl_rx_latency(mut self, latency: SimDuration) -> Self {
+        self.ltl_rx_latency = latency;
+        self
+    }
+
+    /// Sets the bridge store-and-forward latency.
+    pub fn with_bridge_latency(mut self, latency: SimDuration) -> Self {
+        self.bridge_latency = latency;
+        self
+    }
+
+    /// Sets the retransmission-scan tick period.
+    pub fn with_tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the full-chip reconfiguration duration.
+    pub fn with_full_reconfig(mut self, duration: SimDuration) -> Self {
+        self.full_reconfig = duration;
+        self
+    }
+
+    /// Sets the role partial-reconfiguration duration.
+    pub fn with_partial_reconfig(mut self, duration: SimDuration) -> Self {
+        self.partial_reconfig = duration;
+        self
     }
 }
 
@@ -214,6 +271,7 @@ pub struct Shell {
     reconfig: Reconfig,
     ltl_loss_rate: f64,
     hang_until: Option<SimTime>,
+    tracer: Option<TrackTracer>,
 }
 
 impl Shell {
@@ -234,7 +292,14 @@ impl Shell {
             reconfig: Reconfig::Running,
             ltl_loss_rate: 0.0,
             hang_until: None,
+            tracer: None,
         }
+    }
+
+    /// Installs a flight-recorder track; the shell then records LTL
+    /// send/retransmit/ack/deliver instants on its hot paths.
+    pub fn set_tracer(&mut self, tracer: TrackTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Whether the role is currently wedged by [`ShellCmd::HangRole`].
@@ -253,6 +318,10 @@ impl Shell {
     }
 
     /// Bridge and LTL wire counters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the registry view via telemetry::MetricSource::metrics instead"
+    )]
     pub fn stats(&self) -> ShellStats {
         self.stats
     }
@@ -358,9 +427,27 @@ impl Shell {
                 // Re-pumped when the pause lifts or the queue drains.
                 break;
             }
+            let retx_before = self.ltl.stats_ref().retransmits;
+            let data_before = self.ltl.stats_ref().data_sent;
             match self.ltl.poll(ctx.now()) {
                 Poll::Ready(pkt) => {
                     self.stats.ltl_tx_frames += 1;
+                    if let Some(tracer) = &self.tracer {
+                        let s = self.ltl.stats_ref();
+                        if s.retransmits > retx_before {
+                            tracer.instant(
+                                ctx.now(),
+                                "ltl_retx",
+                                &[("dst", pkt.dst.as_u32() as u64)],
+                            );
+                        } else if s.data_sent > data_before {
+                            tracer.instant(
+                                ctx.now(),
+                                "ltl_send",
+                                &[("dst", pkt.dst.as_u32() as u64)],
+                            );
+                        }
+                    }
                     if self.ltl_loss_rate > 0.0 && ctx.rng().chance(self.ltl_loss_rate) {
                         // Injected loss: the frame vanishes on the wire and
                         // the retransmission timeout must recover it.
@@ -526,7 +613,26 @@ impl Component<Msg> for Shell {
                         match *internal {
                             Internal::Egress(port, pkt) => self.enqueue(port, pkt, ctx),
                             Internal::LtlRx(pkt) => {
+                                let acks_before = self.ltl.stats_ref().acks_rx;
                                 let events = self.ltl.on_packet(&pkt, ctx.now());
+                                if let Some(tracer) = &self.tracer {
+                                    if self.ltl.stats_ref().acks_rx > acks_before {
+                                        tracer.instant(
+                                            ctx.now(),
+                                            "ltl_ack",
+                                            &[("src", pkt.src.as_u32() as u64)],
+                                        );
+                                    }
+                                    for ev in &events {
+                                        if let LtlEvent::Deliver { payload, .. } = ev {
+                                            tracer.instant(
+                                                ctx.now(),
+                                                "ltl_deliver",
+                                                &[("bytes", payload.len() as u64)],
+                                            );
+                                        }
+                                    }
+                                }
                                 self.dispatch_ltl_events(events, ctx);
                                 // ACKs/CNPs may now be queued.
                                 self.pump_ltl(ctx);
@@ -616,6 +722,23 @@ impl Component<Msg> for Shell {
     }
 }
 
+impl MetricSource for Shell {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("bridged_out", self.stats.bridged_out);
+        m.counter("bridged_in", self.stats.bridged_in);
+        m.counter("tap_drops", self.stats.tap_drops);
+        m.counter("ltl_tx_frames", self.stats.ltl_tx_frames);
+        m.counter("ltl_rx_frames", self.stats.ltl_rx_frames);
+        m.counter("reconfig_drops", self.stats.reconfig_drops);
+        m.counter("corrupt_drops", self.stats.corrupt_drops);
+        m.counter("injected_drops", self.stats.injected_drops);
+        m.counter("hang_drops", self.stats.hang_drops);
+        m.gauge("bridge_up", if self.bridge_up() { 1.0 } else { 0.0 });
+        m.gauge("role_hung", if self.role_hung() { 1.0 } else { 0.0 });
+        m.child("ltl", &self.ltl);
+    }
+}
+
 impl core::fmt::Debug for Shell {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Shell")
@@ -626,6 +749,8 @@ impl core::fmt::Debug for Shell {
 }
 
 #[cfg(test)]
+// `stats()` stays covered while it remains a supported (deprecated) shim.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dcsim::Engine;

@@ -1,0 +1,284 @@
+//! Registry histograms: streaming moments plus exact percentiles plus
+//! optional fixed-width distribution buckets.
+//!
+//! A [`Histogram`] is the live accumulator components record into; a
+//! [`HistogramSnapshot`] is the frozen, serializable view published into a
+//! [`crate::MetricsSnapshot`]. Moments come from
+//! [`dcsim::StreamingStats`] and tail quantiles from
+//! [`dcsim::PercentileRecorder`], so snapshot percentiles are exact, not
+//! bucket-approximated.
+
+use std::collections::BTreeMap;
+
+use dcsim::{PercentileRecorder, SimDuration, StreamingStats};
+use serde::{Serialize, Value};
+
+/// Live histogram accumulator (typically over latencies in nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::Histogram;
+///
+/// let mut h = Histogram::with_bucket_width(250);
+/// for v in [100, 200, 300, 400] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.p50, Some(200));
+/// assert_eq!(snap.buckets, vec![(0, 2), (250, 2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    moments: StreamingStats,
+    samples: PercentileRecorder,
+    bucket_width: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram without distribution buckets.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Creates an empty histogram whose snapshot carries fixed-width
+    /// distribution buckets of `width` (same unit as the samples;
+    /// `0` disables bucketing).
+    pub fn with_bucket_width(width: u64) -> Self {
+        Histogram {
+            bucket_width: width,
+            ..Histogram::default()
+        }
+    }
+
+    /// Builds a histogram from an existing sample stream.
+    pub fn from_samples(width: u64, samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut h = Histogram::with_bucket_width(width);
+        for v in samples {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.moments.record(value as f64);
+        self.samples.record(value);
+    }
+
+    /// Adds one duration sample, recorded as nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.moments = StreamingStats::new();
+        self.samples.clear();
+    }
+
+    /// Freezes the accumulator into a serializable snapshot with exact
+    /// percentiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut sorted: PercentileRecorder = self.samples.iter().collect();
+        // `checked_div` is None exactly when bucket_width is 0, i.e. the
+        // histogram was built without distribution buckets.
+        let mut map: BTreeMap<u64, u64> = BTreeMap::new();
+        for v in self.samples.iter() {
+            if let Some(bucket) = v.checked_div(self.bucket_width) {
+                *map.entry(bucket * self.bucket_width).or_insert(0) += 1;
+            }
+        }
+        let buckets: Vec<(u64, u64)> = map.into_iter().collect();
+        HistogramSnapshot {
+            count: self.moments.count(),
+            mean: self.moments.mean(),
+            std_dev: self.moments.std_dev(),
+            min: sorted.min(),
+            max: sorted.max(),
+            p50: sorted.percentile(50.0),
+            p90: sorted.percentile(90.0),
+            p99: sorted.percentile(99.0),
+            p999: sorted.percentile(99.9),
+            bucket_width: self.bucket_width,
+            buckets,
+            samples: self.samples.iter().collect(),
+        }
+    }
+}
+
+/// Frozen, serializable view of a [`Histogram`].
+///
+/// Serialization covers the summary fields and the distribution buckets;
+/// the raw samples are retained in memory (for exact re-aggregation via
+/// [`HistogramSnapshot::merged`]) but deliberately kept out of the JSON
+/// dump to bound its size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sample mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 with fewer than two samples).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: Option<u64>,
+    /// Largest sample.
+    pub max: Option<u64>,
+    /// Exact 50th percentile (nearest rank).
+    pub p50: Option<u64>,
+    /// Exact 90th percentile.
+    pub p90: Option<u64>,
+    /// Exact 99th percentile.
+    pub p99: Option<u64>,
+    /// Exact 99.9th percentile.
+    pub p999: Option<u64>,
+    /// Width of the distribution buckets (0 = no buckets).
+    pub bucket_width: u64,
+    /// Non-empty `(bucket_start, count)` pairs in ascending order.
+    pub buckets: Vec<(u64, u64)>,
+    samples: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The raw samples behind this snapshot, in recording order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Exact `p`-th percentile recomputed from the raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let mut rec: PercentileRecorder = self.samples.iter().copied().collect();
+        rec.percentile(p)
+    }
+
+    /// Merges several snapshots into one by re-aggregating their raw
+    /// samples (in iteration order), so percentiles of the merged view
+    /// stay exact. The bucket width is taken from the first snapshot
+    /// with a non-zero width.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a HistogramSnapshot>) -> HistogramSnapshot {
+        let mut width = 0;
+        let mut all: Vec<u64> = Vec::new();
+        for p in parts {
+            if width == 0 {
+                width = p.bucket_width;
+            }
+            all.extend_from_slice(&p.samples);
+        }
+        Histogram::from_samples(width, all).snapshot()
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".into(), self.count.to_value()),
+            ("mean".into(), self.mean.to_value()),
+            ("std_dev".into(), self.std_dev.to_value()),
+            ("min".into(), self.min.to_value()),
+            ("max".into(), self.max.to_value()),
+            ("p50".into(), self.p50.to_value()),
+            ("p90".into(), self.p90.to_value()),
+            ("p99".into(), self.p99.to_value()),
+            ("p999".into(), self.p999.to_value()),
+            ("bucket_width".into(), self.bucket_width.to_value()),
+            ("buckets".into(), self.buckets.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_match_percentile_recorder() {
+        let mut h = Histogram::new();
+        let mut r = PercentileRecorder::new();
+        let mut x = 17u64;
+        for i in 0..5_000u64 {
+            let v = x % 1_000_000;
+            h.record(v);
+            r.record(v);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, r.percentile(50.0));
+        assert_eq!(snap.p90, r.percentile(90.0));
+        assert_eq!(snap.p99, r.percentile(99.0));
+        assert_eq!(snap.p999, r.percentile(99.9));
+        assert_eq!(snap.min, r.min());
+        assert_eq!(snap.max, r.max());
+    }
+
+    #[test]
+    fn moments_match_streaming_stats() {
+        let xs = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        let mut h = Histogram::new();
+        let mut s = StreamingStats::new();
+        for &v in &xs {
+            h.record(v);
+            s.record(v as f64);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, s.count());
+        assert!((snap.mean - s.mean()).abs() < 1e-12);
+        assert!((snap.std_dev - s.std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_partition_samples() {
+        let mut h = Histogram::with_bucket_width(100);
+        for v in [0, 99, 100, 250, 251, 900] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(0, 2), (100, 1), (200, 2), (900, 1)]);
+        assert_eq!(
+            snap.buckets.iter().map(|&(_, c)| c).sum::<u64>(),
+            snap.count
+        );
+    }
+
+    #[test]
+    fn merged_is_exact() {
+        let a = Histogram::from_samples(250, [100, 900]).snapshot();
+        let b = Histogram::from_samples(250, [500]).snapshot();
+        let m = HistogramSnapshot::merged([&a, &b]);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.p50, Some(500));
+        assert_eq!(m.max, Some(900));
+        assert_eq!(m.bucket_width, 250);
+    }
+
+    #[test]
+    fn serialization_skips_raw_samples() {
+        let snap = Histogram::from_samples(250, [1, 2, 3]).snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"p999\""));
+        assert!(!json.contains("samples"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_none() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p999, None);
+        assert!(snap.buckets.is_empty());
+    }
+}

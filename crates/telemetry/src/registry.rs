@@ -1,0 +1,341 @@
+//! The metrics registry: [`MetricSource`], [`MetricVisitor`] and
+//! [`MetricsSnapshot`].
+//!
+//! The registry is pull-based: nothing is registered up front. Taking a
+//! snapshot walks the component tree, each [`MetricSource`] publishes its
+//! values through a [`MetricVisitor`], and the snapshot stores them in a
+//! `BTreeMap` keyed by slash-separated paths (`"shell/0.0.1/ltl/retransmits"`).
+//! The map makes iteration and serialization order a pure function of the
+//! keys, which is what makes a same-seed metrics dump byte-identical.
+
+use std::collections::BTreeMap;
+
+use dcsim::SimTime;
+use serde::{Serialize, Value};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// One published metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time level.
+    Gauge(f64),
+    /// Distribution summary with exact percentiles.
+    Histogram(HistogramSnapshot),
+}
+
+impl Serialize for MetricValue {
+    fn to_value(&self) -> Value {
+        match self {
+            MetricValue::Counter(v) => v.to_value(),
+            MetricValue::Gauge(v) => v.to_value(),
+            MetricValue::Histogram(h) => h.to_value(),
+        }
+    }
+}
+
+/// A component that can publish its metrics into the registry.
+///
+/// This is the uniform read-out surface: `metrics()` is the registry view
+/// of what the legacy per-component `stats()` structs expose ad hoc.
+pub trait MetricSource {
+    /// Publishes this component's metrics through `m`. Implementations
+    /// must be deterministic: emit in a fixed order and derive every value
+    /// from simulation state only.
+    fn metrics(&self, m: &mut MetricVisitor<'_>);
+}
+
+/// Write handle a [`MetricSource`] publishes through; scoped to the
+/// component's path prefix.
+pub struct MetricVisitor<'a> {
+    prefix: String,
+    entries: &'a mut BTreeMap<String, MetricValue>,
+}
+
+impl MetricVisitor<'_> {
+    fn key(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.prefix, name)
+        }
+    }
+
+    /// Publishes a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.entries
+            .insert(self.key(name), MetricValue::Counter(value));
+    }
+
+    /// Publishes a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.entries
+            .insert(self.key(name), MetricValue::Gauge(value));
+    }
+
+    /// Publishes a snapshot of a live histogram.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) {
+        self.entries
+            .insert(self.key(name), MetricValue::Histogram(h.snapshot()));
+    }
+
+    /// Publishes a histogram built from a raw sample stream, with
+    /// `bucket_width`-wide distribution buckets (0 = no buckets).
+    pub fn histogram_samples(
+        &mut self,
+        name: &str,
+        bucket_width: u64,
+        samples: impl IntoIterator<Item = u64>,
+    ) {
+        let h = Histogram::from_samples(bucket_width, samples);
+        self.entries
+            .insert(self.key(name), MetricValue::Histogram(h.snapshot()));
+    }
+
+    /// Recurses into a child source under `segment`, e.g. a shell visiting
+    /// its embedded LTL engine under `"ltl"`.
+    pub fn child(&mut self, segment: &str, source: &dyn MetricSource) {
+        let mut v = MetricVisitor {
+            prefix: self.key(segment),
+            entries: self.entries,
+        };
+        source.metrics(&mut v);
+    }
+}
+
+/// A frozen, deterministic view of every published metric at one instant
+/// of simulated time.
+///
+/// This is the single `snapshot()` shape that replaces the divergent
+/// per-component stats surfaces: report assembly reads counters back out
+/// by key (or sums them across components with [`MetricsSnapshot::sum_counters`])
+/// instead of hand-gathering structs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    at_ns: u64,
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot stamped with the sim-clock instant `at`.
+    pub fn new(at: SimTime) -> Self {
+        MetricsSnapshot {
+            at_ns: at.as_nanos(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Sim-clock instant this snapshot was taken, in nanoseconds.
+    pub fn at_nanos(&self) -> u64 {
+        self.at_ns
+    }
+
+    /// Walks `source`, storing everything it publishes under `path`.
+    pub fn visit(&mut self, path: &str, source: &dyn MetricSource) {
+        let mut v = MetricVisitor {
+            prefix: path.to_string(),
+            entries: &mut self.entries,
+        };
+        source.metrics(&mut v);
+    }
+
+    /// Returns a scoped visitor for publishing ad-hoc values under `path`
+    /// without a [`MetricSource`] (e.g. driver-level gauges).
+    pub fn visitor(&mut self, path: &str) -> MetricVisitor<'_> {
+        MetricVisitor {
+            prefix: path.to_string(),
+            entries: &mut self.entries,
+        }
+    }
+
+    /// Number of stored metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up any metric by full key.
+    pub fn get(&self, key: &str) -> Option<&MetricValue> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a counter by full key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        match self.entries.get(key)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a gauge by full key.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        match self.entries.get(key)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a histogram by full key.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        match self.entries.get(key)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sums every counter whose key ends with `/suffix` (or equals
+    /// `suffix`). This is how reports aggregate one quantity across many
+    /// components, e.g. `sum_counters("ltl/retransmits")` over all shells.
+    pub fn sum_counters(&self, suffix: &str) -> u64 {
+        self.matching(suffix)
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Merges every histogram whose key ends with `/suffix` (or equals
+    /// `suffix`) into one exact aggregate, or `None` if no key matches.
+    pub fn merged_histogram(&self, suffix: &str) -> Option<HistogramSnapshot> {
+        let parts: Vec<&HistogramSnapshot> = self
+            .matching(suffix)
+            .filter_map(|(_, v)| match v {
+                MetricValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+            .collect();
+        if parts.is_empty() {
+            None
+        } else {
+            Some(HistogramSnapshot::merged(parts))
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn matching<'a>(
+        &'a self,
+        suffix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a MetricValue)> + 'a {
+        self.entries.iter().filter_map(move |(k, v)| {
+            let hit = k == suffix
+                || (k.len() > suffix.len()
+                    && k.ends_with(suffix)
+                    && k.as_bytes()[k.len() - suffix.len() - 1] == b'/');
+            hit.then_some((k.as_str(), v))
+        })
+    }
+
+    /// Serializes the snapshot as compact JSON. Key order is the
+    /// `BTreeMap` order, so the same metrics yield the same bytes.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics snapshot serializes")
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics snapshot serializes")
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let metrics = self
+            .entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        Value::Object(vec![
+            ("at_ns".into(), self.at_ns.to_value()),
+            ("metrics".into(), Value::Object(metrics)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl MetricSource for Fake {
+        fn metrics(&self, m: &mut MetricVisitor<'_>) {
+            m.counter("rx", 3);
+            m.counter("tx", 4);
+            m.gauge("occupancy", 0.5);
+            m.histogram_samples("lat_ns", 0, [10, 20, 30]);
+        }
+    }
+
+    struct Nested;
+
+    impl MetricSource for Nested {
+        fn metrics(&self, m: &mut MetricVisitor<'_>) {
+            m.counter("outer", 1);
+            m.child("inner", &Fake);
+        }
+    }
+
+    #[test]
+    fn visit_prefixes_keys() {
+        let mut snap = MetricsSnapshot::new(SimTime::from_micros(5));
+        snap.visit("node0", &Fake);
+        assert_eq!(snap.counter("node0/rx"), Some(3));
+        assert_eq!(snap.gauge("node0/occupancy"), Some(0.5));
+        assert_eq!(snap.histogram("node0/lat_ns").unwrap().p50, Some(20));
+        assert_eq!(snap.at_nanos(), 5_000);
+    }
+
+    #[test]
+    fn child_nests_paths() {
+        let mut snap = MetricsSnapshot::new(SimTime::ZERO);
+        snap.visit("a", &Nested);
+        assert_eq!(snap.counter("a/outer"), Some(1));
+        assert_eq!(snap.counter("a/inner/rx"), Some(3));
+    }
+
+    #[test]
+    fn sum_counters_matches_whole_path_segments() {
+        let mut snap = MetricsSnapshot::new(SimTime::ZERO);
+        snap.visit("n0", &Fake);
+        snap.visit("n1", &Fake);
+        snap.visitor("odd").counter("xrx", 100);
+        assert_eq!(snap.sum_counters("rx"), 6);
+        assert_eq!(snap.sum_counters("tx"), 8);
+    }
+
+    #[test]
+    fn merged_histogram_aggregates() {
+        let mut snap = MetricsSnapshot::new(SimTime::ZERO);
+        snap.visit("n0", &Fake);
+        snap.visit("n1", &Fake);
+        let m = snap.merged_histogram("lat_ns").unwrap();
+        assert_eq!(m.count, 6);
+        assert_eq!(m.max, Some(30));
+        assert!(snap.merged_histogram("nope").is_none());
+    }
+
+    #[test]
+    fn json_is_key_ordered_and_stable() {
+        let mut a = MetricsSnapshot::new(SimTime::ZERO);
+        a.visit("z", &Fake);
+        a.visit("a", &Fake);
+        let mut b = MetricsSnapshot::new(SimTime::ZERO);
+        b.visit("a", &Fake);
+        b.visit("z", &Fake);
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        assert!(json.find("\"a/rx\"").unwrap() < json.find("\"z/rx\"").unwrap());
+        assert!(crate::json::validate(&json).is_ok());
+    }
+}

@@ -81,21 +81,27 @@ fn main() {
     }
     cloud.run_to_idle();
 
+    // Read the whole fleet's counters off one telemetry registry snapshot.
+    let snap = cloud.metrics_snapshot();
     let mut delivered = 0;
     for (i, &n) in nodes.iter().enumerate() {
-        let shell = cloud.shell(n);
-        delivered += shell.ltl().stats().msgs_delivered;
+        let served = snap
+            .counter(&format!("shell/{n}/ltl/msgs_delivered"))
+            .unwrap_or(0);
+        let drops = snap
+            .counter(&format!("shell/{n}/reconfig_drops"))
+            .unwrap_or(0);
+        delivered += served;
         println!(
-            "  {n}: role {:?}, {} messages served, 0 dropped by reconfig ({})",
+            "  {n}: role {:?}, {served} messages served, 0 dropped by reconfig ({})",
             fms[i].role_name(),
-            shell.ltl().stats().msgs_delivered,
-            if shell.stats().reconfig_drops == 0 {
+            if drops == 0 {
                 "bridge stayed up"
             } else {
                 "UNEXPECTED DROPS"
             }
         );
-        assert_eq!(shell.stats().reconfig_drops, 0);
+        assert_eq!(drops, 0);
     }
     assert_eq!(delivered, total_msgs);
     println!("all {delivered} messages delivered during the rollout\n");

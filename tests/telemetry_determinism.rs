@@ -1,0 +1,75 @@
+//! Telemetry determinism: the registry snapshot and the flight-recorder
+//! export are pure functions of the simulation seed.
+//!
+//! The registry's contract mirrors the sweep driver's (see
+//! `determinism.rs`): same seed, byte-identical serialized output — no
+//! wall-clock timestamps, no map-iteration-order leakage, no pointer
+//! values. CI relies on this to diff two independent runs.
+
+use catapult::prelude::*;
+use catapult::telemetry::json::{validate, validate_chrome_trace};
+
+/// Runs a small traced cluster and returns `(metrics_json, trace_json)`.
+fn run_once(seed: u64) -> (String, String) {
+    let mut cluster = Cluster::paper_scale(seed, 1);
+    cluster.enable_tracing(4096);
+    let a = NodeAddr::new(0, 0, 1);
+    let b = NodeAddr::new(0, 3, 7); // cross-rack: probes traverse the agg tier
+    cluster.add_shell(a);
+    cluster.add_shell(b);
+    let (a_send, _, _, _) = cluster.connect_pair(a, b);
+    schedule_probes(
+        &mut cluster,
+        a,
+        a_send,
+        SimTime::ZERO,
+        SimDuration::from_micros(50),
+        40,
+        64,
+    );
+    cluster.run_to_idle();
+    let metrics = cluster.metrics_snapshot().to_json_pretty();
+    let trace = cluster
+        .tracer()
+        .expect("tracing was enabled")
+        .to_chrome_json();
+    (metrics, trace)
+}
+
+#[test]
+fn same_seed_metrics_and_trace_are_byte_identical() {
+    let (m1, t1) = run_once(11);
+    let (m2, t2) = run_once(11);
+    assert_eq!(m1, m2, "same seed must give a byte-identical metrics dump");
+    assert_eq!(t1, t2, "same seed must give a byte-identical trace export");
+}
+
+#[test]
+fn different_seed_changes_the_metrics_dump() {
+    // Switch jitter draws differ across seeds, so the RTT histograms —
+    // and with them the serialized snapshot — must differ.
+    let (m1, _) = run_once(11);
+    let (m2, _) = run_once(12);
+    assert_ne!(m1, m2, "seed must reach the recorded latencies");
+}
+
+#[test]
+fn exports_are_valid_json_with_expected_paths() {
+    let (metrics, trace) = run_once(5);
+    validate(&metrics).expect("metrics dump parses as JSON");
+    validate_chrome_trace(&trace).expect("trace export is a valid Chrome trace");
+    // Component paths are stable: the sender's LTL histogram and the
+    // traced probe events must both be present.
+    assert!(
+        metrics.contains("shell/p0.t0.h1/ltl/rtt_ns"),
+        "sender RTT histogram missing from: {metrics}"
+    );
+    assert!(
+        trace.contains("ltl_send"),
+        "probe send events missing from trace"
+    );
+    assert!(
+        trace.contains("ltl_ack"),
+        "ack receipt events missing from trace"
+    );
+}
