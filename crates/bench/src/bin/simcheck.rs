@@ -1,0 +1,263 @@
+//! Simulation-testing lane: seed sweeps over the protocol oracles,
+//! conservation fuzzers and whole-cluster invariant scenarios, with
+//! automatic shrinking of failures to a minimal, byte-identically
+//! replayable reproduction in `results/simcheck_repro.json`.
+//!
+//! ```text
+//! simcheck [--quick] [--seeds N] [--seed-base B] [--inject-bug]
+//!          [--validate-oracle] [--replay FILE]
+//! ```
+//!
+//! * default: sweep `N` seeds (64) across every oracle; exit 1 and write
+//!   the shrunk repro on the first failure.
+//! * `--inject-bug`: plant a known protocol bug (the LTL engine silently
+//!   loses one retransmission) — the sweep must fail.
+//! * `--validate-oracle`: end-to-end self-test of the harness: inject
+//!   the bug, verify the oracle catches it, shrink the fault plan,
+//!   verify the repro is minimal (≤ 3 events) and replays
+//!   byte-identically twice. CI runs this so a silently-blind oracle
+//!   fails the lane.
+//! * `--replay FILE`: re-run a written repro; exits 0 when the recorded
+//!   violation reproduces (prints the identical report every time).
+
+use simcheck::repro::{ReproMode, ReproSpec};
+use simcheck::scenario::{run_scenario, ScenarioSpec};
+use simcheck::session::{run_session, SessionSpec};
+use simcheck::shrink::ddmin;
+use simcheck::{dcqcn_ref, er_check, Violation};
+
+/// Parses `--flag value` from the command line.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Canonical, deterministic failure report — replays diff this text.
+fn render(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!("total: {} violation(s)\n", violations.len()));
+    out
+}
+
+/// Shrinks a failing session and writes the repro artifact.
+fn shrink_session(spec: &SessionSpec, violations: &[Violation]) -> ReproSpec {
+    let minimal = ddmin(&spec.plan.events, |events| {
+        let mut probe = spec.clone();
+        probe.plan.events = events.to_vec();
+        !run_session(&probe).violations.is_empty()
+    });
+    let mut shrunk = spec.clone();
+    shrunk.plan.events = minimal;
+    let final_violations = run_session(&shrunk).violations;
+    let caught = if final_violations.is_empty() {
+        violations
+    } else {
+        &final_violations
+    };
+    ReproSpec::from_session(&shrunk, caught)
+}
+
+/// Shrinks a failing cluster scenario and writes the repro artifact.
+fn shrink_scenario(spec: &ScenarioSpec, violations: &[Violation]) -> ReproSpec {
+    let minimal = ddmin(&spec.plan.events, |events| {
+        let mut probe = spec.clone();
+        probe.plan.events = events.to_vec();
+        !run_scenario(&probe).violations.is_empty()
+    });
+    let mut shrunk = spec.clone();
+    shrunk.plan.events = minimal;
+    let final_violations = run_scenario(&shrunk).violations;
+    let caught = if final_violations.is_empty() {
+        violations
+    } else {
+        &final_violations
+    };
+    ReproSpec::from_scenario(&shrunk, caught)
+}
+
+fn fail_with_repro(repro: ReproSpec, original_events: usize) -> ! {
+    println!(
+        "shrunk fault plan: {} -> {} event(s)",
+        original_events,
+        repro.events.len()
+    );
+    println!("first violation: {}", repro.first_violation);
+    bench::write_raw("simcheck_repro.json", &repro.to_json());
+    println!(
+        "replay: cargo run -p bench --release --bin simcheck -- \
+         --replay results/simcheck_repro.json"
+    );
+    std::process::exit(1);
+}
+
+fn replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = ReproSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "replaying {} case: seed {} salt {} events {}",
+        match spec.mode {
+            ReproMode::Session => "session",
+            ReproMode::Cluster => "cluster",
+        },
+        spec.seed,
+        spec.salt,
+        spec.events.len()
+    );
+    let violations = spec.replay();
+    print!("{}", render(&violations));
+    if violations.is_empty() {
+        println!("repro did NOT reproduce (fixed, or stale artifact)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// Harness self-test: a planted bug must be caught, shrink small, and
+/// replay identically.
+fn validate_oracle(seeds: u64) -> ! {
+    println!("validating oracle sensitivity with a planted retransmit-loss bug");
+    for seed in 0..seeds {
+        let mut spec = SessionSpec::generate(seed);
+        spec.lose_retransmits = 1;
+        let out = run_session(&spec);
+        if out.violations.is_empty() {
+            continue; // this seed's plan never forced a retransmission
+        }
+        println!("caught on seed {seed}: {}", out.violations[0]);
+        let repro = shrink_session(&spec, &out.violations);
+        println!(
+            "shrunk fault plan: {} -> {} event(s)",
+            spec.plan.events.len(),
+            repro.events.len()
+        );
+        if repro.events.len() > 3 {
+            println!(
+                "FAIL: minimal repro has {} events (> 3)",
+                repro.events.len()
+            );
+            std::process::exit(1);
+        }
+        let json = repro.to_json();
+        bench::write_raw("simcheck_repro.json", &json);
+        // The repro must replay byte-identically, twice, from its own
+        // serialized form.
+        let parsed = ReproSpec::parse(&json).expect("own artifact parses");
+        let first = render(&parsed.replay());
+        let second = render(&parsed.replay());
+        if first != second || first.contains("total: 0") {
+            println!("FAIL: replay is not byte-identical or lost the violation");
+            print!("--- first ---\n{first}--- second ---\n{second}");
+            std::process::exit(1);
+        }
+        println!("replay is byte-identical across two runs:");
+        print!("{first}");
+        println!("oracle validation passed");
+        std::process::exit(0);
+    }
+    println!("FAIL: planted bug evaded the oracle on {seeds} seeds");
+    std::process::exit(1);
+}
+
+fn main() {
+    bench::header(
+        "simcheck",
+        "protocol oracles, invariant checkers and shrinking fuzzer",
+    );
+
+    if let Some(path) = arg_value("--replay") {
+        replay(&path);
+    }
+
+    let quick = bench::quick_mode();
+    let seeds: u64 = arg_value("--seeds")
+        .map(|v| v.parse().expect("--seeds takes an integer"))
+        .unwrap_or(64);
+    let seed_base: u64 = arg_value("--seed-base")
+        .map(|v| v.parse().expect("--seed-base takes an integer"))
+        .unwrap_or(0);
+    let inject_bug = flag("--inject-bug");
+    let (dcqcn_steps, er_ops) = if quick { (150, 150) } else { (500, 400) };
+    let scenario_every = if quick { 8 } else { 4 };
+
+    if flag("--validate-oracle") {
+        validate_oracle(seeds.max(16));
+    }
+
+    let mut totals = (0u64, 0u64, 0u64); // events, checks, delivered
+    for i in 0..seeds {
+        let seed = seed_base + i;
+
+        let v = dcqcn_ref::check_dcqcn(seed, dcqcn_steps);
+        if !v.is_empty() {
+            println!("seed {seed}: DC-QCN differential oracle fired");
+            print!("{}", render(&v));
+            println!("replay: rerun with --seeds 1 --seed-base {seed}");
+            std::process::exit(1);
+        }
+
+        let v = er_check::check_er(seed, er_ops);
+        if !v.is_empty() {
+            println!("seed {seed}: Elastic Router conservation oracle fired");
+            print!("{}", render(&v));
+            println!("replay: rerun with --seeds 1 --seed-base {seed}");
+            std::process::exit(1);
+        }
+
+        let mut spec = SessionSpec::generate(seed);
+        if inject_bug {
+            spec.lose_retransmits = 1;
+        }
+        let out = run_session(&spec);
+        totals.0 += out.events;
+        totals.1 += out.checks;
+        totals.2 += out.delivered;
+        if !out.violations.is_empty() {
+            println!("seed {seed}: LTL differential oracle fired");
+            print!("{}", render(&out.violations));
+            let events = spec.plan.events.len();
+            fail_with_repro(shrink_session(&spec, &out.violations), events);
+        }
+
+        if i % scenario_every == 0 {
+            let spec = ScenarioSpec::generate(seed);
+            let out = run_scenario(&spec);
+            totals.0 += out.events;
+            totals.1 += out.checks;
+            totals.2 += out.delivered;
+            if !out.violations.is_empty() {
+                println!("seed {seed}: cluster invariant oracle fired");
+                print!("{}", render(&out.violations));
+                let events = spec.plan.events.len();
+                fail_with_repro(shrink_scenario(&spec, &out.violations), events);
+            }
+        }
+    }
+
+    if inject_bug {
+        println!("FAIL: --inject-bug sweep finished clean; the oracle is blind");
+        std::process::exit(1);
+    }
+    println!(
+        "{seeds} seed(s) clean: {} events, {} oracle checks, {} deliveries",
+        totals.0, totals.1, totals.2
+    );
+}

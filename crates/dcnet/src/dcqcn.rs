@@ -116,6 +116,18 @@ impl DcqcnRp {
         self.cnps_received
     }
 
+    /// The target rate Rt fast recovery is converging toward
+    /// (test/diagnostic: lets differential oracles compare full RP state).
+    pub fn target_rate_bps(&self) -> f64 {
+        self.target_bps
+    }
+
+    /// The timer-driven and byte-counter-driven rate-increase stage
+    /// counters (test/diagnostic).
+    pub fn stages(&self) -> (u32, u32) {
+        (self.timer_stage, self.byte_stage)
+    }
+
     /// Handles a congestion notification packet: multiplicative decrease and
     /// alpha ramp-up.
     pub fn on_cnp(&mut self, now: SimTime) {

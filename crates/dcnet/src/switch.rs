@@ -283,6 +283,9 @@ struct Port {
     corrupt_pending: u32,
     ingress_bytes: [u64; TrafficClass::COUNT],
     pause_sent: [bool; TrafficClass::COUNT],
+    /// Cumulative frames put on the wire per class (never reset, so
+    /// invariant checkers can detect transmission during a PFC pause).
+    tx_frames: [u64; TrafficClass::COUNT],
 }
 
 impl Port {
@@ -298,6 +301,7 @@ impl Port {
             corrupt_pending: 0,
             ingress_bytes: [0; TrafficClass::COUNT],
             pause_sent: [false; TrafficClass::COUNT],
+            tx_frames: [0; TrafficClass::COUNT],
         }
     }
 
@@ -472,6 +476,30 @@ impl Switch {
     /// Current queue depth in bytes for `port`/`class` (test/diagnostic).
     pub fn queue_bytes(&self, port: PortId, class: TrafficClass) -> u64 {
         self.ports[port.index()].queued_bytes[class.index()]
+    }
+
+    /// Whether egress `port` is currently PFC-paused for `class`
+    /// (test/diagnostic: lets invariant checkers assert that a paused
+    /// class never transmits).
+    pub fn tx_paused(&self, port: PortId, class: TrafficClass) -> bool {
+        self.ports[port.index()].tx_paused[class.index()]
+    }
+
+    /// Cumulative frames transmitted on `port` for `class` since the
+    /// switch was built (test/diagnostic; survives crashes and flushes).
+    pub fn tx_frames(&self, port: PortId, class: TrafficClass) -> u64 {
+        self.ports[port.index()].tx_frames[class.index()]
+    }
+
+    /// The switch configuration (queue depths, PFC thresholds).
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Whether `class` is configured lossless (PFC-protected, never
+    /// dropped on queue overflow).
+    pub fn class_is_lossless(&self, class: TrafficClass) -> bool {
+        self.is_lossless(class)
     }
 
     /// Routes `dst` to an egress port. `flow` selects among ECMP paths.
@@ -663,6 +691,7 @@ impl Switch {
         let peer = port.peer.expect("transmit on unconnected port");
         let timing = port.tx.transmit(ctx.now(), q.pkt.wire_bytes());
         port.busy = true;
+        port.tx_frames[ci] += 1;
         self.stats.tx_frames += 1;
         ctx.timer_after(timing.departs - ctx.now(), egress.0 as u64);
         ctx.send_after(

@@ -86,6 +86,41 @@ enum EventKind<M> {
     Timer(u64),
 }
 
+/// Metadata describing one dispatched event, handed to an [`Observer`]
+/// after the receiving component has processed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Timestamp of the event (equals the engine clock during the callback).
+    pub at: SimTime,
+    /// The component the event was delivered to.
+    pub dest: ComponentId,
+    /// The timer token, for timer events; `None` for messages. Message
+    /// payloads are consumed by the component and are not exposed here —
+    /// observers inspect component state through [`Engine::component`]
+    /// instead.
+    pub timer: Option<u64>,
+    /// Index of this event in dispatch order (0-based, monotonically
+    /// increasing across the engine's lifetime).
+    pub index: u64,
+}
+
+/// An event-granularity probe attached to an [`Engine`] with
+/// [`Engine::set_observer`].
+///
+/// The observer runs after every dispatched event, once the component has
+/// been returned to its slot, so it can inspect any component's state via
+/// [`Engine::component`]. Observers must be passive: they get only a shared
+/// borrow of the engine and cannot schedule events, so attaching one never
+/// changes the simulation's event order or its deterministic outcome.
+///
+/// This is the hook simulation-testing oracles (invariant checkers,
+/// differential reference models) use to check the system between every
+/// pair of events.
+pub trait Observer<M>: Any {
+    /// Called after each event is dispatched.
+    fn after_event(&mut self, event: &EventRecord, engine: &Engine<M>);
+}
+
 /// Handle given to a component while it processes an event. Lets it read
 /// the clock, schedule messages and timers, draw random numbers and stop
 /// the simulation.
@@ -152,6 +187,8 @@ pub struct Engine<M> {
     rng: SimRng,
     stopped: bool,
     events_processed: u64,
+    observer: Option<Box<dyn Observer<M>>>,
+    tie_break_salt: u64,
 }
 
 impl<M: 'static> Engine<M> {
@@ -165,6 +202,8 @@ impl<M: 'static> Engine<M> {
             rng: SimRng::seed_from(seed),
             stopped: false,
             events_processed: 0,
+            observer: None,
+            tie_break_salt: 0,
         }
     }
 
@@ -216,8 +255,50 @@ impl<M: 'static> Engine<M> {
         self.push(self.now + delay, dest, EventKind::Message(msg));
     }
 
+    /// Attaches an [`Observer`] invoked after every dispatched event.
+    /// Replaces any previous observer.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer<M>>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer<M>>> {
+        self.observer.take()
+    }
+
+    /// Borrows the attached observer, if it has concrete type `T`.
+    pub fn observer_as<T: Observer<M>>(&self) -> Option<&T> {
+        let boxed = self.observer.as_deref()?;
+        (boxed as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Deterministically perturbs the tie-break order of same-timestamp
+    /// events. Salt `0` (the default) is exact submission-order FIFO — the
+    /// documented baseline contract. Any nonzero salt reorders events that
+    /// share a timestamp into a different but fully deterministic order
+    /// (a pure function of the salt and each event's submission index);
+    /// timestamp order is never affected, and causality is preserved
+    /// because an event's children are only enqueued after it executes.
+    ///
+    /// Simulation-testing drivers sweep salts to check that protocol
+    /// correctness does not secretly depend on FIFO tie-breaking between
+    /// unrelated components. Set the salt before scheduling; events pushed
+    /// earlier keep the keys they were enqueued with.
+    pub fn set_tie_break_salt(&mut self, salt: u64) {
+        self.tie_break_salt = salt;
+    }
+
     fn push(&mut self, at: SimTime, dest: ComponentId, kind: EventKind<M>) {
-        self.queue.push(at.as_nanos(), self.seq, (dest, kind));
+        // The queue breaks timestamp ties by key. With no salt the key is
+        // the submission counter itself (FIFO); with a salt it is a
+        // bijective mix of the counter, so keys stay unique and the
+        // permutation of same-timestamp events is deterministic.
+        let key = if self.tie_break_salt == 0 {
+            self.seq
+        } else {
+            mix64(self.seq ^ self.tie_break_salt)
+        };
+        self.queue.push(at.as_nanos(), key, (dest, kind));
         self.seq += 1;
     }
 
@@ -240,6 +321,10 @@ impl<M: 'static> Engine<M> {
             debug_assert!(ev.at >= self.now.as_nanos(), "event queue went backwards");
             self.now = SimTime::from_nanos(ev.at);
             let (dest, kind) = ev.value;
+            let timer = match &kind {
+                EventKind::Timer(token) => Some(*token),
+                EventKind::Message(_) => None,
+            };
 
             let Some(slot) = self.components.get_mut(dest.0) else {
                 panic!("event addressed to unregistered component {dest}");
@@ -266,8 +351,18 @@ impl<M: 'static> Engine<M> {
             for (at, dest, kind) in outbox.drain(..) {
                 self.push(at, dest, kind);
             }
+            let record = EventRecord {
+                at: self.now,
+                dest,
+                timer,
+                index: self.events_processed,
+            };
             processed += 1;
             self.events_processed += 1;
+            if let Some(mut obs) = self.observer.take() {
+                obs.after_event(&record, self);
+                self.observer = Some(obs);
+            }
         }
         if !self.stopped && horizon != SimTime::MAX && self.now < horizon {
             self.now = horizon;
@@ -313,6 +408,14 @@ impl<M: 'static> Engine<M> {
     pub fn pending_events(&self) -> usize {
         self.queue.len()
     }
+}
+
+/// SplitMix64 finalizer: a bijection on `u64`, so distinct submission
+/// counters always map to distinct tie-break keys.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<M: 'static> fmt::Debug for Engine<M> {
@@ -482,5 +585,71 @@ mod tests {
         e.schedule(SimTime::from_micros(2), r, 0);
         e.run_to_idle();
         e.schedule(SimTime::from_micros(1), r, 0);
+    }
+
+    struct Tally {
+        records: Vec<EventRecord>,
+        seen_sum: u64,
+    }
+
+    impl Observer<u32> for Tally {
+        fn after_event(&mut self, event: &EventRecord, engine: &Engine<u32>) {
+            self.records.push(*event);
+            // Observers may inspect component state after each event.
+            if let Some(rec) = engine.component::<Recorder>(event.dest) {
+                self.seen_sum = rec.seen.iter().map(|&(_, m)| u64::from(m)).sum();
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_event_in_order() {
+        let mut e: Engine<u32> = Engine::new(1);
+        let r = e.add_component(Recorder::new());
+        e.set_observer(Box::new(Tally {
+            records: Vec::new(),
+            seen_sum: 0,
+        }));
+        e.schedule(SimTime::from_micros(2), r, 7);
+        e.schedule(SimTime::from_micros(1), r, 3);
+        e.run_to_idle();
+        let tally = e.observer_as::<Tally>().unwrap();
+        assert_eq!(tally.records.len(), 2);
+        assert_eq!(tally.records[0].at, SimTime::from_micros(1));
+        assert_eq!(tally.records[0].index, 0);
+        assert_eq!(tally.records[1].index, 1);
+        assert_eq!(tally.seen_sum, 10, "observer saw post-event state");
+        assert!(tally.records.iter().all(|r| r.timer.is_none()));
+    }
+
+    fn tie_order(salt: u64) -> Vec<u32> {
+        let mut e: Engine<u32> = Engine::new(1);
+        let r = e.add_component(Recorder::new());
+        e.set_tie_break_salt(salt);
+        for i in 0..32 {
+            e.schedule(SimTime::from_micros(1), r, i);
+        }
+        e.schedule(SimTime::from_micros(2), r, 999);
+        e.run_to_idle();
+        e.component::<Recorder>(r)
+            .unwrap()
+            .seen
+            .iter()
+            .map(|&(_, m)| m)
+            .collect()
+    }
+
+    #[test]
+    fn tie_break_salt_permutes_only_same_timestamp_events() {
+        let fifo = tie_order(0);
+        assert_eq!(fifo.len(), 33);
+        assert_eq!(fifo[..32], (0..32).collect::<Vec<_>>()[..]);
+        let salted = tie_order(0xDEAD_BEEF);
+        assert_ne!(fifo, salted, "salt changes tie order");
+        assert_eq!(*salted.last().unwrap(), 999, "timestamp order preserved");
+        let mut sorted = salted[..32].to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "a permutation");
+        assert_eq!(salted, tie_order(0xDEAD_BEEF), "same salt, same order");
     }
 }

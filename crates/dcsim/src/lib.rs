@@ -51,7 +51,7 @@ mod rng;
 mod stats;
 mod time;
 
-pub use engine::{Component, ComponentId, Context, Engine};
+pub use engine::{Component, ComponentId, Context, Engine, EventRecord, Observer};
 pub use rng::SimRng;
 pub use stats::{LogHistogram, PercentileRecorder, StreamingStats};
 pub use time::{SimDuration, SimTime};

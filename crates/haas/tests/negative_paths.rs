@@ -1,0 +1,184 @@
+//! Negative-path coverage for the HaaS control plane: every "can't
+//! happen in the happy path" input must be absorbed without a panic and
+//! must leave the pool's books consistent.
+
+use dcnet::{Msg, NodeAddr};
+use dcsim::{Engine, SimTime};
+use haas::{
+    AllocError, Constraints, FailureMonitor, FpgaState, LeaseId, NodeDownReport, ResourceManager,
+    ServiceManager,
+};
+
+fn pool(n: u16) -> ResourceManager {
+    let mut rm = ResourceManager::new();
+    for h in 0..n {
+        rm.register(NodeAddr::new(0, 0, h));
+    }
+    rm
+}
+
+/// Sums the per-state counts and checks them against the pool total —
+/// the books balance no matter what was thrown at the allocator.
+fn assert_books_balance(rm: &ResourceManager, addrs: &[NodeAddr]) {
+    let leased = addrs
+        .iter()
+        .filter(|a| matches!(rm.state(**a), Some(FpgaState::Leased { .. })))
+        .count();
+    assert_eq!(rm.unallocated() + rm.failed() + leased, rm.total());
+}
+
+#[test]
+fn request_from_empty_pool_fails_cleanly() {
+    let mut rm = ResourceManager::new();
+    let err = rm.request("svc", 1, &Constraints::default()).unwrap_err();
+    assert_eq!(err, AllocError::InsufficientCapacity);
+    assert_eq!(rm.total(), 0);
+    assert_eq!(rm.unallocated(), 0);
+}
+
+#[test]
+fn oversized_request_grants_nothing() {
+    let mut rm = pool(3);
+    // Atomicity: a request for more than the pool holds must not leak
+    // partial leases.
+    let err = rm.request("svc", 4, &Constraints::default()).unwrap_err();
+    assert_eq!(err, AllocError::InsufficientCapacity);
+    assert_eq!(rm.unallocated(), 3, "partial grant leaked leases");
+    // The same request sized to the pool still succeeds afterwards.
+    assert_eq!(
+        rm.request("svc", 3, &Constraints::default()).unwrap().len(),
+        3
+    );
+}
+
+#[test]
+fn unsatisfiable_constraints_leave_pool_untouched() {
+    let mut rm = pool(4);
+    let constraints = Constraints {
+        pod: Some(7), // every registered node is in pod 0
+        ..Constraints::default()
+    };
+    assert_eq!(
+        rm.request("svc", 1, &constraints).unwrap_err(),
+        AllocError::InsufficientCapacity
+    );
+    assert_eq!(rm.unallocated(), 4);
+}
+
+#[test]
+fn bogus_lease_release_is_rejected() {
+    let mut rm = pool(2);
+    let lease = &rm.request("svc", 1, &Constraints::default()).unwrap()[0];
+    let bogus = LeaseId(lease.id.0 + 1000);
+    assert_eq!(rm.release(bogus).unwrap_err(), AllocError::UnknownLease);
+    // Double release of a real lease: first succeeds, second is unknown.
+    let id = lease.id;
+    rm.release(id).unwrap();
+    assert_eq!(rm.release(id).unwrap_err(), AllocError::UnknownLease);
+    assert_eq!(rm.unallocated(), 2);
+}
+
+#[test]
+fn failure_ops_on_unknown_nodes_are_noops() {
+    let mut rm = pool(2);
+    let stranger = NodeAddr::new(9, 9, 9);
+    // `mark_failed` on an unregistered node disrupts no lease, but does
+    // record the node as failed (a node can die before anyone registered
+    // it); a later repair returns it to the pool.
+    assert_eq!(rm.mark_failed(stranger), None);
+    assert_eq!(rm.state(stranger), Some(&FpgaState::Failed));
+    rm.repair(stranger);
+    assert_eq!(rm.state(stranger), Some(&FpgaState::Unallocated));
+    rm.repair(NodeAddr::new(0, 0, 0)); // repair of a healthy node: no-op
+    assert_eq!(
+        rm.state(NodeAddr::new(0, 0, 0)),
+        Some(&FpgaState::Unallocated)
+    );
+}
+
+#[test]
+fn sm_failure_with_empty_spare_pool_degrades_without_panic() {
+    let mut rm = pool(2);
+    let mut sm = ServiceManager::new("svc");
+    // Lease the whole pool: no spares remain.
+    sm.grow(&mut rm, 2, &Constraints::default()).unwrap();
+    let victim = sm.endpoints()[0];
+    let lease = rm.mark_failed(victim).expect("victim was leased");
+    let err = sm.handle_failure(&mut rm, lease).unwrap_err();
+    assert_eq!(err, AllocError::InsufficientCapacity);
+    // Degraded but consistent: the dead endpoint is gone, the survivor
+    // keeps serving, and no replacement was charged.
+    assert!(!sm.endpoints().contains(&victim));
+    assert_eq!(sm.endpoints().len(), 1);
+    assert_eq!(sm.replacements(), 0);
+    let addrs: Vec<NodeAddr> = (0..2).map(|h| NodeAddr::new(0, 0, h)).collect();
+    assert_books_balance(&rm, &addrs);
+    // A repair makes the node allocatable again and the service can
+    // re-grow to strength.
+    rm.repair(victim);
+    sm.grow(&mut rm, 1, &Constraints::default()).unwrap();
+    assert_eq!(sm.endpoints().len(), 2);
+    assert_books_balance(&rm, &addrs);
+}
+
+#[test]
+fn handle_failure_for_foreign_lease_changes_nothing() {
+    let mut rm = pool(4);
+    let mut sm = ServiceManager::new("svc");
+    sm.grow(&mut rm, 1, &Constraints::default()).unwrap();
+    // A lease the SM never held (another service's, already torn down).
+    let foreign = LeaseId(10_000);
+    assert_eq!(sm.handle_failure(&mut rm, foreign).unwrap(), None);
+    assert_eq!(sm.endpoints().len(), 1);
+    assert_eq!(sm.replacements(), 0);
+}
+
+#[test]
+fn monitor_absorbs_reports_for_already_drained_nodes() {
+    let mut e: Engine<Msg> = Engine::new(1);
+    let mut rm = pool(3);
+    let mut sm = ServiceManager::new("svc");
+    sm.grow(&mut rm, 2, &Constraints::default()).unwrap();
+    let victim = sm.endpoints()[0];
+    let mut mon = FailureMonitor::new(rm, None);
+    mon.add_service(sm);
+    let mon_id = e.add_component(mon);
+    // First report drains the node; stragglers keep reporting the same
+    // dead node long after.
+    for t in [1u64, 50, 51, 900] {
+        e.schedule(
+            SimTime::from_micros(t),
+            mon_id,
+            Msg::custom(NodeDownReport { addr: victim }),
+        );
+    }
+    e.run_to_idle();
+    let mon = e.component::<FailureMonitor>(mon_id).unwrap();
+    assert_eq!(mon.records().len(), 1, "one recovery for one failure");
+    assert_eq!(mon.duplicate_reports(), 3);
+    assert_eq!(mon.rm().failed(), 1);
+    assert_eq!(mon.services()[0].replacements(), 1);
+    let addrs: Vec<NodeAddr> = (0..3).map(|h| NodeAddr::new(0, 0, h)).collect();
+    assert_books_balance(mon.rm(), &addrs);
+}
+
+#[test]
+fn monitor_with_no_services_still_drains_reported_nodes() {
+    let mut e: Engine<Msg> = Engine::new(1);
+    let rm = pool(2);
+    let mon = FailureMonitor::new(rm, None);
+    let mon_id = e.add_component(mon);
+    e.schedule(
+        SimTime::ZERO,
+        mon_id,
+        Msg::custom(NodeDownReport {
+            addr: NodeAddr::new(0, 0, 1),
+        }),
+    );
+    e.run_to_idle();
+    let mon = e.component::<FailureMonitor>(mon_id).unwrap();
+    assert_eq!(mon.records().len(), 1);
+    assert!(mon.records()[0].service.is_none());
+    assert_eq!(mon.rm().failed(), 1);
+    assert_eq!(mon.rm().unallocated(), 1);
+}

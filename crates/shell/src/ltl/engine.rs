@@ -277,6 +277,38 @@ pub struct LtlStats {
     pub conn_failures: u64,
 }
 
+/// Read-only snapshot of one send connection's go-back-N window, for
+/// differential oracles that compare the real engine against a reference
+/// model after every event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendConnView {
+    /// Remote endpoint.
+    pub remote: NodeAddr,
+    /// Next sequence number to be assigned to a new frame.
+    pub next_seq: u32,
+    /// Frames queued awaiting first transmission.
+    pub pending_frames: usize,
+    /// Frames transmitted but not yet cumulatively ACKed.
+    pub unacked_len: usize,
+    /// Lowest in-flight sequence number (the window base), if any.
+    pub unacked_lowest: Option<u32>,
+    /// Highest in-flight sequence number, if any.
+    pub unacked_highest: Option<u32>,
+    /// Whether the connection has been declared failed.
+    pub failed: bool,
+}
+
+/// Read-only snapshot of one receive connection, for differential oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvConnView {
+    /// Remote endpoint.
+    pub remote: NodeAddr,
+    /// Next sequence number the receiver will accept.
+    pub expected_seq: u32,
+    /// Bytes of a partially reassembled message buffered so far.
+    pub assembling_bytes: usize,
+}
+
 /// The LTL protocol engine state.
 #[derive(Debug)]
 pub struct LtlEngine {
@@ -294,6 +326,9 @@ pub struct LtlEngine {
     stats: LtlStats,
     next_msg_id: u32,
     rr_conn: usize,
+    /// Test-only fault injection: timed-out frames silently discarded
+    /// instead of retransmitted (validates that the oracle catches bugs).
+    lose_retransmits: u32,
 }
 
 impl LtlEngine {
@@ -312,6 +347,7 @@ impl LtlEngine {
             stats: LtlStats::default(),
             next_msg_id: 1,
             rr_conn: 0,
+            lose_retransmits: 0,
         }
     }
 
@@ -333,6 +369,58 @@ impl LtlEngine {
     /// and the engine's own bookkeeping).
     pub(crate) fn stats_ref(&self) -> &LtlStats {
         &self.stats
+    }
+
+    /// Protocol counters, by reference. The registry view via
+    /// [`telemetry::MetricSource`] remains the primary read path; this
+    /// accessor serves event-granularity oracles that compare counters
+    /// between every pair of events.
+    pub fn stats_view(&self) -> &LtlStats {
+        &self.stats
+    }
+
+    /// Number of send connections allocated.
+    pub fn send_conn_count(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Snapshot of `conn`'s sliding-window state, if the id is known.
+    pub fn send_conn_view(&self, conn: SendConnId) -> Option<SendConnView> {
+        let sc = self.sends.get(conn as usize)?;
+        Some(SendConnView {
+            remote: sc.remote,
+            next_seq: sc.next_seq,
+            pending_frames: sc.pending.len(),
+            unacked_len: sc.unacked.len(),
+            unacked_lowest: sc.unacked.front().map(|u| u.frame.seq),
+            unacked_highest: sc.unacked.back().map(|u| u.frame.seq),
+            failed: sc.failed,
+        })
+    }
+
+    /// Number of receive connections allocated.
+    pub fn recv_conn_count(&self) -> usize {
+        self.recvs.len()
+    }
+
+    /// Snapshot of `conn`'s receiver state, if the id is known.
+    pub fn recv_conn_view(&self, conn: RecvConnId) -> Option<RecvConnView> {
+        let rc = self.recvs.get(conn as usize)?;
+        Some(RecvConnView {
+            remote: rc.remote,
+            expected_seq: rc.expected_seq,
+            assembling_bytes: rc.assembling.len(),
+        })
+    }
+
+    /// Test-only fault injection: the next `n` timed-out frames are
+    /// silently discarded from the retransmission state instead of being
+    /// retransmitted, as a hardware bug losing window state would. Exists
+    /// so the simulation-testing oracle can prove it detects real protocol
+    /// bugs; no production path calls this.
+    #[doc(hidden)]
+    pub fn debug_lose_retransmits(&mut self, n: u32) {
+        self.lose_retransmits = n;
     }
 
     /// Round-trip time samples (transmit to cumulative-ACK receipt),
@@ -682,17 +770,28 @@ impl LtlEngine {
                 rp.advance(now);
             }
             let mut fail = false;
-            for u in sc.unacked.iter_mut() {
+            let mut i = 0;
+            while i < sc.unacked.len() {
+                let u = &mut sc.unacked[i];
                 if u.deadline <= now {
                     if u.retries >= self.cfg.max_retries {
                         fail = true;
                         break;
+                    }
+                    if self.lose_retransmits > 0 {
+                        // Injected bug (test-only): forget the frame as if
+                        // it had been acknowledged. See
+                        // `debug_lose_retransmits`.
+                        self.lose_retransmits -= 1;
+                        sc.unacked.remove(i);
+                        continue;
                     }
                     u.retries += 1;
                     u.deadline = now + self.cfg.timeout * (1u64 << u.retries.min(4));
                     self.stats.timeouts += 1;
                     self.retransmit.push_back((idx as SendConnId, u.frame.seq));
                 }
+                i += 1;
             }
             if fail {
                 sc.failed = true;

@@ -5,6 +5,7 @@ mod engine;
 mod frame;
 
 pub use engine::{
-    LtlConfig, LtlEngine, LtlEvent, LtlStats, Poll, RecvConnId, SendConnId, SendError,
+    LtlConfig, LtlEngine, LtlEvent, LtlStats, Poll, RecvConnId, RecvConnView, SendConnId,
+    SendConnView, SendError,
 };
 pub use frame::{FrameError, FrameKind, LtlFrame, LTL_HEADER_BYTES};

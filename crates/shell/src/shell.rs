@@ -326,6 +326,20 @@ impl Shell {
         self.stats
     }
 
+    /// Bridge and LTL wire counters, by reference (the registry view via
+    /// [`telemetry::MetricSource`] remains the primary read path; this
+    /// accessor serves event-granularity invariant checkers that need the
+    /// raw counters between events without a snapshot allocation).
+    pub fn stats_view(&self) -> &ShellStats {
+        &self.stats
+    }
+
+    /// Whether the TOR-facing egress is currently PFC-paused for `class`
+    /// (test/diagnostic: paused classes must not put frames on the wire).
+    pub fn tor_paused(&self, class: TrafficClass) -> bool {
+        self.tor.paused[class.index()]
+    }
+
     /// Installs a role tap on the bridge (replacing the passthrough).
     pub fn set_tap(&mut self, tap: Box<dyn NetworkTap>) {
         self.tap = tap;

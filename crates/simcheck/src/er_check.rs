@@ -1,0 +1,176 @@
+//! Elastic Router conservation fuzzing.
+//!
+//! Drives an [`shell::ElasticRouter`] with a randomized mix of
+//! injections and crossbar steps (under a randomized downstream
+//! back-pressure mask) and checks the credit/token conservation laws
+//! after every operation:
+//!
+//! * occupancy == flits accepted − flits routed (nothing duplicated or
+//!   leaked),
+//! * occupancy never exceeds the configured buffer capacity,
+//! * [`shell::ElasticRouter::can_accept`] is truthful — a promised
+//!   injection never fails, and the router's stats agree with an
+//!   external tally,
+//! * a full drain returns every in-flight flit exactly once.
+
+use crate::Violation;
+use dcsim::{SimRng, SimTime};
+use shell::{CreditPolicy, ElasticRouter, ErConfig, Flit, InjectError};
+
+/// One randomized conservation run of `ops` operations. The `at` stamp
+/// on violations carries the op index (the router itself is untimed).
+pub fn check_er(seed: u64, ops: u32) -> Vec<Violation> {
+    let mut rng = SimRng::seed_from(seed ^ 0xE1A5_71C0);
+    let cfg = ErConfig::default()
+        .with_ports(2 + rng.index(3))
+        .with_vcs(1 + rng.index(3))
+        .with_credits_per_vc(1 + rng.index(4))
+        .with_shared_credits(rng.index(9))
+        .with_policy(if rng.chance(0.5) {
+            CreditPolicy::Elastic
+        } else {
+            CreditPolicy::Static
+        });
+    let ports = cfg.ports;
+    let vcs = cfg.vcs;
+    let capacity = ports * (vcs * cfg.credits_per_vc + cfg.shared_credits);
+    let mut er = ElasticRouter::new(cfg);
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut accepted: u64 = 0;
+    let mut routed: u64 = 0;
+    let mut msg_id: u64 = 0;
+
+    let fail = |violations: &mut Vec<Violation>, op: u32, check, detail: String| {
+        violations.push(Violation {
+            at: SimTime::from_nanos(op as u64),
+            check,
+            detail,
+        });
+    };
+
+    for op in 0..ops {
+        if rng.chance(0.6) {
+            // Inject at a random (port, vc) with a random destination.
+            let port = rng.index(ports);
+            let vc = rng.index(vcs);
+            let promised = er.can_accept(port, vc);
+            msg_id += 1;
+            let flit = Flit {
+                out_port: rng.index(ports),
+                vc,
+                tail: rng.chance(0.5),
+                msg_id,
+                flit_seq: 0,
+            };
+            match er.inject(port, flit) {
+                Ok(()) => {
+                    accepted += 1;
+                    if !promised {
+                        fail(
+                            &mut violations,
+                            op,
+                            "er.can_accept",
+                            format!("({port}, {vc}) refused admission but inject succeeded"),
+                        );
+                    }
+                }
+                Err(InjectError::NoCredit) => {
+                    if promised {
+                        fail(
+                            &mut violations,
+                            op,
+                            "er.can_accept",
+                            format!("({port}, {vc}) promised a credit but inject failed"),
+                        );
+                    }
+                }
+                Err(InjectError::BadPort) => {
+                    fail(
+                        &mut violations,
+                        op,
+                        "er.inject",
+                        format!("in-range ({port}, {vc}) rejected as BadPort"),
+                    );
+                }
+            }
+        } else {
+            // One crossbar cycle under random back-pressure.
+            let mask: Vec<bool> = (0..ports * vcs).map(|_| rng.chance(0.7)).collect();
+            let emitted = er.step(|out, vc| mask[out * vcs + vc]);
+            for (_, flit) in &emitted {
+                if flit.vc >= vcs {
+                    fail(
+                        &mut violations,
+                        op,
+                        "er.step",
+                        format!("emitted flit on out-of-range vc {}", flit.vc),
+                    );
+                }
+            }
+            routed += emitted.len() as u64;
+        }
+
+        let occ = er.occupancy() as u64;
+        if occ + routed != accepted {
+            fail(
+                &mut violations,
+                op,
+                "er.conservation",
+                format!("occupancy {occ} != accepted {accepted} - routed {routed}"),
+            );
+        }
+        if occ > capacity as u64 {
+            fail(
+                &mut violations,
+                op,
+                "er.capacity",
+                format!("occupancy {occ} exceeds buffer capacity {capacity}"),
+            );
+        }
+        #[allow(deprecated)]
+        let stats = er.stats();
+        if stats.flits_injected != accepted || stats.flits_routed != routed {
+            fail(
+                &mut violations,
+                op,
+                "er.stats",
+                format!(
+                    "stats ({}, {}) != tally ({accepted}, {routed})",
+                    stats.flits_injected, stats.flits_routed
+                ),
+            );
+        }
+        if violations.len() > 8 {
+            return violations;
+        }
+    }
+
+    // Final drain must return exactly the outstanding flits.
+    let outstanding = accepted.saturating_sub(routed);
+    let drained = er.drain(10_000).len() as u64;
+    if drained != outstanding || er.occupancy() != 0 {
+        fail(
+            &mut violations,
+            ops,
+            "er.drain",
+            format!(
+                "drain returned {drained} of {outstanding} outstanding (occupancy {})",
+                er.occupancy()
+            ),
+        );
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_holds_over_many_seeds() {
+        for seed in 0..24 {
+            let v = check_er(seed, 300);
+            assert_eq!(v, Vec::new(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic simulation testing for the cluster substrate.
+//!
+//! Production distributed systems built on deterministic simulators
+//! (FoundationDB, TigerBeetle) earn most of their reliability from three
+//! ingredients this crate supplies for the Catapult reproduction:
+//!
+//! 1. **Executable reference models** — small, obviously-correct
+//!    re-implementations of the tricky protocol state machines (the LTL
+//!    go-back-N retransmission protocol, the DC-QCN reaction point) that
+//!    are stepped in lockstep with the real implementations and
+//!    differentially compared after *every* engine event
+//!    ([`model::GbnRefModel`], [`dcqcn_ref`]).
+//! 2. **Global invariant checkers** — predicates over whole-cluster state
+//!    (switch queue bounds, PFC pause obedience, Elastic Router flit
+//!    conservation, HaaS lease-state legality, per-flow delivery order)
+//!    evaluated at event granularity through the engine's [`dcsim::Observer`]
+//!    hook ([`invariants`], [`er_check`]).
+//! 3. **A shrinking fuzz driver** — seed sweeps over randomized topologies,
+//!    fault plans and schedule perturbations, with failing inputs reduced
+//!    by delta debugging to a minimal reproduction that replays
+//!    byte-identically ([`shrink`], [`repro`], `bench`'s `simcheck` binary).
+//!
+//! Everything here is deliberately *passive*: oracles observe through
+//! read-only views and never schedule events, so attaching them cannot
+//! change the simulation outcome — the property that makes a shrunk repro
+//! valid evidence about an oracle-free run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dcqcn_ref;
+pub mod er_check;
+pub mod invariants;
+pub mod model;
+pub mod repro;
+pub mod scenario;
+pub mod session;
+pub mod shrink;
+
+use dcsim::SimTime;
+
+/// One oracle violation: a falsified invariant or a divergence between a
+/// reference model and the real implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Simulation time of the event after which the check failed.
+    pub at: SimTime,
+    /// Which oracle fired (stable, machine-matchable name).
+    pub check: &'static str,
+    /// Human-readable detail: expected vs. observed.
+    pub detail: String,
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "[{} ns] {}: {}",
+            self.at.as_nanos(),
+            self.check,
+            self.detail
+        )
+    }
+}
+
+/// Serial-number (RFC 1982 style) strict less-than over `u32` sequence
+/// numbers, matching the LTL engine's wraparound arithmetic.
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < u32::MAX / 2
+}
+
+/// Serial-number less-or-equal.
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_arithmetic_handles_wraparound() {
+        assert!(seq_lt(0, 1));
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 1, 3));
+        assert!(!seq_lt(1, 0));
+        assert!(!seq_lt(5, 5));
+        assert!(seq_le(5, 5));
+        assert!(seq_le(u32::MAX, 2));
+    }
+
+    #[test]
+    fn violation_display_includes_time_and_check() {
+        let v = Violation {
+            at: SimTime::from_nanos(1500),
+            check: "ltl.window",
+            detail: "expected 3, got 4".into(),
+        };
+        assert_eq!(v.to_string(), "[1500 ns] ltl.window: expected 3, got 4");
+    }
+}

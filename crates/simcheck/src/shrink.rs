@@ -1,0 +1,119 @@
+//! Delta-debugging reduction of failing fault plans.
+//!
+//! Given a fault-event list that makes an oracle fire and a closure that
+//! re-runs the simulation, [`ddmin`] finds a 1-minimal sub-list: removing
+//! any single remaining event makes the failure disappear. Because each
+//! probe is a fully deterministic replay, the result is an exact minimal
+//! reproduction, not a statistical one.
+
+use catapult::chaos::FaultEvent;
+
+/// Zeller–Hildebrandt ddmin over fault events. `still_fails` must return
+/// `true` when the simulation run with the candidate event list still
+/// exhibits the failure. Returns a 1-minimal failing sub-list (the input
+/// itself must fail; this is debug-asserted by re-running it).
+pub fn ddmin<F>(events: &[FaultEvent], mut still_fails: F) -> Vec<FaultEvent>
+where
+    F: FnMut(&[FaultEvent]) -> bool,
+{
+    let mut cur: Vec<FaultEvent> = events.to_vec();
+    if cur.is_empty() {
+        return cur;
+    }
+    let mut granularity = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            // Complement: everything except [start, end).
+            let candidate: Vec<FaultEvent> = cur[..start]
+                .iter()
+                .chain(cur[end..].iter())
+                .copied()
+                .collect();
+            if !candidate.is_empty() && still_fails(&candidate) {
+                cur = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= cur.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(cur.len());
+        }
+    }
+    // Final 1-minimality pass: try dropping each single event.
+    let mut i = 0;
+    while cur.len() > 1 && i < cur.len() {
+        let mut candidate = cur.clone();
+        candidate.remove(i);
+        if still_fails(&candidate) {
+            cur = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catapult::chaos::FaultKind;
+    use dcnet::NodeAddr;
+    use dcsim::{SimDuration, SimTime};
+
+    fn flap(host: u16) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_micros(host as u64),
+            kind: FaultKind::LinkFlap {
+                node: NodeAddr::new(0, 0, host),
+                down: SimDuration::from_micros(10),
+            },
+        }
+    }
+
+    fn hosts(events: &[FaultEvent]) -> Vec<u16> {
+        events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkFlap { node, .. } => Some(node.host),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let events: Vec<FaultEvent> = (0..16).map(flap).collect();
+        let mut probes = 0;
+        let minimal = ddmin(&events, |candidate| {
+            probes += 1;
+            hosts(candidate).contains(&11)
+        });
+        assert_eq!(hosts(&minimal), vec![11]);
+        assert!(probes < 64, "ddmin used {probes} probes for 16 events");
+    }
+
+    #[test]
+    fn keeps_an_interacting_pair() {
+        // Failure needs events 3 AND 12 together: ddmin must keep both.
+        let events: Vec<FaultEvent> = (0..16).map(flap).collect();
+        let minimal = ddmin(&events, |candidate| {
+            let h = hosts(candidate);
+            h.contains(&3) && h.contains(&12)
+        });
+        assert_eq!(hosts(&minimal), vec![3, 12]);
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert_eq!(ddmin(&[], |_| true), Vec::new());
+    }
+}

@@ -129,6 +129,14 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // RFC 8259 leaves duplicate-key behaviour undefined; for a
+            // validator that ambiguity is a defect, so reject outright.
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!(
+                    "duplicate key {key:?} in object at byte {}",
+                    self.pos
+                ));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -325,6 +333,56 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "\"unterminated", "tru"] {
             assert!(validate(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn rejects_truncated_objects() {
+        for bad in [
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\":1",
+            "{\"a\":1,",
+            "{\"a\":1,\"b\"",
+            "{\"a\":{\"b\":2}",
+            "[{\"a\":1}",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_escapes() {
+        for bad in [
+            r#""\x""#,         // unknown escape letter
+            r#""\""#,          // escape at end of input
+            r#""\u12""#,       // truncated \u escape
+            r#""\u12G4""#,     // non-hex digit
+            r#""\uD800""#,     // lone surrogate
+            "\"raw\ttab\"",    // raw control byte
+            "\"line\nbreak\"", // raw newline
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should fail");
+        }
+        // The escaped forms of the same characters are fine.
+        assert_eq!(parse(r#""a\tb\nc""#).unwrap(), Value::Str("a\tb\nc".into()));
+        assert_eq!(parse(r#""A""#).unwrap(), Value::Str("A".into()));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        for bad in [
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":1,\"b\":2,\"a\":3}",
+            "{\"outer\":{\"k\":1,\"k\":2}}",
+            "[{\"k\":null,\"k\":null}]",
+        ] {
+            assert!(
+                validate(bad).unwrap_err().contains("duplicate key"),
+                "{bad:?} should fail with a duplicate-key error"
+            );
+        }
+        // Same key at different nesting levels is legal.
+        assert!(validate("{\"k\":{\"k\":1},\"j\":{\"k\":2}}").is_ok());
     }
 
     #[test]

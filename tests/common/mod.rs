@@ -1,0 +1,71 @@
+//! Helpers shared by the determinism integration tests.
+
+/// Asserts two multi-line documents are byte-identical; on mismatch,
+/// fails pointing at the *first divergent line* (number plus both
+/// renderings) instead of dumping two multi-kilobyte blobs to compare by
+/// eye.
+#[track_caller]
+pub fn assert_identical(label: &str, first: &str, second: &str) {
+    if first == second {
+        return;
+    }
+    let mut a = first.lines();
+    let mut b = second.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (a.next(), b.next()) {
+            (Some(x), Some(y)) if x == y => continue,
+            (Some(x), Some(y)) => panic!(
+                "{label}: documents diverge at line {line}:\n  first:  {x}\n  second: {y}"
+            ),
+            (Some(x), None) => panic!(
+                "{label}: second document ends early; first continues at line {line}:\n  first:  {x}"
+            ),
+            (None, Some(y)) => panic!(
+                "{label}: first document ends early; second continues at line {line}:\n  second: {y}"
+            ),
+            (None, None) => {
+                // Same lines but different bytes: a trailing-newline or
+                // line-terminator difference.
+                panic!(
+                    "{label}: documents differ only in line terminators \
+                     ({} vs {} bytes)",
+                    first.len(),
+                    second.len()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn failure_message(first: &str, second: &str) -> String {
+        let err = std::panic::catch_unwind(|| super::assert_identical("doc", first, second))
+            .expect_err("inputs differ, the assertion must fire");
+        err.downcast_ref::<String>()
+            .expect("panic payload is a formatted String")
+            .clone()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        super::assert_identical("doc", "a\nb", "a\nb");
+        super::assert_identical("doc", "", "");
+    }
+
+    #[test]
+    fn points_at_the_first_divergent_line() {
+        let msg = failure_message("a\nb\nc", "a\nX\nc");
+        assert!(msg.contains("line 2"), "got: {msg}");
+        assert!(msg.contains('X'), "got: {msg}");
+    }
+
+    #[test]
+    fn reports_a_truncated_document() {
+        let msg = failure_message("a\nb\nc", "a\nb");
+        assert!(msg.contains("ends early"), "got: {msg}");
+        assert!(msg.contains("line 3"), "got: {msg}");
+    }
+}

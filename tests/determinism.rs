@@ -7,6 +7,8 @@
 
 use catapult::experiments::{fig06, RankingSweepParams};
 
+mod common;
+
 fn quick_params() -> RankingSweepParams {
     RankingSweepParams {
         queries_per_point: 4_000,
@@ -27,7 +29,7 @@ fn fig06_same_seed_is_byte_identical() {
     let params = quick_params();
     let first = fingerprint(&params);
     let second = fingerprint(&params);
-    assert_eq!(first, second, "same seed must reproduce identical rows");
+    common::assert_identical("fig06 same-seed rerun", &first, &second);
 }
 
 #[test]
@@ -54,10 +56,7 @@ fn fig06_serial_and_parallel_agree() {
     std::env::set_var(catapult::sweep::THREADS_ENV, "4");
     let parallel = fingerprint(&params);
 
-    assert_eq!(
-        serial, parallel,
-        "thread count must not change simulation results"
-    );
+    common::assert_identical("fig06 serial vs parallel", &serial, &parallel);
 }
 
 #[test]

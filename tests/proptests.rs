@@ -5,7 +5,7 @@ use apps::crypto::{cbc_sha1_open, cbc_sha1_seal, Aes, AesGcm, Sha1};
 use apps::ranking::{min_cover_window, Document, FfuBank, Query};
 use bytes::Bytes;
 use dcnet::{NodeAddr, Packet, TrafficClass};
-use dcsim::{PercentileRecorder, SimDuration, SimTime};
+use dcsim::{Component, ComponentId, Context, Engine, PercentileRecorder, SimDuration, SimTime};
 use proptest::prelude::*;
 use shell::ltl::{FrameKind, LtlFrame};
 use shell::{CreditPolicy, ElasticRouter, ErConfig, Flit};
@@ -208,4 +208,243 @@ proptest! {
             prop_assert_eq!(*port, flit.out_port);
         }
     }
+}
+
+/// Wraps a [`serde::Value`] tree so it can be fed to the serializer.
+struct RawValue(serde::Value);
+
+impl serde::Serialize for RawValue {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+/// Builds a scalar JSON value from a generated tag and payloads.
+fn scalar(tag: u8, n: u64, x: f64, s: &str) -> serde::Value {
+    use serde::Value;
+    match tag % 6 {
+        0 => Value::Null,
+        1 => Value::Bool(n.is_multiple_of(2)),
+        2 => Value::U64(n),
+        // Strictly negative: the parser types non-negative integers as
+        // U64, so only negative values reparse as I64.
+        3 => Value::I64(-1 - (n / 3) as i64),
+        4 => Value::F64(x),
+        _ => Value::Str(s.to_string()),
+    }
+}
+
+proptest! {
+    /// Anything the vendored serializer emits, the telemetry validator
+    /// parses back to the identical value tree — compact and pretty,
+    /// scalars, arrays, and objects with tricky keys. This pins the two
+    /// sides of the JSON contract to each other.
+    #[test]
+    fn serializer_output_reparses_identically(
+        tags in proptest::collection::vec(any::<u8>(), 1..12),
+        nums in proptest::collection::vec(any::<u64>(), 12),
+        floats in proptest::collection::vec(-1e9f64..1e9, 12),
+        raw_strings in proptest::collection::vec(
+            proptest::collection::vec(0usize..12, 0..12),
+            12,
+        ),
+        depth_tag in 0u8..3,
+    ) {
+        use serde::Value;
+        // Escape-heavy character palette: quotes, backslashes, control
+        // characters, and multi-byte unicode.
+        const PALETTE: [char; 12] =
+            ['a', 'z', '"', '\\', '\u{8}', '\t', '\n', '\r', ' ', '/', 'é', '\u{1F600}'];
+        let strings: Vec<String> = raw_strings
+            .iter()
+            .map(|idxs| idxs.iter().map(|&i| PALETTE[i]).collect())
+            .collect();
+        let leaves: Vec<Value> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| scalar(t, nums[i], floats[i], &strings[i]))
+            .collect();
+        // Bounded nesting built by hand (the vendored proptest has no
+        // recursive strategies): leaves -> container -> root object.
+        let inner = match depth_tag {
+            0 => Value::Array(leaves.clone()),
+            1 => Value::Object(
+                leaves
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("k{i}"), v.clone()))
+                    .collect(),
+            ),
+            _ => Value::Array(vec![
+                Value::Array(leaves.clone()),
+                Value::Object(vec![("nested \" key".into(), leaves[0].clone())]),
+            ]),
+        };
+        let root = Value::Object(vec![
+            ("payload".into(), inner),
+            ("count".into(), Value::U64(leaves.len() as u64)),
+        ]);
+        let compact = serde_json::to_string(&RawValue(root.clone())).unwrap();
+        let pretty = serde_json::to_string_pretty(&RawValue(root.clone())).unwrap();
+        prop_assert_eq!(&telemetry::json::parse(&compact).unwrap(), &root);
+        prop_assert_eq!(&telemetry::json::parse(&pretty).unwrap(), &root);
+    }
+}
+
+/// Records every delivery with its timestamp; message payloads carry the
+/// global scheduling order so FIFO tie-breaking is checkable.
+#[derive(Debug, Default)]
+struct DeliveryLog {
+    seen: Vec<(u64, u32)>,
+}
+
+impl Component<u32> for DeliveryLog {
+    fn on_message(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+        self.seen.push((ctx.now().as_nanos(), msg));
+    }
+}
+
+/// Schedules bursts of events *from inside the run*, so the calendar
+/// queue sees pushes while it is draining — the regime where a retune
+/// moves events between buckets with a live cursor.
+struct WaveFeeder {
+    log: ComponentId,
+    waves: Vec<Vec<u64>>,
+    next_wave: usize,
+    sent: u32,
+}
+
+impl Component<u32> for WaveFeeder {
+    fn on_message(&mut self, _msg: u32, ctx: &mut Context<'_, u32>) {
+        if let Some(wave) = self.waves.get(self.next_wave) {
+            self.next_wave += 1;
+            for &offset in wave {
+                ctx.send_after(SimDuration::from_nanos(offset), self.log, self.sent);
+                self.sent += 1;
+            }
+            // Re-arm between waves at an odd stride so wave boundaries
+            // interleave with deliveries rather than aligning to them.
+            ctx.send_to_self_after(SimDuration::from_nanos(997), 0);
+        }
+    }
+}
+
+fn assert_log_ordered(seen: &[(u64, u32)], expected: usize) -> Result<(), String> {
+    if seen.len() != expected {
+        return Err(format!("delivered {} of {expected} events", seen.len()));
+    }
+    for w in seen.windows(2) {
+        if w[0].0 > w[1].0 {
+            return Err(format!("time went backwards: {:?} then {:?}", w[0], w[1]));
+        }
+        if w[0].0 == w[1].0 && w[0].1 >= w[1].1 {
+            return Err(format!("FIFO violated on tie: {:?} then {:?}", w[0], w[1]));
+        }
+    }
+    Ok(())
+}
+
+// Calendar-queue stress properties. Each case schedules thousands of
+// events (enough to cross the queue's retune interval several times), so
+// the case count is kept deliberately small.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Events far beyond the wheel's current year (the overflow heap)
+    /// and events straddling the initial wheel span all deliver in
+    /// timestamp order with FIFO tie-breaking, regardless of the
+    /// interleaving they were pushed in.
+    #[test]
+    fn calendar_queue_orders_across_the_year_boundary(
+        near in proptest::collection::vec(0u64..40_000, 1..120),
+        far in proptest::collection::vec(0u64..1_000_000, 1..60),
+    ) {
+        let mut e: Engine<u32> = Engine::new(7);
+        let log = e.add_component(DeliveryLog::default());
+        let mut order = 0u32;
+        // Interleave near and far pushes so wheel and overflow-heap
+        // inserts alternate.
+        let far_base = SimTime::from_secs(100).as_nanos();
+        let mut near_it = near.iter();
+        let mut far_it = far.iter();
+        loop {
+            match (near_it.next(), far_it.next()) {
+                (None, None) => break,
+                (n, f) => {
+                    if let Some(&t) = n {
+                        e.schedule(SimTime::from_nanos(t), log, order);
+                        order += 1;
+                    }
+                    if let Some(&t) = f {
+                        e.schedule(SimTime::from_nanos(far_base + t), log, order);
+                        order += 1;
+                    }
+                }
+            }
+        }
+        e.run_to_idle();
+        let seen = &e.component::<DeliveryLog>(log).unwrap().seen;
+        assert_log_ordered(seen, near.len() + far.len()).unwrap();
+    }
+
+    /// Waves of pushes landing mid-drain — enough volume to force the
+    /// adaptive retune to resize the bucket wheel while events are in
+    /// flight — never reorder or lose an event.
+    #[test]
+    fn calendar_queue_retune_mid_drain_preserves_order(
+        waves in proptest::collection::vec(
+            proptest::collection::vec(0u64..3_000_000, 1_200..1_700),
+            3..6,
+        ),
+    ) {
+        let total: usize = waves.iter().map(Vec::len).sum();
+        let mut e: Engine<u32> = Engine::new(11);
+        let log = e.add_component(DeliveryLog::default());
+        let feeder = e.add_component(WaveFeeder {
+            log,
+            waves,
+            next_wave: 0,
+            sent: 0,
+        });
+        e.schedule(SimTime::ZERO, feeder, 0);
+        e.run_to_idle();
+        let seen = &e.component::<DeliveryLog>(log).unwrap().seen;
+        assert_log_ordered(seen, total).unwrap();
+    }
+}
+
+/// Deterministic regression for the exact wheel-year edge: events one
+/// slot inside, exactly on, and one slot past the initial wheel span
+/// (64 buckets x 256 ns), pushed both before and during the drain.
+#[test]
+fn calendar_queue_year_edge_events_deliver_in_order() {
+    let initial_span = 64 * 256u64;
+    let mut e: Engine<u32> = Engine::new(3);
+    let log = e.add_component(DeliveryLog::default());
+    let edge_times = [
+        initial_span + 1,
+        initial_span,
+        initial_span - 1,
+        2 * initial_span,
+        1,
+        0,
+    ];
+    for (order, &t) in edge_times.iter().enumerate() {
+        e.schedule(SimTime::from_nanos(t), log, order as u32);
+    }
+    // A second batch lands mid-drain, re-straddling the (advanced) year.
+    let feeder = e.add_component(WaveFeeder {
+        log,
+        waves: vec![vec![initial_span - 2, initial_span * 3, 5, 0]],
+        next_wave: 0,
+        sent: 100,
+    });
+    e.schedule(SimTime::from_nanos(2), feeder, 0);
+    e.run_to_idle();
+    let seen = &e.component::<DeliveryLog>(log).unwrap().seen;
+    assert_eq!(seen.len(), 10);
+    let times: Vec<u64> = seen.iter().map(|&(t, _)| t).collect();
+    let mut sorted = times.clone();
+    sorted.sort_unstable();
+    assert_eq!(times, sorted, "deliveries out of timestamp order");
 }

@@ -9,6 +9,8 @@
 use catapult::prelude::*;
 use catapult::telemetry::json::{validate, validate_chrome_trace};
 
+mod common;
+
 /// Runs a small traced cluster and returns `(metrics_json, trace_json)`.
 fn run_once(seed: u64) -> (String, String) {
     let mut cluster = Cluster::paper_scale(seed, 1);
@@ -40,8 +42,8 @@ fn run_once(seed: u64) -> (String, String) {
 fn same_seed_metrics_and_trace_are_byte_identical() {
     let (m1, t1) = run_once(11);
     let (m2, t2) = run_once(11);
-    assert_eq!(m1, m2, "same seed must give a byte-identical metrics dump");
-    assert_eq!(t1, t2, "same seed must give a byte-identical trace export");
+    common::assert_identical("metrics dump", &m1, &m2);
+    common::assert_identical("chrome trace export", &t1, &t2);
 }
 
 #[test]
