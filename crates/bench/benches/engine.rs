@@ -1,10 +1,16 @@
-//! Criterion benchmarks of the `dcsim` event engine: scheduler throughput
-//! under the workloads the simulation substrate actually generates. The
-//! `perf` binary gives the same workloads as an absolute events/sec
-//! comparison against the pre-calendar-queue binary heap.
+//! Criterion benchmarks of the `dcsim` event engine and the wire codecs
+//! on the packet hot path: scheduler throughput under the workloads the
+//! simulation substrate actually generates, plus `Packet` and `LtlFrame`
+//! encode/decode (whose copy-free decode contract the LTL datapath leans
+//! on once per received frame). The `perf` binary gives the same chain
+//! workloads as an absolute events/sec comparison against the
+//! pre-calendar-queue binary heap.
 
+use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcnet::{NodeAddr, Packet, TrafficClass};
 use dcsim::{Component, Context, Engine, SimDuration, SimTime};
+use shell::ltl::{FrameKind, LtlFrame};
 
 const CHAINS: u64 = 256;
 const EVENTS_PER_CHAIN: u64 = 200;
@@ -72,5 +78,54 @@ fn engine_benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_benches);
+/// An MTU-sized LTL data frame payload (the segmenter's steady state).
+const FRAME_PAYLOAD: usize = 1458;
+
+fn codec_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(1));
+
+    let pkt = Packet::new(
+        NodeAddr::new(0, 1, 2),
+        NodeAddr::new(1, 3, 0),
+        4791,
+        4791,
+        TrafficClass::LTL,
+        Bytes::from(vec![0xA5u8; FRAME_PAYLOAD]),
+    );
+    let pkt_wire = pkt.encode_wire();
+    g.bench_function("packet_encode", |b| {
+        b.iter(|| black_box(black_box(&pkt).encode_wire()))
+    });
+    g.bench_function("packet_decode", |b| {
+        b.iter(|| black_box(Packet::decode_wire(black_box(&pkt_wire)).expect("valid frame")))
+    });
+
+    let frame = LtlFrame {
+        kind: FrameKind::Data,
+        src_conn: 3,
+        dst_conn: 7,
+        seq: 0x1234_5678,
+        msg_id: 42,
+        last_frag: false,
+        vc: 1,
+        payload: Bytes::from(vec![0x5Au8; FRAME_PAYLOAD]),
+    };
+    let frame_wire = frame.encode();
+    g.bench_function("ltl_frame_encode", |b| {
+        b.iter(|| black_box(black_box(&frame).encode()))
+    });
+    g.bench_function("ltl_frame_decode", |b| {
+        b.iter(|| black_box(LtlFrame::decode(black_box(&frame_wire)).expect("valid frame")))
+    });
+    g.bench_function("ltl_frame_roundtrip", |b| {
+        b.iter(|| {
+            let wire = black_box(&frame).encode();
+            black_box(LtlFrame::decode(&wire).expect("valid frame"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_benches, codec_benches);
 criterion_main!(benches);

@@ -1,10 +1,20 @@
 //! The simulation-wide message type.
 //!
 //! Every engine in this workspace runs over [`Msg`]: network-plane events
-//! are first-class variants, while host- and application-level crates attach
-//! their own payloads through [`Msg::custom`]. Components downcast the
-//! payloads they expect; anything else is a wiring bug and surfaces loudly
-//! in tests.
+//! and the per-frame pipeline hand-offs inside an endpoint are first-class
+//! variants, while host- and application-level crates attach their own
+//! payloads through [`Msg::custom`]. Components downcast the payloads they
+//! expect; anything else is a wiring bug and surfaces loudly in tests.
+//!
+//! # Typed-message policy
+//!
+//! Anything on the steady-state event hot path — sent once per frame or
+//! per hop — must be a first-class variant: `Box<dyn Any>` costs a heap
+//! allocation plus a downcast per event, which dominates once the
+//! scheduler itself is cheap. [`Msg::Custom`] is reserved for *cold*
+//! traffic: per-message application payloads, management RPCs, fault
+//! injection, and test scaffolding, where the allocation is amortized over
+//! many frame-level events.
 
 use std::any::Any;
 
@@ -54,8 +64,24 @@ pub enum NetEvent {
 pub enum Msg {
     /// Network-plane traffic.
     Net(NetEvent),
+    /// Hot-path pipeline hand-off inside an endpoint: a frame delayed by a
+    /// local pipeline stage (LTL encode latency, NIC<->TOR bridge hop) that
+    /// must be transmitted out of `port` when the self-scheduled delay
+    /// elapses. Sent once per frame per stage, so it is a first-class
+    /// variant instead of a boxed payload.
+    Egress {
+        /// Local egress port the frame leaves through.
+        port: PortId,
+        /// The frame to transmit.
+        pkt: Packet,
+    },
+    /// Hot-path pipeline hand-off inside an endpoint: a received frame that
+    /// has cleared the MAC/bridge pipeline and is due at the local LTL
+    /// protocol engine. Sent once per received LTL frame.
+    LtlRx(Packet),
     /// Crate-specific payloads (PCIe DMA transactions, application requests,
     /// management RPCs); receivers downcast to the types they expect.
+    /// Cold path only — see the module-level typed-message policy.
     Custom(Box<dyn Any>),
 }
 
@@ -91,6 +117,12 @@ impl core::fmt::Debug for Msg {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Msg::Net(ev) => f.debug_tuple("Net").field(ev).finish(),
+            Msg::Egress { port, pkt } => f
+                .debug_struct("Egress")
+                .field("port", port)
+                .field("pkt", pkt)
+                .finish(),
+            Msg::LtlRx(pkt) => f.debug_tuple("LtlRx").field(pkt).finish(),
             Msg::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -132,5 +164,27 @@ mod tests {
     #[test]
     fn debug_formats() {
         assert_eq!(format!("{:?}", Msg::custom(1u8)), "Custom(..)");
+    }
+
+    #[test]
+    fn hot_variants_are_not_custom_payloads() {
+        let mk = || {
+            Packet::new(
+                NodeAddr::new(0, 0, 0),
+                NodeAddr::new(0, 0, 1),
+                1,
+                2,
+                TrafficClass::LTL,
+                Bytes::new(),
+            )
+        };
+        let egress = Msg::Egress {
+            port: PortId(5),
+            pkt: mk(),
+        };
+        assert!(egress.downcast::<u32>().is_err());
+        let rx = Msg::LtlRx(mk());
+        assert!(rx.downcast::<u32>().is_err());
+        assert!(format!("{:?}", Msg::LtlRx(mk())).starts_with("LtlRx"));
     }
 }

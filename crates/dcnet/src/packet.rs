@@ -7,6 +7,8 @@
 //! roles that operate on bytes (e.g. the crypto bump-in-the-wire role)
 //! work on the `Bytes` directly.
 
+use core::cell::Cell;
+
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::addr::{MacAddr, NodeAddr};
@@ -106,6 +108,11 @@ pub struct Packet {
     pub corrupt: bool,
     /// Application payload carried after the UDP header.
     pub payload: Bytes,
+    // Memoized flow hash (0 = not yet computed), filled in lazily by
+    // [`Packet::flow_hash`] so switches hash the 5-tuple once per packet
+    // instead of once per hop. The 5-tuple must not be mutated after the
+    // first `flow_hash` call; build a new packet for a new flow.
+    flow: Cell<u64>,
 }
 
 impl Packet {
@@ -132,6 +139,7 @@ impl Packet {
             ttl: 64,
             corrupt: false,
             payload,
+            flow: Cell::new(0),
         }
     }
 
@@ -143,7 +151,16 @@ impl Packet {
     }
 
     /// Flow identifier used for ECMP hashing: a stable hash of the 5-tuple.
+    ///
+    /// The hash is memoized inside the packet on first call, so routing a
+    /// packet across many hops hashes once. The 5-tuple fields are treated
+    /// as immutable from the first call on; code that needs a different
+    /// flow builds a fresh packet via [`Packet::new`].
     pub fn flow_hash(&self) -> u64 {
+        let cached = self.flow.get();
+        if cached != 0 {
+            return cached;
+        }
         // FNV-1a over the 5-tuple; stable across runs.
         let mut h: u64 = 0xcbf29ce484222325;
         let mut eat = |v: u64| {
@@ -155,6 +172,8 @@ impl Packet {
         eat(self.src.as_u32() as u64);
         eat(self.dst.as_u32() as u64);
         eat(((self.src_port as u64) << 16) | self.dst_port as u64);
+        // A real hash of 0 (probability 2^-64) just skips the memo.
+        self.flow.set(h);
         h
     }
 
@@ -196,11 +215,15 @@ impl Packet {
 
     /// Parses a frame produced by [`Packet::encode_wire`].
     ///
+    /// The returned packet's payload is a zero-copy [`Bytes::slice`] view
+    /// into `frame`'s shared storage — decoding never copies payload bytes.
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] if the frame is truncated, is not IPv4/UDP,
     /// or carries a corrupt IPv4 header checksum.
-    pub fn decode_wire(frame: &[u8]) -> Result<Packet, DecodeError> {
+    pub fn decode_wire(wire: &Bytes) -> Result<Packet, DecodeError> {
+        let frame: &[u8] = wire;
         if frame.len() < HEADER_BYTES as usize {
             return Err(DecodeError::Truncated);
         }
@@ -233,7 +256,7 @@ impl Packet {
             return Err(DecodeError::Truncated);
         }
         let payload_len = udp_len - 8;
-        let payload = Bytes::copy_from_slice(&frame[42..42 + payload_len]);
+        let payload = wire.slice(42..42 + payload_len);
         Ok(Packet {
             src,
             dst,
@@ -244,6 +267,7 @@ impl Packet {
             ttl: ip[8],
             corrupt: false,
             payload,
+            flow: Cell::new(0),
         })
     }
 }
@@ -340,7 +364,7 @@ mod tests {
         let mut bad = wire.to_vec();
         bad[20] ^= 0xFF; // inside IP header
         assert_eq!(
-            Packet::decode_wire(&bad).unwrap_err(),
+            Packet::decode_wire(&Bytes::from(bad)).unwrap_err(),
             DecodeError::BadChecksum
         );
     }
@@ -350,7 +374,7 @@ mod tests {
         let p = sample_packet(b"abc");
         let wire = p.encode_wire();
         assert_eq!(
-            Packet::decode_wire(&wire[..20]).unwrap_err(),
+            Packet::decode_wire(&wire.slice(..20)).unwrap_err(),
             DecodeError::Truncated
         );
     }
@@ -362,7 +386,7 @@ mod tests {
         wire[12] = 0x86; // IPv6 ethertype
         wire[13] = 0xDD;
         assert_eq!(
-            Packet::decode_wire(&wire).unwrap_err(),
+            Packet::decode_wire(&Bytes::from(wire)).unwrap_err(),
             DecodeError::NotIpv4
         );
     }
@@ -375,6 +399,34 @@ mod tests {
         let mut rev = sample_packet(b"1");
         core::mem::swap(&mut rev.src, &mut rev.dst);
         assert_ne!(a.flow_hash(), rev.flow_hash());
+    }
+
+    #[test]
+    fn flow_hash_memo_survives_clone_and_repeat_calls() {
+        let p = sample_packet(b"memo");
+        let first = p.flow_hash();
+        assert_eq!(p.flow_hash(), first, "memoized value must be stable");
+        let hop = p.clone();
+        assert_eq!(hop.flow_hash(), first, "clones carry the memo");
+        // A decoded packet starts with a cold memo and recomputes the
+        // same hash from its parsed 5-tuple.
+        let decoded = Packet::decode_wire(&p.encode_wire()).unwrap();
+        assert_eq!(decoded.flow_hash(), first);
+    }
+
+    #[test]
+    fn decode_payload_is_zero_copy_view_of_the_frame() {
+        let p = sample_packet(b"shared storage");
+        let wire = p.encode_wire();
+        let q = Packet::decode_wire(&wire).unwrap();
+        assert_eq!(q.payload, p.payload);
+        // The payload must point into the wire buffer itself, not a copy.
+        let wire_payload = &wire[HEADER_BYTES as usize..];
+        assert_eq!(
+            q.payload.as_slice().as_ptr(),
+            wire_payload.as_ptr(),
+            "decode must slice the shared frame, not copy it"
+        );
     }
 
     #[test]

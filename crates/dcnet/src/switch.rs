@@ -365,6 +365,10 @@ pub struct Switch {
     role: SwitchRole,
     shape: FabricShape,
     cfg: SwitchConfig,
+    /// Precomputed `(mu, sigma)` for the contention-jitter sampler, with
+    /// `mu = ln(median_ns)`; keeps the per-packet path free of the `ln`
+    /// of a configuration constant.
+    jitter_ln: Option<(f64, f64)>,
     ports: Vec<Port>,
     crashed: bool,
     stats: SwitchStats,
@@ -384,6 +388,7 @@ impl Switch {
             role,
             shape,
             ports: (0..ports).map(|_| Port::new(cfg.link)).collect(),
+            jitter_ln: cfg.jitter.map(|j| (j.median_ns.ln(), j.sigma)),
             cfg,
             crashed: false,
             stats: SwitchStats::default(),
@@ -557,22 +562,25 @@ impl Switch {
         pkt.ttl -= 1;
 
         let egress = self.route(pkt.dst, pkt.flow_hash());
-        if self.ports[egress.index()].peer.is_none() {
-            self.stats.no_route += 1;
-            return;
-        }
-        if !self.ports[egress.index()].up {
-            self.stats.link_down_drops += 1;
-            return;
-        }
         let class = pkt.class;
         let ci = class.index();
         let wire = pkt.wire_bytes() as u64;
+        // One egress-port read covers the reachability checks and the
+        // queue depth used by ECN and the tail-drop test below.
+        let eport = &self.ports[egress.index()];
+        if eport.peer.is_none() {
+            self.stats.no_route += 1;
+            return;
+        }
+        if !eport.up {
+            self.stats.link_down_drops += 1;
+            return;
+        }
+        let depth = eport.queued_bytes[ci];
 
         // Congestion point: RED/ECN marking against the egress queue depth.
         if let Some(ecn) = self.cfg.ecn {
             if pkt.ecn == Ecn::Capable {
-                let depth = self.ports[egress.index()].queued_bytes[ci];
                 let p = if depth <= ecn.kmin_bytes {
                     0.0
                 } else if depth >= ecn.kmax_bytes {
@@ -589,9 +597,7 @@ impl Switch {
         }
 
         let lossless = self.is_lossless(class);
-        if !lossless
-            && self.ports[egress.index()].queued_bytes[ci] + wire > self.cfg.queue_capacity_bytes
-        {
+        if !lossless && depth + wire > self.cfg.queue_capacity_bytes {
             self.stats.dropped += 1;
             if let Some(t) = &self.tracer {
                 t.instant(ctx.now(), "drop", &[("egress", egress.0 as u64)]);
@@ -625,8 +631,8 @@ impl Switch {
 
         // Pipeline latency plus optional contention jitter.
         let mut extra = self.cfg.base_latency;
-        if let Some(j) = self.cfg.jitter {
-            let sample = ctx.rng().lognormal(j.median_ns.ln(), j.sigma);
+        if let Some((mu, sigma)) = self.jitter_ln {
+            let sample = ctx.rng().lognormal(mu, sigma);
             extra += SimDuration::from_nanos(sample as u64);
         }
 
@@ -642,23 +648,26 @@ impl Switch {
 
     fn try_transmit(&mut self, egress: PortId, ctx: &mut Context<'_, Msg>) {
         let ei = egress.index();
-        if self.crashed || self.ports[ei].busy || !self.ports[ei].up {
+        // Borrow the egress port once for the eligibility checks, the
+        // priority scan and the dequeue bookkeeping.
+        let port = &mut self.ports[ei];
+        if self.crashed || port.busy || !port.up {
             return;
         }
         // Strict priority: highest non-paused, non-empty class first.
         let Some(ci) = (0..TrafficClass::COUNT)
             .rev()
-            .find(|&c| !self.ports[ei].tx_paused[c] && !self.ports[ei].queues[c].is_empty())
+            .find(|&c| !port.tx_paused[c] && !port.queues[c].is_empty())
         else {
             return;
         };
-        let mut q = self.ports[ei].queues[ci]
+        let mut q = port.queues[ci]
             .pop_front()
             .expect("class queue checked non-empty");
         let wire = q.pkt.wire_bytes() as u64;
-        self.ports[ei].queued_bytes[ci] -= wire;
-        if self.ports[ei].corrupt_pending > 0 {
-            self.ports[ei].corrupt_pending -= 1;
+        port.queued_bytes[ci] -= wire;
+        if port.corrupt_pending > 0 {
+            port.corrupt_pending -= 1;
             q.pkt.corrupt = true;
             self.stats.corrupted += 1;
         }
@@ -730,6 +739,10 @@ impl Component<Msg> for Switch {
                         }
                     }
                 }
+            }
+            // Endpoint-internal pipeline hand-offs never reach a switch.
+            Msg::Egress { .. } | Msg::LtlRx(_) => {
+                panic!("endpoint pipeline message delivered to a switch")
             }
         }
     }

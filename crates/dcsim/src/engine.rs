@@ -127,7 +127,11 @@ pub trait Observer<M>: Any {
 pub struct Context<'a, M> {
     now: SimTime,
     id: ComponentId,
-    outbox: &'a mut Vec<(SimTime, ComponentId, EventKind<M>)>,
+    /// The engine's event queue, pushed to directly: scheduling from a
+    /// component costs one queue insert, not a staging-buffer round-trip.
+    queue: &'a mut CalendarQueue<(ComponentId, EventKind<M>)>,
+    seq: &'a mut u64,
+    tie_break_salt: u64,
     rng: &'a mut SimRng,
     stop: &'a mut bool,
 }
@@ -151,8 +155,7 @@ impl<'a, M> Context<'a, M> {
 
     /// Sends `msg` to `dest` after `delay`.
     pub fn send_after(&mut self, delay: SimDuration, dest: ComponentId, msg: M) {
-        self.outbox
-            .push((self.now + delay, dest, EventKind::Message(msg)));
+        self.push(self.now + delay, dest, EventKind::Message(msg));
     }
 
     /// Sends `msg` back to the executing component after `delay`.
@@ -163,8 +166,19 @@ impl<'a, M> Context<'a, M> {
     /// Arms a timer on the executing component; [`Component::on_timer`] will
     /// be invoked with `token` after `delay`.
     pub fn timer_after(&mut self, delay: SimDuration, token: u64) {
-        self.outbox
-            .push((self.now + delay, self.id, EventKind::Timer(token)));
+        self.push(self.now + delay, self.id, EventKind::Timer(token));
+    }
+
+    /// Enqueues with the same key scheme as [`Engine::push`]: events are
+    /// keyed in submission order, exactly as the engine itself pushes.
+    fn push(&mut self, at: SimTime, dest: ComponentId, kind: EventKind<M>) {
+        let key = if self.tie_break_salt == 0 {
+            *self.seq
+        } else {
+            mix64(*self.seq ^ self.tie_break_salt)
+        };
+        self.queue.push(at.as_nanos(), key, (dest, kind));
+        *self.seq += 1;
     }
 
     /// The simulation-wide deterministic random number generator.
@@ -313,7 +327,6 @@ impl<M: 'static> Engine<M> {
     /// queue drained early). Returns the number of events processed.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let mut processed = 0;
-        let mut outbox: Vec<(SimTime, ComponentId, EventKind<M>)> = Vec::new();
         while !self.stopped {
             let Some(ev) = self.queue.pop_due(horizon.as_nanos()) else {
                 break;
@@ -337,7 +350,9 @@ impl<M: 'static> Engine<M> {
                 let mut ctx = Context {
                     now: self.now,
                     id: dest,
-                    outbox: &mut outbox,
+                    queue: &mut self.queue,
+                    seq: &mut self.seq,
+                    tie_break_salt: self.tie_break_salt,
                     rng: &mut self.rng,
                     stop: &mut self.stopped,
                 };
@@ -348,9 +363,6 @@ impl<M: 'static> Engine<M> {
             }
             self.components[dest.0] = Some(component);
 
-            for (at, dest, kind) in outbox.drain(..) {
-                self.push(at, dest, kind);
-            }
             let record = EventRecord {
                 at: self.now,
                 dest,

@@ -25,8 +25,6 @@ use crate::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct SimRng {
     inner: SmallRng,
-    /// Cached second Box-Muller variate.
-    gauss_spare: Option<f64>,
 }
 
 impl SimRng {
@@ -34,7 +32,6 @@ impl SimRng {
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
             inner: SmallRng::seed_from_u64(seed),
-            gauss_spare: None,
         }
     }
 
@@ -98,17 +95,43 @@ impl SimRng {
         SimDuration::from_nanos(gap.round() as u64)
     }
 
-    /// Standard normal variate (Box-Muller, with the spare cached).
+    /// Standard normal variate (Marsaglia–Tsang ziggurat).
+    ///
+    /// The common case is one raw draw, one multiply and one table
+    /// compare — roughly an order of magnitude cheaper than Box-Muller's
+    /// `ln`/`sqrt`/`sin`/`cos` pipeline. Switch jitter samples this once
+    /// per forwarded packet, which puts it on the simulator's hottest
+    /// path.
     pub fn gauss(&mut self) -> f64 {
-        if let Some(z) = self.gauss_spare.take() {
-            return z;
+        let (x_tab, y_tab) = ziggurat_tables();
+        loop {
+            let bits = self.next_u64();
+            let layer = (bits & 0xFF) as usize;
+            let neg = bits & 0x100 != 0;
+            // 53-bit uniform in [0, 1).
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let x = u * x_tab[layer];
+            if x < x_tab[layer + 1] {
+                // Strictly inside the layer rectangle: accept (~98.8%).
+                return if neg { -x } else { x };
+            }
+            if layer == 0 {
+                // Tail beyond R: Marsaglia's exponential-majorant sampler.
+                loop {
+                    let e1 = -(1.0 - self.uniform()).ln() / ZIG_R;
+                    let e2 = -(1.0 - self.uniform()).ln();
+                    if 2.0 * e2 > e1 * e1 {
+                        let t = ZIG_R + e1;
+                        return if neg { -t } else { t };
+                    }
+                }
+            }
+            // Wedge between the rectangle and the density curve.
+            let y = y_tab[layer] + self.uniform() * (y_tab[layer + 1] - y_tab[layer]);
+            if y < (-0.5 * x * x).exp() {
+                return if neg { -x } else { x };
+            }
         }
-        let u1 = 1.0 - self.uniform();
-        let u2 = self.uniform();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * core::f64::consts::PI * u2;
-        self.gauss_spare = Some(r * theta.sin());
-        r * theta.cos()
     }
 
     /// Normal variate with the given mean and standard deviation.
@@ -140,6 +163,38 @@ impl SimRng {
             items.swap(i, j);
         }
     }
+}
+
+/// Ziggurat layer count for the standard normal density.
+const ZIG_LAYERS: usize = 256;
+/// Right edge of the base layer (Marsaglia & Tsang 2000, 256 layers).
+const ZIG_R: f64 = 3.654_152_885_361_009;
+/// Common area of every layer, including the base strip's tail.
+const ZIG_V: f64 = 4.928_673_233_974_655e-3;
+
+/// Layer edges `x[i]` (widest first, `x[256] = 0`) and the density at
+/// each edge `y[i] = exp(-x[i]²/2)`. Built once; every [`SimRng`] shares
+/// the tables since they are a pure function of the constants above.
+fn ziggurat_tables() -> &'static ([f64; ZIG_LAYERS + 1], [f64; ZIG_LAYERS + 1]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([f64; ZIG_LAYERS + 1], [f64; ZIG_LAYERS + 1])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let density = |x: f64| (-0.5 * x * x).exp();
+        let mut x = [0.0; ZIG_LAYERS + 1];
+        let mut y = [0.0; ZIG_LAYERS + 1];
+        // The base strip is wider than R so that its rectangle area plus
+        // the tail integral equals V, like every other layer.
+        x[0] = ZIG_V / density(ZIG_R);
+        x[1] = ZIG_R;
+        for i in 2..ZIG_LAYERS {
+            x[i] = (-2.0 * (ZIG_V / x[i - 1] + density(x[i - 1])).ln()).sqrt();
+        }
+        x[ZIG_LAYERS] = 0.0;
+        for i in 0..=ZIG_LAYERS {
+            y[i] = density(x[i]);
+        }
+        (x, y)
+    })
 }
 
 #[cfg(test)]

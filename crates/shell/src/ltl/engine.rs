@@ -165,6 +165,9 @@ impl TokenBucket {
 #[derive(Debug)]
 struct Unacked {
     frame: LtlFrame,
+    /// Encoded wire bytes, kept so retransmissions clone the shared
+    /// buffer instead of re-encoding the frame.
+    wire: Bytes,
     sent_at: SimTime,
     deadline: SimTime,
     retries: u32,
@@ -524,14 +527,23 @@ impl LtlEngine {
         Ok(msg_id)
     }
 
-    fn wrap(&self, dst: NodeAddr, frame: &LtlFrame) -> Packet {
+    /// Encodes `frame` (one write pass, wire buffer moved into the
+    /// packet) and wraps it into an LTL/UDP packet.
+    fn wrap(&mut self, dst: NodeAddr, frame: &LtlFrame) -> Packet {
+        let wire = frame.encode();
+        self.wrap_wire(dst, wire)
+    }
+
+    /// Wraps already-encoded frame bytes (shared, e.g. a retransmission)
+    /// into an LTL/UDP packet without re-encoding.
+    fn wrap_wire(&self, dst: NodeAddr, wire: Bytes) -> Packet {
         Packet::new(
             self.addr,
             dst,
             LTL_UDP_PORT,
             LTL_UDP_PORT,
             TrafficClass::LTL,
-            frame.encode(),
+            wire,
         )
     }
 
@@ -572,9 +584,10 @@ impl LtlEngine {
             // snowballing into retransmit storms.
             u.deadline = now + self.cfg.timeout * (1u64 << u.retries.min(4));
             self.stats.retransmits += 1;
-            let frame = u.frame.clone();
+            // Retransmit the cached wire bytes: no re-encode, no copy.
+            let wire = u.wire.clone();
             let dst = sc.remote;
-            return Poll::Ready(self.wrap(dst, &frame));
+            return Poll::Ready(self.wrap_wire(dst, wire));
         }
 
         // New data, round-robin over connections.
@@ -608,16 +621,20 @@ impl LtlEngine {
                 let gap = SimDuration::from_secs_f64(bytes * 8.0 / rp.current_rate_bps());
                 sc.next_allowed = now + gap;
             }
-            sc.unacked.push_back(Unacked {
-                frame: frame.clone(),
+            let dst = sc.remote;
+            // Encode once; the unacked entry keeps the shared wire bytes
+            // so a later retransmission is a pure Arc clone.
+            let wire = frame.encode();
+            self.sends[idx].unacked.push_back(Unacked {
+                frame,
+                wire: wire.clone(),
                 sent_at: now,
                 deadline: now + self.cfg.timeout,
                 retries: 0,
             });
             self.stats.data_sent += 1;
             self.rr_conn = (idx + 1) % n;
-            let dst = sc.remote;
-            return Poll::Ready(self.wrap(dst, &frame));
+            return Poll::Ready(self.wrap_wire(dst, wire));
         }
         match earliest {
             Some(t) => Poll::Later(t),

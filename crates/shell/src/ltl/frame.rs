@@ -87,30 +87,57 @@ impl LtlFrame {
     }
 
     /// Serializes the frame (header + payload).
+    ///
+    /// Writes header and payload once into an exact-capacity buffer that
+    /// is moved — not copied — into the returned [`Bytes`], so encoding
+    /// never does a growth-and-copy round-trip or a second pass over the
+    /// payload.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(LTL_HEADER_BYTES + self.payload.len());
-        buf.put_u16(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(self.kind.to_byte());
-        buf.put_u16(self.src_conn);
-        buf.put_u16(self.dst_conn);
-        buf.put_u32(self.seq);
-        buf.put_u32(self.msg_id);
+        let mut wire = Vec::with_capacity(LTL_HEADER_BYTES + self.payload.len());
+        self.write_wire(&mut wire);
+        Bytes::from(wire)
+    }
+
+    /// Serializes the frame through a caller-owned scratch buffer.
+    ///
+    /// The returned [`Bytes`] is an independent copy of the scratch, which
+    /// keeps its capacity for the next call. Prefer [`LtlFrame::encode`]
+    /// when the wire buffer is handed off: moving a fresh exact-capacity
+    /// buffer into `Bytes` skips this variant's copy-out pass.
+    pub fn encode_into(&self, scratch: &mut BytesMut) -> Bytes {
+        scratch.clear();
+        self.write_wire(scratch);
+        Bytes::copy_from_slice(scratch)
+    }
+
+    /// Appends the wire image (header + payload) to `out`.
+    fn write_wire(&self, out: &mut impl BufMut) {
+        out.put_u16(MAGIC);
+        out.put_u8(VERSION);
+        out.put_u8(self.kind.to_byte());
+        out.put_u16(self.src_conn);
+        out.put_u16(self.dst_conn);
+        out.put_u32(self.seq);
+        out.put_u32(self.msg_id);
         let flags = if self.last_frag { 1u8 } else { 0 };
-        buf.put_u8(flags);
-        buf.put_u8(self.vc);
-        buf.put_u16(self.payload.len() as u16);
-        buf.put_slice(&self.payload);
-        buf.freeze()
+        out.put_u8(flags);
+        out.put_u8(self.vc);
+        out.put_u16(self.payload.len() as u16);
+        out.put_slice(&self.payload);
     }
 
     /// Parses a frame produced by [`LtlFrame::encode`].
+    ///
+    /// The returned frame's payload is a zero-copy [`Bytes::slice`] view
+    /// into `bytes`' shared storage — decoding a received frame never
+    /// copies payload bytes.
     ///
     /// # Errors
     ///
     /// Returns [`FrameError`] for short buffers, bad magic/version, unknown
     /// frame kinds, or length mismatches.
-    pub fn decode(bytes: &[u8]) -> Result<LtlFrame, FrameError> {
+    pub fn decode(wire: &Bytes) -> Result<LtlFrame, FrameError> {
+        let bytes: &[u8] = wire;
         if bytes.len() < LTL_HEADER_BYTES {
             return Err(FrameError::Truncated);
         }
@@ -133,7 +160,7 @@ impl LtlFrame {
             msg_id: u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
             last_frag: bytes[16] & 1 != 0,
             vc: bytes[17],
-            payload: Bytes::copy_from_slice(&bytes[LTL_HEADER_BYTES..LTL_HEADER_BYTES + len]),
+            payload: wire.slice(LTL_HEADER_BYTES..LTL_HEADER_BYTES + len),
         })
     }
 }
@@ -201,7 +228,10 @@ mod tests {
         let f = LtlFrame::control(FrameKind::Ack, 0, 0, 0);
         let mut bytes = f.encode().to_vec();
         bytes[0] = 0;
-        assert_eq!(LtlFrame::decode(&bytes).unwrap_err(), FrameError::BadMagic);
+        assert_eq!(
+            LtlFrame::decode(&Bytes::from(bytes)).unwrap_err(),
+            FrameError::BadMagic
+        );
     }
 
     #[test]
@@ -209,10 +239,16 @@ mod tests {
         let f = LtlFrame::control(FrameKind::Ack, 0, 0, 0);
         let mut v = f.encode().to_vec();
         v[2] = 99;
-        assert_eq!(LtlFrame::decode(&v).unwrap_err(), FrameError::BadVersion);
+        assert_eq!(
+            LtlFrame::decode(&Bytes::from(v)).unwrap_err(),
+            FrameError::BadVersion
+        );
         let mut k = f.encode().to_vec();
         k[3] = 99;
-        assert_eq!(LtlFrame::decode(&k).unwrap_err(), FrameError::BadKind);
+        assert_eq!(
+            LtlFrame::decode(&Bytes::from(k)).unwrap_err(),
+            FrameError::BadKind
+        );
     }
 
     #[test]
@@ -229,12 +265,51 @@ mod tests {
         };
         let enc = f.encode();
         assert_eq!(
-            LtlFrame::decode(&enc[..10]).unwrap_err(),
+            LtlFrame::decode(&enc.slice(..10)).unwrap_err(),
             FrameError::Truncated
         );
         assert_eq!(
-            LtlFrame::decode(&enc[..enc.len() - 1]).unwrap_err(),
+            LtlFrame::decode(&enc.slice(..enc.len() - 1)).unwrap_err(),
             FrameError::Truncated
         );
+    }
+
+    #[test]
+    fn decode_payload_shares_the_wire_buffer() {
+        let f = LtlFrame {
+            kind: FrameKind::Data,
+            src_conn: 1,
+            dst_conn: 2,
+            seq: 3,
+            msg_id: 4,
+            last_frag: true,
+            vc: 0,
+            payload: Bytes::from_static(b"zero copy"),
+        };
+        let enc = f.encode();
+        let dec = LtlFrame::decode(&enc).unwrap();
+        assert_eq!(
+            dec.payload.as_slice().as_ptr(),
+            enc[LTL_HEADER_BYTES..].as_ptr(),
+            "decode must slice the shared frame, not copy it"
+        );
+    }
+
+    #[test]
+    fn encode_into_reuses_scratch_and_matches_encode() {
+        let mut scratch = BytesMut::new();
+        for seq in 0..4u32 {
+            let f = LtlFrame {
+                kind: FrameKind::Data,
+                src_conn: 1,
+                dst_conn: 2,
+                seq,
+                msg_id: seq,
+                last_frag: false,
+                vc: 1,
+                payload: Bytes::from(vec![seq as u8; 64]),
+            };
+            assert_eq!(f.encode_into(&mut scratch), f.encode());
+        }
     }
 }

@@ -194,12 +194,6 @@ pub struct LtlConnFailed {
     pub remote: NodeAddr,
 }
 
-/// Internal self-messages (delayed pipeline stages).
-enum Internal {
-    Egress(PortId, Packet),
-    LtlRx(Packet),
-}
-
 /// Bridge/shell counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShellStats {
@@ -471,7 +465,10 @@ impl Shell {
                     // Tx pipeline latency (packetizer + ER + MAC), then wire.
                     ctx.send_to_self_after(
                         self.cfg.ltl_tx_latency,
-                        Msg::custom(Internal::Egress(PORT_TOR, pkt)),
+                        Msg::Egress {
+                            port: PORT_TOR,
+                            pkt,
+                        },
                     );
                 }
                 Poll::Later(t) => {
@@ -550,7 +547,10 @@ impl Shell {
                     self.stats.bridged_out += 1;
                     ctx.send_to_self_after(
                         self.cfg.bridge_latency,
-                        Msg::custom(Internal::Egress(PORT_TOR, pkt)),
+                        Msg::Egress {
+                            port: PORT_TOR,
+                            pkt,
+                        },
                     );
                     return;
                 }
@@ -560,7 +560,10 @@ impl Shell {
                         self.stats.bridged_out += 1;
                         ctx.send_to_self_after(
                             self.cfg.bridge_latency + delay,
-                            Msg::custom(Internal::Egress(PORT_TOR, pkt)),
+                            Msg::Egress {
+                                port: PORT_TOR,
+                                pkt,
+                            },
                         );
                     }
                     TapAction::Drop => self.stats.tap_drops += 1,
@@ -570,17 +573,17 @@ impl Shell {
                 // LTL frames addressed to this FPGA terminate here.
                 if pkt.dst_port == LTL_UDP_PORT && pkt.dst == self.addr {
                     self.stats.ltl_rx_frames += 1;
-                    ctx.send_to_self_after(
-                        self.cfg.ltl_rx_latency,
-                        Msg::custom(Internal::LtlRx(pkt)),
-                    );
+                    ctx.send_to_self_after(self.cfg.ltl_rx_latency, Msg::LtlRx(pkt));
                     return;
                 }
                 if tap_bypassed {
                     self.stats.bridged_in += 1;
                     ctx.send_to_self_after(
                         self.cfg.bridge_latency,
-                        Msg::custom(Internal::Egress(PORT_NIC, pkt)),
+                        Msg::Egress {
+                            port: PORT_NIC,
+                            pkt,
+                        },
                     );
                     return;
                 }
@@ -590,7 +593,10 @@ impl Shell {
                         self.stats.bridged_in += 1;
                         ctx.send_to_self_after(
                             self.cfg.bridge_latency + delay,
-                            Msg::custom(Internal::Egress(PORT_NIC, pkt)),
+                            Msg::Egress {
+                                port: PORT_NIC,
+                                pkt,
+                            },
                         );
                     }
                     TapAction::Drop => self.stats.tap_drops += 1,
@@ -621,70 +627,58 @@ impl Component<Msg> for Shell {
                     }
                 }
             }
+            Msg::Egress { port, pkt } => self.enqueue(port, pkt, ctx),
+            Msg::LtlRx(pkt) => {
+                let acks_before = self.ltl.stats_ref().acks_rx;
+                let events = self.ltl.on_packet(&pkt, ctx.now());
+                if let Some(tracer) = &self.tracer {
+                    if self.ltl.stats_ref().acks_rx > acks_before {
+                        tracer.instant(ctx.now(), "ltl_ack", &[("src", pkt.src.as_u32() as u64)]);
+                    }
+                    for ev in &events {
+                        if let LtlEvent::Deliver { payload, .. } = ev {
+                            tracer.instant(
+                                ctx.now(),
+                                "ltl_deliver",
+                                &[("bytes", payload.len() as u64)],
+                            );
+                        }
+                    }
+                }
+                self.dispatch_ltl_events(events, ctx);
+                // ACKs/CNPs may now be queued.
+                self.pump_ltl(ctx);
+            }
             Msg::Custom(any) => {
-                match any.downcast::<Internal>() {
-                    Ok(internal) => {
-                        match *internal {
-                            Internal::Egress(port, pkt) => self.enqueue(port, pkt, ctx),
-                            Internal::LtlRx(pkt) => {
-                                let acks_before = self.ltl.stats_ref().acks_rx;
-                                let events = self.ltl.on_packet(&pkt, ctx.now());
-                                if let Some(tracer) = &self.tracer {
-                                    if self.ltl.stats_ref().acks_rx > acks_before {
-                                        tracer.instant(
-                                            ctx.now(),
-                                            "ltl_ack",
-                                            &[("src", pkt.src.as_u32() as u64)],
-                                        );
-                                    }
-                                    for ev in &events {
-                                        if let LtlEvent::Deliver { payload, .. } = ev {
-                                            tracer.instant(
-                                                ctx.now(),
-                                                "ltl_deliver",
-                                                &[("bytes", payload.len() as u64)],
-                                            );
-                                        }
-                                    }
-                                }
-                                self.dispatch_ltl_events(events, ctx);
-                                // ACKs/CNPs may now be queued.
+                if let Ok(cmd) = any.downcast::<ShellCmd>() {
+                    match *cmd {
+                        ShellCmd::LtlSend { conn, vc, payload } => {
+                            // Errors surface as ConnectionFailed
+                            // notifications; sends on failed
+                            // connections are dropped.
+                            let _ = self.ltl.send_message(conn, vc, payload);
+                            if self.reconfig != Reconfig::Full {
                                 self.pump_ltl(ctx);
                             }
                         }
-                    }
-                    Err(any) => {
-                        if let Ok(cmd) = any.downcast::<ShellCmd>() {
-                            match *cmd {
-                                ShellCmd::LtlSend { conn, vc, payload } => {
-                                    // Errors surface as ConnectionFailed
-                                    // notifications; sends on failed
-                                    // connections are dropped.
-                                    let _ = self.ltl.send_message(conn, vc, payload);
-                                    if self.reconfig != Reconfig::Full {
-                                        self.pump_ltl(ctx);
-                                    }
-                                }
-                                ShellCmd::Reconfigure { partial } => {
-                                    let (state, t) = if partial {
-                                        (Reconfig::Partial, self.cfg.partial_reconfig)
-                                    } else {
-                                        (Reconfig::Full, self.cfg.full_reconfig)
-                                    };
-                                    self.reconfig = state;
-                                    ctx.timer_after(t, TIMER_RECONFIG_DONE);
-                                }
-                                ShellCmd::SetLtlLossRate(rate) => {
-                                    self.ltl_loss_rate = rate.clamp(0.0, 1.0);
-                                }
-                                ShellCmd::HangRole { duration } => {
-                                    let until = ctx.now() + duration;
-                                    if self.hang_until.is_none_or(|t| until > t) {
-                                        self.hang_until = Some(until);
-                                    }
-                                    ctx.timer_after(duration, TIMER_ROLE_RECOVERED);
-                                }
+                        ShellCmd::Reconfigure { partial } => {
+                            let (state, t) = if partial {
+                                (Reconfig::Partial, self.cfg.partial_reconfig)
+                            } else {
+                                (Reconfig::Full, self.cfg.full_reconfig)
+                            };
+                            self.reconfig = state;
+                            ctx.timer_after(t, TIMER_RECONFIG_DONE);
+                        }
+                        ShellCmd::SetLtlLossRate(rate) => {
+                            self.ltl_loss_rate = rate.clamp(0.0, 1.0);
+                        }
+                        ShellCmd::HangRole { duration } => {
+                            let until = ctx.now() + duration;
+                            if self.hang_until.is_none_or(|t| until > t) {
+                                self.hang_until = Some(until);
                             }
+                            ctx.timer_after(duration, TIMER_ROLE_RECOVERED);
                         }
                     }
                 }

@@ -160,7 +160,7 @@ impl Component<Msg> for LtlNode {
                 let events = self.ltl.on_packet(&pkt, ctx.now());
                 self.log_ltl_events(events);
             }
-            Msg::Net(_) => {}
+            Msg::Net(_) | Msg::Egress { .. } | Msg::LtlRx(_) => {}
             Msg::Custom(any) => {
                 if let Ok(cmd) = any.downcast::<SendCmd>() {
                     let first_seq = self

@@ -18,7 +18,11 @@ use std::sync::Arc;
 /// zero-copy view into the same storage.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    // `Arc<Vec<u8>>` rather than `Arc<[u8]>`: conversion from an owned
+    // `Vec` (the `BytesMut::freeze` path, taken once per reassembled
+    // message on the LTL hot path) moves the vector instead of
+    // allocating and copying the payload.
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -36,7 +40,11 @@ impl Bytes {
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        Bytes {
+            data: Arc::new(data.to_vec()),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Length in bytes.
@@ -94,9 +102,10 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        // O(1): the vector is moved behind the `Arc`, not copied.
         let len = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end: len,
         }
@@ -219,6 +228,12 @@ impl BytesMut {
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
         self.buf.extend_from_slice(extend);
+    }
+
+    /// Clears the buffer, keeping its capacity for reuse as a scratch
+    /// encode buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Resizes the buffer, filling new space with `value`.
