@@ -204,13 +204,12 @@ impl CryptoTap {
         self.flows.len()
     }
 
-    /// Tap counters.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the registry view via telemetry::MetricSource::metrics instead"
-    )]
-    pub fn stats(&self) -> TapStats {
-        self.stats
+    /// Tap counters, by reference. The registry view via
+    /// [`telemetry::MetricSource`] remains the primary read path; this
+    /// accessor serves tests and oracles that read raw counters between
+    /// events.
+    pub fn stats_view(&self) -> &TapStats {
+        &self.stats
     }
 
     fn encrypt(&mut self, mut pkt: Packet) -> Option<Packet> {
@@ -371,8 +370,6 @@ impl core::fmt::Debug for CryptoTap {
 }
 
 #[cfg(test)]
-// `stats()` stays covered while it remains a supported (deprecated) shim.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use dcnet::TrafficClass;
@@ -414,8 +411,8 @@ mod tests {
         assert!(wire.payload.len() > original.payload.len(), "header + tag");
         let back = forwarded(rx.inbound(wire, SimTime::ZERO));
         assert_eq!(back.payload, original.payload);
-        assert_eq!(tx.stats().encrypted, 1);
-        assert_eq!(rx.stats().decrypted, 1);
+        assert_eq!(tx.stats_view().encrypted, 1);
+        assert_eq!(rx.stats_view().decrypted, 1);
     }
 
     #[test]
@@ -481,8 +478,8 @@ mod tests {
         other.dst_port = 9999; // different flow
         let out = forwarded(tx.outbound(other.clone(), SimTime::ZERO));
         assert_eq!(out.payload, other.payload);
-        assert_eq!(tx.stats().passed, 1);
-        assert_eq!(tx.stats().encrypted, 0);
+        assert_eq!(tx.stats_view().passed, 1);
+        assert_eq!(tx.stats_view().encrypted, 0);
     }
 
     #[test]
@@ -498,7 +495,7 @@ mod tests {
             TapAction::Drop => {}
             TapAction::Forward { .. } => panic!("tampered packet forwarded"),
         }
-        assert_eq!(rx.stats().auth_failures, 1);
+        assert_eq!(rx.stats_view().auth_failures, 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use super::corpus::{Document, Query};
 
 /// A per-document feature computed by stepping an FSM over the token
 /// stream.
-pub trait FeatureFsm {
+pub trait FeatureFsm: Send {
     /// Resets state for a new document.
     fn reset(&mut self);
     /// Consumes one token at position `pos`.

@@ -278,35 +278,36 @@ fn run_heap(workload: Workload, events_per_chain: u64) -> f64 {
     events as f64 / elapsed
 }
 
+/// One side of an LTL ping-pong pair: consumes deliveries at its shell
+/// and answers with the next message until its budget is spent. Shared
+/// by the single-engine and sharded cluster workloads.
+struct Pinger {
+    shell: ComponentId,
+    conn: SendConnId,
+    payload: Bytes,
+    remaining: u64,
+}
+
+impl Component<Msg> for Pinger {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if msg.downcast::<LtlDeliver>().is_ok() && self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(
+                self.shell,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: self.conn,
+                    vc: 0,
+                    payload: self.payload.clone(),
+                }),
+            );
+        }
+    }
+}
+
 /// The full-stack cluster workload: LTL ping-pong sessions over a real
 /// fabric, crossing the L1 (agg) and L2 (spine) tiers.
 mod cluster_workload {
     use super::*;
-
-    /// One side of an LTL ping-pong pair: consumes deliveries at its
-    /// shell and answers with the next message until its budget is spent.
-    struct Pinger {
-        shell: ComponentId,
-        conn: SendConnId,
-        payload: Bytes,
-        remaining: u64,
-    }
-
-    impl Component<Msg> for Pinger {
-        fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
-            if msg.downcast::<LtlDeliver>().is_ok() && self.remaining > 0 {
-                self.remaining -= 1;
-                ctx.send(
-                    self.shell,
-                    Msg::custom(ShellCmd::LtlSend {
-                        conn: self.conn,
-                        vc: 0,
-                        payload: self.payload.clone(),
-                    }),
-                );
-            }
-        }
-    }
 
     pub struct ClusterRun {
         pub events: u64,
@@ -380,6 +381,101 @@ mod cluster_workload {
     }
 }
 
+/// The sharded cluster workload: a denser multi-pod fabric, LTL pairs
+/// volleying inside racks, across racks, and across pods, executed on
+/// the conservative time-window sharded engine. The same build run at
+/// 1 shard is the baseline: the shard count must change throughput only,
+/// never the fingerprint.
+mod parallel_cluster_workload {
+    use super::*;
+
+    pub struct ParallelRun {
+        pub shards: u32,
+        pub events: u64,
+        pub events_per_sec: f64,
+        pub allocs_per_event: f64,
+        pub fingerprint: String,
+    }
+
+    /// Builds and runs the workload on `shards` shards.
+    pub fn run(seed: u64, msgs_per_pair: u64, shards: u32) -> ParallelRun {
+        let shape = FabricShape {
+            hosts_per_tor: 6,
+            tors_per_pod: 4,
+            pods: 4,
+            spines: 2,
+        };
+        let mut cluster = Cluster::new(seed, &calib::fabric_config(shape), calib::shell_config());
+        // Eight rack-crossing pairs per pod plus two pod-crossing pairs
+        // per pod: every shard has plenty of local work per time window
+        // and every partition cut carries traffic.
+        let mut pairs = Vec::new();
+        for pod in 0..4 {
+            for host in 0..4 {
+                pairs.push((
+                    NodeAddr::new(pod, host % 2, host),
+                    NodeAddr::new(pod, 2 + host % 2, host),
+                ));
+                pairs.push((
+                    NodeAddr::new(pod, (host + 1) % 2, host),
+                    NodeAddr::new(pod, 2 + (host + 1) % 2, host),
+                ));
+            }
+            pairs.push((NodeAddr::new(pod, 0, 4), NodeAddr::new((pod + 1) % 4, 1, 4)));
+            pairs.push((NodeAddr::new(pod, 2, 4), NodeAddr::new((pod + 2) % 4, 3, 4)));
+        }
+        let payload = Bytes::from(vec![0xA5u8; 4 * 1024]);
+        for &(a, b) in &pairs {
+            let a_shell = cluster.add_shell(a);
+            let b_shell = cluster.add_shell(b);
+            let (a_send, b_send, _, _) = cluster.connect_pair(a, b);
+            let a_pinger = cluster.add_component_at(
+                a,
+                Pinger {
+                    shell: a_shell,
+                    conn: a_send,
+                    payload: payload.clone(),
+                    remaining: msgs_per_pair,
+                },
+            );
+            let b_pinger = cluster.add_component_at(
+                b,
+                Pinger {
+                    shell: b_shell,
+                    conn: b_send,
+                    payload: payload.clone(),
+                    remaining: msgs_per_pair,
+                },
+            );
+            cluster.set_consumer(a, a_pinger);
+            cluster.set_consumer(b, b_pinger);
+            cluster.engine_mut().schedule(
+                SimTime::ZERO,
+                a_shell,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: a_send,
+                    vc: 0,
+                    payload: payload.clone(),
+                }),
+            );
+        }
+        let got = cluster.shard(shards);
+        assert_eq!(got, shards, "16 racks should accommodate {shards} shards");
+        cluster.run_for(SimDuration::from_micros(200));
+        let a0 = counted::allocs();
+        let start = Instant::now();
+        let events = cluster.run_to_idle();
+        let elapsed = start.elapsed().as_secs_f64();
+        ParallelRun {
+            shards: got,
+            events,
+            events_per_sec: events as f64 / elapsed,
+            allocs_per_event: (counted::allocs() - a0) as f64 / events.max(1) as f64,
+            fingerprint: cluster.metrics_snapshot().to_json_pretty(),
+        }
+    }
+}
+
 /// Extracts a top-level numeric field from a small JSON document without
 /// a deserializer (the vendored serde stub only serializes).
 fn json_f64_field(text: &str, key: &str) -> Option<f64> {
@@ -419,6 +515,8 @@ fn current_commit() -> String {
 #[derive(Debug, Serialize)]
 struct WorkloadResult {
     workload: String,
+    /// Shards the measured run executed on (1 = single-threaded engine).
+    shards: u32,
     baseline_events_per_sec: f64,
     events_per_sec: f64,
     speedup: f64,
@@ -467,6 +565,7 @@ fn main() {
         );
         results.push(WorkloadResult {
             workload: workload.name().to_string(),
+            shards: 1,
             baseline_events_per_sec: heap,
             events_per_sec: calendar,
             speedup,
@@ -520,10 +619,66 @@ fn main() {
 
     results.push(WorkloadResult {
         workload: "cluster".to_string(),
+        shards: 1,
         baseline_events_per_sec: base_eps,
         events_per_sec: cluster.events_per_sec,
         speedup: cluster_speedup,
         allocs_per_event: cluster.allocs_per_event,
+    });
+
+    // Sharded cluster workload: the same build on the conservative
+    // parallel engine, 1-shard run as the baseline. `CATAPULT_SHARDS`
+    // overrides the shard count (default 4). The shard count must not
+    // change results: the fingerprints are asserted byte-identical, so
+    // the speedup column measures pure execution-mode throughput. The
+    // workers are capped at the machine's cores — on a single-core host
+    // the sharded run degenerates to a barrier-overhead measurement.
+    let shards = catapult::env_shards().unwrap_or(4);
+    parallel_cluster_workload::run(5, msgs_per_pair / 10, shards); // warm-up
+                                                                   // Both sides are best-of-3 — an asymmetric estimator would let one
+                                                                   // interference spike on either side swing the reported ratio.
+    let mut single = parallel_cluster_workload::run(5, msgs_per_pair, 1);
+    let mut multi = parallel_cluster_workload::run(5, msgs_per_pair, shards);
+    for _ in 0..2 {
+        let rerun = parallel_cluster_workload::run(5, msgs_per_pair, 1);
+        if rerun.events_per_sec > single.events_per_sec {
+            single = rerun;
+        }
+        let rerun = parallel_cluster_workload::run(5, msgs_per_pair, shards);
+        if rerun.events_per_sec > multi.events_per_sec {
+            multi = rerun;
+        }
+    }
+    if single.fingerprint != multi.fingerprint || single.events != multi.events {
+        eprintln!(
+            "FAIL: {}-shard run diverged from the 1-shard baseline",
+            multi.shards
+        );
+        std::process::exit(1);
+    }
+    let parallel_speedup = multi.events_per_sec / single.events_per_sec.max(1.0);
+    println!(
+        "{:<12}  1-shard {:>11.0} ev/s   {}-shard  {:>11.0} ev/s   speedup {:.2}x   allocs/ev {:.4}  ({} events, {} cores)",
+        "parallel",
+        single.events_per_sec,
+        multi.shards,
+        multi.events_per_sec,
+        parallel_speedup,
+        multi.allocs_per_event,
+        multi.events,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    println!(
+        "determinism   1-shard and {}-shard fingerprints byte-identical ok",
+        multi.shards
+    );
+    results.push(WorkloadResult {
+        workload: "parallel_cluster".to_string(),
+        shards: multi.shards,
+        baseline_events_per_sec: single.events_per_sec,
+        events_per_sec: multi.events_per_sec,
+        speedup: parallel_speedup,
+        allocs_per_event: multi.allocs_per_event,
     });
 
     let result = PerfResult {

@@ -7,20 +7,44 @@
 
 use std::collections::BTreeMap;
 
-use dcnet::{Fabric, FabricConfig, Msg, NodeAddr, Switch};
-use dcsim::{ComponentId, Engine, SimDuration, SimTime};
+use dcnet::{Fabric, FabricConfig, FabricPartition, Msg, NodeAddr, Switch};
+use dcsim::{Component, ComponentId, Engine, ShardPlan, ShardedEngine, SimDuration, SimTime};
 use shell::ltl::{RecvConnId, SendConnId};
 use shell::{Shell, ShellConfig, PORT_TOR};
 use telemetry::{MetricsSnapshot, Tracer};
 
+/// Parses the `CATAPULT_SHARDS` environment variable: `Some(n)` for a
+/// positive integer, `None` when unset, empty, zero, or unparsable.
+pub fn env_shards() -> Option<u32> {
+    std::env::var("CATAPULT_SHARDS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+/// How the cluster's events are being executed.
+enum Exec {
+    /// The classic single-threaded event loop.
+    Single(Engine<Msg>),
+    /// Conservative time-window sharding ([`ShardedEngine`]).
+    Sharded(ShardedEngine<Msg>),
+}
+
 /// A built cluster: engine + fabric + shells.
 pub struct Cluster {
-    engine: Engine<Msg>,
+    exec: Exec,
     fabric: Fabric,
+    fabric_cfg: FabricConfig,
     shell_cfg: ShellConfig,
     /// Populated slots in address order, so registry snapshots and trace
     /// track registration are deterministic.
     shells: BTreeMap<NodeAddr, ComponentId>,
+    /// Experiment components pinned to a slot, so [`Cluster::shard`] can
+    /// colocate them with that slot's shell (required for zero-delay
+    /// consumer deliveries).
+    pins: BTreeMap<ComponentId, NodeAddr>,
     tracer: Option<Tracer>,
 }
 
@@ -30,10 +54,12 @@ impl Cluster {
         let mut engine = Engine::new(seed);
         let fabric = Fabric::build(&mut engine, fabric_cfg);
         Cluster {
-            engine,
+            exec: Exec::Single(engine),
             fabric,
+            fabric_cfg: fabric_cfg.clone(),
             shell_cfg,
             shells: BTreeMap::new(),
+            pins: BTreeMap::new(),
             tracer: None,
         }
     }
@@ -59,19 +85,46 @@ impl Cluster {
             !self.shells.contains_key(&addr),
             "slot {addr} already populated"
         );
-        let shell_id = self.engine.next_component_id();
+        let engine = match &mut self.exec {
+            Exec::Single(engine) => engine,
+            Exec::Sharded(_) => panic!("populate the cluster before calling Cluster::shard"),
+        };
+        let shell_id = engine.next_component_id();
         let mut shell = Shell::new(addr, self.shell_cfg.clone());
-        let attachment = self
-            .fabric
-            .attach(&mut self.engine, addr, shell_id, PORT_TOR);
+        let attachment = self.fabric.attach(engine, addr, shell_id, PORT_TOR);
         shell.connect_tor(attachment.tor, attachment.port);
         if let Some(tracer) = &self.tracer {
             shell.set_tracer(tracer.track(&format!("shell/{addr}")));
         }
-        let id = self.engine.add_component(shell);
+        let id = engine.add_component(shell);
         debug_assert_eq!(id, shell_id);
         self.shells.insert(addr, id);
         id
+    }
+
+    /// Registers an experiment component pinned to the slot at `addr`, so
+    /// [`Cluster::shard`] places it on the same shard as that slot's
+    /// shell. Anything a shell may message with zero delay (an LTL
+    /// consumer, a workload driver) must be registered this way — or via
+    /// [`Cluster::set_consumer`], which pins automatically.
+    pub fn add_component_at<C: Component<Msg>>(
+        &mut self,
+        addr: NodeAddr,
+        component: C,
+    ) -> ComponentId {
+        let engine = match &mut self.exec {
+            Exec::Single(engine) => engine,
+            Exec::Sharded(_) => panic!("register components before calling Cluster::shard"),
+        };
+        let id = engine.add_component(component);
+        self.pins.insert(id, addr);
+        id
+    }
+
+    /// Pins an already-registered component to the slot at `addr` for
+    /// shard placement (see [`Cluster::add_component_at`]).
+    pub fn pin_component(&mut self, id: ComponentId, addr: NodeAddr) {
+        self.pins.insert(id, addr);
     }
 
     /// The shell at `addr`, if populated.
@@ -86,9 +139,24 @@ impl Cluster {
     /// Panics if `addr` is not populated.
     pub fn shell(&self, addr: NodeAddr) -> &Shell {
         let id = self.shells[&addr];
-        self.engine
-            .component::<Shell>(id)
+        self.component::<Shell>(id)
             .expect("shell registered at this id")
+    }
+
+    /// A typed component reference, in either execution mode.
+    pub fn component<T: Component<Msg>>(&self, id: ComponentId) -> Option<&T> {
+        match &self.exec {
+            Exec::Single(engine) => engine.component(id),
+            Exec::Sharded(sharded) => sharded.component(id),
+        }
+    }
+
+    /// A typed mutable component reference, in either execution mode.
+    pub fn component_mut<T: Component<Msg>>(&mut self, id: ComponentId) -> Option<&mut T> {
+        match &mut self.exec {
+            Exec::Single(engine) => engine.component_mut(id),
+            Exec::Sharded(sharded) => sharded.component_mut(id),
+        }
     }
 
     /// Mutable access to a shell (connection setup, stats extraction).
@@ -98,8 +166,7 @@ impl Cluster {
     /// Panics if `addr` is not populated.
     pub fn shell_mut(&mut self, addr: NodeAddr) -> &mut Shell {
         let id = self.shells[&addr];
-        self.engine
-            .component_mut::<Shell>(id)
+        self.component_mut::<Shell>(id)
             .expect("shell registered at this id")
     }
 
@@ -122,8 +189,10 @@ impl Cluster {
         (a_send, b_send, a_recv, b_recv)
     }
 
-    /// Registers `consumer` for LTL deliveries at `addr`.
+    /// Registers `consumer` for LTL deliveries at `addr`, pinning it to
+    /// that slot for shard placement (deliveries are zero-delay).
     pub fn set_consumer(&mut self, addr: NodeAddr, consumer: ComponentId) {
+        self.pins.insert(consumer, addr);
         self.shell_mut(addr).set_consumer(consumer);
     }
 
@@ -133,33 +202,148 @@ impl Cluster {
     }
 
     /// The engine, for registering experiment components.
+    ///
+    /// # Panics
+    ///
+    /// Panics while sharded — use [`Cluster::component_mut`],
+    /// [`Cluster::shard_count`] etc., or [`Cluster::unshard`] first.
     pub fn engine_mut(&mut self) -> &mut Engine<Msg> {
-        &mut self.engine
+        match &mut self.exec {
+            Exec::Single(engine) => engine,
+            Exec::Sharded(_) => {
+                panic!("Cluster::engine_mut is unavailable while sharded; call unshard() first")
+            }
+        }
     }
 
     /// The engine, read-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics while sharded — use [`Cluster::component`] or
+    /// [`Cluster::unshard`] first.
     pub fn engine(&self) -> &Engine<Msg> {
-        &self.engine
+        match &self.exec {
+            Exec::Single(engine) => engine,
+            Exec::Sharded(_) => {
+                panic!("Cluster::engine is unavailable while sharded; call unshard() first")
+            }
+        }
+    }
+
+    /// Switches execution to the conservative sharded engine, partitioning
+    /// the fabric into (up to) `shards` shards along pod or rack
+    /// boundaries (see [`FabricPartition`]). Returns the shard count
+    /// actually used after clamping.
+    ///
+    /// Results are byte-identical to a 1-shard sharded run for any shard
+    /// count — but not to the classic single engine, whose event order
+    /// differs. Compare fingerprints within one execution mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already sharded, or if tracing is enabled (trace
+    /// interleaving across worker threads is not deterministic).
+    pub fn shard(&mut self, shards: u32) -> u32 {
+        assert!(
+            self.tracer.is_none(),
+            "sharded execution does not support flight-recorder tracing"
+        );
+        let engine = match std::mem::replace(&mut self.exec, Exec::Single(Engine::new(0))) {
+            Exec::Single(engine) => engine,
+            Exec::Sharded(_) => panic!("Cluster::shard called while already sharded"),
+        };
+        let partition = FabricPartition::plan(&self.fabric_cfg, shards);
+        let shape = self.fabric.shape();
+        // Components not covered below (registered via engine_mut without
+        // a pin) default to shard 0; a zero-delay send from one of them
+        // across shards is caught at send time as a lookahead violation.
+        let mut shard_of = vec![0u32; engine.component_count()];
+        for (i, &id) in self.fabric.spine_switches().iter().enumerate() {
+            shard_of[id.as_raw()] = partition.spine_shard(i as u16);
+        }
+        for pod in 0..shape.pods {
+            shard_of[self.fabric.agg_switch(pod).as_raw()] = partition.agg_shard(pod);
+            for tor in 0..shape.tors_per_pod {
+                shard_of[self.fabric.tor_switch(pod, tor).as_raw()] = partition.tor_shard(pod, tor);
+            }
+        }
+        for (&addr, &id) in &self.shells {
+            shard_of[id.as_raw()] = partition.endpoint_shard(addr);
+        }
+        for (&id, &addr) in &self.pins {
+            shard_of[id.as_raw()] = partition.endpoint_shard(addr);
+        }
+        let plan = ShardPlan::new(partition.shards(), shard_of, partition.lookahead());
+        self.exec = Exec::Sharded(ShardedEngine::from_engine(engine, plan));
+        partition.shards()
+    }
+
+    /// Reads the `CATAPULT_SHARDS` environment variable and shards the
+    /// cluster accordingly. Unset, empty, unparsable, or `1` leaves the
+    /// classic single-threaded engine in place. Returns the shard count
+    /// in effect.
+    pub fn shard_from_env(&mut self) -> u32 {
+        match env_shards() {
+            Some(n) if n > 1 => self.shard(n),
+            _ => 1,
+        }
+    }
+
+    /// Collapses a sharded cluster back into the classic single engine
+    /// (pending events and component state carry over). No-op when
+    /// already single.
+    pub fn unshard(&mut self) {
+        if let Exec::Sharded(sharded) =
+            std::mem::replace(&mut self.exec, Exec::Single(Engine::new(0)))
+        {
+            self.exec = Exec::Single(sharded.into_engine());
+        }
+    }
+
+    /// Whether the cluster is currently executing on the sharded engine.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.exec, Exec::Sharded(_))
+    }
+
+    /// Number of shards in use (1 for the classic engine).
+    pub fn shard_count(&self) -> u32 {
+        match &self.exec {
+            Exec::Single(_) => 1,
+            Exec::Sharded(sharded) => sharded.shard_count() as u32,
+        }
     }
 
     /// Runs the simulation for `span`.
     pub fn run_for(&mut self, span: SimDuration) -> u64 {
-        self.engine.run_for(span)
+        match &mut self.exec {
+            Exec::Single(engine) => engine.run_for(span),
+            Exec::Sharded(sharded) => sharded.run_for(span),
+        }
     }
 
     /// Runs until the event queue drains.
     pub fn run_to_idle(&mut self) -> u64 {
-        self.engine.run_to_idle()
+        match &mut self.exec {
+            Exec::Single(engine) => engine.run_to_idle(),
+            Exec::Sharded(sharded) => sharded.run_to_idle(),
+        }
     }
 
     /// Runs events up to `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
-        self.engine.run_until(horizon)
+        match &mut self.exec {
+            Exec::Single(engine) => engine.run_until(horizon),
+            Exec::Sharded(sharded) => sharded.run_until(horizon),
+        }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.engine.now()
+        match &self.exec {
+            Exec::Single(engine) => engine.now(),
+            Exec::Sharded(sharded) => sharded.now(),
+        }
     }
 
     /// Number of populated host slots.
@@ -179,13 +363,17 @@ impl Cluster {
     /// the clock; events emitted while tracing is off are simply not
     /// recorded.
     pub fn enable_tracing(&mut self, capacity: usize) {
+        assert!(
+            !self.is_sharded(),
+            "sharded execution does not support flight-recorder tracing"
+        );
         let tracer = Tracer::new(capacity);
         let shape = self.fabric.shape();
         for pod in 0..shape.pods {
             for tor in 0..shape.tors_per_pod {
                 let id = self.fabric.tor_switch(pod, tor);
                 let track = tracer.track(&format!("tor{pod:02}.{tor:02}"));
-                if let Some(sw) = self.engine.component_mut::<Switch>(id) {
+                if let Some(sw) = self.engine_mut().component_mut::<Switch>(id) {
                     sw.set_tracer(track);
                 }
             }
@@ -193,20 +381,21 @@ impl Cluster {
         for pod in 0..shape.pods {
             let id = self.fabric.agg_switch(pod);
             let track = tracer.track(&format!("agg{pod:02}"));
-            if let Some(sw) = self.engine.component_mut::<Switch>(id) {
+            if let Some(sw) = self.engine_mut().component_mut::<Switch>(id) {
                 sw.set_tracer(track);
             }
         }
-        for (i, &id) in self.fabric.spine_switches().iter().enumerate() {
+        let spines: Vec<ComponentId> = self.fabric.spine_switches().to_vec();
+        for (i, id) in spines.into_iter().enumerate() {
             let track = tracer.track(&format!("spine{i:02}"));
-            if let Some(sw) = self.engine.component_mut::<Switch>(id) {
+            if let Some(sw) = self.engine_mut().component_mut::<Switch>(id) {
                 sw.set_tracer(track);
             }
         }
         let slots: Vec<(NodeAddr, ComponentId)> = self.shells().collect();
         for (addr, id) in slots {
             let track = tracer.track(&format!("shell/{addr}"));
-            if let Some(shell) = self.engine.component_mut::<Shell>(id) {
+            if let Some(shell) = self.engine_mut().component_mut::<Shell>(id) {
                 shell.set_tracer(track);
             }
         }
@@ -231,24 +420,24 @@ impl Cluster {
         for pod in 0..shape.pods {
             for tor in 0..shape.tors_per_pod {
                 let id = self.fabric.tor_switch(pod, tor);
-                if let Some(sw) = self.engine.component::<Switch>(id) {
+                if let Some(sw) = self.component::<Switch>(id) {
                     snap.visit(&format!("fabric/tor{pod:02}.{tor:02}"), sw);
                 }
             }
         }
         for pod in 0..shape.pods {
             let id = self.fabric.agg_switch(pod);
-            if let Some(sw) = self.engine.component::<Switch>(id) {
+            if let Some(sw) = self.component::<Switch>(id) {
                 snap.visit(&format!("fabric/agg{pod:02}"), sw);
             }
         }
         for (i, &id) in self.fabric.spine_switches().iter().enumerate() {
-            if let Some(sw) = self.engine.component::<Switch>(id) {
+            if let Some(sw) = self.component::<Switch>(id) {
                 snap.visit(&format!("fabric/spine{i:02}"), sw);
             }
         }
         for (&addr, &id) in &self.shells {
-            if let Some(shell) = self.engine.component::<Shell>(id) {
+            if let Some(shell) = self.component::<Shell>(id) {
                 snap.visit(&format!("shell/{addr}"), shell);
             }
         }
@@ -319,5 +508,119 @@ mod tests {
         let mut cluster = Cluster::paper_scale(1, 1);
         cluster.add_shell(NodeAddr::new(0, 0, 0));
         cluster.add_shell(NodeAddr::new(0, 0, 0));
+    }
+
+    /// Replies to every LTL delivery with another send, `remaining` times.
+    #[derive(Debug)]
+    struct Volley {
+        conn: SendConnId,
+        shell: ComponentId,
+        remaining: u32,
+    }
+
+    impl Component<Msg> for Volley {
+        fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if msg.downcast::<LtlDeliver>().is_ok() && self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(
+                    self.shell,
+                    Msg::custom(ShellCmd::LtlSend {
+                        conn: self.conn,
+                        vc: 0,
+                        payload: Bytes::from_static(b"volley"),
+                    }),
+                );
+            }
+        }
+    }
+
+    /// A cross-pod LTL volley on the sharded engine; returns the
+    /// serialized metrics fingerprint and the event count.
+    fn sharded_volley_fingerprint(shards: u32) -> (String, u64) {
+        let mut cluster = Cluster::paper_scale(11, 2);
+        let a = NodeAddr::new(0, 0, 1);
+        let b = NodeAddr::new(1, 3, 2);
+        let a_id = cluster.add_shell(a);
+        let b_id = cluster.add_shell(b);
+        let (a_send, b_send, _, _) = cluster.connect_pair(a, b);
+        let a_drv = cluster.add_component_at(
+            a,
+            Volley {
+                conn: a_send,
+                shell: a_id,
+                remaining: 20,
+            },
+        );
+        let b_drv = cluster.add_component_at(
+            b,
+            Volley {
+                conn: b_send,
+                shell: b_id,
+                remaining: 20,
+            },
+        );
+        cluster.set_consumer(a, a_drv);
+        cluster.set_consumer(b, b_drv);
+        cluster.engine_mut().schedule(
+            SimTime::ZERO,
+            a_id,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"kickoff"),
+            }),
+        );
+        let got = cluster.shard(shards);
+        assert_eq!(got, shards, "no clamping expected at this scale");
+        let events = cluster.run_for(SimDuration::from_millis(2));
+        (cluster.metrics_snapshot().to_json(), events)
+    }
+
+    #[test]
+    fn sharded_fingerprint_is_invariant_across_shard_counts() {
+        let baseline = sharded_volley_fingerprint(1);
+        assert!(baseline.1 > 0, "volley produced no events");
+        for shards in [2, 4, 8] {
+            assert_eq!(
+                sharded_volley_fingerprint(shards),
+                baseline,
+                "shard count {shards} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn unshard_restores_engine_access_and_state() {
+        let mut cluster = Cluster::paper_scale(3, 1);
+        let a = NodeAddr::new(0, 0, 1);
+        let a_id = cluster.add_shell(a);
+        cluster.add_shell(NodeAddr::new(0, 1, 1));
+        let (a_send, _, _, _) = cluster.connect_pair(a, NodeAddr::new(0, 1, 1));
+        cluster.engine_mut().schedule(
+            SimTime::ZERO,
+            a_id,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"x"),
+            }),
+        );
+        cluster.shard(4);
+        assert!(cluster.is_sharded());
+        let ran = cluster.run_for(SimDuration::from_micros(50));
+        assert!(ran > 0);
+        let t = cluster.now();
+        cluster.unshard();
+        assert!(!cluster.is_sharded());
+        assert_eq!(cluster.engine().now(), t);
+        cluster.run_to_idle();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support flight-recorder tracing")]
+    fn shard_rejects_enabled_tracing() {
+        let mut cluster = Cluster::paper_scale(1, 1);
+        cluster.enable_tracing(64);
+        cluster.shard(2);
     }
 }

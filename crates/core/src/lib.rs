@@ -59,7 +59,7 @@ pub mod experiments;
 pub mod probe;
 pub mod sweep;
 
-pub use cluster::Cluster;
+pub use cluster::{env_shards, Cluster};
 pub use telemetry;
 
 /// One-stop imports for experiment drivers and binaries.

@@ -50,4 +50,4 @@ pub use switch::{
     EcnConfig, FabricShape, Jitter, PfcConfig, Switch, SwitchCmd, SwitchConfig, SwitchRole,
     SwitchStats,
 };
-pub use topology::{Attachment, Fabric, FabricConfig};
+pub use topology::{Attachment, Fabric, FabricConfig, FabricPartition, PartitionGranularity};

@@ -82,12 +82,12 @@ pub enum Msg {
     /// Crate-specific payloads (PCIe DMA transactions, application requests,
     /// management RPCs); receivers downcast to the types they expect.
     /// Cold path only — see the module-level typed-message policy.
-    Custom(Box<dyn Any>),
+    Custom(Box<dyn Any + Send>),
 }
 
 impl Msg {
     /// Wraps an arbitrary payload.
-    pub fn custom<T: Any>(value: T) -> Msg {
+    pub fn custom<T: Any + Send>(value: T) -> Msg {
         Msg::Custom(Box::new(value))
     }
 

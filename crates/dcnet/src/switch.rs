@@ -412,13 +412,12 @@ impl Switch {
         self.ports.len()
     }
 
-    /// Forwarding statistics.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the registry view via `telemetry::MetricSource::metrics` instead"
-    )]
-    pub fn stats(&self) -> SwitchStats {
-        self.stats
+    /// Forwarding statistics, by reference. The registry view via
+    /// [`telemetry::MetricSource`] remains the primary read path; this
+    /// accessor serves event-granularity invariant checkers that need
+    /// the raw counters between events without a snapshot allocation.
+    pub fn stats_view(&self) -> &SwitchStats {
+        &self.stats
     }
 
     /// Connects `port` to a peer component's port. Must be called for every
@@ -802,10 +801,6 @@ impl core::fmt::Debug for Switch {
 
 #[cfg(test)]
 mod tests {
-    // The legacy struct accessor keeps its existing test coverage while it
-    // remains a supported (deprecated) shim.
-    #![allow(deprecated)]
-
     use super::*;
     use bytes::Bytes;
     use dcsim::{Engine, SimTime};
@@ -943,10 +938,14 @@ mod tests {
         }
         e.run_to_idle();
         let sw = e.component::<Switch>(sw_id).unwrap();
-        assert!(sw.stats().dropped > 0, "expected drops: {:?}", sw.stats());
+        assert!(
+            sw.stats_view().dropped > 0,
+            "expected drops: {:?}",
+            sw.stats_view()
+        );
         assert_eq!(
-            sw.stats().dropped + sw.stats().tx_frames,
-            sw.stats().rx_frames
+            sw.stats_view().dropped + sw.stats_view().tx_frames,
+            sw.stats_view().rx_frames
         );
     }
 
@@ -979,9 +978,9 @@ mod tests {
         }
         e.run_to_idle();
         let sw_ref = e.component::<Switch>(sw_id).unwrap();
-        assert_eq!(sw_ref.stats().dropped, 0);
-        assert!(sw_ref.stats().pauses_sent > 0);
-        assert!(sw_ref.stats().resumes_sent > 0);
+        assert_eq!(sw_ref.stats_view().dropped, 0);
+        assert!(sw_ref.stats_view().pauses_sent > 0);
+        assert!(sw_ref.stats_view().resumes_sent > 0);
         let up = e.component::<Sink>(upstream).unwrap();
         assert!(up.pauses.iter().any(|&(_, p)| p), "XOFF seen");
         assert!(up.pauses.iter().any(|&(_, p)| !p), "XON seen");
@@ -1165,7 +1164,7 @@ mod tests {
         e.run_to_idle();
         assert_eq!(e.component::<Sink>(sink_id).unwrap().packets.len(), 1);
         let sw = e.component::<Switch>(sw_id).unwrap();
-        assert_eq!(sw.stats().link_down_drops, 1);
+        assert_eq!(sw.stats_view().link_down_drops, 1);
         assert!(sw.link_up(PortId(2)));
     }
 
@@ -1213,8 +1212,8 @@ mod tests {
         assert_eq!(e.component::<Sink>(sink_id).unwrap().packets.len(), 1);
         let sw = e.component::<Switch>(sw_id).unwrap();
         assert!(!sw.is_crashed());
-        assert_eq!(sw.stats().crashes, 1);
-        assert_eq!(sw.stats().crash_drops, 1);
+        assert_eq!(sw.stats_view().crashes, 1);
+        assert_eq!(sw.stats_view().crash_drops, 1);
     }
 
     #[test]
@@ -1255,7 +1254,10 @@ mod tests {
         assert_eq!(sink.packets.len(), 4);
         let corrupt = sink.packets.iter().filter(|(_, p)| p.corrupt).count();
         assert_eq!(corrupt, 2);
-        assert_eq!(e.component::<Switch>(sw_id).unwrap().stats().corrupted, 2);
+        assert_eq!(
+            e.component::<Switch>(sw_id).unwrap().stats_view().corrupted,
+            2
+        );
     }
 
     #[test]
@@ -1280,6 +1282,12 @@ mod tests {
         e.schedule(SimTime::ZERO, sw_id, Msg::packet(pkt, PortId(1)));
         e.run_to_idle();
         assert!(e.component::<Sink>(sink_id).unwrap().packets.is_empty());
-        assert_eq!(e.component::<Switch>(sw_id).unwrap().stats().ttl_expired, 1);
+        assert_eq!(
+            e.component::<Switch>(sw_id)
+                .unwrap()
+                .stats_view()
+                .ttl_expired,
+            1
+        );
     }
 }

@@ -6,11 +6,170 @@
 //! are attached afterwards with [`Fabric::attach`], which returns the TOR
 //! attachment the endpoint needs in order to transmit.
 
-use dcsim::{ComponentId, Engine};
+use dcsim::{ComponentId, Engine, SimDuration};
 
 use crate::addr::NodeAddr;
 use crate::msg::{Msg, PortId};
 use crate::switch::{FabricShape, Switch, SwitchConfig, SwitchRole};
+
+/// Which component boundary a [`FabricPartition`] cuts along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionGranularity {
+    /// Whole pods per shard; only agg↔spine links cross shards.
+    Pod,
+    /// Racks per shard; TOR↔agg links cross shards too.
+    Tor,
+}
+
+/// A pod/TOR → shard map for conservative parallel simulation, plus the
+/// lookahead (minimum cross-shard event delay) the partition guarantees.
+///
+/// The partition follows the physical hierarchy so the cheapest, most
+/// frequent traffic (host↔TOR, TOR↔agg within a pod) stays shard-local
+/// and only tall links are cut. Endpoints (shells and the experiment
+/// components they deliver to, which may be messaged with zero delay)
+/// must be placed on their TOR's shard — [`FabricPartition::endpoint_shard`]
+/// says which.
+///
+/// The lookahead is derived from the switch configuration, not assumed:
+/// the earliest event a switch can put on a cut link is a PFC control
+/// frame at exactly the link's propagation delay, or — when PFC cannot
+/// fire on that tier — a forwarded packet at no less than propagation
+/// plus the pipeline's base latency.
+#[derive(Debug, Clone)]
+pub struct FabricPartition {
+    shards: u32,
+    granularity: PartitionGranularity,
+    shape: FabricShape,
+    /// Shard of each TOR, pod-major (`pod * tors_per_pod + tor`).
+    tor_shard: Vec<u32>,
+    /// Shard of each pod's aggregation switch.
+    agg_shard: Vec<u32>,
+    /// Shard of each spine switch.
+    spine_shard: Vec<u32>,
+    lookahead: SimDuration,
+}
+
+/// The earliest event `cfg` can emit toward a link peer: a PFC frame
+/// after one propagation delay, or (PFC impossible) a forwarded packet
+/// after at least propagation plus the fixed pipeline latency.
+fn min_egress_delay(cfg: &SwitchConfig) -> SimDuration {
+    let pfc_can_fire = cfg.pfc.is_some() && cfg.lossless_mask != 0;
+    if pfc_can_fire {
+        cfg.link.propagation
+    } else {
+        cfg.link.propagation + cfg.base_latency
+    }
+}
+
+impl FabricPartition {
+    /// Plans a partition of `cfg`'s fabric into (up to) `shards` shards.
+    ///
+    /// Pods are dealt out in contiguous blocks while `shards <=
+    /// pods`; beyond that the split drops to rack granularity, and
+    /// `shards` is clamped to the TOR count. Spines are distributed
+    /// round-robin. Requesting 0 shards plans 1.
+    pub fn plan(cfg: &FabricConfig, shards: u32) -> FabricPartition {
+        let shape = cfg.shape;
+        let pods = shape.pods as u64;
+        let tors_per_pod = shape.tors_per_pod as u64;
+        let total_tors = (pods * tors_per_pod).max(1);
+        let shards = u64::from(shards.max(1)).min(total_tors) as u32;
+
+        let mut tor_shard = Vec::with_capacity(total_tors as usize);
+        let mut agg_shard = Vec::with_capacity(pods as usize);
+        let granularity = if u64::from(shards) <= pods {
+            PartitionGranularity::Pod
+        } else {
+            PartitionGranularity::Tor
+        };
+        match granularity {
+            PartitionGranularity::Pod => {
+                for pod in 0..pods {
+                    let shard = (pod * u64::from(shards) / pods.max(1)) as u32;
+                    agg_shard.push(shard);
+                    tor_shard.extend(std::iter::repeat_n(shard, tors_per_pod as usize));
+                }
+            }
+            PartitionGranularity::Tor => {
+                for pod in 0..pods {
+                    for tor in 0..tors_per_pod {
+                        let global = pod * tors_per_pod + tor;
+                        tor_shard.push((global * u64::from(shards) / total_tors) as u32);
+                    }
+                    // The aggregation switch rides with its pod's first
+                    // rack; its links to the pod's other racks are cut.
+                    agg_shard.push(tor_shard[(pod * tors_per_pod) as usize]);
+                }
+            }
+        }
+        let spine_shard = (0..shape.spines).map(|i| u32::from(i) % shards).collect();
+
+        let lookahead = if shards == 1 {
+            // No cut links: any window is safe.
+            SimDuration::MAX
+        } else {
+            // Conservative: treat every inter-tier link of a cut tier
+            // pair as crossing shards.
+            let mut lookahead = min_egress_delay(&cfg.agg).min(min_egress_delay(&cfg.spine));
+            if granularity == PartitionGranularity::Tor {
+                lookahead = lookahead.min(min_egress_delay(&cfg.tor));
+            }
+            lookahead
+        };
+
+        FabricPartition {
+            shards,
+            granularity,
+            shape,
+            tor_shard,
+            agg_shard,
+            spine_shard,
+            lookahead,
+        }
+    }
+
+    /// Number of shards actually planned (after clamping).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Which boundary the partition cuts along.
+    pub fn granularity(&self) -> PartitionGranularity {
+        self.granularity
+    }
+
+    /// The guaranteed minimum delay of any cross-shard event.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Shard of the TOR switch at `(pod, tor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the fabric shape.
+    pub fn tor_shard(&self, pod: u16, tor: u16) -> u32 {
+        assert!(pod < self.shape.pods && tor < self.shape.tors_per_pod);
+        self.tor_shard[pod as usize * self.shape.tors_per_pod as usize + tor as usize]
+    }
+
+    /// Shard of `pod`'s aggregation switch.
+    pub fn agg_shard(&self, pod: u16) -> u32 {
+        self.agg_shard[pod as usize]
+    }
+
+    /// Shard of spine switch `index`.
+    pub fn spine_shard(&self, index: u16) -> u32 {
+        self.spine_shard[index as usize]
+    }
+
+    /// Shard an endpoint at `addr` (and anything it messages with zero
+    /// delay) must be placed on: its TOR's.
+    pub fn endpoint_shard(&self, addr: NodeAddr) -> u32 {
+        self.tor_shard(addr.pod, addr.tor)
+    }
+}
 
 /// Per-tier switch configurations for a fabric.
 #[derive(Debug, Clone, Default)]
@@ -292,5 +451,130 @@ mod tests {
         let f = Fabric::build(&mut e, &small_cfg());
         let ep = e.add_component(Endpoint::default());
         f.attach(&mut e, NodeAddr::new(0, 0, 9), ep, PortId(0));
+    }
+
+    /// The figure-10 fabric: paper shape plus the calibrated per-tier
+    /// latencies (replicated here because dcnet sits below the
+    /// calibration crate).
+    fn fig10_cfg(pods: u16) -> FabricConfig {
+        use crate::link::LinkParams;
+        FabricConfig {
+            shape: FabricShape {
+                hosts_per_tor: 24,
+                tors_per_pod: 40,
+                pods,
+                spines: 4,
+            },
+            tor: SwitchConfig::default()
+                .with_base_latency(SimDuration::from_nanos(280))
+                .with_link(LinkParams::gbe40(SimDuration::from_nanos(100))),
+            agg: SwitchConfig::default()
+                .with_base_latency(SimDuration::from_nanos(1_560))
+                .with_link(LinkParams::gbe40(SimDuration::from_nanos(370))),
+            spine: SwitchConfig::default()
+                .with_base_latency(SimDuration::from_nanos(2_610))
+                .with_link(LinkParams::gbe40(SimDuration::from_nanos(485))),
+        }
+    }
+
+    #[test]
+    fn pod_partition_keeps_pods_whole() {
+        let cfg = fig10_cfg(2);
+        let p = FabricPartition::plan(&cfg, 2);
+        assert_eq!(p.shards(), 2);
+        assert_eq!(p.granularity(), PartitionGranularity::Pod);
+        for tor in 0..40 {
+            assert_eq!(p.tor_shard(0, tor), 0);
+            assert_eq!(p.tor_shard(1, tor), 1);
+        }
+        assert_eq!(p.agg_shard(0), 0);
+        assert_eq!(p.agg_shard(1), 1);
+        // Spines spread round-robin.
+        assert_eq!(
+            (0..4).map(|i| p.spine_shard(i)).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1]
+        );
+        // Only agg↔spine links are cut; with PFC on, the floor is the
+        // agg link's propagation delay.
+        assert_eq!(p.lookahead(), SimDuration::from_nanos(370));
+    }
+
+    #[test]
+    fn tor_partition_beyond_pod_count() {
+        let cfg = fig10_cfg(2);
+        let p = FabricPartition::plan(&cfg, 8);
+        assert_eq!(p.shards(), 8);
+        assert_eq!(p.granularity(), PartitionGranularity::Tor);
+        // 80 racks over 8 shards: perfectly balanced.
+        let mut per_shard = vec![0u32; 8];
+        for pod in 0..2 {
+            for tor in 0..40 {
+                per_shard[p.tor_shard(pod, tor) as usize] += 1;
+            }
+        }
+        assert!(per_shard.iter().all(|&n| n == 10), "{per_shard:?}");
+        // The aggregation switch rides with its pod's first rack.
+        assert_eq!(p.agg_shard(0), p.tor_shard(0, 0));
+        assert_eq!(p.agg_shard(1), p.tor_shard(1, 0));
+        // TOR↔agg links are now cut too, so the TOR link's propagation
+        // delay becomes the floor.
+        assert_eq!(p.lookahead(), SimDuration::from_nanos(100));
+    }
+
+    #[test]
+    fn endpoints_ride_with_their_tor() {
+        let cfg = fig10_cfg(2);
+        let p = FabricPartition::plan(&cfg, 8);
+        for pod in 0..2 {
+            for tor in 0..40 {
+                let addr = NodeAddr::new(pod, tor, 5);
+                assert_eq!(p.endpoint_shard(addr), p.tor_shard(pod, tor));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_rack_count() {
+        let p = FabricPartition::plan(&small_cfg(), 1_000);
+        assert_eq!(p.shards(), 6); // 2 pods × 3 racks
+        let p = FabricPartition::plan(&small_cfg(), 0);
+        assert_eq!(p.shards(), 1);
+    }
+
+    #[test]
+    fn single_shard_needs_no_lookahead() {
+        let p = FabricPartition::plan(&fig10_cfg(2), 1);
+        assert_eq!(p.lookahead(), SimDuration::MAX);
+        for tor in 0..40 {
+            assert_eq!(p.tor_shard(1, tor), 0);
+        }
+    }
+
+    #[test]
+    fn disabling_pfc_raises_the_lookahead_floor() {
+        let mut cfg = fig10_cfg(2);
+        cfg.agg.pfc = None;
+        cfg.spine.lossless_mask = 0;
+        let p = FabricPartition::plan(&cfg, 2);
+        // Without PFC frames, the earliest cross-shard event is a
+        // forwarded packet: propagation + pipeline base latency.
+        assert_eq!(p.lookahead(), SimDuration::from_nanos(370 + 1_560));
+    }
+
+    #[test]
+    fn pod_blocks_are_contiguous_and_balanced() {
+        let cfg = fig10_cfg(6);
+        let p = FabricPartition::plan(&cfg, 4);
+        assert_eq!(p.granularity(), PartitionGranularity::Pod);
+        let shards: Vec<u32> = (0..6).map(|pod| p.agg_shard(pod)).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]), "{shards:?}");
+        let mut per_shard = vec![0u32; 4];
+        for &s in &shards {
+            per_shard[s as usize] += 1;
+        }
+        assert!(
+            per_shard.iter().all(|&n| (1..=2).contains(&n)),
+            "{per_shard:?}"
+        );
     }
 }

@@ -1,9 +1,6 @@
 //! Property-based tests of switch invariants: frame conservation,
 //! lossless-class guarantees, and routing totality.
 
-// `stats()` stays covered while it remains a supported (deprecated) shim.
-#![allow(deprecated)]
-
 use bytes::Bytes;
 use dcnet::{
     EcnConfig, FabricShape, Msg, NetEvent, NodeAddr, Packet, PfcConfig, PortId, Switch,
@@ -76,7 +73,7 @@ proptest! {
             e.schedule(SimTime::ZERO, sw_id, Msg::packet(pkt, PortId(0)));
         }
         e.run_to_idle();
-        let stats = e.component::<Switch>(sw_id).unwrap().stats();
+        let stats = e.component::<Switch>(sw_id).unwrap().stats_view();
         prop_assert_eq!(stats.rx_frames, total);
         prop_assert_eq!(
             stats.tx_frames + stats.dropped + stats.ttl_expired + stats.no_route,
@@ -112,7 +109,7 @@ proptest! {
             e.schedule(SimTime::ZERO, sw_id, Msg::packet(pkt, PortId(1)));
         }
         e.run_to_idle();
-        let stats = e.component::<Switch>(sw_id).unwrap().stats();
+        let stats = e.component::<Switch>(sw_id).unwrap().stats_view();
         prop_assert_eq!(stats.dropped, 0);
         prop_assert_eq!(stats.tx_frames, count as u64);
     }

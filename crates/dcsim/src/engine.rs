@@ -38,6 +38,7 @@ use std::fmt;
 
 use crate::queue::CalendarQueue;
 use crate::rng::SimRng;
+use crate::sharded::{self, RemoteEvent, ShardRoute};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a component registered with an [`Engine`].
@@ -69,8 +70,11 @@ impl fmt::Display for ComponentId {
 /// [`Context`].
 ///
 /// The `Any` supertrait lets experiment drivers recover concrete component
-/// state after a run via [`Engine::component`].
-pub trait Component<M>: Any {
+/// state after a run via [`Engine::component`]. The `Send` supertrait lets
+/// a built simulation be partitioned across worker threads by
+/// [`crate::ShardedEngine`]; components still never run concurrently with
+/// anything that can observe them, so no `Sync` bound is needed.
+pub trait Component<M>: Any + Send {
     /// Called when a message scheduled for this component becomes due.
     fn on_message(&mut self, msg: M, ctx: &mut Context<'_, M>);
 
@@ -81,7 +85,7 @@ pub trait Component<M>: Any {
     }
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Message(M),
     Timer(u64),
 }
@@ -134,6 +138,10 @@ pub struct Context<'a, M> {
     tie_break_salt: u64,
     rng: &'a mut SimRng,
     stop: &'a mut bool,
+    /// `Some` when this dispatch runs inside a [`crate::ShardedEngine`]
+    /// shard: sends are routed by destination shard and keyed with the
+    /// shard-count-invariant `(source, send index)` scheme.
+    route: Option<ShardRoute<'a, M>>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -171,7 +179,39 @@ impl<'a, M> Context<'a, M> {
 
     /// Enqueues with the same key scheme as [`Engine::push`]: events are
     /// keyed in submission order, exactly as the engine itself pushes.
+    ///
+    /// Under a [`crate::ShardedEngine`] the key is instead derived from the
+    /// sending component and its private send counter — an ordering that
+    /// does not depend on how components are interleaved across shards —
+    /// and cross-shard sends land in the window outbox rather than the
+    /// local queue.
     fn push(&mut self, at: SimTime, dest: ComponentId, kind: EventKind<M>) {
+        if let Some(route) = self.route.as_mut() {
+            let at_ns = at.as_nanos();
+            let key = sharded::source_key(self.id, *self.seq);
+            *self.seq += 1;
+            let dst_shard = route.shard_of[dest.as_raw()];
+            if dst_shard == route.my_shard {
+                self.queue.push(at_ns, key, (dest, kind));
+            } else {
+                assert!(
+                    at_ns >= route.window_end,
+                    "lookahead violation: {} scheduled a cross-shard event at {} ns \
+                     inside the window ending at {} ns; the shard plan's lookahead \
+                     overstates the minimum cross-shard delay",
+                    self.id,
+                    at_ns,
+                    route.window_end,
+                );
+                route.outboxes[dst_shard as usize].push(RemoteEvent {
+                    at: at_ns,
+                    key,
+                    dest,
+                    kind,
+                });
+            }
+            return;
+        }
         let key = if self.tie_break_salt == 0 {
             *self.seq
         } else {
@@ -187,8 +227,37 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Requests that the engine stop after the current event completes.
+    ///
+    /// Under a [`crate::ShardedEngine`] the stop takes effect at the next
+    /// window barrier, and the set of events processed before it lands
+    /// depends on the shard layout — deterministic per shard count, but
+    /// not invariant across shard counts.
     pub fn stop(&mut self) {
         *self.stop = true;
+    }
+
+    /// Builds the dispatch context a [`crate::ShardedEngine`] shard hands
+    /// to its components. `seq` is the executing component's private send
+    /// counter and `rng` its private random stream.
+    pub(crate) fn for_shard(
+        now: SimTime,
+        id: ComponentId,
+        queue: &'a mut CalendarQueue<(ComponentId, EventKind<M>)>,
+        seq: &'a mut u64,
+        rng: &'a mut SimRng,
+        stop: &'a mut bool,
+        route: ShardRoute<'a, M>,
+    ) -> Context<'a, M> {
+        Context {
+            now,
+            id,
+            queue,
+            seq,
+            tie_break_salt: 0,
+            rng,
+            stop,
+            route: Some(route),
+        }
     }
 }
 
@@ -199,10 +268,27 @@ pub struct Engine<M> {
     queue: CalendarQueue<(ComponentId, EventKind<M>)>,
     components: Vec<Option<Box<dyn Component<M>>>>,
     rng: SimRng,
+    seed: u64,
     stopped: bool,
     events_processed: u64,
     observer: Option<Box<dyn Observer<M>>>,
     tie_break_salt: u64,
+}
+
+/// A dismantled [`Engine`]: everything needed to rebuild it, or to deal
+/// its components and pending events out to the shards of a
+/// [`crate::ShardedEngine`].
+pub(crate) struct EngineParts<M> {
+    pub now: SimTime,
+    pub seed: u64,
+    pub rng: SimRng,
+    pub components: Vec<Option<Box<dyn Component<M>>>>,
+    /// Pending events in exact pop order (`(time, key)`-sorted).
+    pub pending: Vec<(u64, ComponentId, EventKind<M>)>,
+    pub events_processed: u64,
+    pub stopped: bool,
+    pub observer: Option<Box<dyn Observer<M>>>,
+    pub tie_break_salt: u64,
 }
 
 impl<M: 'static> Engine<M> {
@@ -214,11 +300,60 @@ impl<M: 'static> Engine<M> {
             queue: CalendarQueue::new(),
             components: Vec::new(),
             rng: SimRng::seed_from(seed),
+            seed,
             stopped: false,
             events_processed: 0,
             observer: None,
             tie_break_salt: 0,
         }
+    }
+
+    /// The seed this engine's random stream was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Dismantles the engine, draining the pending-event queue into exact
+    /// pop order.
+    pub(crate) fn into_parts(mut self) -> EngineParts<M> {
+        let mut pending = Vec::with_capacity(self.queue.len());
+        while let Some(ev) = self.queue.pop_due(u64::MAX) {
+            let (dest, kind) = ev.value;
+            pending.push((ev.at, dest, kind));
+        }
+        EngineParts {
+            now: self.now,
+            seed: self.seed,
+            rng: self.rng,
+            components: self.components,
+            pending,
+            events_processed: self.events_processed,
+            stopped: self.stopped,
+            observer: self.observer,
+            tie_break_salt: self.tie_break_salt,
+        }
+    }
+
+    /// Rebuilds an engine from parts; `pending` must already be in the
+    /// intended pop order (it is re-keyed FIFO).
+    pub(crate) fn from_parts(parts: EngineParts<M>) -> Engine<M> {
+        let mut engine = Engine {
+            now: parts.now,
+            seq: 0,
+            queue: CalendarQueue::new(),
+            components: parts.components,
+            rng: parts.rng,
+            seed: parts.seed,
+            stopped: parts.stopped,
+            events_processed: parts.events_processed,
+            observer: parts.observer,
+            tie_break_salt: parts.tie_break_salt,
+        };
+        for (at, dest, kind) in parts.pending {
+            engine.queue.push(at, engine.seq, (dest, kind));
+            engine.seq += 1;
+        }
+        engine
     }
 
     /// Registers a component and returns its id. Ids are assigned in
@@ -355,6 +490,7 @@ impl<M: 'static> Engine<M> {
                     tie_break_salt: self.tie_break_salt,
                     rng: &mut self.rng,
                     stop: &mut self.stopped,
+                    route: None,
                 };
                 match kind {
                     EventKind::Message(msg) => component.on_message(msg, &mut ctx),

@@ -9,6 +9,8 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time;
 //! * [`Engine`], [`Component`], [`Context`] — the event loop;
+//! * [`ShardedEngine`], [`ShardPlan`] — conservative-window parallel
+//!   execution of one simulation across component shards;
 //! * [`SimRng`] — seeded randomness plus the distributions the simulator
 //!   needs (exponential, normal, lognormal);
 //! * [`StreamingStats`], [`PercentileRecorder`], [`LogHistogram`] —
@@ -48,10 +50,12 @@
 mod engine;
 mod queue;
 mod rng;
+mod sharded;
 mod stats;
 mod time;
 
 pub use engine::{Component, ComponentId, Context, Engine, EventRecord, Observer};
 pub use rng::SimRng;
+pub use sharded::{ShardPlan, ShardedEngine};
 pub use stats::{LogHistogram, PercentileRecorder, StreamingStats};
 pub use time::{SimDuration, SimTime};

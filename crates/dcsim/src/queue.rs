@@ -189,6 +189,19 @@ impl<T> CalendarQueue<T> {
         self.wheel_len + self.far.len()
     }
 
+    /// Due time of the earliest pending entry, without removing it.
+    /// Costs one wheel scan — meant for once-per-window use (conservative
+    /// synchronization), not the per-event hot path.
+    pub fn next_at(&self) -> Option<u64> {
+        let wheel = self.wheel_min().map(|head| head.at);
+        let far = self.far.peek().map(|key| key.at);
+        match (wheel, far) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (wheel, None) => wheel,
+            (None, far) => far,
+        }
+    }
+
     /// Takes a node off the free list (or grows the slab) and fills it.
     fn alloc_node(&mut self, at: u64, seq: u64, value: T) -> u32 {
         if self.free_head != NIL {

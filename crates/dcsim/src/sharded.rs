@@ -1,0 +1,916 @@
+//! Conservative parallel execution: one simulation, many shards.
+//!
+//! A [`ShardedEngine`] partitions the components of a built [`Engine`]
+//! across *shards*, each with its own calendar queue and per-component
+//! random streams, and advances them together in conservative time
+//! windows (classic CMB-style null-message-free synchronization):
+//!
+//! 1. every shard publishes the due time of its earliest pending event;
+//! 2. a barrier makes the global minimum `T` visible to all shards;
+//! 3. each shard processes its local events in `[T, T + lookahead)`;
+//! 4. cross-shard sends buffered in per-destination outboxes are swapped
+//!    through mailbox slots at a second barrier and drained into the
+//!    destination queues; repeat.
+//!
+//! The window is safe because `lookahead` is a lower bound on the delay
+//! of any cross-shard interaction: an event generated at `t >= T` for
+//! another shard lands at `t + lookahead >= T + lookahead`, outside the
+//! window, so no shard can receive an event "from the past". The sending
+//! side asserts this, turning an optimistic partition map into a loud
+//! failure instead of a silent causality break.
+//!
+//! # Determinism, independent of shard count
+//!
+//! Fingerprints must be byte-identical for a given seed whether the run
+//! uses 1, 2, 4 or 8 shards. Two mechanisms make that hold:
+//!
+//! * **Invariant tie-break keys.** Same-timestamp events are ordered by a
+//!   key derived from the *sending component* and its private send
+//!   counter (`(time, source, source-seq)`), not from any global or
+//!   per-shard submission counter. The key of an event therefore depends
+//!   only on the causal history of its sender — which the shard layout
+//!   never changes — so every component consumes its incoming events in
+//!   the same order under any partitioning. (A per-shard `(time, seq,
+//!   shard)` key would *not* survive re-partitioning: both the counter
+//!   values and the shard ids change with the shard count.)
+//! * **Per-component random streams.** Each component draws from its own
+//!   stream seeded by `(engine seed, component id)`. A single engine-wide
+//!   stream would interleave draws in global dispatch order, which
+//!   legitimately differs between shards running concurrently.
+//!
+//! Consequently a 1-shard `ShardedEngine` run is the determinism baseline
+//! for the sharded family; it differs (deterministically) from the legacy
+//! single-threaded [`Engine`] order, which keeps its exact historical
+//! FIFO semantics untouched.
+//!
+//! Worker threads are decoupled from shards: `min(shards, cores)` scoped
+//! threads each drive a chunk of shards, so an 8-shard plan still runs
+//! correctly (and without barrier spin-waste) on a smaller machine, and
+//! a 1-worker run degenerates to a plain sequential loop.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::{Component, ComponentId, Context, Engine, EngineParts, EventKind};
+use crate::queue::CalendarQueue;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Low bits of an event key reserved for the per-source send counter.
+const SEQ_BITS: u32 = 40;
+
+/// Tie-break key for an event sent by `src` as its `seq`-th send. Keys
+/// order events with equal timestamps; they are unique (source ids and
+/// per-source counters both are) and invariant under re-partitioning.
+/// Bootstrap events scheduled from outside any component use the raw
+/// counter (source 0), sorting ahead of all component-sourced keys.
+pub(crate) fn source_key(src: ComponentId, seq: u64) -> u64 {
+    debug_assert!(seq < 1 << SEQ_BITS, "per-component send counter overflow");
+    debug_assert!(
+        (src.as_raw() as u64) < (1 << (64 - SEQ_BITS)) - 1,
+        "component id exceeds key space"
+    );
+    ((src.as_raw() as u64 + 1) << SEQ_BITS) | seq
+}
+
+/// Per-component random stream seed: a pure function of the engine seed
+/// and the component id, so streams are identical under any shard layout.
+fn component_seed(engine_seed: u64, id: usize) -> u64 {
+    let mut z = engine_seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A cross-shard event parked in an outbox until the window barrier.
+pub(crate) struct RemoteEvent<M> {
+    pub at: u64,
+    pub key: u64,
+    pub dest: ComponentId,
+    pub kind: EventKind<M>,
+}
+
+/// Routing state handed to [`Context`] while a shard dispatches: maps
+/// destinations to shards and collects cross-shard sends.
+pub(crate) struct ShardRoute<'a, M> {
+    pub shard_of: &'a [u32],
+    pub my_shard: u32,
+    /// Exclusive end of the current window; cross-shard events must land
+    /// at or beyond it (the lookahead guarantee).
+    pub window_end: u64,
+    /// One outbox per destination shard.
+    pub outboxes: &'a mut [Vec<RemoteEvent<M>>],
+}
+
+/// Assignment of every component to a shard, plus the conservative
+/// lookahead the partition guarantees.
+///
+/// Build one from a topology helper (e.g. `dcnet`'s fabric partitioner)
+/// or by hand for custom component graphs. Validity contract: any event
+/// a component on shard A schedules for a component on shard B (A ≠ B)
+/// must be at least `lookahead` in the future. The engine asserts this
+/// at send time.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: u32,
+    shard_of: Vec<u32>,
+    lookahead: SimDuration,
+}
+
+impl ShardPlan {
+    /// Builds a plan mapping component `i` to `shard_of[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, any entry names a shard out of range,
+    /// or a multi-shard plan has zero lookahead.
+    pub fn new(shards: u32, shard_of: Vec<u32>, lookahead: SimDuration) -> ShardPlan {
+        assert!(shards >= 1, "a plan needs at least one shard");
+        assert!(
+            shards == 1 || lookahead > SimDuration::ZERO,
+            "multi-shard plans need a positive lookahead"
+        );
+        assert!(
+            shard_of.iter().all(|&s| s < shards),
+            "shard assignment out of range"
+        );
+        ShardPlan {
+            shards,
+            shard_of,
+            lookahead,
+        }
+    }
+
+    /// The trivial single-shard plan over `components` components.
+    pub fn single(components: usize) -> ShardPlan {
+        ShardPlan::new(1, vec![0; components], SimDuration::MAX)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The guaranteed minimum cross-shard event delay.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The shard holding component `id`.
+    pub fn shard_of(&self, id: ComponentId) -> u32 {
+        self.shard_of[id.as_raw()]
+    }
+}
+
+/// One shard: a slice of the component table with its own event queue,
+/// per-component random streams and send counters, and outboxes for
+/// cross-shard traffic.
+struct Shard<M> {
+    queue: CalendarQueue<(ComponentId, EventKind<M>)>,
+    /// Sparse, full-length table: only this shard's components are
+    /// populated, so global `ComponentId`s index directly.
+    components: Vec<Option<Box<dyn Component<M>>>>,
+    rngs: Vec<SimRng>,
+    src_seq: Vec<u64>,
+    outboxes: Vec<Vec<RemoteEvent<M>>>,
+    /// Timestamp of the last event this shard processed.
+    last_at: u64,
+    processed: u64,
+    stopped: bool,
+}
+
+impl<M: 'static> Shard<M> {
+    fn new(seed: u64, ncomponents: usize, nshards: usize) -> Shard<M> {
+        Shard {
+            queue: CalendarQueue::new(),
+            components: (0..ncomponents).map(|_| None).collect(),
+            rngs: (0..ncomponents)
+                .map(|i| SimRng::seed_from(component_seed(seed, i)))
+                .collect(),
+            src_seq: vec![0; ncomponents],
+            outboxes: (0..nshards).map(|_| Vec::new()).collect(),
+            last_at: 0,
+            processed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Processes local events with `at <= until_incl` in `(time, key)`
+    /// order; cross-shard sends must land at or beyond `window_end`.
+    fn run_window(&mut self, my_shard: u32, until_incl: u64, window_end: u64, shard_of: &[u32]) {
+        let Shard {
+            queue,
+            components,
+            rngs,
+            src_seq,
+            outboxes,
+            last_at,
+            processed,
+            stopped,
+        } = self;
+        while !*stopped {
+            let Some(ev) = queue.pop_due(until_incl) else {
+                break;
+            };
+            *last_at = ev.at;
+            let (dest, kind) = ev.value;
+            let idx = dest.as_raw();
+            let mut component = components
+                .get_mut(idx)
+                .unwrap_or_else(|| panic!("event addressed to unregistered component {dest}"))
+                .take()
+                .expect("event routed to a shard that does not own its destination");
+            {
+                let route = ShardRoute {
+                    shard_of,
+                    my_shard,
+                    window_end,
+                    outboxes,
+                };
+                let mut ctx = Context::for_shard(
+                    SimTime::from_nanos(ev.at),
+                    dest,
+                    queue,
+                    &mut src_seq[idx],
+                    &mut rngs[idx],
+                    stopped,
+                    route,
+                );
+                match kind {
+                    EventKind::Message(msg) => component.on_message(msg, &mut ctx),
+                    EventKind::Timer(token) => component.on_timer(token, &mut ctx),
+                }
+            }
+            components[idx] = Some(component);
+            *processed += 1;
+        }
+    }
+
+    /// Publishes this shard's outboxes into the mailbox row `me`, swapping
+    /// buffers so capacity circulates instead of being reallocated.
+    fn flush_outboxes(&mut self, me: usize, nshards: usize, mail: &[Mutex<Vec<RemoteEvent<M>>>]) {
+        for (dst, outbox) in self.outboxes.iter_mut().enumerate() {
+            if outbox.is_empty() {
+                continue;
+            }
+            let mut slot = mail[me * nshards + dst].lock().expect("mailbox poisoned");
+            if slot.is_empty() {
+                std::mem::swap(&mut *slot, outbox);
+            } else {
+                slot.append(outbox);
+            }
+        }
+    }
+
+    /// Drains every mailbox addressed to shard `me` into the local queue.
+    fn drain_mail(&mut self, me: usize, nshards: usize, mail: &[Mutex<Vec<RemoteEvent<M>>>]) {
+        for src in 0..nshards {
+            let mut slot = mail[src * nshards + me].lock().expect("mailbox poisoned");
+            for ev in slot.drain(..) {
+                self.queue.push(ev.at, ev.key, (ev.dest, ev.kind));
+            }
+        }
+    }
+}
+
+/// A reusable, spin-then-yield barrier. `std::sync::Barrier` parks
+/// threads through a mutex/condvar pair — microseconds per crossing —
+/// which would dwarf the sub-microsecond windows conservative lookahead
+/// produces; this one stays in userspace while peers are close behind.
+struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> SpinBarrier {
+        SpinBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        if self.n == 1 {
+            return;
+        }
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed (more workers than cores): let the
+                    // peer holding the core finish its window.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Shared synchronization state for one parallel run.
+struct SyncState<'a, M> {
+    barrier: SpinBarrier,
+    /// Per-shard earliest pending event time (`u64::MAX` when idle).
+    next_at: &'a [AtomicU64],
+    stop: AtomicBool,
+    /// `nshards * nshards` mailbox slots, indexed `src * nshards + dst`.
+    mail: &'a [Mutex<Vec<RemoteEvent<M>>>],
+    rounds: AtomicU64,
+}
+
+/// The window loop one worker thread runs over its chunk of shards.
+fn worker_loop<M: 'static>(
+    shards: &mut [Shard<M>],
+    base: usize,
+    nshards: usize,
+    horizon_excl: u64,
+    lookahead: u64,
+    shard_of: &[u32],
+    sync: &SyncState<'_, M>,
+) {
+    loop {
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let next = shard.queue.next_at().unwrap_or(u64::MAX);
+            sync.next_at[base + i].store(next, Ordering::Release);
+        }
+        sync.barrier.wait();
+        // Every worker computes the same minimum from the same published
+        // values, so all of them agree on the window without a leader.
+        let window_start = sync
+            .next_at
+            .iter()
+            .map(|at| at.load(Ordering::Acquire))
+            .min()
+            .expect("at least one shard");
+        if window_start >= horizon_excl || sync.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let window_end = window_start.saturating_add(lookahead).min(horizon_excl);
+        let mut stopped = false;
+        for (i, shard) in shards.iter_mut().enumerate() {
+            shard.run_window((base + i) as u32, window_end - 1, window_end, shard_of);
+            shard.flush_outboxes(base + i, nshards, sync.mail);
+            stopped |= shard.stopped;
+        }
+        if stopped {
+            sync.stop.store(true, Ordering::Release);
+        }
+        if base == 0 {
+            sync.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        sync.barrier.wait();
+        for (i, shard) in shards.iter_mut().enumerate() {
+            shard.drain_mail(base + i, nshards, sync.mail);
+        }
+    }
+}
+
+/// A sharded engine: drop-in replacement for [`Engine`]'s run/schedule/
+/// component-access surface, executing one simulation across shards.
+///
+/// Build the simulation in a plain [`Engine`], then convert with
+/// [`ShardedEngine::from_engine`]; convert back with
+/// [`ShardedEngine::into_engine`]. Unsupported in sharded mode (assert or
+/// documented): observers, tie-break salts, and the legacy engine-global
+/// RNG stream.
+pub struct ShardedEngine<M> {
+    shards: Vec<Shard<M>>,
+    shard_of: Vec<u32>,
+    lookahead: SimDuration,
+    now: SimTime,
+    seed: u64,
+    /// The build-phase global stream, preserved for `into_engine`.
+    build_rng: SimRng,
+    boot_seq: u64,
+    base_processed: u64,
+    stopped: bool,
+    rounds: u64,
+    worker_cap: Option<usize>,
+    /// Persistent mailbox + next-at buffers so repeated runs reuse warm
+    /// capacity instead of reallocating.
+    mail: Vec<Mutex<Vec<RemoteEvent<M>>>>,
+    next_at: Vec<AtomicU64>,
+}
+
+impl<M: Send + 'static> ShardedEngine<M> {
+    /// Partitions `engine` under `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's length disagrees with the component count, an
+    /// observer is attached, or a tie-break salt is set (neither is
+    /// supported under sharded execution).
+    pub fn from_engine(engine: Engine<M>, plan: ShardPlan) -> ShardedEngine<M> {
+        let parts = engine.into_parts();
+        assert_eq!(
+            plan.shard_of.len(),
+            parts.components.len(),
+            "shard plan covers {} components but the engine has {}",
+            plan.shard_of.len(),
+            parts.components.len(),
+        );
+        assert!(
+            parts.observer.is_none(),
+            "observers are not supported under sharded execution; detach first"
+        );
+        assert_eq!(
+            parts.tie_break_salt, 0,
+            "tie-break salts are not supported under sharded execution"
+        );
+        let nshards = plan.shards as usize;
+        let ncomp = parts.components.len();
+        let mut shards: Vec<Shard<M>> = (0..nshards)
+            .map(|_| Shard::new(parts.seed, ncomp, nshards))
+            .collect();
+        for (i, slot) in parts.components.into_iter().enumerate() {
+            if let Some(component) = slot {
+                shards[plan.shard_of[i] as usize].components[i] = Some(component);
+            }
+        }
+        // Pending events become bootstrap events: keyed by their global
+        // drain position (already `(time, key)`-sorted), which keeps
+        // their relative order and sorts them ahead of component sends.
+        let mut boot_seq = 0u64;
+        for (at, dest, kind) in parts.pending {
+            let shard = plan.shard_of[dest.as_raw()] as usize;
+            shards[shard].queue.push(at, boot_seq, (dest, kind));
+            boot_seq += 1;
+        }
+        ShardedEngine {
+            shards,
+            shard_of: plan.shard_of,
+            lookahead: plan.lookahead,
+            now: parts.now,
+            seed: parts.seed,
+            build_rng: parts.rng,
+            boot_seq,
+            base_processed: parts.events_processed,
+            stopped: parts.stopped,
+            rounds: 0,
+            worker_cap: None,
+            mail: (0..nshards * nshards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            next_at: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Merges the shards back into a sequential [`Engine`]. Pending
+    /// events are re-keyed FIFO in global `(time, key)` order, so the
+    /// merged engine pops them exactly as the shards would have.
+    pub fn into_engine(mut self) -> Engine<M> {
+        let events_processed = self.events_processed();
+        let mut pending: Vec<(u64, u64, ComponentId, EventKind<M>)> = Vec::new();
+        let mut components: Vec<Option<Box<dyn Component<M>>>> =
+            (0..self.shard_of.len()).map(|_| None).collect();
+        for shard in &mut self.shards {
+            while let Some(ev) = shard.queue.pop_due(u64::MAX) {
+                let (dest, kind) = ev.value;
+                pending.push((ev.at, ev.seq, dest, kind));
+            }
+            for (i, slot) in shard.components.iter_mut().enumerate() {
+                if let Some(component) = slot.take() {
+                    components[i] = Some(component);
+                }
+            }
+        }
+        pending.sort_by_key(|&(at, key, ..)| (at, key));
+        Engine::from_parts(EngineParts {
+            now: self.now,
+            seed: self.seed,
+            rng: self.build_rng,
+            components,
+            pending: pending
+                .into_iter()
+                .map(|(at, _, dest, kind)| (at, dest, kind))
+                .collect(),
+            events_processed,
+            stopped: self.stopped,
+            observer: None,
+            tie_break_salt: 0,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead this engine synchronizes with.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The seed the simulation was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total events dispatched, including those before sharding.
+    pub fn events_processed(&self) -> u64 {
+        self.base_processed + self.shards.iter().map(|s| s.processed).sum::<u64>()
+    }
+
+    /// Events still pending across all shard queues.
+    pub fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Synchronization windows executed so far (diagnostic: events per
+    /// window is the parallelism-versus-overhead figure of merit).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Whether a component stopped the simulation.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Clears the stop flag so the engine can be resumed.
+    pub fn clear_stop(&mut self) {
+        self.stopped = false;
+        for shard in &mut self.shards {
+            shard.stopped = false;
+        }
+    }
+
+    /// Caps the number of worker threads (default: `min(shards, cores)`).
+    /// A cap of 1 runs every shard on the calling thread — same results,
+    /// no synchronization overhead.
+    pub fn set_worker_threads(&mut self, workers: usize) {
+        self.worker_cap = Some(workers.max(1));
+    }
+
+    fn workers(&self) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.worker_cap
+            .unwrap_or(cores)
+            .min(self.shards.len())
+            .max(1)
+    }
+
+    /// Schedules `msg` for `dest` at absolute time `at` (a bootstrap
+    /// event, ordered ahead of component sends at the same instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn schedule(&mut self, at: SimTime, dest: ComponentId, msg: M) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let shard = self.shard_of[dest.as_raw()] as usize;
+        debug_assert!(self.boot_seq < 1 << SEQ_BITS);
+        self.shards[shard].queue.push(
+            at.as_nanos(),
+            self.boot_seq,
+            (dest, EventKind::Message(msg)),
+        );
+        self.boot_seq += 1;
+    }
+
+    /// Schedules `msg` for `dest` after `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, dest: ComponentId, msg: M) {
+        self.schedule(self.now + delay, dest, msg);
+    }
+
+    /// Borrows the concrete component at `id`, if it has type `T`.
+    pub fn component<T: Component<M>>(&self, id: ComponentId) -> Option<&T> {
+        let shard = *self.shard_of.get(id.as_raw())? as usize;
+        let boxed = self.shards[shard].components.get(id.as_raw())?.as_deref()?;
+        (boxed as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the concrete component at `id`, if it has type `T`.
+    pub fn component_mut<T: Component<M>>(&mut self, id: ComponentId) -> Option<&mut T> {
+        let shard = *self.shard_of.get(id.as_raw())? as usize;
+        let boxed = self.shards[shard]
+            .components
+            .get_mut(id.as_raw())?
+            .as_deref_mut()?;
+        (boxed as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Number of component slots (populated or not).
+    pub fn component_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Runs until every queue drains or a component stops the simulation.
+    pub fn run_to_idle(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs for `span` of simulated time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        let horizon = self.now + span;
+        self.run_until(horizon)
+    }
+
+    /// Runs events with timestamps `<= horizon`; the clock is left at the
+    /// last processed event (or advanced to `horizon` if it is finite and
+    /// the queues drained early). Returns the number of events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let before = self.events_processed();
+        if !self.stopped {
+            if self.shards.len() == 1 {
+                self.run_sequential(horizon);
+            } else {
+                self.run_windows(horizon);
+            }
+            self.stopped = self.shards.iter().any(|s| s.stopped);
+        }
+        let last = self
+            .shards
+            .iter()
+            .map(|s| s.last_at)
+            .max()
+            .unwrap_or(0)
+            .max(self.now.as_nanos());
+        let now_ns = if !self.stopped && horizon != SimTime::MAX {
+            last.max(horizon.as_nanos())
+        } else {
+            last
+        };
+        self.now = SimTime::from_nanos(now_ns);
+        self.events_processed() - before
+    }
+
+    /// One shard: no windows, no barriers — a single pass to the horizon.
+    /// Event order is identical to the windowed path (it is a pure
+    /// function of `(time, key)`), making this the determinism baseline
+    /// and the speedup denominator.
+    fn run_sequential(&mut self, horizon: SimTime) {
+        let shard = &mut self.shards[0];
+        shard.run_window(0, horizon.as_nanos(), u64::MAX, &self.shard_of);
+        self.rounds += 1;
+    }
+
+    fn run_windows(&mut self, horizon: SimTime) {
+        let horizon_excl = horizon.as_nanos().saturating_add(1);
+        let lookahead = self.lookahead.as_nanos();
+        let nshards = self.shards.len();
+        let nworkers = self.workers();
+        let sync = SyncState {
+            barrier: SpinBarrier::new(nworkers),
+            next_at: &self.next_at,
+            stop: AtomicBool::new(false),
+            mail: &self.mail,
+            rounds: AtomicU64::new(0),
+        };
+        let shard_of = &self.shard_of[..];
+        if nworkers == 1 {
+            worker_loop(
+                &mut self.shards,
+                0,
+                nshards,
+                horizon_excl,
+                lookahead,
+                shard_of,
+                &sync,
+            );
+        } else {
+            let sync = &sync;
+            std::thread::scope(|scope| {
+                let mut rest = &mut self.shards[..];
+                let mut base = 0usize;
+                for worker in 0..nworkers {
+                    let count = (nshards - base) / (nworkers - worker);
+                    let (chunk, tail) = rest.split_at_mut(count);
+                    rest = tail;
+                    scope.spawn(move || {
+                        worker_loop(
+                            chunk,
+                            base,
+                            nshards,
+                            horizon_excl,
+                            lookahead,
+                            shard_of,
+                            sync,
+                        )
+                    });
+                    base += count;
+                }
+            });
+        }
+        self.rounds += sync.rounds.into_inner();
+    }
+}
+
+impl<M: 'static> std::fmt::Debug for ShardedEngine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("lookahead", &self.lookahead)
+            .field("now", &self.now)
+            .field("events_processed", &self.base_processed)
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong component: replies to its peer after a per-message delay
+    /// drawn from its private stream, recording what it saw.
+    struct Pinger {
+        peer: ComponentId,
+        remaining: u64,
+        log: Vec<(u64, u64)>,
+        draws: u64,
+    }
+
+    impl Component<u64> for Pinger {
+        fn on_message(&mut self, msg: u64, ctx: &mut Context<'_, u64>) {
+            self.log.push((ctx.now().as_nanos(), msg));
+            self.draws = self.draws.wrapping_add(ctx.rng().next_u64());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let delay = 200 + ctx.rng().next_u64() % 800;
+                ctx.send_after(SimDuration::from_nanos(delay), self.peer, msg + 1);
+            }
+        }
+    }
+
+    /// Builds `pairs` ping-pong pairs and returns the engine.
+    fn build(seed: u64, pairs: usize, volleys: u64) -> Engine<u64> {
+        let mut engine: Engine<u64> = Engine::new(seed);
+        for p in 0..pairs {
+            let a = ComponentId::from_raw(2 * p);
+            let b = ComponentId::from_raw(2 * p + 1);
+            engine.add_component(Pinger {
+                peer: b,
+                remaining: volleys,
+                log: Vec::new(),
+                draws: 0,
+            });
+            engine.add_component(Pinger {
+                peer: a,
+                remaining: volleys,
+                log: Vec::new(),
+                draws: 0,
+            });
+            engine.schedule(SimTime::from_nanos(p as u64), a, 0);
+        }
+        engine
+    }
+
+    /// Fingerprint: every component's full receive log and RNG digest.
+    fn fingerprint(engine: &ShardedEngine<u64>, pairs: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for i in 0..2 * pairs {
+            let p = engine
+                .component::<Pinger>(ComponentId::from_raw(i))
+                .unwrap();
+            writeln!(out, "c{} draws={} log={:?}", i, p.draws, p.log).unwrap();
+        }
+        out
+    }
+
+    /// Partitions pairs round-robin; cross-shard traffic never happens
+    /// (pairs are colocated), so any positive lookahead is valid.
+    fn colocated_plan(pairs: usize, shards: u32) -> ShardPlan {
+        let shard_of = (0..2 * pairs).map(|i| (i / 2) as u32 % shards).collect();
+        ShardPlan::new(shards, shard_of, SimDuration::from_nanos(100))
+    }
+
+    /// Splits each pair across two shards; all traffic is cross-shard
+    /// with delay >= 200 ns, so a 200 ns lookahead is valid.
+    fn split_plan(pairs: usize, shards: u32) -> ShardPlan {
+        let shard_of = (0..2 * pairs)
+            .map(|i| ((i % 2) as u32 + 2 * (i as u32 / 2)) % shards)
+            .collect();
+        ShardPlan::new(shards, shard_of, SimDuration::from_nanos(200))
+    }
+
+    #[test]
+    fn sharded_results_are_invariant_across_shard_counts() {
+        const PAIRS: usize = 8;
+        const VOLLEYS: u64 = 300;
+        let reference = {
+            let mut e =
+                ShardedEngine::from_engine(build(42, PAIRS, VOLLEYS), colocated_plan(PAIRS, 1));
+            e.run_to_idle();
+            fingerprint(&e, PAIRS)
+        };
+        for shards in [2u32, 3, 4, 8] {
+            for plan in [colocated_plan(PAIRS, shards), split_plan(PAIRS, shards)] {
+                let mut e = ShardedEngine::from_engine(build(42, PAIRS, VOLLEYS), plan);
+                e.run_to_idle();
+                assert_eq!(
+                    fingerprint(&e, PAIRS),
+                    reference,
+                    "fingerprint diverged at {shards} shards"
+                );
+                assert_eq!(e.now(), {
+                    let mut r = ShardedEngine::from_engine(
+                        build(42, PAIRS, VOLLEYS),
+                        colocated_plan(PAIRS, 1),
+                    );
+                    r.run_to_idle();
+                    r.now()
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn worker_thread_count_does_not_change_results() {
+        const PAIRS: usize = 6;
+        let mut runs = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let mut e = ShardedEngine::from_engine(build(7, PAIRS, 200), split_plan(PAIRS, 4));
+            e.set_worker_threads(workers);
+            e.run_to_idle();
+            runs.push(fingerprint(&e, PAIRS));
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn horizon_and_resume_match_sequential_semantics() {
+        const PAIRS: usize = 4;
+        let mut sharded = ShardedEngine::from_engine(build(9, PAIRS, 500), split_plan(PAIRS, 4));
+        let mut single = ShardedEngine::from_engine(build(9, PAIRS, 500), colocated_plan(PAIRS, 1));
+        for horizon in [10_000u64, 50_000, 120_000] {
+            let a = sharded.run_until(SimTime::from_nanos(horizon));
+            let b = single.run_until(SimTime::from_nanos(horizon));
+            assert_eq!(a, b, "events processed up to {horizon} ns");
+            assert_eq!(sharded.now(), single.now());
+        }
+        sharded.run_to_idle();
+        single.run_to_idle();
+        assert_eq!(fingerprint(&sharded, PAIRS), fingerprint(&single, PAIRS));
+        assert_eq!(sharded.events_processed(), single.events_processed());
+    }
+
+    #[test]
+    fn into_engine_round_trips_components_and_pending_events() {
+        const PAIRS: usize = 3;
+        let mut sharded = ShardedEngine::from_engine(build(5, PAIRS, 100), split_plan(PAIRS, 3));
+        sharded.run_until(SimTime::from_nanos(20_000));
+        let processed = sharded.events_processed();
+        let mut engine = sharded.into_engine();
+        assert_eq!(engine.events_processed(), processed);
+        assert!(engine.pending_events() > 0, "mid-run events survive");
+        engine.run_to_idle();
+        // All volleys complete: every pinger exhausted its budget.
+        for i in 0..2 * PAIRS {
+            let p = engine
+                .component::<Pinger>(ComponentId::from_raw(i))
+                .unwrap();
+            assert_eq!(p.remaining, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn undersized_lookahead_is_caught_at_send_time() {
+        const PAIRS: usize = 2;
+        // Claim 100 us of lookahead for traffic that crosses shards in
+        // well under 1 us: the first cross-shard send must trip the guard.
+        let shard_of = (0..2 * PAIRS).map(|i| (i % 2) as u32).collect();
+        let plan = ShardPlan::new(2, shard_of, SimDuration::from_micros(100));
+        let mut e = ShardedEngine::from_engine(build(3, PAIRS, 50), plan);
+        e.run_to_idle();
+    }
+
+    #[test]
+    fn schedule_after_sharding_is_deterministic() {
+        let build_and_poke = |shards: u32| {
+            let plan = colocated_plan(2, shards);
+            let mut e = ShardedEngine::from_engine(build(11, 2, 50), plan);
+            e.run_until(SimTime::from_nanos(5_000));
+            e.schedule(SimTime::from_nanos(6_000), ComponentId::from_raw(0), 1000);
+            e.schedule_after(
+                SimDuration::from_nanos(2_000),
+                ComponentId::from_raw(2),
+                2000,
+            );
+            e.run_to_idle();
+            fingerprint(&e, 2)
+        };
+        assert_eq!(build_and_poke(1), build_and_poke(2));
+    }
+}

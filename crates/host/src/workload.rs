@@ -87,7 +87,7 @@ pub struct OpenLoopGen<F> {
 
 impl<F> OpenLoopGen<F>
 where
-    F: FnMut(u64, &mut SimRng) -> Msg + 'static,
+    F: FnMut(u64, &mut SimRng) -> Msg + Send + 'static,
 {
     /// Creates a generator sending to `target` with the given mean
     /// inter-arrival gap. `count` limits total requests (`None` = until the
@@ -134,7 +134,7 @@ where
 
 impl<F> Component<Msg> for OpenLoopGen<F>
 where
-    F: FnMut(u64, &mut SimRng) -> Msg + 'static,
+    F: FnMut(u64, &mut SimRng) -> Msg + Send + 'static,
 {
     fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
         if msg.downcast::<StartGenerator>().is_ok() {

@@ -216,13 +216,12 @@ impl ElasticRouter {
         &self.cfg
     }
 
-    /// Performance counters.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the registry view via telemetry::MetricSource::metrics instead"
-    )]
-    pub fn stats(&self) -> ErStats {
-        self.stats
+    /// Performance counters, by reference. The registry view via
+    /// [`telemetry::MetricSource`] remains the primary read path; this
+    /// accessor serves event-granularity oracles that compare counters
+    /// between operations.
+    pub fn stats_view(&self) -> &ErStats {
+        &self.stats
     }
 
     /// Whether `port`/`vc` currently has a credit for one more flit.
@@ -362,8 +361,6 @@ impl core::fmt::Debug for ElasticRouter {
 }
 
 #[cfg(test)]
-// `stats()` stays covered while it remains a supported (deprecated) shim.
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -479,7 +476,7 @@ mod tests {
             er.inject(0, flit(1, 0, 1, 5, false)).unwrap_err(),
             InjectError::NoCredit
         );
-        assert_eq!(er.stats().credit_stalls, 1);
+        assert_eq!(er.stats_view().credit_stalls, 1);
     }
 
     #[test]
@@ -568,7 +565,7 @@ mod tests {
             er.inject(0, flit(1, 0, 1, seq, seq == 3)).unwrap();
         }
         er.drain(100);
-        let s = er.stats();
+        let s = er.stats_view();
         assert_eq!(s.flits_injected, 4);
         assert_eq!(s.flits_routed, 4);
         assert!(s.peak_occupancy >= 4);

@@ -359,15 +359,6 @@ impl LtlEngine {
         self.addr
     }
 
-    /// Protocol counters.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the registry view via telemetry::MetricSource::metrics instead"
-    )]
-    pub fn stats(&self) -> LtlStats {
-        self.stats
-    }
-
     /// Protocol counters (internal, non-deprecated accessor for the shell
     /// and the engine's own bookkeeping).
     pub(crate) fn stats_ref(&self) -> &LtlStats {
@@ -856,8 +847,6 @@ fn seq_le(a: u32, b: u32) -> bool {
 }
 
 #[cfg(test)]
-// `stats()` stays covered while it remains a supported (deprecated) shim.
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -940,8 +929,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(p.a.in_flight(), 0, "all frames acked");
-        assert_eq!(p.a.stats().data_sent, 1);
-        assert_eq!(p.b.stats().msgs_delivered, 1);
+        assert_eq!(p.a.stats_view().data_sent, 1);
+        assert_eq!(p.b.stats_view().msgs_delivered, 1);
     }
 
     #[test]
@@ -956,7 +945,10 @@ mod tests {
             panic!("expected deliver");
         };
         assert_eq!(got.as_ref(), payload.as_slice());
-        assert!(p.a.stats().data_sent >= 7, "segmented into multiple frames");
+        assert!(
+            p.a.stats_view().data_sent >= 7,
+            "segmented into multiple frames"
+        );
     }
 
     #[test]
@@ -991,8 +983,8 @@ mod tests {
         p.a.on_tick(p.now);
         let events = p.exchange(SimDuration::from_micros(1));
         assert_eq!(events.len(), 1);
-        assert_eq!(p.a.stats().timeouts, 1);
-        assert_eq!(p.a.stats().retransmits, 1);
+        assert_eq!(p.a.stats_view().timeouts, 1);
+        assert_eq!(p.a.stats_view().retransmits, 1);
         // The retransmitted frame must not pollute RTT samples (Karn).
         assert_eq!(p.a.rtts_mut().count(), 0);
     }
@@ -1014,19 +1006,19 @@ mod tests {
         p.now = SimTime::from_micros(1);
         let ev = p.b.on_packet(&second, p.now);
         assert!(ev.is_empty(), "gap: nothing delivered");
-        assert_eq!(p.b.stats().nacks_tx, 1);
+        assert_eq!(p.b.stats_view().nacks_tx, 1);
         // NACK flows back; sender queues a fast retransmit well before the
         // 50us timeout.
         let Poll::Ready(nack) = p.b.poll(p.now) else {
             panic!()
         };
         p.a.on_packet(&nack, p.now);
-        assert_eq!(p.a.stats().nacks_rx, 1);
+        assert_eq!(p.a.stats_view().nacks_rx, 1);
         let Poll::Ready(re_first) = p.a.poll(p.now) else {
             panic!("fast retransmit expected")
         };
-        assert_eq!(p.a.stats().retransmits, 1);
-        assert_eq!(p.a.stats().timeouts, 0, "no timeout needed");
+        assert_eq!(p.a.stats_view().retransmits, 1);
+        assert_eq!(p.a.stats_view().timeouts, 0, "no timeout needed");
         // Now in-order delivery completes both messages.
         let ev1 = p.b.on_packet(&re_first, p.now);
         assert_eq!(ev1.len(), 1);
@@ -1036,7 +1028,7 @@ mod tests {
         // completes the second message.
         let events = p.exchange(SimDuration::from_micros(1));
         assert_eq!(events.len(), 1, "second message delivered: {events:?}");
-        assert_eq!(p.b.stats().msgs_delivered, 2);
+        assert_eq!(p.b.stats_view().msgs_delivered, 2);
     }
 
     #[test]
@@ -1056,8 +1048,8 @@ mod tests {
             panic!()
         };
         p.b.on_packet(&second, SimTime::from_micros(1));
-        assert_eq!(p.b.stats().nacks_tx, 0);
-        assert_eq!(p.b.stats().out_of_order, 1);
+        assert_eq!(p.b.stats_view().nacks_tx, 0);
+        assert_eq!(p.b.stats_view().out_of_order, 1);
     }
 
     #[test]
@@ -1142,12 +1134,12 @@ mod tests {
         };
         pkt.ecn = Ecn::CongestionExperienced;
         p.b.on_packet(&pkt, p.now);
-        assert_eq!(p.b.stats().cnps_tx, 1);
+        assert_eq!(p.b.stats_view().cnps_tx, 1);
         let Poll::Ready(cnp) = p.b.poll(p.now) else {
             panic!("CNP should be queued")
         };
         p.a.on_packet(&cnp, p.now);
-        assert_eq!(p.a.stats().cnps_rx, 1);
+        assert_eq!(p.a.stats_view().cnps_rx, 1);
         // Next data transmissions are paced below line rate: after the next
         // frame, the inter-frame gap roughly doubles versus line rate.
         p.now = SimTime::from_micros(5); // clear the pre-CNP pacing gap
@@ -1175,7 +1167,11 @@ mod tests {
                 p.b.on_packet(&pkt, p.now);
             }
         }
-        assert_eq!(p.b.stats().cnps_tx, 1, "one CNP per cnp_interval per flow");
+        assert_eq!(
+            p.b.stats_view().cnps_tx,
+            1,
+            "one CNP per cnp_interval per flow"
+        );
     }
 
     #[test]

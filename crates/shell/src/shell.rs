@@ -311,15 +311,6 @@ impl Shell {
         self.addr
     }
 
-    /// Bridge and LTL wire counters.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the registry view via telemetry::MetricSource::metrics instead"
-    )]
-    pub fn stats(&self) -> ShellStats {
-        self.stats
-    }
-
     /// Bridge and LTL wire counters, by reference (the registry view via
     /// [`telemetry::MetricSource`] remains the primary read path; this
     /// accessor serves event-granularity invariant checkers that need the
@@ -757,8 +748,6 @@ impl core::fmt::Debug for Shell {
 }
 
 #[cfg(test)]
-// `stats()` stays covered while it remains a supported (deprecated) shim.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use dcsim::Engine;
@@ -829,7 +818,13 @@ mod tests {
         assert_eq!(tor_probe.packets.len(), 1);
         // bridge latency (250ns) + serialization + propagation
         assert!(tor_probe.packets[0].0 >= SimTime::from_nanos(250));
-        assert_eq!(e.component::<Shell>(shell).unwrap().stats().bridged_out, 1);
+        assert_eq!(
+            e.component::<Shell>(shell)
+                .unwrap()
+                .stats_view()
+                .bridged_out,
+            1
+        );
     }
 
     #[test]
@@ -839,7 +834,10 @@ mod tests {
         e.run_to_idle();
         let nic_probe = e.component::<Probe>(nic).unwrap();
         assert_eq!(nic_probe.packets.len(), 1);
-        assert_eq!(e.component::<Shell>(shell).unwrap().stats().bridged_in, 1);
+        assert_eq!(
+            e.component::<Shell>(shell).unwrap().stats_view().bridged_in,
+            1
+        );
     }
 
     #[test]
@@ -853,7 +851,10 @@ mod tests {
         e.run_to_idle();
         assert!(e.component::<Probe>(nic).unwrap().packets.is_empty());
         assert_eq!(
-            e.component::<Shell>(shell).unwrap().stats().ltl_rx_frames,
+            e.component::<Shell>(shell)
+                .unwrap()
+                .stats_view()
+                .ltl_rx_frames,
             1
         );
     }
@@ -1022,7 +1023,7 @@ mod tests {
         e.schedule(SimTime::ZERO, shell, Msg::packet(pkt, PORT_TOR));
         e.run_to_idle();
         assert!(e.component::<Probe>(nic).unwrap().packets.is_empty());
-        let stats = e.component::<Shell>(shell).unwrap().stats();
+        let stats = e.component::<Shell>(shell).unwrap().stats_view();
         assert_eq!(stats.corrupt_drops, 1);
         assert_eq!(stats.bridged_in, 0);
     }
@@ -1047,8 +1048,8 @@ mod tests {
         assert_eq!(probe.deliveries.len(), 20, "exactly-once despite loss");
         assert!(probe.failures.is_empty());
         let shell_a = e.component::<Shell>(a).unwrap();
-        assert!(shell_a.stats().injected_drops > 0);
-        assert!(shell_a.ltl().stats().retransmits > 0);
+        assert!(shell_a.stats_view().injected_drops > 0);
+        assert!(shell_a.ltl().stats_view().retransmits > 0);
     }
 
     #[test]
@@ -1086,7 +1087,7 @@ mod tests {
         assert_eq!(probe.deliveries.len(), 1);
         assert_eq!(probe.deliveries[0].1.payload.as_ref(), b"recovered");
         let shell_b = e.component::<Shell>(b).unwrap();
-        assert_eq!(shell_b.stats().hang_drops, 1);
+        assert_eq!(shell_b.stats_view().hang_drops, 1);
         assert!(!shell_b.role_hung());
         // The sender saw ACKs for both messages: the hang is invisible to
         // the transport, which is exactly why app-level health checks exist.
@@ -1141,7 +1142,10 @@ mod tests {
         e.schedule(SimTime::ZERO, shell, Msg::packet(host_pkt(1, 5), PORT_NIC));
         e.run_to_idle();
         assert!(e.component::<Probe>(tor).unwrap().packets.is_empty());
-        assert_eq!(e.component::<Shell>(shell).unwrap().stats().tap_drops, 1);
+        assert_eq!(
+            e.component::<Shell>(shell).unwrap().stats_view().tap_drops,
+            1
+        );
     }
 
     #[test]
@@ -1171,6 +1175,6 @@ mod tests {
         let probe = e.component::<Probe>(consumer).unwrap();
         assert_eq!(probe.deliveries.len(), 1);
         let shell_a = e.component::<Shell>(a).unwrap();
-        assert_eq!(shell_a.stats().bridged_out, 50);
+        assert_eq!(shell_a.stats_view().bridged_out, 50);
     }
 }

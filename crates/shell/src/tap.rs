@@ -38,7 +38,7 @@ impl TapAction {
 /// A role's view of bridged traffic. `outbound` sees host->TOR packets,
 /// `inbound` sees TOR->host packets. Implementations must be deterministic
 /// for reproducible runs.
-pub trait NetworkTap: Any {
+pub trait NetworkTap: Any + Send {
     /// Processes a packet leaving the host toward the datacenter.
     fn outbound(&mut self, pkt: Packet, now: SimTime) -> TapAction;
 

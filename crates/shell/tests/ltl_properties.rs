@@ -3,9 +3,6 @@
 //! every message must still be delivered exactly once, in order, with the
 //! unacknowledged frame store eventually draining.
 
-// `stats()` stays covered while it remains a supported (deprecated) shim.
-#![allow(deprecated)]
-
 use bytes::Bytes;
 use dcnet::{NodeAddr, Packet};
 use dcsim::{SimDuration, SimTime};
@@ -134,7 +131,7 @@ proptest! {
             let failed = !tx.on_tick(now).is_empty();
             if failed || (delivered.len() == sent.len() && tx.in_flight() == 0) {
                 if failed {
-                    prop_assert!(tx.stats().conn_failures > 0);
+                    prop_assert!(tx.stats_view().conn_failures > 0);
                 }
                 break;
             }
@@ -144,19 +141,19 @@ proptest! {
         prop_assert!(
             delivered.len() <= sent.len(),
             "duplicate delivery (stats tx {:?} rx {:?})",
-            tx.stats(),
-            rx.stats()
+            tx.stats_view(),
+            rx.stats_view()
         );
         for (got, want) in delivered.iter().zip(&sent) {
             prop_assert_eq!(got.as_ref(), want.as_slice(), "in-order delivery violated");
         }
-        if tx.stats().conn_failures == 0 {
+        if tx.stats_view().conn_failures == 0 {
             prop_assert_eq!(
                 delivered.len(),
                 sent.len(),
                 "surviving connection must deliver everything (tx {:?} rx {:?})",
-                tx.stats(),
-                rx.stats()
+                tx.stats_view(),
+                rx.stats_view()
             );
             prop_assert_eq!(tx.in_flight(), 0, "unacked store must drain");
         }

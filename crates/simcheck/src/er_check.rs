@@ -127,8 +127,7 @@ pub fn check_er(seed: u64, ops: u32) -> Vec<Violation> {
                 format!("occupancy {occ} exceeds buffer capacity {capacity}"),
             );
         }
-        #[allow(deprecated)]
-        let stats = er.stats();
+        let stats = er.stats_view();
         if stats.flits_injected != accepted || stats.flits_routed != routed {
             fail(
                 &mut violations,

@@ -22,10 +22,38 @@
 
 use crate::{seq_le, Violation};
 use dcnet::{Msg, NodeAddr, PortId, Switch, TrafficClass};
-use dcsim::{ComponentId, Engine, EventRecord, Observer, SimTime};
+use dcsim::{Component, ComponentId, Engine, EventRecord, Observer, ShardedEngine, SimTime};
 use haas::{FailureMonitor, FpgaState};
 use shell::Shell;
 use std::collections::BTreeMap;
+
+/// Read-only typed component access: the least the invariant checks need
+/// from an engine, implemented by both execution modes so the same
+/// oracles run under the classic event loop (at event granularity, via
+/// [`Observer`]) and the sharded engine (at whatever step granularity
+/// the harness drives, via [`InvariantObserver::check_now`]).
+pub trait ComponentView {
+    /// A typed component reference, if `id` holds a `T`.
+    fn view<T: Component<Msg>>(&self, id: ComponentId) -> Option<&T>;
+}
+
+impl ComponentView for Engine<Msg> {
+    fn view<T: Component<Msg>>(&self, id: ComponentId) -> Option<&T> {
+        self.component(id)
+    }
+}
+
+impl ComponentView for ShardedEngine<Msg> {
+    fn view<T: Component<Msg>>(&self, id: ComponentId) -> Option<&T> {
+        self.component(id)
+    }
+}
+
+impl ComponentView for catapult::Cluster {
+    fn view<T: Component<Msg>>(&self, id: ComponentId) -> Option<&T> {
+        self.component(id)
+    }
+}
 
 /// Snapshot of one switch egress (port, class) lane.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,6 +89,12 @@ pub struct InvariantObserver {
     node_prev: BTreeMap<NodeAddr, NodeSnap>,
     violations: Vec<Violation>,
     checks: u64,
+    /// Whether snapshots are taken after *every* event. The PFC-obedience
+    /// checks compare pause state across consecutive snapshots and are
+    /// only sound when nothing can flip a pause bit between them — at
+    /// coarser (window) granularity they would flag legal transmissions,
+    /// so they are disabled.
+    event_granular: bool,
 }
 
 impl InvariantObserver {
@@ -80,7 +114,33 @@ impl InvariantObserver {
             node_prev: BTreeMap::new(),
             violations: Vec::new(),
             checks: 0,
+            event_granular: true,
         }
+    }
+
+    /// Like [`InvariantObserver::new`], but for checking at coarser than
+    /// event granularity — between `run_until` steps of a sharded
+    /// cluster, say. Queue bounds, LTL receive monotonicity, and HaaS
+    /// transition legality are granularity-insensitive and stay on; the
+    /// PFC-obedience snapshot diffs (which would misread "paused at both
+    /// edges of a window" as "paused throughout") are disabled.
+    pub fn windowed(
+        switches: Vec<ComponentId>,
+        shells: Vec<ComponentId>,
+        monitor: Option<(ComponentId, Vec<NodeAddr>)>,
+    ) -> InvariantObserver {
+        let mut obs = InvariantObserver::new(switches, shells, monitor);
+        obs.event_granular = false;
+        obs
+    }
+
+    /// Runs every (enabled) check once against the current state. Drive
+    /// this between steps when no [`Observer`] hook is available — e.g.
+    /// under the sharded engine.
+    pub fn check_now<V: ComponentView>(&mut self, at: SimTime, view: &V) {
+        self.check_switches(at, view);
+        self.check_shells(at, view);
+        self.check_haas(at, view);
     }
 
     /// Violations found so far.
@@ -108,10 +168,10 @@ impl InvariantObserver {
         }
     }
 
-    fn check_switches(&mut self, at: SimTime, engine: &Engine<Msg>) {
+    fn check_switches<V: ComponentView>(&mut self, at: SimTime, engine: &V) {
         for idx in 0..self.switches.len() {
             let id = self.switches[idx];
-            let Some(sw) = engine.component::<Switch>(id) else {
+            let Some(sw) = engine.view::<Switch>(id) else {
                 continue;
             };
             let ports = sw.port_count();
@@ -161,7 +221,7 @@ impl InvariantObserver {
                     snaps.push(snap);
                 }
             }
-            if let Some(prev) = self.switch_prev.remove(&id) {
+            if let Some(prev) = self.switch_prev.remove(&id).filter(|_| self.event_granular) {
                 for (lane, (p, c)) in prev.iter().zip(snaps.iter()).enumerate() {
                     self.checks += 1;
                     if p.paused && c.paused && c.tx_frames != p.tx_frames {
@@ -183,10 +243,10 @@ impl InvariantObserver {
         }
     }
 
-    fn check_shells(&mut self, at: SimTime, engine: &Engine<Msg>) {
+    fn check_shells<V: ComponentView>(&mut self, at: SimTime, engine: &V) {
         for idx in 0..self.shells.len() {
             let id = self.shells[idx];
-            let Some(shell) = engine.component::<Shell>(id) else {
+            let Some(shell) = engine.view::<Shell>(id) else {
                 continue;
             };
             let ltl = shell.ltl();
@@ -204,7 +264,11 @@ impl InvariantObserver {
             }
             if let Some(prev) = self.shell_prev.remove(&id) {
                 self.checks += 1;
-                if prev.tor_paused && snap.tor_paused && snap.ltl_tx_frames != prev.ltl_tx_frames {
+                if self.event_granular
+                    && prev.tor_paused
+                    && snap.tor_paused
+                    && snap.ltl_tx_frames != prev.ltl_tx_frames
+                {
                     self.push(
                         at,
                         "shell.pfc_obedience",
@@ -237,11 +301,11 @@ impl InvariantObserver {
         }
     }
 
-    fn check_haas(&mut self, at: SimTime, engine: &Engine<Msg>) {
+    fn check_haas<V: ComponentView>(&mut self, at: SimTime, engine: &V) {
         let Some((monitor_id, addrs)) = self.monitor.clone() else {
             return;
         };
-        let Some(monitor) = engine.component::<FailureMonitor>(monitor_id) else {
+        let Some(monitor) = engine.view::<FailureMonitor>(monitor_id) else {
             return;
         };
         for addr in addrs {
@@ -271,8 +335,6 @@ impl InvariantObserver {
 
 impl Observer<Msg> for InvariantObserver {
     fn after_event(&mut self, event: &EventRecord, engine: &Engine<Msg>) {
-        self.check_switches(event.at, engine);
-        self.check_shells(event.at, engine);
-        self.check_haas(event.at, engine);
+        self.check_now(event.at, engine);
     }
 }

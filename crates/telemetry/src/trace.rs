@@ -9,9 +9,12 @@
 //! events are appended in simulation dispatch order and timestamped from
 //! the sim clock, the exported JSON is byte-identical for the same seed.
 //!
-//! Handles share the recorder through `Rc<RefCell<..>>`: engines and their
-//! components are single-threaded by construction (parallel sweeps build
-//! one engine per worker), so no `Sync` wrapper is needed.
+//! Handles share the recorder through `Arc<Mutex<..>>` so traced
+//! components stay `Send` and can be partitioned across the worker
+//! threads of a sharded engine. The lock is uncontended in the
+//! single-engine case; sharded runs keep tracing disabled (appends from
+//! concurrent shards would interleave nondeterministically), so the
+//! mutex is a `Send` bound, not a synchronization point on the hot path.
 //!
 //! # Examples
 //!
@@ -33,9 +36,8 @@
 //! assert!(telemetry::json::validate_chrome_trace(&json).is_ok());
 //! ```
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dcsim::{SimDuration, SimTime};
 use serde::Value;
@@ -100,13 +102,13 @@ pub struct FlightRecorder {
 /// Shared handle to a [`FlightRecorder`]; clone freely.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    inner: Rc<RefCell<FlightRecorder>>,
+    inner: Arc<Mutex<FlightRecorder>>,
 }
 
 /// A [`Tracer`] bound to one named track (one Perfetto "thread" row).
 #[derive(Debug, Clone)]
 pub struct TrackTracer {
-    inner: Rc<RefCell<FlightRecorder>>,
+    inner: Arc<Mutex<FlightRecorder>>,
     track: u32,
 }
 
@@ -115,7 +117,7 @@ impl Tracer {
     /// dropped first).
     pub fn new(capacity: usize) -> Self {
         Tracer {
-            inner: Rc::new(RefCell::new(FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightRecorder {
                 inner: Recorder {
                     capacity,
                     ..Recorder::default()
@@ -128,7 +130,7 @@ impl Tracer {
     /// Registering the same name twice yields a second handle to the same
     /// track.
     pub fn track(&self, name: &str) -> TrackTracer {
-        let mut rec = self.inner.borrow_mut();
+        let mut rec = self.inner.lock().expect("recorder lock poisoned");
         let tracks = &mut rec.inner.tracks;
         let track = match tracks.iter().position(|t| t == name) {
             Some(i) => i as u32,
@@ -138,14 +140,19 @@ impl Tracer {
             }
         };
         TrackTracer {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             track,
         }
     }
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.inner.borrow().inner.events.len()
+        self.inner
+            .lock()
+            .expect("recorder lock poisoned")
+            .inner
+            .events
+            .len()
     }
 
     /// Returns `true` if no events are retained.
@@ -155,24 +162,38 @@ impl Tracer {
 
     /// Number of events evicted (or refused) because the buffer was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().inner.dropped
+        self.inner
+            .lock()
+            .expect("recorder lock poisoned")
+            .inner
+            .dropped
     }
 
     /// Registered track names, in registration order.
     pub fn tracks(&self) -> Vec<String> {
-        self.inner.borrow().inner.tracks.clone()
+        self.inner
+            .lock()
+            .expect("recorder lock poisoned")
+            .inner
+            .tracks
+            .clone()
     }
 
     /// Discards all retained events (track registrations are kept).
     pub fn clear(&self) {
-        let mut rec = self.inner.borrow_mut();
+        let mut rec = self.inner.lock().expect("recorder lock poisoned");
         rec.inner.events.clear();
         rec.inner.dropped = 0;
     }
 
     /// Runs `f` over the retained events in recording order.
     pub fn with_events<R>(&self, f: impl FnOnce(&VecDeque<TraceEvent>) -> R) -> R {
-        f(&self.inner.borrow().inner.events)
+        f(&self
+            .inner
+            .lock()
+            .expect("recorder lock poisoned")
+            .inner
+            .events)
     }
 
     /// Exports the retained events as Chrome trace-event JSON (the
@@ -180,7 +201,7 @@ impl Tracer {
     /// `chrome://tracing`. Timestamps are emitted in microseconds as
     /// required by the format; `displayTimeUnit` is set to `"ns"`.
     pub fn to_chrome_json(&self) -> String {
-        let rec = self.inner.borrow();
+        let rec = self.inner.lock().expect("recorder lock poisoned");
         let mut events: Vec<Value> =
             Vec::with_capacity(rec.inner.events.len() + rec.inner.tracks.len());
         for (tid, name) in rec.inner.tracks.iter().enumerate() {
@@ -252,14 +273,18 @@ fn render(v: &Value) -> String {
 impl TrackTracer {
     /// Records a point event at sim time `at`.
     pub fn instant(&self, at: SimTime, name: &'static str, args: &[(&'static str, u64)]) {
-        self.inner.borrow_mut().inner.push(TraceEvent {
-            track: self.track,
-            phase: TracePhase::Instant,
-            ts_ns: at.as_nanos(),
-            dur_ns: 0,
-            name,
-            args: args.to_vec(),
-        });
+        self.inner
+            .lock()
+            .expect("recorder lock poisoned")
+            .inner
+            .push(TraceEvent {
+                track: self.track,
+                phase: TracePhase::Instant,
+                ts_ns: at.as_nanos(),
+                dur_ns: 0,
+                name,
+                args: args.to_vec(),
+            });
     }
 
     /// Records a complete span starting at `start` and lasting `dur`.
@@ -270,14 +295,18 @@ impl TrackTracer {
         name: &'static str,
         args: &[(&'static str, u64)],
     ) {
-        self.inner.borrow_mut().inner.push(TraceEvent {
-            track: self.track,
-            phase: TracePhase::Complete,
-            ts_ns: start.as_nanos(),
-            dur_ns: dur.as_nanos(),
-            name,
-            args: args.to_vec(),
-        });
+        self.inner
+            .lock()
+            .expect("recorder lock poisoned")
+            .inner
+            .push(TraceEvent {
+                track: self.track,
+                phase: TracePhase::Complete,
+                ts_ns: start.as_nanos(),
+                dur_ns: dur.as_nanos(),
+                name,
+                args: args.to_vec(),
+            });
     }
 }
 

@@ -72,7 +72,7 @@ fn l0_rtt_under_load(background_gbps: f64, seed: u64) -> (PercentileRecorder, u6
         .engine()
         .component::<Switch>(tor)
         .expect("tor exists")
-        .stats()
+        .stats_view()
         .tx_frames;
     (out, marked)
 }

@@ -79,18 +79,18 @@ fn dcqcn_loop_engages_under_incast() {
         .engine()
         .component::<Switch>(tor)
         .expect("tor exists")
-        .stats();
+        .stats_view();
     assert!(tor_stats.ecn_marked > 0, "no ECN marks: {tor_stats:?}");
     assert_eq!(tor_stats.dropped, 0, "lossless class must not drop");
 
     // ...the receiver turned marks into CNPs...
-    let rx_stats = cluster.shell(dst).ltl().stats();
+    let rx_stats = cluster.shell(dst).ltl().stats_view();
     assert!(rx_stats.cnps_tx > 0, "receiver sent no CNPs");
 
     // ...and at least one sender reacted.
     let cnps_rx: u64 = senders
         .iter()
-        .map(|&s| cluster.shell(s).ltl().stats().cnps_rx)
+        .map(|&s| cluster.shell(s).ltl().stats_view().cnps_rx)
         .sum();
     assert!(cnps_rx > 0, "no sender received a CNP");
 
@@ -110,7 +110,7 @@ fn incast_recovers_without_connection_failures() {
     let (mut cluster, senders, _dst, _counter) = incast();
     cluster.run_to_idle();
     for &s in &senders {
-        let stats = cluster.shell(s).ltl().stats();
+        let stats = cluster.shell(s).ltl().stats_view();
         assert_eq!(stats.conn_failures, 0, "sender {s}: {stats:?}");
         assert!(
             stats.retransmits < stats.data_sent,

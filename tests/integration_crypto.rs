@@ -77,7 +77,7 @@ fn encrypted_flow_roundtrip(suite: CipherSuite) -> (Vec<Packet>, u64) {
         .shell(a)
         .tap_as::<CryptoTap>()
         .expect("crypto tap installed")
-        .stats()
+        .stats_view()
         .encrypted;
     let _ = b_shell;
     (received, encrypted)
@@ -154,6 +154,6 @@ fn receiver_without_key_drops_tampered_traffic() {
         .shell(b)
         .tap_as::<CryptoTap>()
         .expect("tap installed")
-        .stats();
+        .stats_view();
     assert_eq!(stats.auth_failures, 1);
 }

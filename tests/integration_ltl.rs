@@ -145,7 +145,7 @@ fn large_message_crosses_pods_intact() {
     assert_eq!(c.payloads[0].as_ref(), payload.as_slice());
     // ~70 frames, all acknowledged.
     let shell = cluster.shell(a);
-    assert!(shell.ltl().stats().data_sent >= 69);
+    assert!(shell.ltl().stats_view().data_sent >= 69);
     assert_eq!(shell.ltl().in_flight(), 0);
 }
 
@@ -189,7 +189,7 @@ fn many_to_one_incast_is_lossless_for_ltl() {
         .engine()
         .component::<Switch>(tor)
         .expect("tor exists")
-        .stats();
+        .stats_view();
     assert_eq!(stats.dropped, 0, "lossless class dropped: {stats:?}");
 }
 
@@ -284,7 +284,7 @@ fn bridged_host_traffic_and_ltl_coexist_across_fabric() {
     );
     cluster.run_to_idle();
     let shell_a: &Shell = cluster.shell(a);
-    assert_eq!(shell_a.stats().bridged_out, 50);
+    assert_eq!(shell_a.stats_view().bridged_out, 50);
     let c = cluster
         .engine()
         .component::<Collector>(collector)

@@ -56,7 +56,7 @@ fn run_lossy(seed: u64, rate: f64, total: u64) -> (Vec<Bytes>, u64, u64) {
     }
     cluster.run_to_idle();
 
-    let stats = cluster.shell(a).ltl().stats();
+    let stats = cluster.shell(a).ltl().stats_view();
     let got = cluster
         .engine()
         .component::<Collector>(collector)

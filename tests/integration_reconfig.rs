@@ -66,7 +66,11 @@ fn run_with_reconfig(partial: bool) -> (usize, u64, usize) {
         .received
         .len();
     let shell_a = cluster.shell(a);
-    (received, shell_a.stats().reconfig_drops, total as usize)
+    (
+        received,
+        shell_a.stats_view().reconfig_drops,
+        total as usize,
+    )
 }
 
 #[test]

@@ -1,0 +1,114 @@
+//! Determinism regression tests for the sharded (parallel-in-run) engine.
+//!
+//! A sharded cluster run is a pure function of its seed: the shard count
+//! (and the worker thread count under it) is a pure performance knob. The
+//! telemetry fingerprint — every counter, gauge, and histogram of every
+//! switch and shell — must be byte-identical for shard counts 1, 2, 4,
+//! and 8, along with the event total and the final clock.
+
+use bytes::Bytes;
+use catapult::prelude::*;
+use shell::{LtlDeliver, ShellCmd};
+
+mod common;
+
+/// Replies to every LTL delivery with another send, `remaining` times,
+/// so traffic keeps crossing the fabric (and shard cuts) for a while.
+#[derive(Debug)]
+struct Volley {
+    conn: shell::ltl::SendConnId,
+    shell: ComponentId,
+    remaining: u32,
+}
+
+impl Component<Msg> for Volley {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if msg.downcast::<LtlDeliver>().is_ok() && self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(
+                self.shell,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: self.conn,
+                    vc: 0,
+                    payload: Bytes::from_static(b"parallel-determinism"),
+                }),
+            );
+        }
+    }
+}
+
+/// Builds a 2-pod cluster with volleying LTL pairs that cross racks and
+/// pods, runs it on `shards` shards, and returns its full fingerprint.
+fn sharded_fingerprint(shards: u32) -> String {
+    let mut cluster = Cluster::paper_scale(2024, 2);
+    // Pairs chosen to exercise every partition cut: same rack, cross-rack
+    // (TOR↔agg), and cross-pod (agg↔spine).
+    let pairs = [
+        (NodeAddr::new(0, 0, 1), NodeAddr::new(0, 0, 2)),
+        (NodeAddr::new(0, 1, 3), NodeAddr::new(0, 7, 4)),
+        (NodeAddr::new(0, 2, 5), NodeAddr::new(1, 5, 6)),
+        (NodeAddr::new(1, 0, 7), NodeAddr::new(0, 9, 8)),
+        (NodeAddr::new(1, 3, 9), NodeAddr::new(1, 8, 10)),
+    ];
+    let mut kickoffs = Vec::new();
+    for &(a, b) in &pairs {
+        let a_id = cluster.add_shell(a);
+        let b_id = cluster.add_shell(b);
+        let (a_send, b_send, _, _) = cluster.connect_pair(a, b);
+        let a_drv = cluster.add_component_at(
+            a,
+            Volley {
+                conn: a_send,
+                shell: a_id,
+                remaining: 30,
+            },
+        );
+        let b_drv = cluster.add_component_at(
+            b,
+            Volley {
+                conn: b_send,
+                shell: b_id,
+                remaining: 30,
+            },
+        );
+        cluster.set_consumer(a, a_drv);
+        cluster.set_consumer(b, b_drv);
+        kickoffs.push((a_id, a_send));
+    }
+    for (shell, conn) in kickoffs {
+        cluster.engine_mut().schedule(
+            SimTime::ZERO,
+            shell,
+            Msg::custom(ShellCmd::LtlSend {
+                conn,
+                vc: 0,
+                payload: Bytes::from_static(b"kickoff"),
+            }),
+        );
+    }
+    let got = cluster.shard(shards);
+    assert_eq!(got, shards, "2 pods x 40 racks should never clamp <= 8");
+    let events = cluster.run_for(SimDuration::from_millis(2));
+    assert!(events > 0, "volleys produced no events");
+    format!(
+        "events {events}\nnow {}\n{}",
+        cluster.now().as_nanos(),
+        cluster.metrics_snapshot().to_json_pretty()
+    )
+}
+
+#[test]
+fn fingerprint_is_byte_identical_across_shard_counts() {
+    let baseline = sharded_fingerprint(1);
+    for shards in [2, 4, 8] {
+        let other = sharded_fingerprint(shards);
+        common::assert_identical(&format!("1 shard vs {shards} shards"), &baseline, &other);
+    }
+}
+
+#[test]
+fn sharded_rerun_with_same_seed_is_byte_identical() {
+    let first = sharded_fingerprint(4);
+    let second = sharded_fingerprint(4);
+    common::assert_identical("4-shard rerun", &first, &second);
+}
