@@ -6,7 +6,8 @@
 //! the reports as a determinism gate.
 //!
 //! ```text
-//! chaos [--quick] [--seed N] [--preset random|rack-isolation|golden-image]
+//! chaos [--quick] [--seed N]
+//!       [--preset random|rack-isolation|golden-image|lossy-link]
 //!       [--fault-rate X]
 //! ```
 
@@ -33,7 +34,9 @@ fn main() {
         .map(|v| v.parse().expect("--seed takes an integer"))
         .unwrap_or(42);
     let preset = arg_value("--preset")
-        .map(|v| Preset::parse(&v).expect("--preset takes random|rack-isolation|golden-image"))
+        .map(|v| {
+            Preset::parse(&v).expect("--preset takes random|rack-isolation|golden-image|lossy-link")
+        })
         .unwrap_or(Preset::Random);
     let mut cfg = if bench::quick_mode() {
         ChaosConfig::quick(seed, preset)

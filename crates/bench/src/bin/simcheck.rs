@@ -8,18 +8,21 @@
 //!          [--validate-oracle] [--replay FILE]
 //! ```
 //!
-//! * default: sweep `N` seeds (64) across every oracle; exit 1 and write
-//!   the shrunk repro on the first failure.
-//! * `--inject-bug`: plant a known protocol bug (the LTL engine silently
-//!   loses one retransmission) — the sweep must fail.
+//! * default: sweep `N` seeds (64) across every oracle, running each LTL
+//!   session seed in *both* transport modes (go-back-N and selective
+//!   repeat); exit 1 and write the shrunk repro on the first failure.
+//! * `--inject-bug`: plant a known protocol bug per mode (go-back-N: the
+//!   engine silently loses one retransmission; selective repeat: the
+//!   receiver truncates SACK bitmaps) — the sweep must fail.
 //! * `--validate-oracle`: end-to-end self-test of the harness: inject
-//!   the bug, verify the oracle catches it, shrink the fault plan,
-//!   verify the repro is minimal (≤ 3 events) and replays
+//!   each planted bug, verify the matching oracle catches it, shrink the
+//!   fault plan, verify the repro is minimal (≤ 3 events) and replays
 //!   byte-identically twice. CI runs this so a silently-blind oracle
 //!   fails the lane.
 //! * `--replay FILE`: re-run a written repro; exits 0 when the recorded
 //!   violation reproduces (prints the identical report every time).
 
+use shell::ltl::LtlMode;
 use simcheck::repro::{ReproMode, ReproSpec};
 use simcheck::scenario::{run_scenario, ScenarioSpec};
 use simcheck::session::{run_session, SessionSpec};
@@ -131,16 +134,16 @@ fn replay(path: &str) -> ! {
     std::process::exit(0);
 }
 
-/// Harness self-test: a planted bug must be caught, shrink small, and
-/// replay identically.
-fn validate_oracle(seeds: u64) -> ! {
-    println!("validating oracle sensitivity with a planted retransmit-loss bug");
+/// Validates one planted bug: it must be caught on some seed, shrink
+/// small, and replay byte-identically twice from its own artifact.
+fn validate_planted_bug(name: &str, seeds: u64, plant: &dyn Fn(&mut SessionSpec)) -> bool {
+    println!("validating oracle sensitivity: {name}");
     for seed in 0..seeds {
         let mut spec = SessionSpec::generate(seed);
-        spec.lose_retransmits = 1;
+        plant(&mut spec);
         let out = run_session(&spec);
         if out.violations.is_empty() {
-            continue; // this seed's plan never forced a retransmission
+            continue; // this seed's plan never provoked the bug
         }
         println!("caught on seed {seed}: {}", out.violations[0]);
         let repro = shrink_session(&spec, &out.violations);
@@ -154,7 +157,7 @@ fn validate_oracle(seeds: u64) -> ! {
                 "FAIL: minimal repro has {} events (> 3)",
                 repro.events.len()
             );
-            std::process::exit(1);
+            return false;
         }
         let json = repro.to_json();
         bench::write_raw("simcheck_repro.json", &json);
@@ -166,14 +169,31 @@ fn validate_oracle(seeds: u64) -> ! {
         if first != second || first.contains("total: 0") {
             println!("FAIL: replay is not byte-identical or lost the violation");
             print!("--- first ---\n{first}--- second ---\n{second}");
-            std::process::exit(1);
+            return false;
         }
         println!("replay is byte-identical across two runs:");
         print!("{first}");
+        return true;
+    }
+    println!("FAIL: {name} evaded the oracle on {seeds} seeds");
+    false
+}
+
+/// Harness self-test over every planted bug, one per transport mode. A
+/// blind oracle — one that would also wave through a buggy engine —
+/// fails here, not in production.
+fn validate_oracle(seeds: u64) -> ! {
+    let gbn_ok = validate_planted_bug("go-back-n retransmit loss", seeds, &|spec| {
+        spec.lose_retransmits = 1;
+    });
+    let sr_ok = validate_planted_bug("selective-repeat sack omission", seeds, &|spec| {
+        spec.mode = LtlMode::SelectiveRepeat;
+        spec.omit_sacks = 4;
+    });
+    if gbn_ok && sr_ok {
         println!("oracle validation passed");
         std::process::exit(0);
     }
-    println!("FAIL: planted bug evaded the oracle on {seeds} seeds");
     std::process::exit(1);
 }
 
@@ -222,19 +242,24 @@ fn main() {
             std::process::exit(1);
         }
 
-        let mut spec = SessionSpec::generate(seed);
-        if inject_bug {
-            spec.lose_retransmits = 1;
-        }
-        let out = run_session(&spec);
-        totals.0 += out.events;
-        totals.1 += out.checks;
-        totals.2 += out.delivered;
-        if !out.violations.is_empty() {
-            println!("seed {seed}: LTL differential oracle fired");
-            print!("{}", render(&out.violations));
-            let events = spec.plan.events.len();
-            fail_with_repro(shrink_session(&spec, &out.violations), events);
+        for mode in [LtlMode::GoBackN, LtlMode::SelectiveRepeat] {
+            let mut spec = SessionSpec::generate(seed).with_mode(mode);
+            if inject_bug {
+                match mode {
+                    LtlMode::GoBackN => spec.lose_retransmits = 1,
+                    LtlMode::SelectiveRepeat => spec.omit_sacks = 4,
+                }
+            }
+            let out = run_session(&spec);
+            totals.0 += out.events;
+            totals.1 += out.checks;
+            totals.2 += out.delivered;
+            if !out.violations.is_empty() {
+                println!("seed {seed} ({mode}): LTL differential oracle fired");
+                print!("{}", render(&out.violations));
+                let events = spec.plan.events.len();
+                fail_with_repro(shrink_session(&spec, &out.violations), events);
+            }
         }
 
         if i % scenario_every == 0 {

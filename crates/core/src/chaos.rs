@@ -94,6 +94,19 @@ pub enum FaultKind {
         /// The node receiving the bad image.
         node: NodeAddr,
     },
+    /// `node`'s LTL egress drops frames i.i.d. at `rate_ppm` parts per
+    /// million for `duration` (marginal optic, oversubscribed
+    /// inter-rack hop): the node stays up, the transport must absorb the
+    /// loss via retransmission. The A/B workhorse for comparing go-back-N
+    /// against selective repeat.
+    LossyLink {
+        /// The node whose LTL transmissions become lossy.
+        node: NodeAddr,
+        /// Drop probability in parts per million (20_000 = 2 %).
+        rate_ppm: u32,
+        /// How long the loss window lasts.
+        duration: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -137,6 +150,14 @@ impl FaultKind {
                 duration.as_nanos() / 1_000
             ),
             FaultKind::BadImage { node } => format!("bad_image node={node}"),
+            FaultKind::LossyLink {
+                node,
+                rate_ppm,
+                duration,
+            } => format!(
+                "lossy_link node={node} rate_ppm={rate_ppm} dur_us={}",
+                duration.as_nanos() / 1_000
+            ),
         }
     }
 }
@@ -194,6 +215,12 @@ pub struct FaultConfig {
     pub stall_duration: SimDuration,
     /// Expected bad-image deployments.
     pub bad_images: f64,
+    /// Expected lossy-link windows.
+    pub lossy_links: f64,
+    /// Drop probability inside a lossy window, parts per million.
+    pub lossy_rate_ppm: u32,
+    /// Length of each lossy window.
+    pub lossy_duration: SimDuration,
 }
 
 impl FaultConfig {
@@ -214,6 +241,9 @@ impl FaultConfig {
             host_stalls: 1.5 * rate,
             stall_duration: SimDuration::from_millis(3),
             bad_images: 0.5 * rate,
+            lossy_links: 1.0 * rate,
+            lossy_rate_ppm: 20_000,
+            lossy_duration: SimDuration::from_millis(3),
         }
     }
 }
@@ -252,6 +282,9 @@ impl FaultPlan {
         let mut hang_rng = root.fork();
         let mut stall_rng = root.fork();
         let mut image_rng = root.fork();
+        // Appended after the original six streams so older plans keep
+        // their exact draws.
+        let mut lossy_rng = root.fork();
 
         let span = cfg.horizon.as_nanos() as f64;
         let at =
@@ -302,6 +335,17 @@ impl FaultPlan {
                     kind: FaultKind::BadImage { node },
                 });
             }
+            for _ in 0..poisson(&mut lossy_rng, cfg.lossy_links) {
+                let node = targets.accelerators[lossy_rng.index(targets.accelerators.len())];
+                events.push(FaultEvent {
+                    at: at(&mut lossy_rng),
+                    kind: FaultKind::LossyLink {
+                        node,
+                        rate_ppm: cfg.lossy_rate_ppm,
+                        duration: cfg.lossy_duration,
+                    },
+                });
+            }
         }
         if !targets.racks.is_empty() {
             for _ in 0..poisson(&mut crash_rng, cfg.tor_crashes) {
@@ -345,6 +389,10 @@ pub enum Preset {
     /// A defective application image takes an accelerator down; recovery
     /// is the Failure Monitor's golden-image rollback.
     GoldenImage,
+    /// A sustained i.i.d. loss window on a ranking primary's LTL egress;
+    /// the transport must ride it out with retransmissions and zero
+    /// request loss. The scenario behind the transport A/B lane.
+    LossyLink,
 }
 
 impl Preset {
@@ -354,6 +402,7 @@ impl Preset {
             Preset::Random => "random",
             Preset::RackIsolation => "rack-isolation",
             Preset::GoldenImage => "golden-image",
+            Preset::LossyLink => "lossy-link",
         }
     }
 
@@ -363,6 +412,7 @@ impl Preset {
             "random" => Some(Preset::Random),
             "rack-isolation" => Some(Preset::RackIsolation),
             "golden-image" => Some(Preset::GoldenImage),
+            "lossy-link" => Some(Preset::LossyLink),
             _ => None,
         }
     }
@@ -688,6 +738,19 @@ impl ChaosRig {
                     },
                 }],
             },
+            Preset::LossyLink => FaultPlan {
+                // A ranking primary's egress drops 5 % of frames for half
+                // the run; the node never goes down, so every request must
+                // be saved by the transport, not by failover.
+                events: vec![FaultEvent {
+                    at: SimTime::from_nanos(cfg.horizon.as_nanos() / 8),
+                    kind: FaultKind::LossyLink {
+                        node: layout[0].1,
+                        rate_ppm: 50_000,
+                        duration: SimDuration::from_nanos(cfg.horizon.as_nanos() / 2),
+                    },
+                }],
+            },
         };
 
         let mut rig = ChaosRig {
@@ -767,6 +830,24 @@ impl ChaosRig {
                         ev.at,
                         client,
                         Msg::custom(StallFor(duration)),
+                    );
+                }
+                FaultKind::LossyLink {
+                    node,
+                    rate_ppm,
+                    duration,
+                } => {
+                    let shell = self.cluster.shell_id(node).expect("target populated");
+                    let e = self.cluster.engine_mut();
+                    e.schedule(
+                        ev.at,
+                        shell,
+                        Msg::custom(ShellCmd::SetLtlLossRate(rate_ppm as f64 / 1e6)),
+                    );
+                    e.schedule(
+                        ev.at + duration,
+                        shell,
+                        Msg::custom(ShellCmd::SetLtlLossRate(0.0)),
                     );
                 }
                 FaultKind::BadImage { node } => {
@@ -933,6 +1014,8 @@ pub struct TransportStats {
     pub hang_drops: u64,
     /// Packets lost while a reconfiguration had the link down.
     pub reconfig_drops: u64,
+    /// Frames deliberately dropped by lossy-link fault injection.
+    pub injected_drops: u64,
 }
 
 /// Fabric-level effects (summed over every switch).
@@ -1111,6 +1194,7 @@ fn build_report(rig: ChaosRig) -> ChaosReport {
         corrupt_drops: snap.sum_counters("corrupt_drops"),
         hang_drops: snap.sum_counters("hang_drops"),
         reconfig_drops: snap.sum_counters("reconfig_drops"),
+        injected_drops: snap.sum_counters("injected_drops"),
     };
     let fabric = FabricStats {
         link_down_drops: snap.sum_counters("link_down_drops"),
@@ -1202,6 +1286,28 @@ mod tests {
         assert!(report.recovery.records[0].replacement.is_some());
         assert_eq!(report.recovery.failovers, 1);
         assert_eq!(report.requests.stranded, 0);
+    }
+
+    #[test]
+    fn lossy_link_preset_is_absorbed_by_the_transport() {
+        let report = ChaosRig::build(ChaosConfig::quick(9, Preset::LossyLink)).run();
+        assert!(
+            report.transport.injected_drops > 0,
+            "the loss window must actually drop frames"
+        );
+        assert!(
+            report.transport.retransmits > 0,
+            "dropped frames must be recovered by retransmission"
+        );
+        assert_eq!(
+            report.requests.lost, 0,
+            "transport-level loss must not surface as request loss"
+        );
+        assert_eq!(report.requests.stranded, 0);
+        assert_eq!(
+            report.recovery.power_cycles, 0,
+            "a lossy link is not a down node"
+        );
     }
 
     #[test]

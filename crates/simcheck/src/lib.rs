@@ -9,7 +9,7 @@
 //!    go-back-N retransmission protocol, the DC-QCN reaction point) that
 //!    are stepped in lockstep with the real implementations and
 //!    differentially compared after *every* engine event
-//!    ([`model::GbnRefModel`], [`dcqcn_ref`]).
+//!    ([`model::GbnRefModel`], [`sr_model::SrRefModel`], [`dcqcn_ref`]).
 //! 2. **Global invariant checkers** — predicates over whole-cluster state
 //!    (switch queue bounds, PFC pause obedience, Elastic Router flit
 //!    conservation, HaaS lease-state legality, per-flow delivery order)
@@ -36,6 +36,7 @@ pub mod repro;
 pub mod scenario;
 pub mod session;
 pub mod shrink;
+pub mod sr_model;
 
 use dcsim::SimTime;
 

@@ -14,6 +14,7 @@ use catapult::chaos::{FaultEvent, FaultKind, FaultPlan};
 use dcnet::NodeAddr;
 use dcsim::{SimDuration, SimTime};
 use serde::Value;
+use shell::ltl::LtlMode;
 
 /// Which harness the failing case came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,8 +51,14 @@ pub struct ReproSpec {
     pub seed: u64,
     /// Tie-break salt.
     pub salt: u64,
+    /// Transport mode of the failing session (go-back-N for cluster
+    /// cases).
+    pub transport: LtlMode,
     /// Bug injection (sessions only): retransmissions to lose.
     pub lose_retransmits: u32,
+    /// Bug injection (selective-repeat sessions only): SACK bitmaps to
+    /// truncate.
+    pub omit_sacks: u32,
     /// The (shrunk) fault schedule.
     pub events: Vec<FaultEvent>,
     /// First violation of the original run, for the reader.
@@ -65,7 +72,9 @@ impl ReproSpec {
             mode: ReproMode::Session,
             seed: spec.seed,
             salt: spec.salt,
+            transport: spec.mode,
             lose_retransmits: spec.lose_retransmits,
+            omit_sacks: spec.omit_sacks,
             events: spec.plan.events.clone(),
             first_violation: violations
                 .first()
@@ -80,7 +89,9 @@ impl ReproSpec {
             mode: ReproMode::Cluster,
             seed: spec.seed,
             salt: spec.salt,
+            transport: LtlMode::GoBackN,
             lose_retransmits: 0,
+            omit_sacks: 0,
             events: spec.plan.events.clone(),
             first_violation: violations
                 .first()
@@ -97,7 +108,9 @@ impl ReproSpec {
             ReproMode::Session => {
                 let mut spec = SessionSpec::generate(self.seed);
                 spec.salt = self.salt;
+                spec.mode = self.transport;
                 spec.lose_retransmits = self.lose_retransmits;
+                spec.omit_sacks = self.omit_sacks;
                 spec.plan = FaultPlan {
                     events: self.events.clone(),
                 };
@@ -132,10 +145,12 @@ impl ReproSpec {
             ("mode".into(), Value::Str(self.mode.name().into())),
             ("seed".into(), Value::U64(self.seed)),
             ("salt".into(), Value::U64(self.salt)),
+            ("transport".into(), Value::Str(self.transport.name().into())),
             (
                 "lose_retransmits".into(),
                 Value::U64(self.lose_retransmits as u64),
             ),
+            ("omit_sacks".into(), Value::U64(self.omit_sacks as u64)),
             (
                 "events".into(),
                 Value::Array(self.events.iter().map(event_to_value).collect()),
@@ -158,11 +173,15 @@ impl ReproSpec {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("events: expected an array".into()),
         };
+        let transport = get_str(obj, "transport")?;
         Ok(ReproSpec {
             mode: ReproMode::parse(get_str(obj, "mode")?)?,
             seed: get_u64(obj, "seed")?,
             salt: get_u64(obj, "salt")?,
+            transport: LtlMode::parse(transport)
+                .ok_or_else(|| format!("unknown transport mode {transport:?}"))?,
             lose_retransmits: get_u64(obj, "lose_retransmits")? as u32,
+            omit_sacks: get_u64(obj, "omit_sacks")? as u32,
             events,
             first_violation: get_str(obj, "first_violation")?.to_string(),
         })
@@ -254,6 +273,16 @@ fn event_to_value(event: &FaultEvent) -> Value {
             fields.push(("node".into(), addr_to_value(node)));
             "bad_image"
         }
+        FaultKind::LossyLink {
+            node,
+            rate_ppm,
+            duration,
+        } => {
+            fields.push(("node".into(), addr_to_value(node)));
+            fields.push(("rate_ppm".into(), Value::U64(rate_ppm as u64)));
+            fields.push(("duration_ns".into(), Value::U64(duration.as_nanos())));
+            "lossy_link"
+        }
     };
     fields.insert(1, ("kind".into(), Value::Str(kind.into())));
     Value::Object(fields)
@@ -287,6 +316,11 @@ fn event_from_value(value: &Value) -> Result<FaultEvent, String> {
             duration: dur("duration_ns")?,
         },
         "bad_image" => FaultKind::BadImage { node: node()? },
+        "lossy_link" => FaultKind::LossyLink {
+            node: node()?,
+            rate_ppm: get_u64(obj, "rate_ppm")? as u32,
+            duration: dur("duration_ns")?,
+        },
         other => return Err(format!("unknown fault kind {other:?}")),
     };
     Ok(FaultEvent { at, kind })
@@ -301,7 +335,9 @@ mod tests {
             mode: ReproMode::Session,
             seed: 42,
             salt: 7,
+            transport: LtlMode::SelectiveRepeat,
             lose_retransmits: 1,
+            omit_sacks: 2,
             events: vec![
                 FaultEvent {
                     at: SimTime::from_micros(100),
@@ -331,6 +367,14 @@ mod tests {
                         node: NodeAddr::new(0, 1, 0),
                     },
                 },
+                FaultEvent {
+                    at: SimTime::from_micros(500),
+                    kind: FaultKind::LossyLink {
+                        node: NodeAddr::new(0, 1, 0),
+                        rate_ppm: 20_000,
+                        duration: SimDuration::from_micros(600),
+                    },
+                },
             ],
             first_violation: "[100 ns] ltl.submit: example".into(),
         }
@@ -344,7 +388,9 @@ mod tests {
         assert_eq!(parsed.mode, spec.mode);
         assert_eq!(parsed.seed, spec.seed);
         assert_eq!(parsed.salt, spec.salt);
+        assert_eq!(parsed.transport, spec.transport);
         assert_eq!(parsed.lose_retransmits, spec.lose_retransmits);
+        assert_eq!(parsed.omit_sacks, spec.omit_sacks);
         assert_eq!(parsed.events, spec.events);
         assert_eq!(parsed.first_violation, spec.first_violation);
         // Serialization is canonical: a second round trip is byte-equal.

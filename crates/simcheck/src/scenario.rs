@@ -221,6 +221,24 @@ fn install_plan(cluster: &mut Cluster, monitor_id: ComponentId, plan: &FaultPlan
                 );
             }
             FaultKind::HostStall { .. } => {}
+            FaultKind::LossyLink {
+                node,
+                rate_ppm,
+                duration,
+            } => {
+                let shell = cluster.shell_id(node).expect("targets are populated");
+                let e = cluster.engine_mut();
+                e.schedule(
+                    at,
+                    shell,
+                    Msg::custom(ShellCmd::SetLtlLossRate(rate_ppm as f64 / 1e6)),
+                );
+                e.schedule(
+                    at + duration,
+                    shell,
+                    Msg::custom(ShellCmd::SetLtlLossRate(0.0)),
+                );
+            }
             FaultKind::BadImage { node } => {
                 let shell = cluster.shell_id(node).expect("targets are populated");
                 let mut bad = Image::application("simcheck-bad", "role");

@@ -3,14 +3,17 @@
 //! Two [`shell::ltl::LtlEngine`]s exchange messages across a scripted lossy
 //! channel, all three driven as ordinary [`dcsim`] components. A
 //! [`dcsim::Observer`] attached to the engine drains each component's
-//! protocol trace after *every* event, feeds it to a pure
-//! [`GbnRefModel`] per direction, and cross-checks the real engines'
-//! introspection views against the model state. Any divergence —
-//! out-of-window transmission, wrong cumulative ack, duplicated or
-//! reordered delivery, spurious connection failure — is reported as a
-//! [`Violation`] pinned to the exact event index where it appeared.
+//! protocol trace after *every* event, feeds it to a pure reference model
+//! per direction — [`GbnRefModel`] for go-back-N sessions,
+//! [`SrRefModel`] for selective-repeat ones — and cross-checks the real
+//! engines' introspection views against the model state. Any divergence —
+//! out-of-window transmission, wrong cumulative ack, an inexact SACK
+//! bitmap, duplicated or reordered delivery, spurious connection
+//! failure — is reported as a [`Violation`] pinned to the exact event
+//! index where it appeared.
 
 use crate::model::GbnRefModel;
+use crate::sr_model::SrRefModel;
 use crate::Violation;
 use bytes::Bytes;
 use catapult::chaos::{ChaosTargets, FaultConfig, FaultEvent, FaultKind, FaultPlan};
@@ -18,7 +21,9 @@ use dcnet::{Msg, NetEvent, NodeAddr, PortId};
 use dcsim::{
     Component, ComponentId, Context, Engine, EventRecord, Observer, SimDuration, SimRng, SimTime,
 };
-use shell::ltl::{FrameKind, LtlConfig, LtlEngine, LtlEvent, LtlFrame, Poll};
+use shell::ltl::{
+    FrameKind, LtlConfig, LtlEngine, LtlEvent, LtlFrame, LtlMode, Poll, RecvConnView, SendConnView,
+};
 use std::collections::VecDeque;
 
 const TIMER_TICK: u64 = 1;
@@ -54,12 +59,20 @@ enum NodeEvent {
     NackTx {
         seq: u32,
     },
+    SackTx {
+        seq: u32,
+        bits: u64,
+    },
     DataRx {
         seq: u32,
         last_frag: bool,
     },
     AckRx {
         seq: u32,
+    },
+    SackRx {
+        seq: u32,
+        bits: u64,
     },
     NackRx,
     Delivered {
@@ -113,12 +126,19 @@ impl LtlNode {
             match self.ltl.poll(ctx.now()) {
                 Poll::Ready(pkt) => {
                     if let Ok(frame) = LtlFrame::decode(&pkt.payload) {
-                        self.log.push(match frame.kind {
-                            FrameKind::Data => NodeEvent::DataTx { seq: frame.seq },
-                            FrameKind::Ack => NodeEvent::AckTx { seq: frame.seq },
-                            FrameKind::Nack => NodeEvent::NackTx { seq: frame.seq },
-                            _ => continue,
-                        });
+                        let ev = match frame.kind {
+                            FrameKind::Data => Some(NodeEvent::DataTx { seq: frame.seq }),
+                            FrameKind::Ack => Some(NodeEvent::AckTx { seq: frame.seq }),
+                            FrameKind::Nack => Some(NodeEvent::NackTx { seq: frame.seq }),
+                            FrameKind::Sack => frame.sack_bits().map(|bits| NodeEvent::SackTx {
+                                seq: frame.seq,
+                                bits,
+                            }),
+                            _ => None,
+                        };
+                        if let Some(ev) = ev {
+                            self.log.push(ev);
+                        }
                     }
                     ctx.send(self.peer_channel, Msg::packet(pkt, PortId(0)));
                 }
@@ -154,6 +174,14 @@ impl Component<Msg> for LtlNode {
                         }),
                         FrameKind::Ack => self.log.push(NodeEvent::AckRx { seq: frame.seq }),
                         FrameKind::Nack => self.log.push(NodeEvent::NackRx),
+                        FrameKind::Sack => {
+                            if let Some(bits) = frame.sack_bits() {
+                                self.log.push(NodeEvent::SackRx {
+                                    seq: frame.seq,
+                                    bits,
+                                });
+                            }
+                        }
                         _ => {}
                     }
                 }
@@ -217,8 +245,8 @@ struct CorruptRule {
 }
 
 /// The scripted lossy channel between the two nodes: fixed forward
-/// latency plus drop windows and corruption bursts derived from a
-/// [`FaultPlan`].
+/// latency plus drop windows, corruption bursts and i.i.d. loss windows
+/// derived from a [`FaultPlan`].
 struct Channel {
     node_a: ComponentId,
     node_b: ComponentId,
@@ -227,12 +255,19 @@ struct Channel {
     /// destination are lost inside the window.
     windows: Vec<(SimTime, SimTime, NodeAddr)>,
     corrupt: Vec<CorruptRule>,
+    /// `(start, end, endpoint, rate_ppm)`: frames *sent by* this endpoint
+    /// drop i.i.d. at `rate_ppm` inside the window (a lossy egress).
+    lossy: Vec<(SimTime, SimTime, NodeAddr, u32)>,
+    /// Seeded stream driving the i.i.d. lossy-window draws; per-frame
+    /// draws are deterministic because event order is.
+    rng: SimRng,
     log: Vec<DropEntry>,
 }
 
 impl Channel {
     fn from_plan(
         plan: &FaultPlan,
+        seed: u64,
         a_addr: NodeAddr,
         b_addr: NodeAddr,
         node_a: ComponentId,
@@ -240,6 +275,7 @@ impl Channel {
     ) -> Channel {
         let mut windows = Vec::new();
         let mut corrupt = Vec::new();
+        let mut lossy = Vec::new();
         let rack_addr = |pod: u16, tor: u16| {
             if a_addr.pod == pod && a_addr.tor == tor {
                 Some(a_addr)
@@ -264,6 +300,11 @@ impl Channel {
                 }),
                 FaultKind::FpgaHang { node, duration } => windows.push((*at, *at + duration, node)),
                 FaultKind::BadImage { node } => windows.push((*at, *at + BAD_IMAGE_DOWN, node)),
+                FaultKind::LossyLink {
+                    node,
+                    rate_ppm,
+                    duration,
+                } => lossy.push((*at, *at + duration, node, rate_ppm)),
                 FaultKind::HostStall { .. } => {}
             }
         }
@@ -273,6 +314,8 @@ impl Channel {
             b_addr,
             windows,
             corrupt,
+            lossy,
+            rng: SimRng::seed_from(seed ^ 0x10_55_1E57),
             log: Vec::new(),
         }
     }
@@ -301,7 +344,16 @@ impl Component<Msg> for Channel {
                     false
                 }
             });
-        if in_window || corrupted {
+        let mut lossy_drop = false;
+        if !in_window && !corrupted {
+            for &(start, end, ep, rate_ppm) in &self.lossy {
+                if now >= start && now < end && ep == pkt.src {
+                    lossy_drop = self.rng.chance(rate_ppm as f64 / 1e6);
+                    break;
+                }
+            }
+        }
+        if in_window || corrupted || lossy_drop {
             self.log.push(DropEntry {
                 toward_b: pkt.dst == self.b_addr,
                 kind,
@@ -317,14 +369,145 @@ impl Component<Msg> for Channel {
     }
 }
 
+/// A per-direction reference model dispatching on the session's
+/// transport mode. Mode mismatches are themselves violations: a
+/// selective-repeat endpoint must never emit a plain cumulative ACK and
+/// a go-back-N endpoint must never emit a SACK.
+enum RefModel {
+    Gbn(GbnRefModel),
+    Sr(SrRefModel),
+}
+
+impl RefModel {
+    fn new(mode: LtlMode, window: u32) -> RefModel {
+        match mode {
+            LtlMode::GoBackN => RefModel::Gbn(GbnRefModel::new()),
+            LtlMode::SelectiveRepeat => RefModel::Sr(SrRefModel::new(window)),
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        match self {
+            RefModel::Gbn(m) => m.delivered(),
+            RefModel::Sr(m) => m.delivered(),
+        }
+    }
+
+    fn on_drop(&mut self) {
+        match self {
+            RefModel::Gbn(m) => m.on_drop(),
+            RefModel::Sr(m) => m.on_drop(),
+        }
+    }
+
+    fn on_submit(&mut self, first_seq: u32, frames: u32, counter: u64) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.on_submit(first_seq, frames, counter),
+            RefModel::Sr(m) => m.on_submit(first_seq, frames, counter),
+        }
+    }
+
+    fn on_data_tx(&mut self, seq: u32) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.on_data_tx(seq),
+            RefModel::Sr(m) => m.on_data_tx(seq),
+        }
+    }
+
+    fn on_data_rx(&mut self, seq: u32, last_frag: bool) -> Result<Vec<u64>, String> {
+        match self {
+            RefModel::Gbn(m) => m
+                .on_data_rx(seq, last_frag)
+                .map(|c| c.into_iter().collect()),
+            RefModel::Sr(m) => m.on_data_rx(seq, last_frag),
+        }
+    }
+
+    fn on_ack_tx(&mut self, seq: u32) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.on_ack_tx(seq),
+            RefModel::Sr(_) => Err(format!(
+                "plain ack (seq {seq}) from a selective-repeat receiver"
+            )),
+        }
+    }
+
+    fn on_ack_rx(&mut self, seq: u32) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.on_ack_rx(seq),
+            RefModel::Sr(_) => Err(format!(
+                "plain ack (seq {seq}) accepted by a selective-repeat sender"
+            )),
+        }
+    }
+
+    fn on_sack_tx(&mut self, cum: u32, bits: u64) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(_) => Err(format!("sack (cum {cum}) from a go-back-n receiver")),
+            RefModel::Sr(m) => m.on_sack_tx(cum, bits),
+        }
+    }
+
+    fn on_sack_rx(&mut self, cum: u32, bits: u64) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(_) => Err(format!("sack (cum {cum}) accepted by a go-back-n sender")),
+            RefModel::Sr(m) => m.on_sack_rx(cum, bits),
+        }
+    }
+
+    fn on_nack_tx(&mut self, seq: u32) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.on_nack_tx(seq),
+            RefModel::Sr(m) => m.on_nack_tx(seq),
+        }
+    }
+
+    fn on_conn_failed(&mut self) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.on_conn_failed(),
+            RefModel::Sr(m) => m.on_conn_failed(),
+        }
+    }
+
+    fn on_deliver(&mut self, counter: u64, expected_counter: u64) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.on_deliver(counter, expected_counter),
+            RefModel::Sr(m) => m.on_deliver(counter, expected_counter),
+        }
+    }
+
+    /// Go-back-N pins the contiguous window bounds; selective repeat pins
+    /// the exact (possibly holed) in-flight sequence list.
+    fn check_sender(&self, view: &SendConnView, unacked: &[u32]) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.check_sender(view),
+            RefModel::Sr(m) => m.check_sender(view, unacked),
+        }
+    }
+
+    fn check_receiver(&self, view: &RecvConnView, buffered: &[u32]) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.check_receiver(view),
+            RefModel::Sr(m) => m.check_receiver(view, buffered),
+        }
+    }
+
+    fn check_complete(&self) -> Result<(), String> {
+        match self {
+            RefModel::Gbn(m) => m.check_complete(),
+            RefModel::Sr(m) => m.check_complete(),
+        }
+    }
+}
+
 /// The differential oracle: drains component traces after every event,
 /// steps the per-direction reference models, and compares engine views.
 struct SessionOracle {
     node_a: ComponentId,
     node_b: ComponentId,
     chan: ComponentId,
-    a_to_b: GbnRefModel,
-    b_to_a: GbnRefModel,
+    a_to_b: RefModel,
+    b_to_a: RefModel,
     cur_a: usize,
     cur_b: usize,
     cur_chan: usize,
@@ -388,25 +571,34 @@ impl SessionOracle {
                 let r = out_model!().on_ack_rx(seq);
                 self.record(at, "ltl.ack_rx", r);
             }
+            NodeEvent::SackRx { seq, bits } => {
+                let r = out_model!().on_sack_rx(seq, bits);
+                self.record(at, "ltl.sack_rx", r);
+            }
             NodeEvent::NackRx => {}
             NodeEvent::ConnFailed => {
                 let r = out_model!().on_conn_failed();
                 self.record(at, "ltl.conn_failed", r);
             }
             NodeEvent::DataRx { seq, last_frag } => match in_model!().on_data_rx(seq, last_frag) {
-                Ok(Some(counter)) => {
-                    if a_side {
-                        self.due_a.push_back(counter);
-                    } else {
-                        self.due_b.push_back(counter);
+                Ok(completed) => {
+                    for counter in completed {
+                        if a_side {
+                            self.due_a.push_back(counter);
+                        } else {
+                            self.due_b.push_back(counter);
+                        }
                     }
                 }
-                Ok(None) => {}
                 Err(detail) => self.record(at, "ltl.data_rx", Err(detail)),
             },
             NodeEvent::AckTx { seq } => {
                 let r = in_model!().on_ack_tx(seq);
                 self.record(at, "ltl.ack_tx", r);
+            }
+            NodeEvent::SackTx { seq, bits } => {
+                let r = in_model!().on_sack_tx(seq, bits);
+                self.record(at, "ltl.sack_tx", r);
             }
             NodeEvent::NackTx { seq } => {
                 let r = in_model!().on_nack_tx(seq);
@@ -437,15 +629,27 @@ impl SessionOracle {
             return;
         };
         let checks = [
-            (a.ltl.send_conn_view(0), b.ltl.recv_conn_view(0), true),
-            (b.ltl.send_conn_view(0), a.ltl.recv_conn_view(0), false),
+            (
+                a.ltl.send_conn_view(0),
+                a.ltl.send_unacked_seqs(0),
+                b.ltl.recv_conn_view(0),
+                b.ltl.recv_buffered_seqs(0),
+                true,
+            ),
+            (
+                b.ltl.send_conn_view(0),
+                b.ltl.send_unacked_seqs(0),
+                a.ltl.recv_conn_view(0),
+                a.ltl.recv_buffered_seqs(0),
+                false,
+            ),
         ];
-        for (send_view, recv_view, a_to_b) in checks {
+        for (send_view, unacked, recv_view, buffered, a_to_b) in checks {
             let (rs, rr) = {
                 let model = if a_to_b { &self.a_to_b } else { &self.b_to_a };
                 (
-                    send_view.map(|v| model.check_sender(&v)),
-                    recv_view.map(|v| model.check_receiver(&v)),
+                    send_view.map(|v| model.check_sender(&v, unacked.as_deref().unwrap_or(&[]))),
+                    recv_view.map(|v| model.check_receiver(&v, buffered.as_deref().unwrap_or(&[]))),
                 )
             };
             if let Some(r) = rs {
@@ -510,9 +714,16 @@ pub struct SessionSpec {
     pub horizon: SimDuration,
     /// Enable NACK fast retransmit.
     pub nack: bool,
+    /// Transport mode both endpoints run (and the oracle models).
+    pub mode: LtlMode,
     /// Bug injection: silently lose this many retransmissions inside the
     /// real engine (0 = healthy).
     pub lose_retransmits: u32,
+    /// Bug injection (selective repeat): drop the highest bit from this
+    /// many non-empty SACK bitmaps at endpoint A (0 = healthy). The
+    /// protocol self-heals around it, so only the exact-bitmap oracle
+    /// can catch it.
+    pub omit_sacks: u32,
     /// The fault schedule shaping the channel.
     pub plan: FaultPlan,
 }
@@ -563,9 +774,18 @@ impl SessionSpec {
             max_msg_frames: 4,
             horizon,
             nack: seed % 4 < 2,
+            mode: LtlMode::GoBackN,
             lose_retransmits: 0,
+            omit_sacks: 0,
             plan,
         }
+    }
+
+    /// The same spec with a different transport mode (the A/B sweep runs
+    /// every seed in both modes).
+    pub fn with_mode(mut self, mode: LtlMode) -> SessionSpec {
+        self.mode = mode;
+        self
     }
 }
 
@@ -591,8 +811,10 @@ pub fn run_session(spec: &SessionSpec) -> SessionOutcome {
     let base = spec.horizon; // plan horizon; sends land in its first 55%
     let cfg = LtlConfig::default()
         .without_dcqcn()
-        .with_nack_enabled(spec.nack);
+        .with_nack_enabled(spec.nack)
+        .with_mode(spec.mode);
     let mtu = cfg.mtu_payload;
+    let recv_window = cfg.recv_window;
 
     let mut ltl_a = LtlEngine::new(a_addr, cfg.clone());
     let mut ltl_b = LtlEngine::new(b_addr, cfg);
@@ -603,11 +825,14 @@ pub fn run_session(spec: &SessionSpec) -> SessionOutcome {
     if spec.lose_retransmits > 0 {
         ltl_a.debug_lose_retransmits(spec.lose_retransmits);
     }
+    if spec.omit_sacks > 0 {
+        ltl_a.debug_omit_sacks(spec.omit_sacks);
+    }
 
     let chan_id = engine.next_component_id();
     let node_a_id = ComponentId::from_raw(1);
     let node_b_id = ComponentId::from_raw(2);
-    let chan = Channel::from_plan(&spec.plan, a_addr, b_addr, node_a_id, node_b_id);
+    let chan = Channel::from_plan(&spec.plan, spec.seed, a_addr, b_addr, node_a_id, node_b_id);
     assert_eq!(engine.add_component(chan), chan_id);
     assert_eq!(
         engine.add_component(LtlNode::new(ltl_a, mtu, chan_id)),
@@ -645,8 +870,8 @@ pub fn run_session(spec: &SessionSpec) -> SessionOutcome {
         node_a: node_a_id,
         node_b: node_b_id,
         chan: chan_id,
-        a_to_b: GbnRefModel::new(),
-        b_to_a: GbnRefModel::new(),
+        a_to_b: RefModel::new(spec.mode, recv_window),
+        b_to_a: RefModel::new(spec.mode, recv_window),
         cur_a: 0,
         cur_b: 0,
         cur_chan: 0,
@@ -714,6 +939,54 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.checks, b.checks);
+    }
+
+    #[test]
+    fn clean_selective_repeat_session_has_no_violations() {
+        let mut spec = SessionSpec::generate(2).with_mode(LtlMode::SelectiveRepeat);
+        spec.plan = FaultPlan::default();
+        let out = run_session(&spec);
+        assert_eq!(out.violations, Vec::new());
+        assert_eq!(out.delivered, 2 * spec.msgs_each_way as u64);
+        assert!(out.checks > 0);
+    }
+
+    #[test]
+    fn faulty_channel_still_satisfies_the_selective_repeat_oracle() {
+        for seed in 0..8 {
+            let spec = SessionSpec::generate(seed).with_mode(LtlMode::SelectiveRepeat);
+            let out = run_session(&spec);
+            assert_eq!(out.violations, Vec::new(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn selective_repeat_session_is_deterministic_per_seed() {
+        let spec = SessionSpec::generate(5).with_mode(LtlMode::SelectiveRepeat);
+        let a = run_session(&spec);
+        let b = run_session(&spec);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.checks, b.checks);
+    }
+
+    #[test]
+    fn injected_sack_omission_is_caught() {
+        // Dropping a bit from the SACK bitmap never loses data — the
+        // sender simply retransmits the frame — so a delivery-only oracle
+        // is blind to it. The exact-bitmap check must catch it on any
+        // seed whose channel actually reorders or drops data (the bitmap
+        // is only non-empty when the reassembly buffer is).
+        let mut caught = false;
+        for seed in 0..32 {
+            let mut spec = SessionSpec::generate(seed).with_mode(LtlMode::SelectiveRepeat);
+            spec.omit_sacks = 4;
+            if !run_session(&spec).violations.is_empty() {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "sack-omission bug evaded the oracle on 32 seeds");
     }
 
     #[test]
