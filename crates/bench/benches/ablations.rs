@@ -154,7 +154,7 @@ fn ablation_nack(c: &mut Criterion) {
 
 /// Incast completion time with LTL on a lossless class vs a lossy class.
 fn incast_completion_us(lossless: bool) -> f64 {
-    use catapult::Cluster;
+    use catapult::{Cluster, ClusterBuilder};
     use dcnet::Msg;
     use shell::ShellCmd;
 
@@ -166,7 +166,10 @@ fn incast_completion_us(lossless: bool) -> f64 {
         fabric_cfg.agg.lossless_mask = 0;
         fabric_cfg.spine.lossless_mask = 0;
     }
-    let mut cluster = Cluster::new(3, &fabric_cfg, catapult::calib::shell_config());
+    let mut cluster = ClusterBuilder::new(3)
+        .fabric_config(&fabric_cfg)
+        .shell_config(catapult::calib::shell_config())
+        .build();
     let dst = NodeAddr::new(0, 0, 0);
     cluster.add_shell(dst);
     let senders: Vec<NodeAddr> = (1..9).map(|h| NodeAddr::new(0, 0, h)).collect();

@@ -7,16 +7,108 @@
 //! Pass `--trace` to also record each tier's flight-recorder timeline and
 //! write it as Chrome trace-event JSON (`results/fig10_trace_<tier>.json`,
 //! loadable in Perfetto / `chrome://tracing`).
+//!
+//! Pass `--full-scale` for the fleet-scale run instead: a 260-pod lazy
+//! hybrid fabric (249,600 reachable hosts) where only a small packet
+//! island is simulated at packet fidelity and the rest of the fleet
+//! presses on the spine through the flow-level aggregate model. Combine
+//! with `--quick` for a reduced smoke-scale fleet, and with
+//! `--rss-limit-mb N` to fail the run if the allocator high-water mark
+//! exceeds N MiB (the lazy-topology memory gate).
 
 use catapult::prelude::*;
 use catapult::telemetry::json::validate_chrome_trace;
 use experiments::fig10;
+use serde::Serialize;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: bench::mem::TrackingAlloc = bench::mem::TrackingAlloc;
 
 /// Ring-buffer capacity for `--trace` runs: enough for every probe event
 /// at quick scale without letting full scale allocate without bound.
 const TRACE_EVENTS: usize = 262_144;
 
+/// Wall-clock row for `results/BENCH_fleet.json`. Timing fields live here
+/// and not in `fig10_fleet.json`, which must stay byte-identical across
+/// same-seed runs for the CI fingerprint diff.
+#[derive(Debug, Serialize)]
+struct FleetBenchRow {
+    commit: String,
+    hosts_reachable: usize,
+    materialized_pods: usize,
+    switch_count: usize,
+    events: u64,
+    events_per_sec: f64,
+    wall_secs: f64,
+    peak_rss_mb: f64,
+}
+
+fn run_fleet_mode() {
+    bench::header(
+        "Figure 10 (fleet)",
+        "LTL latency inside a packet island of a quarter-million-host fabric",
+    );
+    let params = if bench::quick_mode() {
+        let mut workload = experiments::fig10::FleetParams::default().workload;
+        workload.users = 100_000;
+        fig10::FleetParams {
+            pods: 12,
+            pairs_per_tier: 2,
+            probes_per_pair: 100,
+            workload,
+            ..fig10::FleetParams::default()
+        }
+    } else {
+        fig10::FleetParams::default()
+    };
+    println!(
+        "fabric: {} pods ({} hosts), island {} pods at packet fidelity, {} users",
+        params.pods,
+        calib::paper_shape(params.pods).total_hosts(),
+        params.island_pods,
+        params.workload.users,
+    );
+    let wall = Instant::now();
+    let result = fig10::run_fleet(&params);
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let peak_rss_mb = bench::mem::peak_bytes() as f64 / (1024.0 * 1024.0);
+    println!("{}", result.table());
+    println!(
+        "wall {:.1}s | {:.0} events/s | peak heap {:.0} MiB",
+        wall_secs,
+        result.events as f64 / wall_secs,
+        peak_rss_mb
+    );
+    bench::write_json("fig10_fleet", &result);
+    bench::write_json(
+        "BENCH_fleet",
+        &FleetBenchRow {
+            commit: bench::current_commit(),
+            hosts_reachable: result.hosts_reachable,
+            materialized_pods: result.materialized_pods,
+            switch_count: result.switch_count,
+            events: result.events,
+            events_per_sec: result.events as f64 / wall_secs,
+            wall_secs,
+            peak_rss_mb,
+        },
+    );
+    if let Some(limit) = bench::arg_value("--rss-limit-mb") {
+        let limit: f64 = limit.parse().expect("--rss-limit-mb takes a number");
+        if peak_rss_mb > limit {
+            eprintln!("FAIL: peak heap {peak_rss_mb:.0} MiB exceeds --rss-limit-mb {limit}");
+            std::process::exit(1);
+        }
+        println!("memory gate: peak heap {peak_rss_mb:.0} MiB <= {limit} MiB");
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--full-scale") {
+        run_fleet_mode();
+        return;
+    }
     bench::header("Figure 10", "LTL round-trip latency vs reachable hosts");
     let params = if bench::quick_mode() {
         fig10::Fig10Params {

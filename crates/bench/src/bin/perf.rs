@@ -326,7 +326,10 @@ mod cluster_workload {
             pods: 2,
             spines: 2,
         };
-        let mut cluster = Cluster::new(seed, &calib::fabric_config(shape), calib::shell_config());
+        let mut cluster = ClusterBuilder::new(seed)
+            .fabric_config(&calib::fabric_config(shape))
+            .shell_config(calib::shell_config())
+            .build();
         // Two rack-crossing pairs (TOR→agg→TOR) and two pod-crossing
         // pairs (TOR→agg→spine→agg→TOR).
         let pairs = [
@@ -405,7 +408,10 @@ mod parallel_cluster_workload {
             pods: 4,
             spines: 2,
         };
-        let mut cluster = Cluster::new(seed, &calib::fabric_config(shape), calib::shell_config());
+        let mut cluster = ClusterBuilder::new(seed)
+            .fabric_config(&calib::fabric_config(shape))
+            .shell_config(calib::shell_config())
+            .build();
         // Eight rack-crossing pairs per pod plus two pod-crossing pairs
         // per pod: every shard has plenty of local work per time window
         // and every partition cut carries traffic.

@@ -56,3 +56,83 @@ pub fn write_raw(name: &str, content: &str) {
 pub fn header(id: &str, title: &str) {
     println!("=== {id}: {title} ===");
 }
+
+/// A live-bytes + high-water-mark tracking allocator for memory-bounded
+/// benchmark lanes.
+///
+/// Install it in a binary with
+/// `#[global_allocator] static A: bench::mem::TrackingAlloc = bench::mem::TrackingAlloc;`
+/// and gate the run on [`mem::peak_bytes`]. The counters are process-wide
+/// and monotonic (peak never decreases), so the gate captures the true
+/// high-water mark even for allocations freed before the check.
+pub mod mem {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    fn charge(bytes: usize) {
+        let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        // Monotonic max; races only ever lose to a larger peak.
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// System allocator wrapper that tracks live bytes and their peak.
+    pub struct TrackingAlloc;
+
+    unsafe impl GlobalAlloc for TrackingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                charge(layout.size());
+            }
+            p
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+                charge(new_size);
+            }
+            p
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes() -> usize {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bytes since process start.
+    pub fn peak_bytes() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+/// Parses `--flag value` from the command line.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Short git commit hash of the working tree, or "unknown".
+pub fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}

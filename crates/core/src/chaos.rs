@@ -38,7 +38,7 @@ use haas::{
     Constraints, DeployImage, FailureMonitor, FpgaManager, ResourceManager, ServiceManager,
 };
 
-use crate::Cluster;
+use crate::{Cluster, ClusterBuilder};
 
 /// One class of injectable fault, aimed at a concrete target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -589,7 +589,10 @@ impl ChaosRig {
             full_reconfig: cfg.full_reconfig,
             ..crate::calib::shell_config()
         };
-        let mut cluster = Cluster::new(cfg.seed, &crate::calib::fabric_config(shape), shell_cfg);
+        let mut cluster = ClusterBuilder::new(cfg.seed)
+            .fabric_config(&crate::calib::fabric_config(shape))
+            .shell_config(shell_cfg)
+            .build();
 
         // Placement: clients rack 0, ranking primaries rack 1, DNN
         // primaries rack 2, spares rack 3 — so one TOR crash isolates a

@@ -7,7 +7,10 @@
 
 use std::collections::BTreeMap;
 
-use dcnet::{Fabric, FabricConfig, FabricPartition, Msg, NodeAddr, Switch};
+use dcnet::{
+    needs_flowsim, Fabric, FabricBuilder, FabricConfig, FabricPartition, Fidelity, FidelityMap,
+    FlowSim, FlowSimConfig, Msg, NodeAddr, Switch,
+};
 use dcsim::{Component, ComponentId, Engine, ShardPlan, ShardedEngine, SimDuration, SimTime};
 use shell::ltl::{RecvConnId, SendConnId};
 use shell::{Shell, ShellConfig, PORT_TOR};
@@ -32,12 +35,157 @@ enum Exec {
     Sharded(ShardedEngine<Msg>),
 }
 
+/// Configures and builds a [`Cluster`]: fabric dimensions and switch
+/// calibration, shell configuration, per-pod fidelity and lazy topology
+/// for fleet-scale runs.
+///
+/// # Examples
+///
+/// ```
+/// use catapult::ClusterBuilder;
+///
+/// // A paper-calibrated 2-pod, all-packet cluster.
+/// let cluster = ClusterBuilder::paper(7, 2).build();
+/// assert_eq!(cluster.fabric().shape().total_hosts(), 2 * 40 * 24);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    seed: u64,
+    fabric_cfg: FabricConfig,
+    shell_cfg: ShellConfig,
+    fidelity: Option<FidelityMap>,
+    lazy: bool,
+    flowsim: Option<FlowSimConfig>,
+}
+
+impl ClusterBuilder {
+    /// A builder with default fabric and shell configurations.
+    pub fn new(seed: u64) -> Self {
+        ClusterBuilder {
+            seed,
+            fabric_cfg: FabricConfig::default(),
+            shell_cfg: ShellConfig::default(),
+            fidelity: None,
+            lazy: false,
+            flowsim: None,
+        }
+    }
+
+    /// A paper-calibrated builder with `pods` production-scale pods
+    /// (24 hosts x 40 racks per pod behind a 4-switch spine).
+    pub fn paper(seed: u64, pods: u16) -> Self {
+        let shape = crate::calib::paper_shape(pods);
+        ClusterBuilder {
+            seed,
+            fabric_cfg: crate::calib::fabric_config(shape),
+            shell_cfg: crate::calib::shell_config(),
+            fidelity: None,
+            lazy: false,
+            flowsim: None,
+        }
+    }
+
+    /// Replaces the fabric configuration (dimensions + per-tier switches).
+    pub fn fabric_config(mut self, cfg: &FabricConfig) -> Self {
+        self.fabric_cfg = cfg.clone();
+        self
+    }
+
+    /// Replaces the shell configuration used by [`Cluster::add_shell`].
+    pub fn shell_config(mut self, cfg: ShellConfig) -> Self {
+        self.shell_cfg = cfg;
+        self
+    }
+
+    /// Sets the per-pod fidelity map (defaults to all-packet). When any
+    /// pod is at flow fidelity, [`ClusterBuilder::build`] registers a
+    /// [`FlowSim`] aggregate model wired to the spine switches.
+    pub fn fidelity(mut self, map: FidelityMap) -> Self {
+        self.fidelity = Some(map);
+        self
+    }
+
+    /// Convenience: the first `island` pods at packet fidelity, the rest
+    /// as flow-level background (see [`FidelityMap::packet_island`]).
+    pub fn packet_island(mut self, island: u16) -> Self {
+        self.fidelity = Some(FidelityMap::packet_island(
+            self.fabric_cfg.shape.pods,
+            island,
+        ));
+        self
+    }
+
+    /// Defers switch instantiation of packet pods until first touched
+    /// (see [`dcnet::FabricBuilder::lazy`]).
+    pub fn lazy(mut self, lazy: bool) -> Self {
+        self.lazy = lazy;
+        self
+    }
+
+    /// Overrides the flow-level model configuration (tick, adapter delay,
+    /// pressure saturation); defaults derive from the fabric shape.
+    pub fn flowsim_config(mut self, cfg: FlowSimConfig) -> Self {
+        self.flowsim = Some(cfg);
+        self
+    }
+
+    /// Builds the engine, fabric, and (for hybrid fidelity maps) the
+    /// flow-level background model.
+    ///
+    /// An all-packet, non-lazy build registers exactly the same components
+    /// in exactly the same order as the deprecated [`Cluster::new`] path,
+    /// so telemetry fingerprints are byte-identical for the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fidelity map does not match the fabric's pod count.
+    pub fn build(self) -> Cluster {
+        let shape = self.fabric_cfg.shape;
+        let fidelity = self
+            .fidelity
+            .unwrap_or_else(|| FidelityMap::all_packet(shape.pods));
+        let switch_estimate = if self.lazy {
+            shape.spines as usize
+        } else {
+            shape.spines as usize + fidelity.packet_pod_count() * (1 + shape.tors_per_pod as usize)
+        };
+        let mut engine = Engine::with_capacity(self.seed, switch_estimate + 1);
+        let fabric = FabricBuilder::from_config(&self.fabric_cfg)
+            .fidelity(fidelity.clone())
+            .lazy(self.lazy)
+            .build(&mut engine);
+        let (flowsim, flowsim_cfg) = if needs_flowsim(&fidelity) {
+            let cfg = self.flowsim.unwrap_or_else(|| FlowSimConfig::new(shape));
+            let sim = FlowSim::new(cfg.clone())
+                .with_fidelity(&fidelity)
+                .with_spines(fabric.spine_switches());
+            (Some(engine.add_component(sim)), Some(cfg))
+        } else {
+            (None, None)
+        };
+        Cluster {
+            exec: Exec::Single(engine),
+            fabric,
+            fabric_cfg: self.fabric_cfg,
+            shell_cfg: self.shell_cfg,
+            flowsim,
+            flowsim_cfg,
+            shells: BTreeMap::new(),
+            pins: BTreeMap::new(),
+            tracer: None,
+        }
+    }
+}
+
 /// A built cluster: engine + fabric + shells.
 pub struct Cluster {
     exec: Exec,
     fabric: Fabric,
     fabric_cfg: FabricConfig,
     shell_cfg: ShellConfig,
+    /// The flow-level background model, when the fidelity map is hybrid.
+    flowsim: Option<ComponentId>,
+    flowsim_cfg: Option<FlowSimConfig>,
     /// Populated slots in address order, so registry snapshots and trace
     /// track registration are deterministic.
     shells: BTreeMap<NodeAddr, ComponentId>,
@@ -50,28 +198,20 @@ pub struct Cluster {
 
 impl Cluster {
     /// Builds the switching fabric (no hosts yet).
+    #[deprecated(
+        note = "use ClusterBuilder::new(seed).fabric_config(cfg).shell_config(..).build()"
+    )]
     pub fn new(seed: u64, fabric_cfg: &FabricConfig, shell_cfg: ShellConfig) -> Cluster {
-        let mut engine = Engine::new(seed);
-        let fabric = Fabric::build(&mut engine, fabric_cfg);
-        Cluster {
-            exec: Exec::Single(engine),
-            fabric,
-            fabric_cfg: fabric_cfg.clone(),
-            shell_cfg,
-            shells: BTreeMap::new(),
-            pins: BTreeMap::new(),
-            tracer: None,
-        }
+        ClusterBuilder::new(seed)
+            .fabric_config(fabric_cfg)
+            .shell_config(shell_cfg)
+            .build()
     }
 
     /// A paper-calibrated cluster with `pods` production-scale pods.
+    #[deprecated(note = "use ClusterBuilder::paper(seed, pods).build()")]
     pub fn paper_scale(seed: u64, pods: u16) -> Cluster {
-        let shape = crate::calib::paper_shape(pods);
-        Cluster::new(
-            seed,
-            &crate::calib::fabric_config(shape),
-            crate::calib::shell_config(),
-        )
+        ClusterBuilder::paper(seed, pods).build()
     }
 
     /// Adds a bump-in-the-wire FPGA shell at `addr` and cables it to its
@@ -89,6 +229,14 @@ impl Cluster {
             Exec::Single(engine) => engine,
             Exec::Sharded(_) => panic!("populate the cluster before calling Cluster::shard"),
         };
+        // Materialize the pod before reserving the shell's id: lazy
+        // materialization registers switches, which would otherwise land
+        // on the id we just handed to the shell.
+        if self.fabric.fidelity().pod(addr.pod) == Fidelity::Packet
+            && !self.fabric.is_materialized(addr.pod)
+        {
+            self.fabric.materialize_pod(engine, addr.pod);
+        }
         let shell_id = engine.next_component_id();
         let mut shell = Shell::new(addr, self.shell_cfg.clone());
         let attachment = self.fabric.attach(engine, addr, shell_id, PORT_TOR);
@@ -253,19 +401,35 @@ impl Cluster {
             Exec::Single(engine) => engine,
             Exec::Sharded(_) => panic!("Cluster::shard called while already sharded"),
         };
-        let partition = FabricPartition::plan(&self.fabric_cfg, shards);
+        let partition =
+            FabricPartition::plan_hybrid(&self.fabric_cfg, self.fabric.fidelity(), shards)
+                .unwrap_or_else(|e| panic!("cannot shard this cluster: {e}"));
+        if let Some(cfg) = &self.flowsim_cfg {
+            assert!(
+                cfg.adapter_delay >= partition.lookahead() || partition.shards() == 1,
+                "flowsim adapter delay {:?} is below the shard lookahead {:?}: \
+                 pressure updates would violate the conservative window",
+                cfg.adapter_delay,
+                partition.lookahead()
+            );
+        }
         let shape = self.fabric.shape();
         // Components not covered below (registered via engine_mut without
-        // a pin) default to shard 0; a zero-delay send from one of them
-        // across shards is caught at send time as a lookahead violation.
+        // a pin, the flow-level model, unmaterialized pods) default to
+        // shard 0; a zero-delay send from one of them across shards is
+        // caught at send time as a lookahead violation.
         let mut shard_of = vec![0u32; engine.component_count()];
         for (i, &id) in self.fabric.spine_switches().iter().enumerate() {
             shard_of[id.as_raw()] = partition.spine_shard(i as u16);
         }
         for pod in 0..shape.pods {
-            shard_of[self.fabric.agg_switch(pod).as_raw()] = partition.agg_shard(pod);
+            if let Some(agg) = self.fabric.try_agg_switch(pod) {
+                shard_of[agg.as_raw()] = partition.agg_shard(pod);
+            }
             for tor in 0..shape.tors_per_pod {
-                shard_of[self.fabric.tor_switch(pod, tor).as_raw()] = partition.tor_shard(pod, tor);
+                if let Some(id) = self.fabric.try_tor_switch(pod, tor) {
+                    shard_of[id.as_raw()] = partition.tor_shard(pod, tor);
+                }
             }
         }
         for (&addr, &id) in &self.shells {
@@ -371,7 +535,9 @@ impl Cluster {
         let shape = self.fabric.shape();
         for pod in 0..shape.pods {
             for tor in 0..shape.tors_per_pod {
-                let id = self.fabric.tor_switch(pod, tor);
+                let Some(id) = self.fabric.try_tor_switch(pod, tor) else {
+                    continue;
+                };
                 let track = tracer.track(&format!("tor{pod:02}.{tor:02}"));
                 if let Some(sw) = self.engine_mut().component_mut::<Switch>(id) {
                     sw.set_tracer(track);
@@ -379,7 +545,9 @@ impl Cluster {
             }
         }
         for pod in 0..shape.pods {
-            let id = self.fabric.agg_switch(pod);
+            let Some(id) = self.fabric.try_agg_switch(pod) else {
+                continue;
+            };
             let track = tracer.track(&format!("agg{pod:02}"));
             if let Some(sw) = self.engine_mut().component_mut::<Switch>(id) {
                 sw.set_tracer(track);
@@ -419,14 +587,18 @@ impl Cluster {
         let shape = self.fabric.shape();
         for pod in 0..shape.pods {
             for tor in 0..shape.tors_per_pod {
-                let id = self.fabric.tor_switch(pod, tor);
+                let Some(id) = self.fabric.try_tor_switch(pod, tor) else {
+                    continue;
+                };
                 if let Some(sw) = self.component::<Switch>(id) {
                     snap.visit(&format!("fabric/tor{pod:02}.{tor:02}"), sw);
                 }
             }
         }
         for pod in 0..shape.pods {
-            let id = self.fabric.agg_switch(pod);
+            let Some(id) = self.fabric.try_agg_switch(pod) else {
+                continue;
+            };
             if let Some(sw) = self.component::<Switch>(id) {
                 snap.visit(&format!("fabric/agg{pod:02}"), sw);
             }
@@ -441,7 +613,34 @@ impl Cluster {
                 snap.visit(&format!("shell/{addr}"), shell);
             }
         }
+        if let Some(id) = self.flowsim {
+            if let Some(fs) = self.component::<FlowSim>(id) {
+                snap.visit("flowsim", fs);
+            }
+        }
         snap
+    }
+
+    /// The flow-level background model's component id, when the fidelity
+    /// map is hybrid.
+    pub fn flowsim_id(&self) -> Option<ComponentId> {
+        self.flowsim
+    }
+
+    /// The flow-level background model, when the fidelity map is hybrid.
+    pub fn flowsim(&self) -> Option<&FlowSim> {
+        self.component::<FlowSim>(self.flowsim?)
+    }
+
+    /// Materializes a lazy packet pod ahead of its first [`Cluster::add_shell`]
+    /// (useful to front-load switch construction before timing a run).
+    /// Returns `true` when the pod was materialized by this call.
+    pub fn materialize_pod(&mut self, pod: u16) -> bool {
+        let engine = match &mut self.exec {
+            Exec::Single(engine) => engine,
+            Exec::Sharded(_) => panic!("materialize pods before calling Cluster::shard"),
+        };
+        self.fabric.materialize_pod(engine, pod)
     }
 }
 
@@ -477,7 +676,7 @@ mod tests {
 
     #[test]
     fn build_small_cluster_and_message_across_it() {
-        let mut cluster = Cluster::paper_scale(1, 1);
+        let mut cluster = ClusterBuilder::paper(1, 1).build();
         let a = NodeAddr::new(0, 0, 1);
         let b = NodeAddr::new(0, 3, 7); // different rack, same pod (L1 path)
         let a_id = cluster.add_shell(a);
@@ -505,7 +704,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already populated")]
     fn double_population_panics() {
-        let mut cluster = Cluster::paper_scale(1, 1);
+        let mut cluster = ClusterBuilder::paper(1, 1).build();
         cluster.add_shell(NodeAddr::new(0, 0, 0));
         cluster.add_shell(NodeAddr::new(0, 0, 0));
     }
@@ -537,7 +736,7 @@ mod tests {
     /// A cross-pod LTL volley on the sharded engine; returns the
     /// serialized metrics fingerprint and the event count.
     fn sharded_volley_fingerprint(shards: u32) -> (String, u64) {
-        let mut cluster = Cluster::paper_scale(11, 2);
+        let mut cluster = ClusterBuilder::paper(11, 2).build();
         let a = NodeAddr::new(0, 0, 1);
         let b = NodeAddr::new(1, 3, 2);
         let a_id = cluster.add_shell(a);
@@ -591,7 +790,7 @@ mod tests {
 
     #[test]
     fn unshard_restores_engine_access_and_state() {
-        let mut cluster = Cluster::paper_scale(3, 1);
+        let mut cluster = ClusterBuilder::paper(3, 1).build();
         let a = NodeAddr::new(0, 0, 1);
         let a_id = cluster.add_shell(a);
         cluster.add_shell(NodeAddr::new(0, 1, 1));
@@ -619,7 +818,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not support flight-recorder tracing")]
     fn shard_rejects_enabled_tracing() {
-        let mut cluster = Cluster::paper_scale(1, 1);
+        let mut cluster = ClusterBuilder::paper(1, 1).build();
         cluster.enable_tracing(64);
         cluster.shard(2);
     }

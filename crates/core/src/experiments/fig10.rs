@@ -12,11 +12,13 @@ use serde::Serialize;
 use telemetry::Histogram;
 
 use crate::calib::{paper_shape, reachable_hosts, Tier};
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterBuilder};
 use crate::probe::schedule_probes;
+use crate::workload::{FleetLoadGen, FleetWorkloadConfig};
 use dcnet::{Msg, PortId, Switch, TrafficClass};
 use dcsim::Component;
 use host::{StartGenerator, TrafficGen, TrafficGenConfig};
+use telemetry::HistogramSnapshot;
 
 /// Fig. 10 experiment parameters.
 #[derive(Debug, Clone)]
@@ -199,7 +201,8 @@ fn run_tier(
     trace_capacity: usize,
 ) -> (TierRow, Option<String>) {
     let shape = paper_shape(params.pods);
-    let mut cluster = Cluster::paper_scale(params.seed.wrapping_add(ti as u64), params.pods);
+    let mut cluster =
+        ClusterBuilder::paper(params.seed.wrapping_add(ti as u64), params.pods).build();
     if trace_capacity > 0 {
         cluster.enable_tracing(trace_capacity);
     }
@@ -302,4 +305,266 @@ pub fn run_traced(params: &Fig10Params, trace_capacity: usize) -> (Fig10Result, 
         },
     };
     (result, traces)
+}
+
+/// Fleet-scale (Fig. 10 `--full-scale`) parameters: a lazy 250k-host
+/// hybrid fabric with a small packet-fidelity island carrying the probe
+/// pairs, and the open-loop fleet workload as flow-level background.
+#[derive(Debug, Clone)]
+pub struct FleetParams {
+    /// Pods in the fabric (260 = the paper's quarter-million hosts).
+    pub pods: u16,
+    /// Pods simulated at packet fidelity (the island under study).
+    pub island_pods: u16,
+    /// Probe pairs per tier inside the island.
+    pub pairs_per_tier: usize,
+    /// Probe messages per pair.
+    pub probes_per_pair: u64,
+    /// Gap between probes.
+    pub probe_gap: SimDuration,
+    /// Probe payload size.
+    pub payload_bytes: usize,
+    /// Fleet background workload.
+    pub workload: FleetWorkloadConfig,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        FleetParams {
+            pods: 260,
+            island_pods: 2,
+            pairs_per_tier: 4,
+            probes_per_pair: 200,
+            probe_gap: SimDuration::from_micros(100),
+            payload_bytes: 32,
+            workload: FleetWorkloadConfig::default(),
+            seed: 0x0F16_0011,
+        }
+    }
+}
+
+/// One tier's RTT percentiles under fleet-scale background load.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetTierRow {
+    /// Tier label ("L0", "L1", "L2").
+    pub tier: String,
+    /// Reachable hosts at this tier (the x-axis of the 24 → 250k span).
+    pub reachable_hosts: usize,
+    /// Mean RTT in microseconds.
+    pub avg_us: f64,
+    /// Median RTT.
+    pub p50_us: f64,
+    /// 99.9th percentile RTT.
+    pub p999_us: f64,
+    /// Maximum observed RTT.
+    pub max_us: f64,
+    /// Sample count.
+    pub samples: usize,
+}
+
+/// The flow-level background's conservation ledger for the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetBackgroundRow {
+    /// Bytes the workload generator offered.
+    pub bytes_offered: u64,
+    /// Bytes the flow model accepted.
+    pub bytes_injected: u64,
+    /// Bytes drained to their destination pods.
+    pub bytes_delivered: u64,
+    /// Bytes still in flight at the horizon.
+    pub bytes_in_flight: u64,
+    /// Bytes rejected by the flow-table bound.
+    pub bytes_rejected: u64,
+    /// Background flows completed.
+    pub flows_completed: u64,
+    /// Fleet hosts that sourced at least one flow.
+    pub hosts_touched: usize,
+}
+
+/// The fleet-scale Fig. 10 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetResult {
+    /// Hosts reachable through L2 — the full fabric population.
+    pub hosts_reachable: usize,
+    /// One row per tier, measured inside the packet island.
+    pub tiers: Vec<FleetTierRow>,
+    /// Pods holding instantiated switch state (island only, thanks to
+    /// lazy materialization).
+    pub materialized_pods: usize,
+    /// Switches actually instantiated.
+    pub switch_count: usize,
+    /// ECN marks on the island's switches — nonzero when the boundary
+    /// adapter's background pressure is biting.
+    pub ecn_marked: u64,
+    /// Background-traffic ledger.
+    pub background: FleetBackgroundRow,
+    /// Events dispatched by the run.
+    pub events: u64,
+    /// Simulated horizon in nanoseconds.
+    pub horizon_ns: u64,
+}
+
+impl FleetResult {
+    /// Renders the paper-style table plus the fleet footer.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
+            "tier", "reachable", "avg(us)", "p50(us)", "p99.9(us)", "max(us)", "samples"
+        ));
+        for r in &self.tiers {
+            out.push_str(&format!(
+                "{:<8} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>8}\n",
+                r.tier, r.reachable_hosts, r.avg_us, r.p50_us, r.p999_us, r.max_us, r.samples
+            ));
+        }
+        out.push_str(&format!(
+            "hosts reachable {} | pods materialized {} | switches {} | ecn marks {} | bg delivered {} B\n",
+            self.hosts_reachable,
+            self.materialized_pods,
+            self.switch_count,
+            self.ecn_marked,
+            self.background.bytes_delivered,
+        ));
+        out
+    }
+}
+
+/// Probe pairs confined to the packet island.
+fn island_pairs(tier: Tier, pairs: usize, island: u16) -> Vec<(NodeAddr, NodeAddr)> {
+    match tier {
+        Tier::L0 | Tier::L1 => tier_pairs(tier, pairs, island),
+        Tier::L2 => (0..pairs)
+            .map(|i| {
+                let pod_b = 1 + (i as u16 % (island - 1).max(1));
+                (
+                    NodeAddr::new(0, 20 + i as u16, 3),
+                    NodeAddr::new(pod_b, 20 + i as u16, 3),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Runs the fleet-scale Fig. 10 experiment: one lazy hybrid cluster with
+/// all three tiers' probe pairs in the packet island and the open-loop
+/// fleet workload pressing on the spine from the flow pods.
+pub fn run_fleet(params: &FleetParams) -> FleetResult {
+    assert!(
+        params.island_pods >= 2,
+        "L2 probes need at least a two-pod island"
+    );
+    assert!(
+        params.pods > params.island_pods,
+        "fleet mode needs flow-fidelity pods beyond the island"
+    );
+    let shape = paper_shape(params.pods);
+    let mut cluster = ClusterBuilder::paper(params.seed, params.pods)
+        .packet_island(params.island_pods)
+        .lazy(true)
+        .build();
+
+    // Probe pairs: all three tiers share the island, disjoint rack sets.
+    let tiers = [Tier::L0, Tier::L1, Tier::L2];
+    let mut senders: Vec<Vec<NodeAddr>> = vec![Vec::new(); tiers.len()];
+    for (ti, &tier) in tiers.iter().enumerate() {
+        for (pi, &(a, b)) in island_pairs(tier, params.pairs_per_tier, params.island_pods)
+            .iter()
+            .enumerate()
+        {
+            cluster.add_shell(a);
+            cluster.add_shell(b);
+            let (a_send, _, _, _) = cluster.connect_pair(a, b);
+            let start = SimTime::from_nanos((ti * 17 + pi * 7) as u64 * 1_000);
+            schedule_probes(
+                &mut cluster,
+                a,
+                a_send,
+                start,
+                params.probe_gap,
+                params.probes_per_pair,
+                params.payload_bytes,
+            );
+            senders[ti].push(a);
+        }
+    }
+
+    // The open-loop fleet workload over the flow pods.
+    let flowsim = cluster
+        .flowsim_id()
+        .expect("hybrid fidelity map registers a flow model");
+    let fidelity = cluster.fabric().fidelity().clone();
+    let gen = cluster.engine_mut().add_component(FleetLoadGen::new(
+        params.workload.clone(),
+        shape,
+        &fidelity,
+        flowsim,
+    ));
+    cluster
+        .engine_mut()
+        .schedule(SimTime::ZERO, gen, Msg::custom(StartGenerator));
+
+    // The workload generator never stops; run to a horizon that lets the
+    // last probe's ACK land.
+    let horizon = SimTime::ZERO
+        + params.probe_gap * (params.probes_per_pair + 50)
+        + SimDuration::from_millis(1);
+    let events = cluster.run_until(horizon);
+
+    let snap = cluster.metrics_snapshot();
+    let rows = tiers
+        .iter()
+        .enumerate()
+        .map(|(ti, &tier)| {
+            let parts: Vec<HistogramSnapshot> = senders[ti]
+                .iter()
+                .filter_map(|a| snap.histogram(&format!("shell/{a}/ltl/rtt_ns")).cloned())
+                .collect();
+            let rtts = HistogramSnapshot::merged(parts.iter());
+            FleetTierRow {
+                tier: match tier {
+                    Tier::L0 => "L0",
+                    Tier::L1 => "L1",
+                    Tier::L2 => "L2",
+                }
+                .to_string(),
+                reachable_hosts: reachable_hosts(tier, shape),
+                avg_us: rtts.mean / 1_000.0,
+                p50_us: rtts.p50.unwrap_or(0) as f64 / 1_000.0,
+                p999_us: rtts.p999.unwrap_or(0) as f64 / 1_000.0,
+                max_us: rtts.max.unwrap_or(0) as f64 / 1_000.0,
+                samples: rtts.count as usize,
+            }
+        })
+        .collect();
+
+    let offered = cluster
+        .component::<FleetLoadGen>(gen)
+        .map(|g| g.bytes_offered())
+        .unwrap_or(0);
+    let fs = cluster.flowsim().expect("flow model registered");
+    let ledger = FleetBackgroundRow {
+        bytes_offered: offered,
+        bytes_injected: fs.bytes_injected(),
+        bytes_delivered: fs.bytes_delivered(),
+        bytes_in_flight: fs.bytes_in_flight(),
+        bytes_rejected: fs.bytes_rejected(),
+        flows_completed: fs.flows_completed(),
+        hosts_touched: cluster
+            .component::<FleetLoadGen>(gen)
+            .map(|g| g.hosts().hosts_touched())
+            .unwrap_or(0),
+    };
+    FleetResult {
+        hosts_reachable: reachable_hosts(Tier::L2, shape),
+        tiers: rows,
+        materialized_pods: cluster.fabric().materialized_pods(),
+        switch_count: cluster.fabric().switch_count(),
+        ecn_marked: snap.sum_counters("ecn_marked"),
+        background: ledger,
+        events,
+        horizon_ns: cluster.now().as_nanos(),
+    }
 }

@@ -15,7 +15,7 @@ use host::{CorePool, OpenLoopGen, PcieModel, StartGenerator};
 use serde::Serialize;
 use telemetry::Histogram;
 
-use crate::cluster::Cluster;
+use crate::cluster::ClusterBuilder;
 
 /// Oversubscription experiment parameters.
 #[derive(Debug, Clone)]
@@ -147,7 +147,7 @@ fn local_baseline(params: &Fig12Params) -> (f64, f64, f64) {
 /// Runs one ratio point and returns merged client latencies (µs).
 fn run_ratio(params: &Fig12Params, ratio: f64, seed: u64) -> (f64, f64, f64, usize) {
     let clients = ((ratio * params.accelerators as f64).round() as usize).max(1);
-    let mut cluster = Cluster::paper_scale(seed, 1);
+    let mut cluster = ClusterBuilder::paper(seed, 1).build();
 
     // Accelerator pool allocated through HaaS.
     let mut rm = ResourceManager::new();

@@ -13,7 +13,7 @@ use dcsim::{ComponentId, Engine, SimDuration, SimTime};
 use host::{OpenLoopGen, StartGenerator};
 use serde::Serialize;
 
-use crate::cluster::Cluster;
+use crate::cluster::ClusterBuilder;
 
 /// Sweep parameters shared by Figures 6 and 11.
 #[derive(Debug, Clone)]
@@ -150,7 +150,7 @@ fn extract_point(server: &mut RankingServer, now: SimTime, offered_qps: f64) -> 
 /// server's shell talks LTL to an accelerator role behind another shell in
 /// the same pod.
 fn run_remote_point(params: &RankingParams, qps: f64, queries: u64, seed: u64) -> RawPoint {
-    let mut cluster = Cluster::paper_scale(seed, 1);
+    let mut cluster = ClusterBuilder::paper(seed, 1).build();
     let host_addr = NodeAddr::new(0, 0, 1);
     let accel_addr = NodeAddr::new(0, 1, 1); // different rack, same pod
     let host_shell = cluster.add_shell(host_addr);

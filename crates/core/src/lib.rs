@@ -20,11 +20,11 @@
 //! Measure a same-TOR LTL round trip:
 //!
 //! ```
-//! use catapult::{probe::schedule_probes, Cluster};
+//! use catapult::{probe::schedule_probes, ClusterBuilder};
 //! use dcnet::NodeAddr;
 //! use dcsim::{SimDuration, SimTime};
 //!
-//! let mut cluster = Cluster::paper_scale(7, 1);
+//! let mut cluster = ClusterBuilder::paper(7, 1).build();
 //! let a = NodeAddr::new(0, 0, 0);
 //! let b = NodeAddr::new(0, 0, 1);
 //! cluster.add_shell(a);
@@ -58,8 +58,9 @@ mod cluster;
 pub mod experiments;
 pub mod probe;
 pub mod sweep;
+pub mod workload;
 
-pub use cluster::{env_shards, Cluster};
+pub use cluster::{env_shards, Cluster, ClusterBuilder};
 pub use telemetry;
 
 /// One-stop imports for experiment drivers and binaries.
@@ -72,8 +73,12 @@ pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosReport, ChaosRig, Preset};
     pub use crate::experiments;
     pub use crate::probe::schedule_probes;
-    pub use crate::Cluster;
-    pub use dcnet::{FabricConfig, FabricShape, Msg, NodeAddr};
+    pub use crate::workload::{FleetLoadGen, FleetWorkloadConfig};
+    pub use crate::{Cluster, ClusterBuilder};
+    pub use dcnet::{
+        FabricBuilder, FabricConfig, FabricShape, Fidelity, FidelityMap, FlowSim, FlowSimCmd,
+        FlowSimConfig, Msg, NodeAddr,
+    };
     pub use dcsim::{Component, ComponentId, Context, Engine, SimDuration, SimTime};
     pub use shell::ltl::LtlConfig;
     pub use shell::{Shell, ShellConfig};

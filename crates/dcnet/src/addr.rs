@@ -9,6 +9,52 @@
 
 use core::fmt;
 
+/// Why an address could not be constructed: one coordinate exceeds either
+/// the packed-encoding limits ([`NodeAddr::try_new`]) or a fabric shape's
+/// dimensions ([`crate::FabricShape::addr`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrError {
+    /// Pod coordinate too large.
+    Pod {
+        /// The offending pod coordinate.
+        pod: u16,
+        /// First invalid value (`pod` must be `< limit`).
+        limit: u16,
+    },
+    /// TOR coordinate too large.
+    Tor {
+        /// The offending TOR coordinate.
+        tor: u16,
+        /// First invalid value (`tor` must be `< limit`).
+        limit: u16,
+    },
+    /// Host coordinate too large.
+    Host {
+        /// The offending host coordinate.
+        host: u16,
+        /// First invalid value (`host` must be `< limit`).
+        limit: u16,
+    },
+}
+
+impl fmt::Display for AddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrError::Pod { pod, limit } => {
+                write!(f, "pod index out of range: {pod} (limit {limit})")
+            }
+            AddrError::Tor { tor, limit } => {
+                write!(f, "tor index out of range: {tor} (limit {limit})")
+            }
+            AddrError::Host { host, limit } => {
+                write!(f, "host index out of range: {host} (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
 /// Coordinates of a host slot in the three-tier fabric.
 ///
 /// # Examples
@@ -31,17 +77,56 @@ pub struct NodeAddr {
 }
 
 impl NodeAddr {
+    /// Highest pod coordinate plus one the packed encoding can carry.
+    pub const POD_LIMIT: u16 = 4096;
+    /// Highest TOR coordinate plus one the packed encoding can carry.
+    pub const TOR_LIMIT: u16 = 1024;
+    /// Highest host coordinate plus one the packed encoding can carry.
+    pub const HOST_LIMIT: u16 = 256;
+
+    /// Creates an address from its coordinates, rejecting any coordinate
+    /// that exceeds the packed-encoding limits (`pod < 4096`, `tor < 1024`,
+    /// `host < 256`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcnet::NodeAddr;
+    ///
+    /// assert!(NodeAddr::try_new(3, 17, 5).is_ok());
+    /// assert!(NodeAddr::try_new(0, 0, 256).is_err());
+    /// ```
+    pub fn try_new(pod: u16, tor: u16, host: u16) -> Result<Self, AddrError> {
+        if pod >= Self::POD_LIMIT {
+            return Err(AddrError::Pod {
+                pod,
+                limit: Self::POD_LIMIT,
+            });
+        }
+        if tor >= Self::TOR_LIMIT {
+            return Err(AddrError::Tor {
+                tor,
+                limit: Self::TOR_LIMIT,
+            });
+        }
+        if host >= Self::HOST_LIMIT {
+            return Err(AddrError::Host {
+                host,
+                limit: Self::HOST_LIMIT,
+            });
+        }
+        Ok(NodeAddr { pod, tor, host })
+    }
+
     /// Creates an address from its coordinates.
     ///
     /// # Panics
     ///
     /// Panics if any coordinate exceeds the packed-encoding limits
-    /// (`pod < 4096`, `tor < 1024`, `host < 256`).
+    /// (`pod < 4096`, `tor < 1024`, `host < 256`); use
+    /// [`NodeAddr::try_new`] for a fallible construction path.
     pub fn new(pod: u16, tor: u16, host: u16) -> Self {
-        assert!(pod < 4096, "pod index out of range");
-        assert!(tor < 1024, "tor index out of range");
-        assert!(host < 256, "host index out of range");
-        NodeAddr { pod, tor, host }
+        Self::try_new(pod, tor, host).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Packs the address into 32 bits (used as the IP address on the wire).
@@ -149,6 +234,39 @@ mod tests {
     #[should_panic(expected = "host index")]
     fn rejects_out_of_range_host() {
         let _ = NodeAddr::new(0, 0, 256);
+    }
+
+    #[test]
+    fn try_new_reports_the_offending_coordinate() {
+        assert_eq!(
+            NodeAddr::try_new(4096, 0, 0),
+            Err(AddrError::Pod {
+                pod: 4096,
+                limit: 4096
+            })
+        );
+        assert_eq!(
+            NodeAddr::try_new(0, 1024, 0),
+            Err(AddrError::Tor {
+                tor: 1024,
+                limit: 1024
+            })
+        );
+        assert_eq!(
+            NodeAddr::try_new(0, 0, 256),
+            Err(AddrError::Host {
+                host: 256,
+                limit: 256
+            })
+        );
+        assert_eq!(
+            NodeAddr::try_new(5, 6, 7),
+            Ok(NodeAddr {
+                pod: 5,
+                tor: 6,
+                host: 7
+            })
+        );
     }
 
     #[test]

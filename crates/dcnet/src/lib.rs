@@ -18,11 +18,11 @@
 //! Build a one-pod fabric and check a route:
 //!
 //! ```
-//! use dcnet::{Fabric, FabricConfig, Msg, NodeAddr};
+//! use dcnet::{FabricBuilder, Msg, NodeAddr};
 //! use dcsim::Engine;
 //!
 //! let mut engine: Engine<Msg> = Engine::new(1);
-//! let fabric = Fabric::build(&mut engine, &FabricConfig::default());
+//! let fabric = FabricBuilder::new().build(&mut engine);
 //! assert_eq!(fabric.shape().total_hosts(), 24 * 40);
 //! let _tor = fabric.tor_switch(0, 0);
 //! ```
@@ -32,14 +32,16 @@
 
 mod addr;
 mod dcqcn;
+mod flowsim;
 mod link;
 mod msg;
 mod packet;
 mod switch;
 mod topology;
 
-pub use addr::{MacAddr, NodeAddr};
+pub use addr::{AddrError, MacAddr, NodeAddr};
 pub use dcqcn::{CnpPacer, DcqcnConfig, DcqcnRp};
+pub use flowsim::{needs_flowsim, FlowSim, FlowSimCmd, FlowSimConfig};
 pub use link::{LinkParams, LinkTx, TxTiming};
 pub use msg::{Msg, NetEvent, PortId};
 pub use packet::{
@@ -50,4 +52,7 @@ pub use switch::{
     EcnConfig, FabricShape, Jitter, PfcConfig, Switch, SwitchCmd, SwitchConfig, SwitchRole,
     SwitchStats,
 };
-pub use topology::{Attachment, Fabric, FabricConfig, FabricPartition, PartitionGranularity};
+pub use topology::{
+    Attachment, Fabric, FabricBuilder, FabricConfig, FabricPartition, Fidelity, FidelityMap,
+    PartitionError, PartitionGranularity,
+};

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use dcsim::{Component, ComponentId, Context, SimDuration};
 use telemetry::{MetricSource, MetricVisitor, TrackTracer};
 
-use crate::addr::NodeAddr;
+use crate::addr::{AddrError, NodeAddr};
 use crate::link::{LinkParams, LinkTx};
 use crate::msg::{Msg, NetEvent, PortId};
 use crate::packet::{Ecn, Packet, TrafficClass};
@@ -65,6 +65,41 @@ impl FabricShape {
     /// Hosts in one pod.
     pub fn hosts_per_pod(&self) -> usize {
         self.hosts_per_tor as usize * self.tors_per_pod as usize
+    }
+
+    /// Builds the address for `(pod, tor, host)`, rejecting coordinates
+    /// outside this shape (not merely outside the packed encoding — see
+    /// [`NodeAddr::try_new`] for that weaker check).
+    pub fn addr(&self, pod: u16, tor: u16, host: u16) -> Result<NodeAddr, AddrError> {
+        if pod >= self.pods {
+            return Err(AddrError::Pod {
+                pod,
+                limit: self.pods,
+            });
+        }
+        if tor >= self.tors_per_pod {
+            return Err(AddrError::Tor {
+                tor,
+                limit: self.tors_per_pod,
+            });
+        }
+        if host >= self.hosts_per_tor {
+            return Err(AddrError::Host {
+                host,
+                limit: self.hosts_per_tor,
+            });
+        }
+        NodeAddr::try_new(pod, tor, host)
+    }
+
+    /// Checks that `addr` names a host slot inside this shape.
+    pub fn validate(&self, addr: NodeAddr) -> Result<(), AddrError> {
+        self.addr(addr.pod, addr.tor, addr.host).map(|_| ())
+    }
+
+    /// `true` if `addr` names a host slot inside this shape.
+    pub fn contains(&self, addr: NodeAddr) -> bool {
+        self.validate(addr).is_ok()
     }
 
     /// Iterates over every host slot address in the fabric.
@@ -286,6 +321,14 @@ struct Port {
     /// Cumulative frames put on the wire per class (never reset, so
     /// invariant checkers can detect transmission during a PFC pause).
     tx_frames: [u64; TrafficClass::COUNT],
+    /// Cross-fidelity boundary pressure: queue bytes this egress port
+    /// would be holding from flow-level aggregate (background) traffic
+    /// that is not simulated packet-by-packet. Counted into the RED/ECN
+    /// depth so packet-level flows see the congestion, but never into the
+    /// tail-drop test or transmission timing — the aggregate model marks,
+    /// it does not destroy. Set by [`SwitchCmd::SetBackgroundLoad`];
+    /// persists until the next update.
+    background_bytes: u64,
 }
 
 impl Port {
@@ -302,6 +345,7 @@ impl Port {
             ingress_bytes: [0; TrafficClass::COUNT],
             pause_sent: [false; TrafficClass::COUNT],
             tx_frames: [0; TrafficClass::COUNT],
+            background_bytes: 0,
         }
     }
 
@@ -357,6 +401,20 @@ pub enum SwitchCmd {
         port: PortId,
         /// Number of frames to corrupt.
         frames: u32,
+    },
+    /// Cross-fidelity boundary adapter: declares that flow-level aggregate
+    /// background traffic is keeping `bytes` of queue occupancy on egress
+    /// `port`. The pressure is added to the RED/ECN marking depth seen by
+    /// packet-level traffic through that port (and exported as the
+    /// `background_bytes` gauge) but never drops, delays or pauses
+    /// packet-level frames — the deterministic boundary contract between
+    /// `dcnet::flowsim` and the packet model. Replaces the port's previous
+    /// value; `bytes = 0` clears it.
+    SetBackgroundLoad {
+        /// Egress port the aggregate traffic shares.
+        port: PortId,
+        /// Queue-occupancy estimate in bytes.
+        bytes: u64,
     },
 }
 
@@ -482,6 +540,26 @@ impl Switch {
         self.ports[port.index()].queued_bytes[class.index()]
     }
 
+    /// Sets the flow-level background queue-occupancy pressure on egress
+    /// `port` (see [`SwitchCmd::SetBackgroundLoad`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn set_background_bytes(&mut self, port: PortId, bytes: u64) {
+        self.ports[port.index()].background_bytes = bytes;
+    }
+
+    /// Current background pressure on egress `port`
+    /// (see [`SwitchCmd::SetBackgroundLoad`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn background_bytes(&self, port: PortId) -> u64 {
+        self.ports[port.index()].background_bytes
+    }
+
     /// Whether egress `port` is currently PFC-paused for `class`
     /// (test/diagnostic: lets invariant checkers assert that a paused
     /// class never transmits).
@@ -576,16 +654,22 @@ impl Switch {
             return;
         }
         let depth = eport.queued_bytes[ci];
+        let background = eport.background_bytes;
 
         // Congestion point: RED/ECN marking against the egress queue depth.
+        // Flow-level background pressure counts toward the marking depth
+        // (aggregate traffic shares the queue) but not toward the tail-drop
+        // test below — the boundary adapter signals congestion, it never
+        // destroys packet-level frames.
         if let Some(ecn) = self.cfg.ecn {
             if pkt.ecn == Ecn::Capable {
-                let p = if depth <= ecn.kmin_bytes {
+                let mark_depth = depth + background;
+                let p = if mark_depth <= ecn.kmin_bytes {
                     0.0
-                } else if depth >= ecn.kmax_bytes {
+                } else if mark_depth >= ecn.kmax_bytes {
                     1.0
                 } else {
-                    ecn.pmax * (depth - ecn.kmin_bytes) as f64
+                    ecn.pmax * (mark_depth - ecn.kmin_bytes) as f64
                         / (ecn.kmax_bytes - ecn.kmin_bytes) as f64
                 };
                 if p > 0.0 && ctx.rng().chance(p) {
@@ -736,6 +820,9 @@ impl Component<Msg> for Switch {
                         SwitchCmd::CorruptNext { port, frames } => {
                             self.ports[port.index()].corrupt_pending += frames;
                         }
+                        SwitchCmd::SetBackgroundLoad { port, bytes } => {
+                            self.set_background_bytes(port, bytes);
+                        }
                     }
                 }
             }
@@ -786,6 +873,8 @@ impl MetricSource for Switch {
             .map(|p| p.queued_bytes.iter().sum::<u64>())
             .sum();
         m.gauge("queued_bytes", queued as f64);
+        let background: u64 = self.ports.iter().map(|p| p.background_bytes).sum();
+        m.gauge("background_bytes", background as f64);
     }
 }
 
@@ -1258,6 +1347,103 @@ mod tests {
             e.component::<Switch>(sw_id).unwrap().stats_view().corrupted,
             2
         );
+    }
+
+    #[test]
+    fn background_pressure_marks_but_never_drops() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let cfg = SwitchConfig {
+            ecn: Some(EcnConfig {
+                kmin_bytes: 1_000,
+                kmax_bytes: 5_000,
+                pmax: 1.0,
+            }),
+            ..SwitchConfig::default()
+        };
+        let sw_id = e.next_component_id();
+        let mut sw = Switch::new(SwitchRole::Tor { pod: 0, tor: 0 }, shape(), cfg);
+        sw.connect(PortId(2), ComponentId::from_raw(1), PortId(0));
+        e.add_component(sw);
+        let sink_id = e.add_component(Sink::default());
+        // Saturating background pressure on an otherwise-empty queue: every
+        // ECN-capable packet must be marked, none dropped or delayed.
+        e.schedule(
+            SimTime::ZERO,
+            sw_id,
+            Msg::custom(SwitchCmd::SetBackgroundLoad {
+                port: PortId(2),
+                bytes: 10_000,
+            }),
+        );
+        for i in 0..5u64 {
+            let pkt = mk_pkt(
+                NodeAddr::new(0, 0, 1),
+                NodeAddr::new(0, 0, 2),
+                TrafficClass::LTL,
+                100,
+            );
+            e.schedule(
+                SimTime::from_micros(1 + i * 10),
+                sw_id,
+                Msg::packet(pkt, PortId(1)),
+            );
+        }
+        e.run_to_idle();
+        let sink = e.component::<Sink>(sink_id).unwrap();
+        assert_eq!(sink.packets.len(), 5, "pressure must not drop frames");
+        assert!(
+            sink.packets
+                .iter()
+                .all(|(_, p)| p.ecn == Ecn::CongestionExperienced),
+            "every packet marked under saturating pressure"
+        );
+        let sw = e.component::<Switch>(sw_id).unwrap();
+        assert_eq!(sw.stats_view().dropped, 0);
+        assert_eq!(sw.background_bytes(PortId(2)), 10_000);
+        // Clearing the pressure stops the marking.
+        let t = e.now();
+        e.schedule(
+            t,
+            sw_id,
+            Msg::custom(SwitchCmd::SetBackgroundLoad {
+                port: PortId(2),
+                bytes: 0,
+            }),
+        );
+        let pkt = mk_pkt(
+            NodeAddr::new(0, 0, 1),
+            NodeAddr::new(0, 0, 2),
+            TrafficClass::LTL,
+            100,
+        );
+        e.schedule(
+            t + SimDuration::from_micros(10),
+            sw_id,
+            Msg::packet(pkt, PortId(1)),
+        );
+        e.run_to_idle();
+        let sink = e.component::<Sink>(sink_id).unwrap();
+        assert_eq!(sink.packets.last().unwrap().1.ecn, Ecn::Capable);
+    }
+
+    #[test]
+    fn shape_validates_coordinates() {
+        let s = shape(); // 4 hosts, 2 tors, 2 pods
+        assert!(s.addr(1, 1, 3).is_ok());
+        assert!(matches!(
+            s.addr(2, 0, 0),
+            Err(crate::AddrError::Pod { pod: 2, limit: 2 })
+        ));
+        assert!(matches!(
+            s.addr(0, 2, 0),
+            Err(crate::AddrError::Tor { tor: 2, limit: 2 })
+        ));
+        assert!(matches!(
+            s.addr(0, 0, 4),
+            Err(crate::AddrError::Host { host: 4, limit: 4 })
+        ));
+        assert!(s.contains(NodeAddr::new(1, 1, 3)));
+        assert!(!s.contains(NodeAddr::new(1, 1, 4)));
     }
 
     #[test]

@@ -1,16 +1,138 @@
 //! Three-tier fabric construction.
 //!
-//! [`Fabric::build`] instantiates every TOR (L0), aggregation (L1) and
-//! spine (L2) switch for a [`FabricShape`] and cables them together.
-//! Endpoints (hosts, or the bump-in-the-wire FPGA shells that front them)
-//! are attached afterwards with [`Fabric::attach`], which returns the TOR
+//! [`FabricBuilder`] instantiates TOR (L0), aggregation (L1) and spine
+//! (L2) switches for a [`FabricShape`] and cables them together. Endpoints
+//! (hosts, or the bump-in-the-wire FPGA shells that front them) are
+//! attached afterwards with [`Fabric::attach`], which returns the TOR
 //! attachment the endpoint needs in order to transmit.
+//!
+//! Two features make quarter-million-host fabrics tractable:
+//!
+//! * **Hybrid fidelity** ([`FidelityMap`]): pods hosting the flows under
+//!   study run at packet fidelity, far pods at [`Fidelity::Flow`] carry no
+//!   switch components at all — their traffic is modelled by
+//!   [`crate::flowsim::FlowSim`] and shows up on the shared spines as
+//!   ECN/queue-occupancy pressure.
+//! * **Lazy instantiation** ([`FabricBuilder::lazy`]): packet-fidelity
+//!   pods materialize their switch state only when the first endpoint
+//!   attaches, so a 260-pod fabric with a 2-pod island allocates 2 pods'
+//!   worth of switches.
+
+use core::fmt;
 
 use dcsim::{ComponentId, Engine, SimDuration};
 
 use crate::addr::NodeAddr;
 use crate::msg::{Msg, PortId};
 use crate::switch::{FabricShape, Switch, SwitchConfig, SwitchRole};
+
+/// Simulation fidelity of one pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Full packet-level simulation: TOR and aggregation switches exist
+    /// and every frame is forwarded event by event.
+    #[default]
+    Packet,
+    /// Flow-level aggregate: the pod has no switch components; its
+    /// traffic lives in [`crate::flowsim::FlowSim`] and is felt by
+    /// packet-fidelity pods only as boundary pressure on the spines.
+    Flow,
+}
+
+/// Per-pod fidelity assignment for a fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FidelityMap {
+    per_pod: Vec<Fidelity>,
+}
+
+impl FidelityMap {
+    /// Every pod at the same fidelity.
+    pub fn uniform(pods: u16, fidelity: Fidelity) -> Self {
+        FidelityMap {
+            per_pod: vec![fidelity; pods as usize],
+        }
+    }
+
+    /// Every pod at packet fidelity (the legacy behaviour).
+    pub fn all_packet(pods: u16) -> Self {
+        Self::uniform(pods, Fidelity::Packet)
+    }
+
+    /// The first `island` pods at packet fidelity, the rest at flow
+    /// fidelity — the standard fleet-scale setup: a small island under
+    /// study inside a large aggregate background.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `island > pods`.
+    pub fn packet_island(pods: u16, island: u16) -> Self {
+        assert!(
+            island <= pods,
+            "island of {island} packet pods exceeds the {pods}-pod fabric"
+        );
+        let mut map = Self::uniform(pods, Fidelity::Flow);
+        for pod in 0..island {
+            map.set(pod, Fidelity::Packet);
+        }
+        map
+    }
+
+    /// Sets one pod's fidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pod` is outside the map.
+    pub fn set(&mut self, pod: u16, fidelity: Fidelity) {
+        assert!(
+            (pod as usize) < self.per_pod.len(),
+            "pod {pod} outside the {}-pod fidelity map",
+            self.per_pod.len()
+        );
+        self.per_pod[pod as usize] = fidelity;
+    }
+
+    /// The fidelity of `pod`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pod` is outside the map.
+    pub fn pod(&self, pod: u16) -> Fidelity {
+        self.per_pod[pod as usize]
+    }
+
+    /// Number of pods covered.
+    pub fn pods(&self) -> u16 {
+        self.per_pod.len() as u16
+    }
+
+    /// Iterates over the packet-fidelity pod indices, ascending.
+    pub fn packet_pods(&self) -> impl Iterator<Item = u16> + '_ {
+        self.per_pod
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f == Fidelity::Packet)
+            .map(|(i, _)| i as u16)
+    }
+
+    /// Iterates over the flow-fidelity pod indices, ascending.
+    pub fn flow_pods(&self) -> impl Iterator<Item = u16> + '_ {
+        self.per_pod
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f == Fidelity::Flow)
+            .map(|(i, _)| i as u16)
+    }
+
+    /// Number of packet-fidelity pods.
+    pub fn packet_pod_count(&self) -> usize {
+        self.packet_pods().count()
+    }
+
+    /// `true` when every pod is at packet fidelity (legacy-equivalent).
+    pub fn is_all_packet(&self) -> bool {
+        self.per_pod.iter().all(|f| *f == Fidelity::Packet)
+    }
+}
 
 /// Which component boundary a [`FabricPartition`] cuts along.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +183,56 @@ fn min_egress_delay(cfg: &SwitchConfig) -> SimDuration {
         cfg.link.propagation + cfg.base_latency
     }
 }
+
+/// Why a hybrid partition request was rejected
+/// ([`FabricPartition::plan_hybrid`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// More shards requested than packet-fidelity pods exist. Hybrid
+    /// partitions only cut along pod boundaries (flow-fidelity pods have
+    /// no components to shard), so the shard count cannot exceed the
+    /// packet-pod count.
+    ShardsExceedPacketPods {
+        /// Requested shard count.
+        shards: u32,
+        /// Packet-fidelity pods available.
+        packet_pods: u32,
+    },
+    /// The fidelity map covers a different pod count than the fabric
+    /// shape.
+    FidelityShapeMismatch {
+        /// Pods in the fidelity map.
+        map_pods: u16,
+        /// Pods in the fabric shape.
+        shape_pods: u16,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::ShardsExceedPacketPods {
+                shards,
+                packet_pods,
+            } => write!(
+                f,
+                "cannot shard a hybrid fabric into {shards} shards: only \
+                 {packet_pods} packet-fidelity pods exist and hybrid \
+                 partitions cut on pod boundaries only"
+            ),
+            PartitionError::FidelityShapeMismatch {
+                map_pods,
+                shape_pods,
+            } => write!(
+                f,
+                "fidelity map covers {map_pods} pods but the fabric shape \
+                 has {shape_pods}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
 
 impl FabricPartition {
     /// Plans a partition of `cfg`'s fabric into (up to) `shards` shards.
@@ -129,6 +301,69 @@ impl FabricPartition {
         }
     }
 
+    /// Plans a partition of a hybrid-fidelity fabric.
+    ///
+    /// All-packet maps delegate to [`FabricPartition::plan`] (identical
+    /// result). Hybrid maps shard on pod boundaries only: the
+    /// packet-fidelity pods are dealt out in contiguous blocks, and every
+    /// flow-fidelity pod's (non-existent) switches map to shard 0, where
+    /// [`crate::flowsim::FlowSim`] lives. Requesting more shards than
+    /// packet pods is rejected rather than silently mispartitioned.
+    pub fn plan_hybrid(
+        cfg: &FabricConfig,
+        fidelity: &FidelityMap,
+        shards: u32,
+    ) -> Result<FabricPartition, PartitionError> {
+        if fidelity.pods() != cfg.shape.pods {
+            return Err(PartitionError::FidelityShapeMismatch {
+                map_pods: fidelity.pods(),
+                shape_pods: cfg.shape.pods,
+            });
+        }
+        if fidelity.is_all_packet() {
+            return Ok(Self::plan(cfg, shards));
+        }
+        let shape = cfg.shape;
+        let shards = shards.max(1);
+        let packet_pods: Vec<u16> = fidelity.packet_pods().collect();
+        if shards as usize > packet_pods.len().max(1) {
+            return Err(PartitionError::ShardsExceedPacketPods {
+                shards,
+                packet_pods: packet_pods.len() as u32,
+            });
+        }
+
+        // Flow pods (no components) ride on shard 0 with the flow-level
+        // aggregate model; packet pods are dealt contiguous blocks.
+        let mut agg_shard = vec![0u32; shape.pods as usize];
+        for (i, &pod) in packet_pods.iter().enumerate() {
+            agg_shard[pod as usize] =
+                (i as u64 * u64::from(shards) / packet_pods.len() as u64) as u32;
+        }
+        let mut tor_shard = Vec::with_capacity(shape.pods as usize * shape.tors_per_pod as usize);
+        for pod in 0..shape.pods {
+            tor_shard.extend(std::iter::repeat_n(
+                agg_shard[pod as usize],
+                shape.tors_per_pod as usize,
+            ));
+        }
+        let spine_shard = (0..shape.spines).map(|i| u32::from(i) % shards).collect();
+        let lookahead = if shards == 1 {
+            SimDuration::MAX
+        } else {
+            min_egress_delay(&cfg.agg).min(min_egress_delay(&cfg.spine))
+        };
+        Ok(FabricPartition {
+            shards,
+            granularity: PartitionGranularity::Pod,
+            shape,
+            tor_shard,
+            agg_shard,
+            spine_shard,
+            lookahead,
+        })
+    }
+
     /// Number of shards actually planned (after clamping).
     pub fn shards(&self) -> u32 {
         self.shards
@@ -195,86 +430,288 @@ pub struct Attachment {
     pub addr: NodeAddr,
 }
 
+/// Configures and builds a [`Fabric`]: dimensions, per-tier switch
+/// configuration, per-pod fidelity and lazy instantiation.
+///
+/// # Examples
+///
+/// ```
+/// use dcnet::{FabricBuilder, Fidelity, Msg};
+/// use dcsim::Engine;
+///
+/// let mut engine: Engine<Msg> = Engine::new(1);
+/// let fabric = FabricBuilder::new()
+///     .pods(4)
+///     .tors_per_pod(8)
+///     .hosts_per_tor(16)
+///     .build(&mut engine);
+/// assert_eq!(fabric.shape().total_hosts(), 4 * 8 * 16);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FabricBuilder {
+    cfg: FabricConfig,
+    fidelity: Option<FidelityMap>,
+    pod_overrides: Vec<(u16, Fidelity)>,
+    lazy: bool,
+}
+
+impl FabricBuilder {
+    /// A builder with default dimensions and switch configurations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder seeded from an existing per-tier configuration.
+    pub fn from_config(cfg: &FabricConfig) -> Self {
+        FabricBuilder {
+            cfg: cfg.clone(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets all fabric dimensions at once.
+    pub fn shape(mut self, shape: FabricShape) -> Self {
+        self.cfg.shape = shape;
+        self
+    }
+
+    /// Sets the number of pods.
+    pub fn pods(mut self, pods: u16) -> Self {
+        self.cfg.shape.pods = pods;
+        self
+    }
+
+    /// Sets the number of racks per pod.
+    pub fn tors_per_pod(mut self, tors: u16) -> Self {
+        self.cfg.shape.tors_per_pod = tors;
+        self
+    }
+
+    /// Sets the number of host slots per rack.
+    pub fn hosts_per_tor(mut self, hosts: u16) -> Self {
+        self.cfg.shape.hosts_per_tor = hosts;
+        self
+    }
+
+    /// Sets the number of spine switches.
+    pub fn spines(mut self, spines: u16) -> Self {
+        self.cfg.shape.spines = spines;
+        self
+    }
+
+    /// Sets the configuration of every TOR switch.
+    pub fn tor_config(mut self, cfg: SwitchConfig) -> Self {
+        self.cfg.tor = cfg;
+        self
+    }
+
+    /// Sets the configuration of every aggregation switch.
+    pub fn agg_config(mut self, cfg: SwitchConfig) -> Self {
+        self.cfg.agg = cfg;
+        self
+    }
+
+    /// Sets the configuration of every spine switch.
+    pub fn spine_config(mut self, cfg: SwitchConfig) -> Self {
+        self.cfg.spine = cfg;
+        self
+    }
+
+    /// Sets the per-pod fidelity map (defaults to all-packet). The map
+    /// must cover exactly the shape's pod count at [`FabricBuilder::build`]
+    /// time.
+    pub fn fidelity(mut self, map: FidelityMap) -> Self {
+        self.fidelity = Some(map);
+        self
+    }
+
+    /// Overrides one pod's fidelity (applied on top of the map, or of the
+    /// all-packet default, at build time).
+    pub fn pod_fidelity(mut self, pod: u16, fidelity: Fidelity) -> Self {
+        self.pod_overrides.push((pod, fidelity));
+        self
+    }
+
+    /// Defers switch instantiation of packet-fidelity pods until the
+    /// first endpoint attaches ([`Fabric::attach`] /
+    /// [`Fabric::materialize_pod`]). Spines are always built eagerly:
+    /// they are the cross-pod glue and the target of flow-level boundary
+    /// pressure.
+    pub fn lazy(mut self, lazy: bool) -> Self {
+        self.lazy = lazy;
+        self
+    }
+
+    /// The per-tier configuration as currently accumulated (useful for
+    /// partition planning alongside the built fabric).
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Builds the fabric: spines always, packet-fidelity pods eagerly
+    /// unless [`FabricBuilder::lazy`], flow-fidelity pods never.
+    ///
+    /// The eager all-packet path registers components in exactly the
+    /// legacy [`Fabric::build`] order (spines, then per pod: aggregation
+    /// switch then TORs), so telemetry fingerprints are byte-identical to
+    /// the deprecated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fidelity map does not cover the shape's pod count or
+    /// an override names a pod outside it.
+    pub fn build(self, engine: &mut Engine<Msg>) -> Fabric {
+        let shape = self.cfg.shape;
+        let mut fidelity = self
+            .fidelity
+            .unwrap_or_else(|| FidelityMap::all_packet(shape.pods));
+        assert_eq!(
+            fidelity.pods(),
+            shape.pods,
+            "fidelity map covers {} pods but the shape has {}",
+            fidelity.pods(),
+            shape.pods
+        );
+        for (pod, f) in self.pod_overrides {
+            fidelity.set(pod, f);
+        }
+
+        let pods = shape.pods as usize;
+        let mut fabric = Fabric {
+            shape,
+            fidelity,
+            lazy: self.lazy,
+            tor_cfg: self.cfg.tor.clone(),
+            agg_cfg: self.cfg.agg.clone(),
+            tors: vec![None; pods * shape.tors_per_pod as usize],
+            aggs: vec![None; pods],
+            spines: Vec::with_capacity(shape.spines as usize),
+        };
+        for index in 0..shape.spines {
+            fabric.spines.push(engine.add_component(Switch::new(
+                SwitchRole::Spine { index },
+                shape,
+                self.cfg.spine.clone(),
+            )));
+        }
+        if !self.lazy {
+            // Legacy registration order: register every pod's components
+            // first, then cable — byte-identical ids to Fabric::build.
+            for pod in 0..shape.pods {
+                if fabric.fidelity.pod(pod) == Fidelity::Packet {
+                    fabric.register_pod(engine, pod);
+                }
+            }
+            for pod in 0..shape.pods {
+                if fabric.fidelity.pod(pod) == Fidelity::Packet {
+                    fabric.cable_pod(engine, pod);
+                }
+            }
+        }
+        fabric
+    }
+}
+
 /// A built three-tier switching fabric.
 #[derive(Debug, Clone)]
 pub struct Fabric {
     shape: FabricShape,
-    /// TOR switches, indexed `pod * tors_per_pod + tor`.
-    tors: Vec<ComponentId>,
-    /// Aggregation switches, indexed by pod.
-    aggs: Vec<ComponentId>,
-    /// Spine switches.
+    fidelity: FidelityMap,
+    lazy: bool,
+    /// Per-tier configurations retained for lazy materialization.
+    tor_cfg: SwitchConfig,
+    agg_cfg: SwitchConfig,
+    /// TOR switches, indexed `pod * tors_per_pod + tor`; `None` for
+    /// flow-fidelity or not-yet-materialized pods.
+    tors: Vec<Option<ComponentId>>,
+    /// Aggregation switches, indexed by pod; `None` as above.
+    aggs: Vec<Option<ComponentId>>,
+    /// Spine switches (always present).
     spines: Vec<ComponentId>,
 }
 
 impl Fabric {
     /// Builds all switches for `cfg` and cables the tiers together.
+    #[deprecated(note = "use FabricBuilder::from_config(cfg).build(engine)")]
     pub fn build(engine: &mut Engine<Msg>, cfg: &FabricConfig) -> Fabric {
-        let shape = cfg.shape;
-        let mut tors = Vec::with_capacity(shape.pods as usize * shape.tors_per_pod as usize);
-        let mut aggs = Vec::with_capacity(shape.pods as usize);
-        let mut spines = Vec::with_capacity(shape.spines as usize);
+        FabricBuilder::from_config(cfg).build(engine)
+    }
 
-        for index in 0..shape.spines {
-            spines.push(engine.add_component(Switch::new(
-                SwitchRole::Spine { index },
-                shape,
-                cfg.spine.clone(),
-            )));
-        }
-        for pod in 0..shape.pods {
-            let agg =
-                engine.add_component(Switch::new(SwitchRole::Agg { pod }, shape, cfg.agg.clone()));
-            aggs.push(agg);
-            for tor in 0..shape.tors_per_pod {
-                let tor_id = engine.add_component(Switch::new(
-                    SwitchRole::Tor { pod, tor },
-                    shape,
-                    cfg.tor.clone(),
-                ));
-                tors.push(tor_id);
-            }
-        }
-
-        let fabric = Fabric {
+    /// Registers `pod`'s aggregation switch and TORs (ids in legacy
+    /// order: agg first, then TORs ascending). No cabling yet.
+    fn register_pod(&mut self, engine: &mut Engine<Msg>, pod: u16) {
+        let shape = self.shape;
+        let agg = engine.add_component(Switch::new(
+            SwitchRole::Agg { pod },
             shape,
-            tors,
-            aggs,
-            spines,
-        };
-
-        // Cable TOR uplinks to aggregation switches.
-        for pod in 0..shape.pods {
-            let agg = fabric.aggs[pod as usize];
-            for tor in 0..shape.tors_per_pod {
-                let tor_id = fabric.tor_switch(pod, tor);
-                let uplink = PortId(shape.hosts_per_tor);
-                let down = PortId(tor);
-                engine
-                    .component_mut::<Switch>(tor_id)
-                    .expect("tor exists")
-                    .connect(uplink, agg, down);
-                engine
-                    .component_mut::<Switch>(agg)
-                    .expect("agg exists")
-                    .connect(down, tor_id, uplink);
-            }
-            // Cable aggregation uplinks to each spine.
-            for s in 0..shape.spines {
-                let spine = fabric.spines[s as usize];
-                let up = PortId(shape.tors_per_pod + s);
-                let down = PortId(pod);
-                engine
-                    .component_mut::<Switch>(agg)
-                    .expect("agg exists")
-                    .connect(up, spine, down);
-                engine
-                    .component_mut::<Switch>(spine)
-                    .expect("spine exists")
-                    .connect(down, agg, up);
-            }
+            self.agg_cfg.clone(),
+        ));
+        self.aggs[pod as usize] = Some(agg);
+        for tor in 0..shape.tors_per_pod {
+            let tor_id = engine.add_component(Switch::new(
+                SwitchRole::Tor { pod, tor },
+                shape,
+                self.tor_cfg.clone(),
+            ));
+            self.tors[pod as usize * shape.tors_per_pod as usize + tor as usize] = Some(tor_id);
         }
-        fabric
+    }
+
+    /// Cables `pod`'s TOR uplinks to its aggregation switch and the
+    /// aggregation uplinks to every spine.
+    fn cable_pod(&mut self, engine: &mut Engine<Msg>, pod: u16) {
+        let shape = self.shape;
+        let agg = self.aggs[pod as usize].expect("pod registered before cabling");
+        for tor in 0..shape.tors_per_pod {
+            let tor_id = self.tors[pod as usize * shape.tors_per_pod as usize + tor as usize]
+                .expect("pod registered before cabling");
+            let uplink = PortId(shape.hosts_per_tor);
+            let down = PortId(tor);
+            engine
+                .component_mut::<Switch>(tor_id)
+                .expect("tor exists")
+                .connect(uplink, agg, down);
+            engine
+                .component_mut::<Switch>(agg)
+                .expect("agg exists")
+                .connect(down, tor_id, uplink);
+        }
+        for s in 0..shape.spines {
+            let spine = self.spines[s as usize];
+            let up = PortId(shape.tors_per_pod + s);
+            let down = PortId(pod);
+            engine
+                .component_mut::<Switch>(agg)
+                .expect("agg exists")
+                .connect(up, spine, down);
+            engine
+                .component_mut::<Switch>(spine)
+                .expect("spine exists")
+                .connect(down, agg, up);
+        }
+    }
+
+    /// Materializes a lazy packet-fidelity pod: registers and cables its
+    /// aggregation switch and TORs. Idempotent; returns `true` when the
+    /// pod was materialized by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pod` is outside the shape or at flow fidelity (flow
+    /// pods have no packet-level switches to materialize).
+    pub fn materialize_pod(&mut self, engine: &mut Engine<Msg>, pod: u16) -> bool {
+        assert!(pod < self.shape.pods, "pod {pod} outside the fabric shape");
+        assert_eq!(
+            self.fidelity.pod(pod),
+            Fidelity::Packet,
+            "pod {pod} is flow-fidelity: it has no packet-level switches"
+        );
+        if self.aggs[pod as usize].is_some() {
+            return false;
+        }
+        self.register_pod(engine, pod);
+        self.cable_pod(engine, pod);
+        true
     }
 
     /// The fabric dimensions.
@@ -282,18 +719,66 @@ impl Fabric {
         self.shape
     }
 
+    /// The per-pod fidelity map.
+    pub fn fidelity(&self) -> &FidelityMap {
+        &self.fidelity
+    }
+
+    /// Whether packet pods materialize lazily.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Whether `pod`'s switches currently exist.
+    pub fn is_materialized(&self, pod: u16) -> bool {
+        self.aggs[pod as usize].is_some()
+    }
+
+    /// Number of pods whose switches currently exist.
+    pub fn materialized_pods(&self) -> usize {
+        self.aggs.iter().filter(|a| a.is_some()).count()
+    }
+
     /// The TOR switch component for rack `(pod, tor)`.
     ///
     /// # Panics
     ///
-    /// Panics if the coordinates are outside the fabric shape.
+    /// Panics if the coordinates are outside the fabric shape, or the pod
+    /// is at flow fidelity / not yet materialized (use
+    /// [`Fabric::try_tor_switch`] for an optional lookup).
     pub fn tor_switch(&self, pod: u16, tor: u16) -> ComponentId {
+        self.try_tor_switch(pod, tor).unwrap_or_else(|| {
+            panic!("pod {pod} has no packet-level switches (flow-fidelity or not yet materialized)")
+        })
+    }
+
+    /// The TOR switch for rack `(pod, tor)`, or `None` when the pod is at
+    /// flow fidelity or not yet materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the fabric shape.
+    pub fn try_tor_switch(&self, pod: u16, tor: u16) -> Option<ComponentId> {
         assert!(pod < self.shape.pods && tor < self.shape.tors_per_pod);
         self.tors[pod as usize * self.shape.tors_per_pod as usize + tor as usize]
     }
 
     /// The aggregation switch for `pod`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pod` is outside the shape, at flow fidelity, or not yet
+    /// materialized (use [`Fabric::try_agg_switch`]).
     pub fn agg_switch(&self, pod: u16) -> ComponentId {
+        self.try_agg_switch(pod).unwrap_or_else(|| {
+            panic!("pod {pod} has no packet-level switches (flow-fidelity or not yet materialized)")
+        })
+    }
+
+    /// The aggregation switch for `pod`, or `None` when the pod is at
+    /// flow fidelity or not yet materialized.
+    pub fn try_agg_switch(&self, pod: u16) -> Option<ComponentId> {
+        assert!(pod < self.shape.pods, "pod {pod} outside the fabric shape");
         self.aggs[pod as usize]
     }
 
@@ -302,25 +787,43 @@ impl Fabric {
         &self.spines
     }
 
-    /// All TOR switches, pod-major.
-    pub fn tor_switches(&self) -> &[ComponentId] {
-        &self.tors
+    /// All materialized TOR switches, pod-major.
+    pub fn tor_switches(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.tors.iter().filter_map(|t| *t)
     }
 
     /// Cables `endpoint` (via its `endpoint_port`) to the TOR port for
     /// `addr`, and returns the attachment the endpoint should transmit to.
+    /// On a lazy fabric this materializes the pod first.
     ///
     /// # Panics
     ///
-    /// Panics if `addr` is outside the fabric shape.
+    /// Panics if `addr` is outside the fabric shape, or its pod is at
+    /// flow fidelity (flow pods cannot host packet-level endpoints).
     pub fn attach(
-        &self,
+        &mut self,
         engine: &mut Engine<Msg>,
         addr: NodeAddr,
         endpoint: ComponentId,
         endpoint_port: PortId,
     ) -> Attachment {
-        assert!(addr.host < self.shape.hosts_per_tor, "host out of range");
+        self.shape
+            .validate(addr)
+            .unwrap_or_else(|e| panic!("attach {addr}: {e}"));
+        assert_eq!(
+            self.fidelity.pod(addr.pod),
+            Fidelity::Packet,
+            "cannot attach an endpoint in flow-fidelity pod {}",
+            addr.pod
+        );
+        if !self.is_materialized(addr.pod) {
+            assert!(
+                self.lazy,
+                "pod {} was never materialized on a non-lazy fabric",
+                addr.pod
+            );
+            self.materialize_pod(engine, addr.pod);
+        }
         let tor = self.tor_switch(addr.pod, addr.tor);
         engine
             .component_mut::<Switch>(tor)
@@ -333,9 +836,11 @@ impl Fabric {
         }
     }
 
-    /// Number of switches in the fabric.
+    /// Number of switches currently instantiated in the fabric.
     pub fn switch_count(&self) -> usize {
-        self.tors.len() + self.aggs.len() + self.spines.len()
+        self.tors.iter().filter(|t| t.is_some()).count()
+            + self.aggs.iter().filter(|a| a.is_some()).count()
+            + self.spines.len()
     }
 }
 
@@ -375,14 +880,97 @@ mod tests {
     #[test]
     fn builds_expected_switch_counts() {
         let mut e: Engine<Msg> = Engine::new(1);
-        let f = Fabric::build(&mut e, &small_cfg());
+        let f = FabricBuilder::from_config(&small_cfg()).build(&mut e);
         assert_eq!(f.switch_count(), 2 * 3 + 2 + 2);
         assert_eq!(f.shape().total_hosts(), 24);
+        assert_eq!(f.materialized_pods(), 2);
+        assert!(!f.is_lazy());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_matches_builder() {
+        let mut e1: Engine<Msg> = Engine::new(1);
+        let legacy = Fabric::build(&mut e1, &small_cfg());
+        let mut e2: Engine<Msg> = Engine::new(1);
+        let built = FabricBuilder::from_config(&small_cfg()).build(&mut e2);
+        assert_eq!(legacy.switch_count(), built.switch_count());
+        assert_eq!(legacy.tor_switch(1, 2), built.tor_switch(1, 2));
+        assert_eq!(legacy.agg_switch(1), built.agg_switch(1));
+        assert_eq!(legacy.spine_switches(), built.spine_switches());
+    }
+
+    #[test]
+    fn lazy_fabric_materializes_on_attach() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let mut f = FabricBuilder::from_config(&small_cfg())
+            .lazy(true)
+            .build(&mut e);
+        // Only spines exist up front.
+        assert_eq!(f.switch_count(), 2);
+        assert_eq!(f.materialized_pods(), 0);
+        assert!(f.try_tor_switch(1, 0).is_none());
+        let ep = e.add_component(Endpoint::default());
+        f.attach(&mut e, NodeAddr::new(1, 0, 0), ep, PortId(0));
+        assert!(f.is_materialized(1));
+        assert!(!f.is_materialized(0));
+        assert_eq!(f.switch_count(), 2 + 1 + 3);
+        // Idempotent: a second touch is a no-op.
+        assert!(!f.materialize_pod(&mut e, 1));
+    }
+
+    #[test]
+    fn lazy_pod_routes_after_materialization() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let mut f = FabricBuilder::from_config(&small_cfg())
+            .lazy(true)
+            .build(&mut e);
+        let src = NodeAddr::new(0, 0, 1);
+        let dst = NodeAddr::new(1, 1, 3);
+        let src_ep = e.add_component(Endpoint::default());
+        let dst_ep = e.add_component(Endpoint::default());
+        let src_at = f.attach(&mut e, src, src_ep, PortId(0));
+        f.attach(&mut e, dst, dst_ep, PortId(0));
+        let pkt = Packet::new(
+            src,
+            dst,
+            1,
+            2,
+            TrafficClass::BEST_EFFORT,
+            Bytes::from(vec![0u8; 100]),
+        );
+        e.schedule(SimTime::ZERO, src_at.tor, Msg::packet(pkt, src_at.port));
+        e.run_to_idle();
+        assert_eq!(e.component::<Endpoint>(dst_ep).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn flow_pods_have_no_switches() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let f = FabricBuilder::from_config(&small_cfg())
+            .fidelity(FidelityMap::packet_island(2, 1))
+            .build(&mut e);
+        // Pod 0 is packet fidelity, pod 1 is flow-only.
+        assert!(f.try_agg_switch(0).is_some());
+        assert!(f.try_agg_switch(1).is_none());
+        assert_eq!(f.switch_count(), 2 + 1 + 3);
+        assert_eq!(f.fidelity().pod(1), Fidelity::Flow);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow-fidelity")]
+    fn attach_rejects_flow_pod() {
+        let mut e: Engine<Msg> = Engine::new(1);
+        let mut f = FabricBuilder::from_config(&small_cfg())
+            .fidelity(FidelityMap::packet_island(2, 1))
+            .build(&mut e);
+        let ep = e.add_component(Endpoint::default());
+        f.attach(&mut e, NodeAddr::new(1, 0, 0), ep, PortId(0));
     }
 
     fn send_between(src: NodeAddr, dst: NodeAddr) -> (Engine<Msg>, ComponentId, SimTime) {
         let mut e: Engine<Msg> = Engine::new(1);
-        let f = Fabric::build(&mut e, &small_cfg());
+        let mut f = FabricBuilder::from_config(&small_cfg()).build(&mut e);
         let src_ep = e.add_component(Endpoint::default());
         let dst_ep = e.add_component(Endpoint::default());
         let src_at = f.attach(&mut e, src, src_ep, PortId(0));
@@ -435,7 +1023,7 @@ mod tests {
     #[test]
     fn ecmp_spreads_flows_across_spines() {
         let mut e: Engine<Msg> = Engine::new(1);
-        let f = Fabric::build(&mut e, &small_cfg());
+        let f = FabricBuilder::from_config(&small_cfg()).build(&mut e);
         let agg = e.component::<Switch>(f.agg_switch(0)).unwrap();
         let mut seen = std::collections::HashSet::new();
         for flow in 0..16u64 {
@@ -445,10 +1033,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "host out of range")]
+    #[should_panic(expected = "host index")]
     fn attach_rejects_bad_host() {
         let mut e: Engine<Msg> = Engine::new(1);
-        let f = Fabric::build(&mut e, &small_cfg());
+        let mut f = FabricBuilder::from_config(&small_cfg()).build(&mut e);
         let ep = e.add_component(Endpoint::default());
         f.attach(&mut e, NodeAddr::new(0, 0, 9), ep, PortId(0));
     }
@@ -576,5 +1164,68 @@ mod tests {
             per_shard.iter().all(|&n| (1..=2).contains(&n)),
             "{per_shard:?}"
         );
+    }
+
+    #[test]
+    fn fidelity_map_island() {
+        let m = FidelityMap::packet_island(10, 3);
+        assert_eq!(m.pods(), 10);
+        assert_eq!(m.packet_pod_count(), 3);
+        assert!(!m.is_all_packet());
+        assert_eq!(m.packet_pods().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(m.flow_pods().count(), 7);
+        assert!(FidelityMap::all_packet(4).is_all_packet());
+    }
+
+    #[test]
+    fn hybrid_plan_matches_legacy_when_all_packet() {
+        let cfg = fig10_cfg(2);
+        let p = FabricPartition::plan_hybrid(&cfg, &FidelityMap::all_packet(2), 2).unwrap();
+        let legacy = FabricPartition::plan(&cfg, 2);
+        for pod in 0..2 {
+            assert_eq!(p.agg_shard(pod), legacy.agg_shard(pod));
+            for tor in 0..40 {
+                assert_eq!(p.tor_shard(pod, tor), legacy.tor_shard(pod, tor));
+            }
+        }
+        assert_eq!(p.lookahead(), legacy.lookahead());
+    }
+
+    #[test]
+    fn hybrid_plan_spreads_packet_pods_only() {
+        let cfg = fig10_cfg(8);
+        let map = FidelityMap::packet_island(8, 4);
+        let p = FabricPartition::plan_hybrid(&cfg, &map, 2).unwrap();
+        assert_eq!(p.shards(), 2);
+        // Packet pods 0..4 split into two contiguous blocks.
+        assert_eq!(p.agg_shard(0), 0);
+        assert_eq!(p.agg_shard(1), 0);
+        assert_eq!(p.agg_shard(2), 1);
+        assert_eq!(p.agg_shard(3), 1);
+        // Flow pods have no switches; their (unused) entries sit on shard 0.
+        for pod in 4..8 {
+            assert_eq!(p.agg_shard(pod), 0);
+        }
+        assert_eq!(p.lookahead(), SimDuration::from_nanos(370));
+    }
+
+    #[test]
+    fn hybrid_plan_rejects_bad_combinations() {
+        let cfg = fig10_cfg(8);
+        let map = FidelityMap::packet_island(8, 2);
+        match FabricPartition::plan_hybrid(&cfg, &map, 4) {
+            Err(PartitionError::ShardsExceedPacketPods {
+                shards,
+                packet_pods,
+            }) => {
+                assert_eq!((shards, packet_pods), (4, 2));
+            }
+            other => panic!("expected ShardsExceedPacketPods, got {other:?}"),
+        }
+        let wrong = FidelityMap::all_packet(3);
+        assert!(matches!(
+            FabricPartition::plan_hybrid(&cfg, &wrong, 1),
+            Err(PartitionError::FidelityShapeMismatch { .. })
+        ));
     }
 }

@@ -308,6 +308,23 @@ impl<M: 'static> Engine<M> {
         }
     }
 
+    /// Creates an engine with the component registry pre-sized for
+    /// `components` registrations — avoids repeated reallocation when a
+    /// fleet-scale builder is about to register tens of thousands of
+    /// components up front.
+    pub fn with_capacity(seed: u64, components: usize) -> Self {
+        let mut engine = Self::new(seed);
+        engine.components.reserve(components);
+        engine
+    }
+
+    /// Pre-sizes the component registry for `additional` more
+    /// registrations (lazy topology materialization touching a new pod
+    /// reserves its whole switch complement at once).
+    pub fn reserve_components(&mut self, additional: usize) {
+        self.components.reserve(additional);
+    }
+
     /// The seed this engine's random stream was derived from.
     pub fn seed(&self) -> u64 {
         self.seed

@@ -11,7 +11,7 @@ use crate::invariants::InvariantObserver;
 use crate::Violation;
 use bytes::Bytes;
 use catapult::chaos::{ChaosTargets, FaultConfig, FaultEvent, FaultKind, FaultPlan};
-use catapult::Cluster;
+use catapult::{Cluster, ClusterBuilder};
 use dcnet::{Msg, NodeAddr, PortId, SwitchCmd};
 use dcsim::{Component, ComponentId, Context, SimDuration, SimRng, SimTime};
 use fpga::Image;
@@ -270,11 +270,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         pods: 1,
         spines: 1,
     };
-    let mut cluster = Cluster::new(
-        spec.seed,
-        &catapult::calib::fabric_config(shape),
-        catapult::calib::shell_config(),
-    );
+    let mut cluster = ClusterBuilder::new(spec.seed)
+        .fabric_config(&catapult::calib::fabric_config(shape))
+        .shell_config(catapult::calib::shell_config())
+        .build();
     cluster.engine_mut().set_tie_break_salt(spec.salt);
 
     let addrs = spec.addrs();
@@ -354,7 +353,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
 
     let switches: Vec<ComponentId> = {
         let fabric = cluster.fabric();
-        let mut ids = fabric.tor_switches().to_vec();
+        let mut ids: Vec<ComponentId> = fabric.tor_switches().collect();
         ids.push(fabric.agg_switch(0));
         ids.extend_from_slice(fabric.spine_switches());
         ids

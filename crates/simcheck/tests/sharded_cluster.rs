@@ -39,7 +39,7 @@ impl Component<Msg> for Volley {
 
 #[test]
 fn sharded_cluster_holds_invariants_between_windows() {
-    let mut cluster = Cluster::paper_scale(97, 2);
+    let mut cluster = ClusterBuilder::paper(97, 2).build();
     let pairs = [
         (NodeAddr::new(0, 0, 1), NodeAddr::new(1, 4, 2)),
         (NodeAddr::new(0, 3, 3), NodeAddr::new(0, 8, 4)),

@@ -5,7 +5,7 @@
 
 use apps::ranking::{rank_documents, CorpusGen};
 use bytes::Bytes;
-use catapult::{probe::schedule_probes, Cluster};
+use catapult::{probe::schedule_probes, ClusterBuilder};
 use dcnet::{Msg, NodeAddr};
 use dcsim::{Component, Context, SimDuration, SimRng, SimTime};
 use shell::{LtlDeliver, ShellCmd};
@@ -35,7 +35,7 @@ impl Component<Msg> for Receiver {
 
 fn main() {
     println!("== 1. A one-pod Configurable Cloud (960 host slots) ==");
-    let mut cloud = Cluster::paper_scale(42, 1);
+    let mut cloud = ClusterBuilder::paper(42, 1).build();
     println!(
         "fabric: {} switches, {} host slots",
         cloud.fabric().switch_count(),

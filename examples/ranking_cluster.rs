@@ -6,7 +6,7 @@
 
 use apps::ranking::{QueryArrival, RankingMode, RankingParams, RankingServer};
 use apps::remote::AcceleratorRole;
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NodeAddr};
 use dcsim::{Engine, SimDuration, SimTime};
 use host::{OpenLoopGen, StartGenerator};
@@ -44,7 +44,7 @@ fn report(label: &str, server: &mut RankingServer, now: SimTime) {
 
 fn remote(qps: f64) {
     let params = RankingParams::default();
-    let mut cloud = Cluster::paper_scale(11, 1);
+    let mut cloud = ClusterBuilder::paper(11, 1).build();
     let host_addr = NodeAddr::new(0, 0, 1);
     let accel_addr = NodeAddr::new(0, 5, 9); // donated FPGA in another rack
     let host_shell = cloud.add_shell(host_addr);

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example reconfig_rollout`
 
 use bytes::Bytes;
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NodeAddr};
 use dcsim::{Component, Context, SimTime};
 use haas::{FpgaManager, NodeStatus};
@@ -29,7 +29,7 @@ impl Component<Msg> for Counter {
 }
 
 fn main() {
-    let mut cloud = Cluster::paper_scale(64, 1);
+    let mut cloud = ClusterBuilder::paper(64, 1).build();
 
     // Four service FPGAs, one client hammering them round-robin.
     let nodes: Vec<NodeAddr> = (0..4).map(|t| NodeAddr::new(0, t, 0)).collect();

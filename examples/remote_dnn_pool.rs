@@ -10,7 +10,7 @@
 
 use apps::dnn::{Mlp, MlpRole};
 use apps::remote::{IssueRequest, RemoteClient};
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NodeAddr};
 use dcsim::{SimDuration, SimTime};
 use haas::{Constraints, FpgaManager, NodeStatus, ResourceManager, ServiceManager};
@@ -62,7 +62,7 @@ fn main() {
     println!("FMs configured image: {}", fms[0].image_name());
 
     println!("\n== clients drive the pool over LTL ==");
-    let mut cloud = Cluster::paper_scale(5, 1);
+    let mut cloud = ClusterBuilder::paper(5, 1).build();
     let accel_addrs = sm.endpoints();
     let accel_shells: Vec<_> = accel_addrs
         .iter()

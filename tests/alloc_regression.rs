@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use dcnet::{
-    Fabric, FabricConfig, FabricShape, Jitter, Msg, NetEvent, NodeAddr, Packet, PortId,
+    FabricBuilder, FabricConfig, FabricShape, Jitter, Msg, NetEvent, NodeAddr, Packet, PortId,
     SwitchConfig, TrafficClass,
 };
 use dcsim::{
@@ -150,7 +150,7 @@ fn switch_allocs_per_event() -> (u64, u64) {
         }),
         ..FabricConfig::default()
     };
-    let fabric = Fabric::build(&mut e, &cfg);
+    let mut fabric = FabricBuilder::from_config(&cfg).build(&mut e);
 
     let a_addr = NodeAddr::new(0, 0, 0);
     let b_addr = NodeAddr::new(0, 0, 1);

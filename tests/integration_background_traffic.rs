@@ -6,7 +6,7 @@
 // `stats()` stays covered while it remains a supported (deprecated) shim.
 #![allow(deprecated)]
 
-use catapult::{probe::schedule_probes, Cluster};
+use catapult::{probe::schedule_probes, ClusterBuilder};
 use dcnet::{Msg, NodeAddr, PortId, Switch, TrafficClass};
 use dcsim::{PercentileRecorder, SimDuration, SimTime};
 use host::{StartGenerator, TrafficGen, TrafficGenConfig};
@@ -14,7 +14,7 @@ use host::{StartGenerator, TrafficGen, TrafficGenConfig};
 /// L0 LTL RTT with `background_gbps` of best-effort cross-traffic pumped
 /// through the same TOR.
 fn l0_rtt_under_load(background_gbps: f64, seed: u64) -> (PercentileRecorder, u64) {
-    let mut cluster = Cluster::paper_scale(seed, 1);
+    let mut cluster = ClusterBuilder::paper(seed, 1).build();
     let a = NodeAddr::new(0, 0, 0);
     let b = NodeAddr::new(0, 0, 1);
     cluster.add_shell(a);

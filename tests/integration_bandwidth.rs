@@ -4,7 +4,7 @@
 //! through their shared pod uplink contend and each gets less.
 
 use bytes::Bytes;
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NodeAddr};
 use dcsim::{Component, Context, SimTime};
 use shell::{LtlDeliver, ShellCmd};
@@ -38,7 +38,7 @@ impl ByteSink {
 /// Runs `pairs` bulk transfers and returns per-pair goodput (Gb/s).
 /// `cross_rack` selects whether pairs share a TOR or cross the pod uplink.
 fn bulk_transfer(pairs: usize, cross_rack: bool, seed: u64) -> Vec<f64> {
-    let mut cluster = Cluster::paper_scale(seed, 1);
+    let mut cluster = ClusterBuilder::paper(seed, 1).build();
     let mut sinks = Vec::new();
     for i in 0..pairs {
         let (src, dst) = if cross_rack {

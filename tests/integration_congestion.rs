@@ -8,7 +8,7 @@
 #![allow(deprecated)]
 
 use bytes::Bytes;
-use catapult::Cluster;
+use catapult::{Cluster, ClusterBuilder};
 use dcnet::{Msg, NodeAddr, Switch};
 use dcsim::{Component, Context, SimDuration, SimTime};
 use shell::{LtlDeliver, Shell, ShellCmd};
@@ -33,7 +33,7 @@ impl Component<Msg> for Counter {
 /// Four senders each blast 60 large messages at one receiver through a
 /// single TOR (aggregate 4x the egress line rate).
 fn incast() -> (Cluster, Vec<NodeAddr>, NodeAddr, dcsim::ComponentId) {
-    let mut cluster = Cluster::paper_scale(41, 1);
+    let mut cluster = ClusterBuilder::paper(41, 1).build();
     let dst = NodeAddr::new(0, 0, 0);
     cluster.add_shell(dst);
     let senders: Vec<NodeAddr> = (1..5).map(|h| NodeAddr::new(0, 0, h)).collect();

@@ -6,7 +6,7 @@
 
 use apps::crypto::{CipherSuite, CryptoTap, FlowKey};
 use bytes::Bytes;
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NetEvent, NodeAddr, Packet, PortId, TrafficClass};
 use dcsim::{Component, ComponentId, Context, SimTime};
 use shell::PORT_NIC;
@@ -25,7 +25,7 @@ impl Component<Msg> for HostNic {
 }
 
 fn encrypted_flow_roundtrip(suite: CipherSuite) -> (Vec<Packet>, u64) {
-    let mut cluster = Cluster::paper_scale(21, 1);
+    let mut cluster = ClusterBuilder::paper(21, 1).build();
     let a = NodeAddr::new(0, 0, 1);
     let b = NodeAddr::new(0, 5, 2); // cross-rack, through agg
     let a_shell = cluster.add_shell(a);
@@ -111,7 +111,7 @@ fn cbc_sha1_flow_decrypts_at_destination_across_fabric() {
 fn receiver_without_key_drops_tampered_traffic() {
     // One-sided key install: the receiving tap has a *different* key, so
     // authentication fails and nothing reaches the host.
-    let mut cluster = Cluster::paper_scale(22, 1);
+    let mut cluster = ClusterBuilder::paper(22, 1).build();
     let a = NodeAddr::new(0, 0, 1);
     let b = NodeAddr::new(0, 0, 2);
     let a_shell = cluster.add_shell(a);

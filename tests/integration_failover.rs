@@ -7,14 +7,14 @@
 //! and the Service Manager's replacement in parallel.
 
 use apps::remote::{AcceleratorRole, IssueRequest, RemoteClient};
-use catapult::Cluster;
+use catapult::{Cluster, ClusterBuilder};
 use dcnet::{Msg, NodeAddr, SwitchCmd};
 use dcsim::{ComponentId, SimDuration, SimTime};
 use haas::{Constraints, ResourceManager, ServiceManager};
 
 #[test]
 fn client_fails_over_to_spare_and_finishes_all_requests() {
-    let mut cluster = Cluster::paper_scale(91, 1);
+    let mut cluster = ClusterBuilder::paper(91, 1).build();
 
     // HaaS: primary leased from the pool, one spare left unallocated.
     let primary = NodeAddr::new(0, 1, 0);

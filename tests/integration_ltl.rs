@@ -6,7 +6,7 @@
 #![allow(deprecated)]
 
 use bytes::Bytes;
-use catapult::{probe::schedule_probes, Cluster};
+use catapult::{probe::schedule_probes, Cluster, ClusterBuilder};
 use dcnet::{Msg, NodeAddr, Switch};
 use dcsim::{Component, Context, PercentileRecorder, SimDuration, SimTime};
 use shell::{LtlDeliver, Shell, ShellCmd};
@@ -47,7 +47,7 @@ fn measure_rtt(mut cluster: Cluster, a: NodeAddr, b: NodeAddr, probes: u64) -> P
 fn l0_rtt_matches_paper() {
     // Paper: same-TOR average 2.88us, p99.9 2.9us.
     let mut r = measure_rtt(
-        Cluster::paper_scale(1, 1),
+        ClusterBuilder::paper(1, 1).build(),
         NodeAddr::new(0, 0, 0),
         NodeAddr::new(0, 0, 1),
         300,
@@ -62,7 +62,7 @@ fn l0_rtt_matches_paper() {
 fn l1_rtt_matches_paper() {
     // Paper: same-pod average 7.72us.
     let r = measure_rtt(
-        Cluster::paper_scale(2, 1),
+        ClusterBuilder::paper(2, 1).build(),
         NodeAddr::new(0, 2, 0),
         NodeAddr::new(0, 9, 1),
         300,
@@ -75,7 +75,7 @@ fn l1_rtt_matches_paper() {
 fn l2_rtt_matches_paper() {
     // Paper: cross-pod average 18.71us, max observed 23.5us.
     let mut r = measure_rtt(
-        Cluster::paper_scale(3, 3),
+        ClusterBuilder::paper(3, 3).build(),
         NodeAddr::new(0, 2, 0),
         NodeAddr::new(2, 9, 1),
         300,
@@ -95,7 +95,7 @@ fn ltl_beats_host_software_stack() {
     // appear closer than ... the time to get through the host's
     // networking stack."
     let mut r = measure_rtt(
-        Cluster::paper_scale(5, 3),
+        ClusterBuilder::paper(5, 3).build(),
         NodeAddr::new(0, 0, 0),
         NodeAddr::new(2, 0, 0),
         100,
@@ -118,7 +118,7 @@ fn ltl_beats_host_software_stack() {
 
 #[test]
 fn large_message_crosses_pods_intact() {
-    let mut cluster = Cluster::paper_scale(8, 2);
+    let mut cluster = ClusterBuilder::paper(8, 2).build();
     let a = NodeAddr::new(0, 0, 0);
     let b = NodeAddr::new(1, 0, 0);
     let a_id = cluster.add_shell(a);
@@ -153,7 +153,7 @@ fn large_message_crosses_pods_intact() {
 fn many_to_one_incast_is_lossless_for_ltl() {
     // Several senders blast one receiver through the same TOR: PFC on the
     // lossless class must prevent drops, and every message must arrive.
-    let mut cluster = Cluster::paper_scale(9, 1);
+    let mut cluster = ClusterBuilder::paper(9, 1).build();
     let dst = NodeAddr::new(0, 0, 0);
     cluster.add_shell(dst);
     let senders: Vec<NodeAddr> = (1..7).map(|h| NodeAddr::new(0, 0, h)).collect();
@@ -197,7 +197,7 @@ fn many_to_one_incast_is_lossless_for_ltl() {
 fn dead_node_detected_in_milliseconds() {
     // Connection to an unpopulated (dead) slot: retries exhaust quickly so
     // HaaS can reprovision. The TOR port has no peer, so frames vanish.
-    let mut cluster = Cluster::paper_scale(10, 1);
+    let mut cluster = ClusterBuilder::paper(10, 1).build();
     let a = NodeAddr::new(0, 0, 0);
     let dead = NodeAddr::new(0, 0, 9);
     let a_id = cluster.add_shell(a);
@@ -247,7 +247,7 @@ fn dead_node_detected_in_milliseconds() {
 fn bridged_host_traffic_and_ltl_coexist_across_fabric() {
     // All the server's network traffic passes through the FPGA while it
     // simultaneously runs LTL: check both flows complete.
-    let mut cluster = Cluster::paper_scale(11, 1);
+    let mut cluster = ClusterBuilder::paper(11, 1).build();
     let a = NodeAddr::new(0, 0, 0);
     let b = NodeAddr::new(0, 1, 0);
     let a_id = cluster.add_shell(a);

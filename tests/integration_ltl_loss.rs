@@ -7,7 +7,7 @@
 #![allow(deprecated)]
 
 use bytes::Bytes;
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NodeAddr};
 use dcsim::{Component, Context, SimTime};
 use shell::{LtlDeliver, ShellCmd};
@@ -29,7 +29,7 @@ impl Component<Msg> for Collector {
 /// `rate` on the sender; returns (delivered payloads, sender retransmits,
 /// sender conn failures).
 fn run_lossy(seed: u64, rate: f64, total: u64) -> (Vec<Bytes>, u64, u64) {
-    let mut cluster = Cluster::paper_scale(seed, 1);
+    let mut cluster = ClusterBuilder::paper(seed, 1).build();
     let a = NodeAddr::new(0, 0, 0);
     let b = NodeAddr::new(0, 0, 1);
     let a_id = cluster.add_shell(a);

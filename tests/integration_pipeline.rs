@@ -4,7 +4,7 @@
 //! stages as one multi-FPGA Component.
 
 use apps::remote::{AcceleratorRole, IssueRequest, RemoteClient};
-use catapult::Cluster;
+use catapult::{Cluster, ClusterBuilder};
 use dcnet::{Msg, NodeAddr};
 use dcsim::{ComponentId, SimDuration, SimTime};
 use haas::{Constraints, ResourceManager, ServiceManager};
@@ -17,7 +17,7 @@ struct Pipeline {
 
 /// Builds client -> A -> B -> C -> client across four racks of one pod.
 fn build_pipeline(service_us: u64) -> Pipeline {
-    let mut cluster = Cluster::paper_scale(55, 1);
+    let mut cluster = ClusterBuilder::paper(55, 1).build();
 
     // HaaS: one three-FPGA component for the pipeline service.
     let mut rm = ResourceManager::new();

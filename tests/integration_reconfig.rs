@@ -7,7 +7,7 @@
 #![allow(deprecated)]
 
 use bytes::Bytes;
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NetEvent, NodeAddr, Packet, PortId, TrafficClass};
 use dcsim::{Component, Context, SimDuration, SimTime};
 use shell::{Shell, ShellCmd, PORT_NIC};
@@ -28,7 +28,7 @@ impl Component<Msg> for HostNic {
 /// Sends a packet from A's host every 100 ms for 3 s while A reconfigures
 /// at t=500 ms; returns the packets B's host received.
 fn run_with_reconfig(partial: bool) -> (usize, u64, usize) {
-    let mut cluster = Cluster::paper_scale(31, 1);
+    let mut cluster = ClusterBuilder::paper(31, 1).build();
     let a = NodeAddr::new(0, 0, 1);
     let b = NodeAddr::new(0, 0, 2);
     let a_shell = cluster.add_shell(a);
@@ -91,7 +91,7 @@ fn partial_reconfig_passes_all_traffic() {
 
 #[test]
 fn bridge_recovers_after_full_reconfig() {
-    let mut cluster = Cluster::paper_scale(32, 1);
+    let mut cluster = ClusterBuilder::paper(32, 1).build();
     let a = NodeAddr::new(0, 0, 1);
     let a_shell = cluster.add_shell(a);
     cluster.engine_mut().schedule(
@@ -120,7 +120,7 @@ fn ltl_survives_partial_reconfig() {
             }
         }
     }
-    let mut cluster = Cluster::paper_scale(33, 1);
+    let mut cluster = ClusterBuilder::paper(33, 1).build();
     let a = NodeAddr::new(0, 0, 1);
     let b = NodeAddr::new(0, 0, 2);
     let a_shell = cluster.add_shell(a);

@@ -7,14 +7,14 @@
 
 use apps::ranking::{QueryArrival, RankingMode, RankingParams, RankingServer};
 use apps::remote::AcceleratorRole;
-use catapult::Cluster;
+use catapult::ClusterBuilder;
 use dcnet::{Msg, NodeAddr};
 use dcsim::{ComponentId, SimDuration, SimTime};
 use host::{OpenLoopGen, StartGenerator};
 
 fn run_shared(servers: usize, qps_each: f64, queries_each: u64) -> (f64, Vec<f64>, f64) {
     let params = RankingParams::default();
-    let mut cluster = Cluster::paper_scale(101, 1);
+    let mut cluster = ClusterBuilder::paper(101, 1).build();
     let accel_addr = NodeAddr::new(0, 20, 0);
     let accel_shell = cluster.add_shell(accel_addr);
     let mut role = AcceleratorRole::new(

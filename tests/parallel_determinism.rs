@@ -40,7 +40,7 @@ impl Component<Msg> for Volley {
 /// Builds a 2-pod cluster with volleying LTL pairs that cross racks and
 /// pods, runs it on `shards` shards, and returns its full fingerprint.
 fn sharded_fingerprint(shards: u32) -> String {
-    let mut cluster = Cluster::paper_scale(2024, 2);
+    let mut cluster = ClusterBuilder::paper(2024, 2).build();
     // Pairs chosen to exercise every partition cut: same rack, cross-rack
     // (TOR↔agg), and cross-pod (agg↔spine).
     let pairs = [

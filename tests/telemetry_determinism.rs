@@ -13,7 +13,7 @@ mod common;
 
 /// Runs a small traced cluster and returns `(metrics_json, trace_json)`.
 fn run_once(seed: u64) -> (String, String) {
-    let mut cluster = Cluster::paper_scale(seed, 1);
+    let mut cluster = ClusterBuilder::paper(seed, 1).build();
     cluster.enable_tracing(4096);
     let a = NodeAddr::new(0, 0, 1);
     let b = NodeAddr::new(0, 3, 7); // cross-rack: probes traverse the agg tier
