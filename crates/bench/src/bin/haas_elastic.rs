@@ -1,0 +1,232 @@
+//! Elastic multi-tenant HaaS oversubscription sweep (the Figure-12
+//! companion for the scheduler): drives the same seeded tenant-mix
+//! traces through two placement policies — PR-region elastic scheduling
+//! (the 25/25/50 carve of the Figure-5 role area) and the paper's
+//! whole-board allocation — across tenant mixes and offered loads, and
+//! reports time-averaged pool utilization, per-class p99 grant waits and
+//! preemption/reclaim counts.
+//!
+//! ```text
+//! haas_elastic [--quick] [--check-win]
+//! ```
+//!
+//! `results/haas_elastic.json` is byte-identical across same-seed runs
+//! (no wall-clock fields); timing goes to `results/BENCH_haas_elastic.json`.
+//! `--check-win` gates CI: at least one mix×load point must show elastic
+//! beating whole-board on utilization with equal-or-better p99 wait for
+//! every class the whole-board run served.
+
+use std::time::Instant;
+
+use catapult::elastic::{
+    generate_trace, run_trace, standard_region_alms, whole_board_alms, ElasticTraceConfig,
+    MixWeights,
+};
+use dcsim::SimDuration;
+use haas::ElasticConfig;
+use serde::Serialize;
+
+/// One policy run at one sweep point.
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    mix: String,
+    load: f64,
+    policy: String,
+    utilization_permille: u64,
+    /// p99 grant wait per class in microseconds; -1 when the class saw
+    /// no grant.
+    p99_wait_us_guaranteed: i64,
+    p99_wait_us_standard: i64,
+    p99_wait_us_spot: i64,
+    grants: u64,
+    preemptions: u64,
+    reclamations: u64,
+    migrations: u64,
+    rejects: u64,
+    lost_leases: u64,
+    queued_at_end: u64,
+    fingerprint: u64,
+}
+
+/// The deterministic sweep dataset.
+#[derive(Debug, Clone, Serialize)]
+struct Sweep {
+    seed: u64,
+    boards: u16,
+    horizon_secs: u64,
+    region_alms_elastic: Vec<u32>,
+    region_alms_whole: Vec<u32>,
+    rows: Vec<Row>,
+}
+
+/// Wall-clock row for `results/BENCH_haas_elastic.json`; kept out of the
+/// sweep JSON so that file stays fingerprint-diffable.
+#[derive(Debug, Serialize)]
+struct BenchRow {
+    commit: String,
+    points: usize,
+    trace_events: u64,
+    decisions: u64,
+    wall_secs: f64,
+}
+
+fn us(p99_ns: Option<u64>) -> i64 {
+    p99_ns.map(|ns| (ns / 1_000) as i64).unwrap_or(-1)
+}
+
+fn main() {
+    bench::header(
+        "haas-elastic",
+        "multi-tenant PR-region scheduling vs whole-board allocation",
+    );
+    let quick = bench::quick_mode();
+    let seed = 42u64;
+    let boards = 6u16;
+    let horizon = SimDuration::from_secs(if quick { 20 } else { 60 });
+    let loads: &[f64] = if quick { &[1.2] } else { &[0.8, 1.2, 1.6] };
+    let sched = ElasticConfig {
+        spot_reserve_permille: 100,
+        ..ElasticConfig::default()
+    };
+    let elastic_regions = standard_region_alms();
+    let whole_regions = whole_board_alms();
+
+    let wall = Instant::now();
+    let mut rows = Vec::new();
+    let mut trace_events = 0u64;
+    let mut decisions = 0u64;
+    for (mix_name, mix) in MixWeights::PRESETS {
+        for &load in loads {
+            let trace = generate_trace(&ElasticTraceConfig {
+                seed,
+                boards,
+                horizon,
+                load,
+                mix,
+                ..ElasticTraceConfig::default()
+            });
+            trace_events += trace.len() as u64;
+            for (policy, regions) in [("elastic", &elastic_regions), ("whole", &whole_regions)] {
+                let (_, report) = run_trace(boards, regions, sched, &trace, horizon);
+                decisions += report.decisions;
+                rows.push(Row {
+                    mix: mix_name.to_string(),
+                    load,
+                    policy: policy.to_string(),
+                    utilization_permille: report.utilization_permille,
+                    p99_wait_us_guaranteed: us(report.p99_wait_ns[0]),
+                    p99_wait_us_standard: us(report.p99_wait_ns[1]),
+                    p99_wait_us_spot: us(report.p99_wait_ns[2]),
+                    grants: report.grants,
+                    preemptions: report.preemptions,
+                    reclamations: report.reclamations,
+                    migrations: report.migrations,
+                    rejects: report.rejects,
+                    lost_leases: report.lost_leases,
+                    queued_at_end: report.queued_at_end,
+                    fingerprint: report.fingerprint,
+                });
+            }
+        }
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    println!(
+        "{:>17} {:>5} {:>8} {:>7} {:>10} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7}",
+        "mix",
+        "load",
+        "policy",
+        "util‰",
+        "p99 g(us)",
+        "p99 s(us)",
+        "p99 sp(us)",
+        "grants",
+        "preempt",
+        "reclaim",
+        "queued"
+    );
+    for r in &rows {
+        println!(
+            "{:>17} {:>5.1} {:>8} {:>7} {:>10} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7}",
+            r.mix,
+            r.load,
+            r.policy,
+            r.utilization_permille,
+            r.p99_wait_us_guaranteed,
+            r.p99_wait_us_standard,
+            r.p99_wait_us_spot,
+            r.grants,
+            r.preemptions,
+            r.reclamations,
+            r.queued_at_end
+        );
+    }
+
+    // The win condition the CI lane gates on: some sweep point where the
+    // elastic carve beats whole-board utilization without serving any
+    // class a worse p99 wait than whole-board did.
+    let wins: Vec<String> = rows
+        .chunks(2)
+        .filter_map(|pair| {
+            let [e, w] = pair else { return None };
+            let wait_ok = [
+                (e.p99_wait_us_guaranteed, w.p99_wait_us_guaranteed),
+                (e.p99_wait_us_standard, w.p99_wait_us_standard),
+                (e.p99_wait_us_spot, w.p99_wait_us_spot),
+            ]
+            .iter()
+            .all(|&(ep, wp)| wp < 0 || (ep >= 0 && ep <= wp));
+            (e.utilization_permille > w.utilization_permille && wait_ok)
+                .then(|| format!("{} @ load {:.1}", e.mix, e.load))
+        })
+        .collect();
+    println!(
+        "elastic wins (higher utilization, equal-or-better p99 waits): {}",
+        if wins.is_empty() {
+            "none".to_string()
+        } else {
+            wins.join(", ")
+        }
+    );
+
+    bench::write_json(
+        "haas_elastic",
+        &Sweep {
+            seed,
+            boards,
+            horizon_secs: horizon.as_nanos() / 1_000_000_000,
+            region_alms_elastic: elastic_regions.clone(),
+            region_alms_whole: whole_regions.clone(),
+            rows: rows.clone(),
+        },
+    );
+    bench::write_json(
+        "BENCH_haas_elastic",
+        &BenchRow {
+            commit: bench::current_commit(),
+            points: rows.len(),
+            trace_events,
+            decisions,
+            wall_secs,
+        },
+    );
+
+    // Sanity that the preemption machinery actually exercised: spot-heavy
+    // oversubscribed mixes must preempt or reclaim somewhere.
+    let churn: u64 = rows
+        .iter()
+        .filter(|r| r.policy == "elastic")
+        .map(|r| r.preemptions + r.reclamations)
+        .sum();
+    if churn == 0 {
+        eprintln!("FAIL: no preemption or reclamation across the whole sweep");
+        std::process::exit(1);
+    }
+    if std::env::args().any(|a| a == "--check-win") {
+        if wins.is_empty() {
+            eprintln!("FAIL: --check-win found no sweep point where elastic beats whole-board");
+            std::process::exit(1);
+        }
+        println!("--check-win passed ({} winning point(s))", wins.len());
+    }
+}

@@ -21,8 +21,16 @@
 //!   fails the lane.
 //! * `--replay FILE`: re-run a written repro; exits 0 when the recorded
 //!   violation reproduces (prints the identical report every time).
+//!   Elastic-scheduler repros (`"kind": "elastic"`) are detected and
+//!   dispatched automatically.
+//! * `--elastic-only`: run only the elastic HaaS scheduler differential
+//!   (real [`haas`] scheduler vs. the pure `simcheck` reference) — the
+//!   CI `haas-elastic-smoke` lane. `--validate-oracle` additionally
+//!   plants a defrag bug that drops tenant caps and requires the
+//!   scheduler oracle to catch it and shrink the trace to ≤ 5 events.
 
 use shell::ltl::LtlMode;
+use simcheck::elastic::{run_elastic, run_elastic_events, ElasticRepro, ElasticSpec};
 use simcheck::repro::{ReproMode, ReproSpec};
 use simcheck::scenario::{run_scenario, ScenarioSpec};
 use simcheck::session::{run_session, SessionSpec};
@@ -111,6 +119,25 @@ fn replay(path: &str) -> ! {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
+    if text.contains("\"kind\": \"elastic\"") || text.contains("\"kind\":\"elastic\"") {
+        let repro = ElasticRepro::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "replaying elastic case: seed {} boards {} events {}",
+            repro.seed,
+            repro.boards,
+            repro.events.len()
+        );
+        let violations = repro.replay();
+        print!("{}", render(&violations));
+        if violations.is_empty() {
+            println!("repro did NOT reproduce (fixed, or stale artifact)");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
     let spec = ReproSpec::parse(&text).unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(2);
@@ -132,6 +159,76 @@ fn replay(path: &str) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0);
+}
+
+/// Shrinks a failing elastic lease trace and captures the repro.
+fn shrink_elastic(spec: &ElasticSpec) -> ElasticRepro {
+    let minimal = ddmin(&spec.events, |events| {
+        !run_elastic_events(spec, events).violations.is_empty()
+    });
+    let violations = run_elastic_events(spec, &minimal).violations;
+    ElasticRepro::capture(spec, &minimal, &violations)
+}
+
+fn fail_with_elastic_repro(spec: &ElasticSpec) -> ! {
+    let repro = shrink_elastic(spec);
+    println!(
+        "shrunk lease trace: {} -> {} event(s)",
+        spec.events.len(),
+        repro.events.len()
+    );
+    println!("first violation: {}", repro.first_violation);
+    bench::write_raw("simcheck_elastic_repro.json", &repro.to_json());
+    println!(
+        "replay: cargo run -p bench --release --bin simcheck -- \
+         --replay results/simcheck_elastic_repro.json"
+    );
+    std::process::exit(1);
+}
+
+/// Validates the planted elastic-scheduler bug (a defrag move that drops
+/// the migrated tenant's ER/LTL caps): the scheduler oracle must catch
+/// it on some seed, shrink the lease trace to ≤ 5 events, and replay
+/// byte-identically twice from its own artifact.
+fn validate_elastic_bug(seeds: u64) -> bool {
+    println!("validating oracle sensitivity: elastic defrag cap drop");
+    for seed in 0..seeds {
+        let mut spec = ElasticSpec::generate(seed);
+        spec.plant_defrag_bug = true;
+        let out = run_elastic(&spec);
+        if out.violations.is_empty() {
+            continue; // this seed's trace never triggered a defrag move
+        }
+        println!("caught on seed {seed}: {}", out.violations[0]);
+        let repro = shrink_elastic(&spec);
+        println!(
+            "shrunk lease trace: {} -> {} event(s)",
+            spec.events.len(),
+            repro.events.len()
+        );
+        if repro.events.len() > 5 {
+            println!(
+                "FAIL: minimal repro has {} events (> 5)",
+                repro.events.len()
+            );
+            return false;
+        }
+        let json = repro.to_json();
+        bench::write_raw("simcheck_elastic_repro.json", &json);
+        let parsed = ElasticRepro::parse(&json).expect("own artifact parses");
+        let first = render(&parsed.replay());
+        let second = render(&parsed.replay());
+        if first != second || first.contains("total: 0") {
+            println!("FAIL: replay is not byte-identical or lost the violation");
+            print!("--- first ---\n{first}--- second ---\n{second}");
+            return false;
+        }
+        println!("replay is byte-identical across two runs:");
+        print!("{first}");
+        return true;
+    }
+    println!("FAIL: elastic defrag cap drop evaded the oracle on {seeds} seeds");
+    false
 }
 
 /// Validates one planted bug: it must be caught on some seed, shrink
@@ -182,7 +279,15 @@ fn validate_planted_bug(name: &str, seeds: u64, plant: &dyn Fn(&mut SessionSpec)
 /// Harness self-test over every planted bug, one per transport mode. A
 /// blind oracle — one that would also wave through a buggy engine —
 /// fails here, not in production.
-fn validate_oracle(seeds: u64) -> ! {
+fn validate_oracle(seeds: u64, elastic_only: bool) -> ! {
+    let elastic_ok = validate_elastic_bug(seeds);
+    if elastic_only {
+        if elastic_ok {
+            println!("oracle validation passed");
+            std::process::exit(0);
+        }
+        std::process::exit(1);
+    }
     let gbn_ok = validate_planted_bug("go-back-n retransmit loss", seeds, &|spec| {
         spec.lose_retransmits = 1;
     });
@@ -190,7 +295,7 @@ fn validate_oracle(seeds: u64) -> ! {
         spec.mode = LtlMode::SelectiveRepeat;
         spec.omit_sacks = 4;
     });
-    if gbn_ok && sr_ok {
+    if gbn_ok && sr_ok && elastic_ok {
         println!("oracle validation passed");
         std::process::exit(0);
     }
@@ -215,16 +320,36 @@ fn main() {
         .map(|v| v.parse().expect("--seed-base takes an integer"))
         .unwrap_or(0);
     let inject_bug = flag("--inject-bug");
+    let elastic_only = flag("--elastic-only");
     let (dcqcn_steps, er_ops) = if quick { (150, 150) } else { (500, 400) };
     let scenario_every = if quick { 8 } else { 4 };
 
     if flag("--validate-oracle") {
-        validate_oracle(seeds.max(16));
+        validate_oracle(seeds.max(16), elastic_only);
     }
 
     let mut totals = (0u64, 0u64, 0u64); // events, checks, delivered
+    let mut elastic_decisions = 0u64;
     for i in 0..seeds {
         let seed = seed_base + i;
+
+        {
+            let mut spec = ElasticSpec::generate(seed);
+            if inject_bug {
+                spec.plant_defrag_bug = true;
+            }
+            let out = run_elastic(&spec);
+            totals.0 += spec.events.len() as u64;
+            elastic_decisions += out.decisions;
+            if !out.violations.is_empty() {
+                println!("seed {seed}: elastic scheduler oracle fired");
+                print!("{}", render(&out.violations));
+                fail_with_elastic_repro(&spec);
+            }
+        }
+        if elastic_only {
+            continue;
+        }
 
         let v = dcqcn_ref::check_dcqcn(seed, dcqcn_steps);
         if !v.is_empty() {
@@ -282,7 +407,8 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "{seeds} seed(s) clean: {} events, {} oracle checks, {} deliveries",
+        "{seeds} seed(s) clean: {} events, {} oracle checks, {} deliveries, \
+         {elastic_decisions} scheduler decisions",
         totals.0, totals.1, totals.2
     );
 }

@@ -55,6 +55,7 @@
 pub mod calib;
 pub mod chaos;
 mod cluster;
+pub mod elastic;
 pub mod experiments;
 pub mod probe;
 pub mod sweep;
@@ -71,6 +72,7 @@ pub use telemetry;
 pub mod prelude {
     pub use crate::calib::{self, Tier};
     pub use crate::chaos::{ChaosConfig, ChaosReport, ChaosRig, Preset};
+    pub use crate::elastic::{ElasticRunReport, ElasticTraceConfig, MixWeights};
     pub use crate::experiments;
     pub use crate::probe::schedule_probes;
     pub use crate::workload::{FleetLoadGen, FleetWorkloadConfig};

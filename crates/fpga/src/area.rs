@@ -157,6 +157,178 @@ impl fmt::Display for AreaLedger {
     }
 }
 
+/// Why a region-accounting operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The requested ALMs exceed the free area.
+    Overcommit {
+        /// ALMs requested (total after a resize).
+        requested: u32,
+        /// ALMs actually free (including the region's own, on resize).
+        free: u32,
+    },
+    /// The handle does not name a live region.
+    UnknownRegion,
+    /// Zero-ALM regions are not representable.
+    ZeroArea,
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::Overcommit { requested, free } => {
+                write!(
+                    f,
+                    "region overcommit: requested {requested} ALMs, {free} free"
+                )
+            }
+            RegionError::UnknownRegion => f.write_str("unknown region handle"),
+            RegionError::ZeroArea => f.write_str("zero-area region"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// Handle to one live region in a [`RegionBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionHandle(u64);
+
+/// Exact-inverse area accounting for dynamically carved regions.
+///
+/// Where [`AreaLedger`] models a synthesized image (append-only rows from
+/// a place-and-route report), `RegionBudget` models the *runtime* side of
+/// partial reconfiguration: region allocations come and go as tenants are
+/// placed and evicted, and the accounting must never over-commit the
+/// device and must return exactly what was taken.
+///
+/// # Examples
+///
+/// ```
+/// use fpga::RegionBudget;
+///
+/// let mut b = RegionBudget::new(100_000);
+/// let r = b.alloc(40_000)?;
+/// assert_eq!(b.free_alms(), 60_000);
+/// b.resize(r, 50_000)?;
+/// assert_eq!(b.free_alms(), 50_000);
+/// assert_eq!(b.free_region(r)?, 50_000);
+/// assert_eq!(b.free_alms(), 100_000);
+/// # Ok::<(), fpga::RegionError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RegionBudget {
+    total: u32,
+    used: u32,
+    next: u64,
+    regions: std::collections::BTreeMap<u64, u32>,
+}
+
+impl RegionBudget {
+    /// Creates a budget over `total_alms` of reconfigurable area.
+    pub fn new(total_alms: u32) -> RegionBudget {
+        RegionBudget {
+            total: total_alms,
+            ..RegionBudget::default()
+        }
+    }
+
+    /// Total ALMs under management.
+    pub fn total_alms(&self) -> u32 {
+        self.total
+    }
+
+    /// ALMs currently allocated to live regions.
+    pub fn used_alms(&self) -> u32 {
+        self.used
+    }
+
+    /// ALMs still free.
+    pub fn free_alms(&self) -> u32 {
+        self.total - self.used
+    }
+
+    /// Live regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The ALMs held by a live region.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::UnknownRegion`] for dead or foreign handles.
+    pub fn region_alms(&self, handle: RegionHandle) -> Result<u32, RegionError> {
+        self.regions
+            .get(&handle.0)
+            .copied()
+            .ok_or(RegionError::UnknownRegion)
+    }
+
+    /// Carves a new region of `alms`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::Overcommit`] when `alms` exceeds the free area and
+    /// [`RegionError::ZeroArea`] for empty regions; the budget is
+    /// unchanged on error.
+    pub fn alloc(&mut self, alms: u32) -> Result<RegionHandle, RegionError> {
+        if alms == 0 {
+            return Err(RegionError::ZeroArea);
+        }
+        if alms > self.free_alms() {
+            return Err(RegionError::Overcommit {
+                requested: alms,
+                free: self.free_alms(),
+            });
+        }
+        let handle = RegionHandle(self.next);
+        self.next += 1;
+        self.regions.insert(handle.0, alms);
+        self.used += alms;
+        Ok(handle)
+    }
+
+    /// Frees a live region, returning exactly the ALMs it held.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::UnknownRegion`] for dead or foreign handles (a
+    /// double free is rejected, not double-credited).
+    pub fn free_region(&mut self, handle: RegionHandle) -> Result<u32, RegionError> {
+        let alms = self
+            .regions
+            .remove(&handle.0)
+            .ok_or(RegionError::UnknownRegion)?;
+        self.used -= alms;
+        Ok(alms)
+    }
+
+    /// Resizes a live region in place.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::UnknownRegion`] / [`RegionError::ZeroArea`] /
+    /// [`RegionError::Overcommit`] (growth beyond the free area); the
+    /// region keeps its old size on error.
+    pub fn resize(&mut self, handle: RegionHandle, new_alms: u32) -> Result<(), RegionError> {
+        if new_alms == 0 {
+            return Err(RegionError::ZeroArea);
+        }
+        let old = self.region_alms(handle)?;
+        let free_with_self = self.free_alms() + old;
+        if new_alms > free_with_self {
+            return Err(RegionError::Overcommit {
+                requested: new_alms,
+                free: free_with_self,
+            });
+        }
+        self.regions.insert(handle.0, new_alms);
+        self.used = self.used - old + new_alms;
+        Ok(())
+    }
+}
+
 /// The production-deployed shell image of Figure 5, with remote
 /// acceleration support (LTL + Elastic Router) and the ranking role.
 ///
@@ -246,6 +418,44 @@ mod tests {
         ledger.register("Huge", 200_000, None, Region::Role);
         assert!(!ledger.fits());
         assert_eq!(ledger.free_alms(), 0);
+    }
+
+    #[test]
+    fn region_budget_exact_inverse_roundtrip() {
+        let mut b = RegionBudget::new(1000);
+        let a = b.alloc(300).unwrap();
+        let c = b.alloc(700).unwrap();
+        assert_eq!(b.free_alms(), 0);
+        assert_eq!(
+            b.alloc(1).unwrap_err(),
+            RegionError::Overcommit {
+                requested: 1,
+                free: 0
+            }
+        );
+        assert_eq!(b.free_region(a).unwrap(), 300);
+        assert_eq!(b.free_region(c).unwrap(), 700);
+        assert_eq!(b.used_alms(), 0);
+        assert_eq!(b.free_region(a).unwrap_err(), RegionError::UnknownRegion);
+    }
+
+    #[test]
+    fn region_budget_resize_is_atomic() {
+        let mut b = RegionBudget::new(100);
+        let a = b.alloc(60).unwrap();
+        let _ = b.alloc(30).unwrap();
+        // Growth beyond free-plus-self fails and keeps the old size.
+        assert_eq!(
+            b.resize(a, 80).unwrap_err(),
+            RegionError::Overcommit {
+                requested: 80,
+                free: 70
+            }
+        );
+        assert_eq!(b.region_alms(a).unwrap(), 60);
+        b.resize(a, 70).unwrap();
+        assert_eq!(b.used_alms(), 100);
+        assert_eq!(b.resize(a, 0).unwrap_err(), RegionError::ZeroArea);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   accounting behind Figure 5;
 //! * [`Flash`], [`Image`], [`ConfigController`] — golden/application images,
 //!   full and partial reconfiguration, management-port power-cycle recovery;
+//! * [`PrBoard`] / [`RegionBudget`] — multi-tenant partial-reconfiguration
+//!   regions carved from the role area, with exact-inverse accounting and
+//!   independent per-region load/rollback;
 //! * [`SeuModel`] — single-event upsets and the 30-second configuration
 //!   scrubber (1 flip per 1025 machine-days);
 //! * [`PowerModel`] — the power-virus measurement (29.2 W worst-case under
@@ -32,15 +35,22 @@ mod area;
 mod device;
 mod image;
 mod power;
+mod pr;
 mod reliability;
 mod seu;
 
-pub use area::{production_shell_image, AreaItem, AreaLedger, Region};
+pub use area::{
+    production_shell_image, AreaItem, AreaLedger, Region, RegionBudget, RegionError, RegionHandle,
+};
 pub use device::{
     Board, Device, DRAM_ACCESS_LATENCY, FULL_RECONFIG_TIME, PARTIAL_RECONFIG_TIME,
     SRAM_ACCESS_LATENCY, STRATIX_V_D5,
 };
 pub use image::{ConfigController, ConfigState, Flash, Image, ShellFeatures};
 pub use power::{Activity, PowerComponent, PowerModel};
+pub use pr::{
+    PrBoard, PrError, PrRegion, PrRegionId, PrRegionState, MULTI_TENANT_SHELL_ALMS,
+    STANDARD_SPLIT_PERMILLE,
+};
 pub use reliability::{FailureRates, SoakModel, SoakReport};
 pub use seu::{SeuModel, SeuReport};

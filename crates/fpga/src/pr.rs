@@ -1,0 +1,397 @@
+//! Partial-reconfiguration regions: multi-tenant carving of one board.
+//!
+//! The paper's shell reserves the device's I/O ring and dedicates the
+//! remaining fabric to a single role. Follow-on systems (Coyote, Funky,
+//! AmorphOS) split that role area into independently reconfigurable *PR
+//! regions* so several tenants share one physical FPGA. [`PrBoard`]
+//! models that split: a fixed shell reservation, a set of regions carved
+//! from a [`RegionBudget`], and an independent load / rollback state
+//! machine per region — loading tenant A's bitstream never perturbs
+//! tenant B's running role, exactly like the paper's role-only partial
+//! reconfiguration keeps the bridge forwarding.
+
+use core::fmt;
+
+use dcsim::SimDuration;
+
+use crate::area::{RegionBudget, RegionError, RegionHandle};
+use crate::device::{Device, PARTIAL_RECONFIG_TIME};
+
+/// Index of a PR region on one board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PrRegionId(pub u8);
+
+impl fmt::Display for PrRegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Why a PR operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrError {
+    /// The region id is out of range for this board.
+    UnknownRegion(PrRegionId),
+    /// A load is already in flight on the region.
+    LoadInFlight(PrRegionId),
+    /// `finish_load` without a load in flight.
+    NoLoadInFlight(PrRegionId),
+    /// The layout over-commits the device's role area.
+    Layout(RegionError),
+}
+
+impl fmt::Display for PrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrError::UnknownRegion(r) => write!(f, "unknown PR region {r}"),
+            PrError::LoadInFlight(r) => write!(f, "load already in flight on {r}"),
+            PrError::NoLoadInFlight(r) => write!(f, "no load in flight on {r}"),
+            PrError::Layout(e) => write!(f, "bad PR layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrError {}
+
+/// Configuration state of one PR region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrRegionState {
+    /// No tenant bitstream loaded; the region drives its isolation fence.
+    Free,
+    /// Mid-load; `prev` is what rollback restores.
+    Loading {
+        /// Role being configured into the region.
+        target: String,
+        /// Previously active role, if any (restored by rollback).
+        prev: Option<String>,
+    },
+    /// A tenant role is running.
+    Active {
+        /// The running role.
+        role: String,
+    },
+}
+
+/// One PR region: an area slice plus its load state.
+#[derive(Debug, Clone)]
+pub struct PrRegion {
+    alms: u32,
+    handle: RegionHandle,
+    state: PrRegionState,
+    loads: u64,
+    rollbacks: u64,
+}
+
+impl PrRegion {
+    /// ALMs available to a tenant role in this region.
+    pub fn alms(&self) -> u32 {
+        self.alms
+    }
+
+    /// The area-ledger handle backing this region's carve.
+    pub fn handle(&self) -> RegionHandle {
+        self.handle
+    }
+
+    /// Current configuration state.
+    pub fn state(&self) -> &PrRegionState {
+        &self.state
+    }
+
+    /// Completed bitstream loads.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Rollbacks taken.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+}
+
+/// A board carved into independently reconfigurable tenant regions.
+///
+/// # Examples
+///
+/// ```
+/// use fpga::{PrBoard, PrRegionId, STRATIX_V_D5};
+///
+/// // Shell keeps its Figure-5 area; role area splits 25/25/50.
+/// let mut board = PrBoard::standard(STRATIX_V_D5)?;
+/// assert_eq!(board.region_count(), 3);
+/// let t = board.begin_load(PrRegionId(0), "dnn-tenant-a")?;
+/// assert!(t.as_nanos() > 0);
+/// board.finish_load(PrRegionId(0))?;
+/// # Ok::<(), fpga::PrError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrBoard {
+    device: Device,
+    shell_alms: u32,
+    budget: RegionBudget,
+    regions: Vec<PrRegion>,
+}
+
+/// The Figure-5 shell footprint (shell + unattributed glue), reserved on
+/// every multi-tenant board: the bridge, MACs, DDR controller, LTL, ER,
+/// DMA and debug logic stay resident across all tenant loads.
+pub const MULTI_TENANT_SHELL_ALMS: u32 = 76_010;
+
+/// Default role-area split, in permille: two small tenant slots and one
+/// large one, so a board hosts a mix of region sizes.
+pub const STANDARD_SPLIT_PERMILLE: [u32; 3] = [250, 250, 500];
+
+impl PrBoard {
+    /// Carves `device` into the shell reservation plus one region per
+    /// entry of `split_permille` (each region gets that fraction of the
+    /// role area).
+    ///
+    /// # Errors
+    ///
+    /// [`PrError::Layout`] when the shell reservation leaves no role area
+    /// or the split over-commits it.
+    pub fn new(
+        device: Device,
+        shell_alms: u32,
+        split_permille: &[u32],
+    ) -> Result<PrBoard, PrError> {
+        let role_area = device.alms.saturating_sub(shell_alms);
+        let mut budget = RegionBudget::new(role_area);
+        let mut regions = Vec::with_capacity(split_permille.len());
+        for &permille in split_permille {
+            let alms = (role_area as u64 * permille as u64 / 1000) as u32;
+            let handle = budget.alloc(alms).map_err(PrError::Layout)?;
+            regions.push(PrRegion {
+                alms,
+                handle,
+                state: PrRegionState::Free,
+                loads: 0,
+                rollbacks: 0,
+            });
+        }
+        Ok(PrBoard {
+            device,
+            shell_alms,
+            budget,
+            regions,
+        })
+    }
+
+    /// The standard multi-tenant carve: Figure-5 shell reservation and a
+    /// 25/25/50 role-area split.
+    pub fn standard(device: Device) -> Result<PrBoard, PrError> {
+        PrBoard::new(device, MULTI_TENANT_SHELL_ALMS, &STANDARD_SPLIT_PERMILLE)
+    }
+
+    /// The device this board is built on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// ALMs reserved for the shared shell.
+    pub fn shell_alms(&self) -> u32 {
+        self.shell_alms
+    }
+
+    /// Number of PR regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The regions, in carve order.
+    pub fn regions(&self) -> &[PrRegion] {
+        &self.regions
+    }
+
+    /// Region sizes in ALMs, in carve order (the scheduler's placement
+    /// input).
+    pub fn region_alms(&self) -> Vec<u32> {
+        self.regions.iter().map(|r| r.alms).collect()
+    }
+
+    /// The underlying area accounting.
+    pub fn budget(&self) -> &RegionBudget {
+        &self.budget
+    }
+
+    fn region_mut(&mut self, id: PrRegionId) -> Result<&mut PrRegion, PrError> {
+        self.regions
+            .get_mut(id.0 as usize)
+            .ok_or(PrError::UnknownRegion(id))
+    }
+
+    /// One region, by id.
+    ///
+    /// # Errors
+    ///
+    /// [`PrError::UnknownRegion`] out of range.
+    pub fn region(&self, id: PrRegionId) -> Result<&PrRegion, PrError> {
+        self.regions
+            .get(id.0 as usize)
+            .ok_or(PrError::UnknownRegion(id))
+    }
+
+    /// Starts loading `role` into a region; other regions keep running.
+    /// Returns the load time (role-only partial reconfiguration).
+    ///
+    /// # Errors
+    ///
+    /// [`PrError::LoadInFlight`] when the region is already loading.
+    pub fn begin_load(&mut self, id: PrRegionId, role: &str) -> Result<SimDuration, PrError> {
+        let region = self.region_mut(id)?;
+        let prev = match &region.state {
+            PrRegionState::Free => None,
+            PrRegionState::Active { role } => Some(role.clone()),
+            PrRegionState::Loading { .. } => return Err(PrError::LoadInFlight(id)),
+        };
+        region.state = PrRegionState::Loading {
+            target: role.to_string(),
+            prev,
+        };
+        Ok(PARTIAL_RECONFIG_TIME)
+    }
+
+    /// Completes an in-flight load.
+    ///
+    /// # Errors
+    ///
+    /// [`PrError::NoLoadInFlight`] when nothing is loading.
+    pub fn finish_load(&mut self, id: PrRegionId) -> Result<(), PrError> {
+        let region = self.region_mut(id)?;
+        let PrRegionState::Loading { target, .. } = &region.state else {
+            return Err(PrError::NoLoadInFlight(id));
+        };
+        region.state = PrRegionState::Active {
+            role: target.clone(),
+        };
+        region.loads += 1;
+        Ok(())
+    }
+
+    /// Aborts an in-flight load and restores the previous occupant (or
+    /// the isolation fence, when the region was free) — the per-region
+    /// analogue of the golden-image rollback.
+    ///
+    /// # Errors
+    ///
+    /// [`PrError::NoLoadInFlight`] when nothing is loading.
+    pub fn rollback(&mut self, id: PrRegionId) -> Result<(), PrError> {
+        let region = self.region_mut(id)?;
+        let PrRegionState::Loading { prev, .. } = &region.state else {
+            return Err(PrError::NoLoadInFlight(id));
+        };
+        region.state = match prev {
+            Some(role) => PrRegionState::Active { role: role.clone() },
+            None => PrRegionState::Free,
+        };
+        region.rollbacks += 1;
+        Ok(())
+    }
+
+    /// Unloads whatever occupies the region (eviction); an in-flight load
+    /// is abandoned.
+    ///
+    /// # Errors
+    ///
+    /// [`PrError::UnknownRegion`] out of range.
+    pub fn unload(&mut self, id: PrRegionId) -> Result<(), PrError> {
+        let region = self.region_mut(id)?;
+        region.state = PrRegionState::Free;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::STRATIX_V_D5;
+
+    #[test]
+    fn standard_carve_conserves_role_area() {
+        let board = PrBoard::standard(STRATIX_V_D5).unwrap();
+        let role_area = STRATIX_V_D5.alms - MULTI_TENANT_SHELL_ALMS;
+        let carved: u32 = board.region_alms().iter().sum();
+        assert!(carved <= role_area);
+        // Rounding loses at most one ALM per region.
+        assert!(role_area - carved < board.region_count() as u32);
+        assert_eq!(board.budget().used_alms(), carved);
+    }
+
+    #[test]
+    fn loads_are_independent_per_region() {
+        let mut board = PrBoard::standard(STRATIX_V_D5).unwrap();
+        board.begin_load(PrRegionId(0), "a").unwrap();
+        board.begin_load(PrRegionId(1), "b").unwrap();
+        board.finish_load(PrRegionId(0)).unwrap();
+        // Region 0 active while region 1 still loads.
+        assert_eq!(
+            board.region(PrRegionId(0)).unwrap().state(),
+            &PrRegionState::Active { role: "a".into() }
+        );
+        assert!(matches!(
+            board.region(PrRegionId(1)).unwrap().state(),
+            PrRegionState::Loading { .. }
+        ));
+        assert_eq!(
+            board.begin_load(PrRegionId(1), "c").unwrap_err(),
+            PrError::LoadInFlight(PrRegionId(1))
+        );
+    }
+
+    #[test]
+    fn rollback_restores_previous_role() {
+        let mut board = PrBoard::standard(STRATIX_V_D5).unwrap();
+        let id = PrRegionId(2);
+        board.begin_load(id, "v1").unwrap();
+        board.finish_load(id).unwrap();
+        board.begin_load(id, "v2-bad").unwrap();
+        board.rollback(id).unwrap();
+        assert_eq!(
+            board.region(id).unwrap().state(),
+            &PrRegionState::Active { role: "v1".into() }
+        );
+        assert_eq!(board.region(id).unwrap().rollbacks(), 1);
+        // Rollback with nothing previously loaded frees the region.
+        board.begin_load(PrRegionId(0), "x").unwrap();
+        board.rollback(PrRegionId(0)).unwrap();
+        assert_eq!(
+            board.region(PrRegionId(0)).unwrap().state(),
+            &PrRegionState::Free
+        );
+    }
+
+    #[test]
+    fn typed_errors_for_bogus_operations() {
+        let mut board = PrBoard::standard(STRATIX_V_D5).unwrap();
+        let bogus = PrRegionId(9);
+        assert_eq!(
+            board.begin_load(bogus, "a").unwrap_err(),
+            PrError::UnknownRegion(bogus)
+        );
+        assert_eq!(
+            board.finish_load(PrRegionId(0)).unwrap_err(),
+            PrError::NoLoadInFlight(PrRegionId(0))
+        );
+        assert_eq!(
+            board.rollback(PrRegionId(0)).unwrap_err(),
+            PrError::NoLoadInFlight(PrRegionId(0))
+        );
+        // Over-committing layout is rejected, not clamped.
+        assert!(matches!(
+            PrBoard::new(STRATIX_V_D5, MULTI_TENANT_SHELL_ALMS, &[600, 600]),
+            Err(PrError::Layout(RegionError::Overcommit { .. }))
+        ));
+    }
+
+    #[test]
+    fn unload_evicts_any_state() {
+        let mut board = PrBoard::standard(STRATIX_V_D5).unwrap();
+        board.begin_load(PrRegionId(0), "a").unwrap();
+        board.finish_load(PrRegionId(0)).unwrap();
+        board.unload(PrRegionId(0)).unwrap();
+        assert_eq!(
+            board.region(PrRegionId(0)).unwrap().state(),
+            &PrRegionState::Free
+        );
+    }
+}

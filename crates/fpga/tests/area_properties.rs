@@ -1,0 +1,117 @@
+//! Property-based tests of [`fpga::RegionBudget`]: no operation sequence
+//! ever over-commits the device, and frees are exact inverses of the
+//! allocations (and resizes) that preceded them.
+
+use fpga::{RegionBudget, RegionError, RegionHandle};
+use proptest::prelude::*;
+
+/// One fuzzer step, interpreted at execution time: `kind % 3` selects
+/// alloc / free / resize, `idx` picks a live region (mod the live count)
+/// and `alms` sizes allocs and resizes. Encoding ops as plain tuples
+/// keeps the vendored proptest stub's strategy surface sufficient.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    Free(usize),
+    Resize(usize, u32),
+}
+
+fn decode(raw: &[(u8, usize, u32)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, idx, alms)| match kind % 3 {
+            0 => Op::Alloc(alms),
+            1 => Op::Free(idx),
+            _ => Op::Resize(idx, alms),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Any interleaving of alloc/free/resize keeps the books balanced:
+    /// used never exceeds total, used equals the sum of live regions,
+    /// failed operations change nothing, and frees return exactly what
+    /// the region held.
+    #[test]
+    fn region_accounting_never_overcommits(
+        total in 1u32..200_000,
+        raw_ops in proptest::collection::vec((0u8..3, 0usize..8, 0u32..60_000), 1..60),
+    ) {
+        let ops = decode(&raw_ops);
+        let mut budget = RegionBudget::new(total);
+        // Shadow model: the plain list of live (handle, alms) pairs.
+        let mut live: Vec<(RegionHandle, u32)> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Alloc(alms) => {
+                    let before = budget.used_alms();
+                    match budget.alloc(alms) {
+                        Ok(h) => {
+                            prop_assert!(alms > 0 && before + alms <= total);
+                            live.push((h, alms));
+                        }
+                        Err(RegionError::ZeroArea) => prop_assert_eq!(alms, 0),
+                        Err(RegionError::Overcommit { requested, free }) => {
+                            prop_assert_eq!(requested, alms);
+                            prop_assert_eq!(free, total - before);
+                            prop_assert!(alms > free);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                    prop_assert_eq!(
+                        budget.used_alms(),
+                        live.iter().map(|(_, a)| *a).sum::<u32>()
+                    );
+                }
+                Op::Free(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (h, alms) = live.remove(i % live.len());
+                    // Exact inverse: the free returns precisely the ALMs
+                    // the region held at free time.
+                    prop_assert_eq!(budget.free_region(h).unwrap(), alms);
+                    // Double free is rejected, not double-credited.
+                    prop_assert_eq!(
+                        budget.free_region(h).unwrap_err(),
+                        RegionError::UnknownRegion
+                    );
+                }
+                Op::Resize(i, new_alms) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let slot = i % live.len();
+                    let (h, old) = live[slot];
+                    let before = budget.used_alms();
+                    match budget.resize(h, new_alms) {
+                        Ok(()) => {
+                            live[slot].1 = new_alms;
+                            prop_assert!(before - old + new_alms <= total);
+                        }
+                        Err(RegionError::ZeroArea) => prop_assert_eq!(new_alms, 0),
+                        Err(RegionError::Overcommit { requested, free }) => {
+                            prop_assert_eq!(requested, new_alms);
+                            prop_assert_eq!(free, total - before + old);
+                            // Failed resize keeps the old size.
+                            prop_assert_eq!(budget.region_alms(h).unwrap(), old);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+            }
+            // Global bounds hold after every step.
+            prop_assert!(budget.used_alms() <= total);
+            prop_assert_eq!(budget.free_alms(), total - budget.used_alms());
+            prop_assert_eq!(budget.region_count(), live.len());
+        }
+
+        // Draining every region restores the empty budget exactly.
+        for (h, alms) in live.drain(..) {
+            prop_assert_eq!(budget.free_region(h).unwrap(), alms);
+        }
+        prop_assert_eq!(budget.used_alms(), 0u32);
+        prop_assert_eq!(budget.free_alms(), total);
+        prop_assert_eq!(budget.region_count(), 0usize);
+    }
+}

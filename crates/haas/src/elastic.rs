@@ -1,0 +1,1558 @@
+//! Elastic multi-tenant HaaS scheduling over partial-reconfiguration
+//! regions.
+//!
+//! The paper's Resource Manager leases *whole boards*. Once boards are
+//! carved into PR regions ([`fpga::PrBoard`]), the pool becomes elastic:
+//! tenants lease individual regions, higher classes preempt lower ones
+//! with a bounded eviction latency, a periodic defragmentation pass
+//! repacks leases best-fit-decreasing, and spot capacity is reclaimed
+//! when the free pool drains. [`ElasticScheduler`] is that control
+//! plane, driven by a time-ordered [`LeaseEvent`] trace and emitting a
+//! [`Decision`] log whose FNV-1a fingerprint makes whole runs
+//! byte-comparable.
+//!
+//! Every rule below is deliberately a *total, deterministic* function of
+//! the event history — the pure reference scheduler in `simcheck`
+//! re-implements the same contract and is compared lock-step, decision
+//! by decision:
+//!
+//! * **placement** is best-fit: the smallest free region that holds the
+//!   request, ties broken by board registration order then region index;
+//! * **preemption**: a request that does not fit may evict the
+//!   lowest-class preemptible lease (spot before standard; guaranteed is
+//!   never evicted) in the smallest sufficient region, ties by lease id;
+//!   the region is reserved and the eviction completes one
+//!   `eviction_window` later;
+//! * **defragmentation** runs at every `defrag_period` boundary and
+//!   repacks live leases best-fit-decreasing, migrating only leases
+//!   whose assignment changes (in lease-id order);
+//! * **spot reclamation** evicts spot leases (largest region first) when
+//!   the free share of the pool falls below `spot_reserve_permille`.
+
+use std::collections::BTreeMap;
+
+use dcnet::NodeAddr;
+use dcsim::{SimDuration, SimTime};
+use shell::tenant::{TenantCaps, TenantId};
+use telemetry::{Histogram, MetricSource, MetricVisitor};
+
+/// Tenant service class, in strict priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TenantClass {
+    /// Paid, never preempted.
+    Guaranteed,
+    /// Default class; preemptible only when the lease opts in.
+    Standard,
+    /// Best-effort; always preemptible and reclaimable.
+    Spot,
+}
+
+impl TenantClass {
+    /// Priority rank: lower is stronger.
+    pub fn rank(self) -> u8 {
+        match self {
+            TenantClass::Guaranteed => 0,
+            TenantClass::Standard => 1,
+            TenantClass::Spot => 2,
+        }
+    }
+
+    /// All classes, strongest first.
+    pub const ALL: [TenantClass; 3] = [
+        TenantClass::Guaranteed,
+        TenantClass::Standard,
+        TenantClass::Spot,
+    ];
+
+    /// Short lowercase label (metric paths, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantClass::Guaranteed => "guaranteed",
+            TenantClass::Standard => "standard",
+            TenantClass::Spot => "spot",
+        }
+    }
+}
+
+/// One row of a placement snapshot: the region, its occupant lease id,
+/// and any pending eviction as `(due_ns, reserved_request)`.
+pub type PlacementRow = (RegionRef, Option<u64>, Option<(u64, Option<u64>)>);
+
+/// One PR region on one board, the unit of placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionRef {
+    /// The board.
+    pub board: NodeAddr,
+    /// Region index on the board (carve order).
+    pub region: u8,
+}
+
+impl core::fmt::Display for RegionRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/r{}", self.board, self.region)
+    }
+}
+
+/// A live lease of one PR region by one tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionLease {
+    /// Lease id (monotonic grant order).
+    pub id: u64,
+    /// The request sequence number that produced this lease.
+    pub req: u64,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Service class.
+    pub class: TenantClass,
+    /// ALMs the tenant asked for (≤ the region's size).
+    pub alms: u32,
+    /// Whether this lease may be preempted by a higher class.
+    pub preemptible: bool,
+    /// Shell isolation caps programmed for the tenant.
+    pub caps: TenantCaps,
+    /// Where the lease currently runs.
+    pub at: RegionRef,
+}
+
+/// Why an elastic operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticError {
+    /// No region on any up board is large enough, ever.
+    RequestTooLarge {
+        /// ALMs requested.
+        alms: u32,
+        /// Largest region in the pool (0 when no boards are up).
+        largest: u32,
+    },
+    /// Direct preemption of a lease that is not preemptible.
+    NotPreemptible(u64),
+    /// Unknown lease or request id.
+    UnknownLease(u64),
+    /// Spot reclamation requested but no spot lease exists.
+    SpotPoolEmpty,
+    /// The board is not registered.
+    UnknownBoard(NodeAddr),
+    /// The board is already registered.
+    DuplicateBoard(NodeAddr),
+}
+
+impl core::fmt::Display for ElasticError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ElasticError::RequestTooLarge { alms, largest } => {
+                write!(
+                    f,
+                    "request for {alms} ALMs exceeds largest region ({largest})"
+                )
+            }
+            ElasticError::NotPreemptible(id) => write!(f, "lease {id} is not preemptible"),
+            ElasticError::UnknownLease(id) => write!(f, "unknown lease/request {id}"),
+            ElasticError::SpotPoolEmpty => f.write_str("no spot lease to reclaim"),
+            ElasticError::UnknownBoard(a) => write!(f, "unknown board {a}"),
+            ElasticError::DuplicateBoard(a) => write!(f, "board {a} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for ElasticError {}
+
+/// Elastic scheduler tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticConfig {
+    /// Grace between an eviction decision and the region being free
+    /// (victim checkpoint + region unload). Bounds priority inversion.
+    pub eviction_window: SimDuration,
+    /// Defragmentation repack period (0 disables defrag).
+    pub defrag_period: SimDuration,
+    /// Spot reclamation trigger: keep at least this share of the pool
+    /// free or freeing, in permille.
+    pub spot_reserve_permille: u32,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            // One role partial-reconfiguration plus checkpoint slack.
+            eviction_window: SimDuration::from_millis(500),
+            defrag_period: SimDuration::from_secs(10),
+            spot_reserve_permille: 0,
+        }
+    }
+}
+
+/// One input to the scheduler: something a tenant or the fabric did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: LeaseEventKind,
+}
+
+/// The kinds of trace events the scheduler consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseEventKind {
+    /// A tenant asks for a region.
+    Request {
+        /// Request sequence number (unique per trace; release handle).
+        req: u64,
+        /// Requesting tenant.
+        tenant: TenantId,
+        /// Service class.
+        class: TenantClass,
+        /// ALMs needed.
+        alms: u32,
+        /// Whether the resulting lease may be preempted (forced `true`
+        /// for spot, ignored `false` for guaranteed).
+        preemptible: bool,
+        /// Shell caps to program while the lease runs.
+        caps: TenantCaps,
+    },
+    /// The tenant is done with the lease created by request `req` (or
+    /// cancels it while still queued).
+    Release {
+        /// The originating request sequence number.
+        req: u64,
+    },
+    /// A board crashed: every lease on it is lost.
+    BoardDown {
+        /// The crashed board.
+        board: NodeAddr,
+    },
+    /// A crashed board came back, all regions free.
+    BoardUp {
+        /// The recovered board.
+        board: NodeAddr,
+    },
+}
+
+/// One scheduler decision — the oracle compares these lock-step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Request `req` got lease `lease` at `at`.
+    Grant {
+        /// Request sequence number.
+        req: u64,
+        /// Newly minted lease id.
+        lease: u64,
+        /// Placement.
+        at: RegionRef,
+        /// Wait from arrival to grant, in nanoseconds.
+        waited_ns: u64,
+    },
+    /// Request `req` cannot be placed yet and waits.
+    Queue {
+        /// Request sequence number.
+        req: u64,
+    },
+    /// Lease `victim` is being evicted so `for_req` can take its region
+    /// after the eviction window.
+    Evict {
+        /// Evicted lease.
+        victim: u64,
+        /// Beneficiary request.
+        for_req: u64,
+        /// Region being vacated.
+        at: RegionRef,
+    },
+    /// Spot lease `victim` is being reclaimed to refill the free pool.
+    Reclaim {
+        /// Reclaimed lease.
+        victim: u64,
+        /// Region being vacated.
+        at: RegionRef,
+    },
+    /// Defragmentation moved lease `lease`.
+    Migrate {
+        /// The migrated lease.
+        lease: u64,
+        /// Old placement.
+        from: RegionRef,
+        /// New placement.
+        to: RegionRef,
+    },
+    /// Request `req` can never be satisfied (larger than any region).
+    Reject {
+        /// Request sequence number.
+        req: u64,
+    },
+    /// The lease created by request `req` ended (`lease` is `None` when
+    /// the request was still queued or already gone).
+    Release {
+        /// The originating request.
+        req: u64,
+        /// The released lease, if one was live.
+        lease: Option<u64>,
+    },
+    /// A board crashed, losing these leases (ascending lease id).
+    BoardDown {
+        /// The crashed board.
+        board: NodeAddr,
+        /// Leases that died with it.
+        lost: Vec<u64>,
+    },
+    /// A board recovered.
+    BoardUp {
+        /// The recovered board.
+        board: NodeAddr,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    alms: u32,
+    lease: Option<u64>,
+    /// An eviction in progress: when the region frees, and the request
+    /// (if any) the region is reserved for.
+    pending: Option<(SimTime, Option<u64>)>,
+}
+
+#[derive(Debug, Clone)]
+struct BoardState {
+    addr: NodeAddr,
+    up: bool,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Waiting {
+    req: u64,
+    tenant: TenantId,
+    class: TenantClass,
+    alms: u32,
+    preemptible: bool,
+    caps: TenantCaps,
+    arrived: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    Queued,
+    Active(u64),
+    Done,
+}
+
+/// The elastic multi-tenant scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use dcnet::NodeAddr;
+/// use dcsim::SimTime;
+/// use haas::{
+///     Decision, ElasticConfig, ElasticScheduler, LeaseEvent, LeaseEventKind, TenantClass,
+/// };
+/// use shell::tenant::{TenantCaps, TenantId};
+///
+/// let mut sched = ElasticScheduler::new(ElasticConfig::default());
+/// sched.add_board(NodeAddr::new(0, 0, 1), &[40_000, 40_000])?;
+/// let decisions = sched.apply(&LeaseEvent {
+///     at: SimTime::ZERO,
+///     kind: LeaseEventKind::Request {
+///         req: 0,
+///         tenant: TenantId(7),
+///         class: TenantClass::Standard,
+///         alms: 30_000,
+///         preemptible: false,
+///         caps: TenantCaps::UNLIMITED,
+///     },
+/// });
+/// assert!(matches!(decisions[0], Decision::Grant { req: 0, .. }));
+/// # Ok::<(), haas::ElasticError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElasticScheduler {
+    cfg: ElasticConfig,
+    boards: Vec<BoardState>,
+    board_index: BTreeMap<NodeAddr, usize>,
+    leases: BTreeMap<u64, RegionLease>,
+    queue: Vec<Waiting>,
+    req_state: BTreeMap<u64, ReqState>,
+    next_lease: u64,
+    clock: SimTime,
+    defrag_done: u64,
+    decisions: Vec<Decision>,
+    fingerprint: u64,
+    // Accounting.
+    util_integral: u128,
+    grants: u64,
+    preemptions: u64,
+    reclamations: u64,
+    migrations: u64,
+    rejects: u64,
+    lost_leases: u64,
+    wait_ns: [Histogram; 3],
+    /// Planted-bug hook for oracle validation: defrag migrations zero
+    /// the moved lease's caps.
+    debug_defrag_drop_caps: bool,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl ElasticScheduler {
+    /// Creates an empty scheduler.
+    pub fn new(cfg: ElasticConfig) -> ElasticScheduler {
+        ElasticScheduler {
+            cfg,
+            boards: Vec::new(),
+            board_index: BTreeMap::new(),
+            leases: BTreeMap::new(),
+            queue: Vec::new(),
+            req_state: BTreeMap::new(),
+            next_lease: 0,
+            clock: SimTime::ZERO,
+            defrag_done: 0,
+            decisions: Vec::new(),
+            fingerprint: FNV_OFFSET,
+            util_integral: 0,
+            grants: 0,
+            preemptions: 0,
+            reclamations: 0,
+            migrations: 0,
+            rejects: 0,
+            lost_leases: 0,
+            wait_ns: [Histogram::new(), Histogram::new(), Histogram::new()],
+            debug_defrag_drop_caps: false,
+        }
+    }
+
+    /// Registers a board carved into regions of the given ALM sizes.
+    /// Registration order is the placement tie-break order.
+    ///
+    /// # Errors
+    ///
+    /// [`ElasticError::DuplicateBoard`] when already registered.
+    pub fn add_board(&mut self, addr: NodeAddr, region_alms: &[u32]) -> Result<(), ElasticError> {
+        if self.board_index.contains_key(&addr) {
+            return Err(ElasticError::DuplicateBoard(addr));
+        }
+        self.board_index.insert(addr, self.boards.len());
+        self.boards.push(BoardState {
+            addr,
+            up: true,
+            slots: region_alms
+                .iter()
+                .map(|&alms| Slot {
+                    alms,
+                    lease: None,
+                    pending: None,
+                })
+                .collect(),
+        });
+        Ok(())
+    }
+
+    /// Enables the planted defrag bug (oracle-validation only): every
+    /// migration zeroes the moved lease's shell caps.
+    pub fn set_debug_defrag_drop_caps(&mut self, on: bool) {
+        self.debug_defrag_drop_caps = on;
+    }
+
+    /// The decision log so far.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// FNV-1a fingerprint of the decision log (order-sensitive).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Live leases, ascending id.
+    pub fn leases(&self) -> impl Iterator<Item = &RegionLease> {
+        self.leases.values()
+    }
+
+    /// Requests currently waiting, in arrival order.
+    pub fn queued_reqs(&self) -> Vec<u64> {
+        self.queue.iter().map(|w| w.req).collect()
+    }
+
+    /// Total region ALMs on up boards.
+    pub fn pool_alms(&self) -> u64 {
+        self.boards
+            .iter()
+            .filter(|b| b.up)
+            .flat_map(|b| b.slots.iter())
+            .map(|s| s.alms as u64)
+            .sum()
+    }
+
+    /// ALMs currently leased (demand, not region sizes).
+    pub fn used_alms(&self) -> u64 {
+        self.leases.values().map(|l| l.alms as u64).sum()
+    }
+
+    /// Time-averaged utilization in permille of the pool, over `[0, clock]`.
+    pub fn avg_utilization_permille(&self) -> u64 {
+        let pool = self.pool_alms() as u128;
+        let t = self.clock.as_nanos() as u128;
+        if pool == 0 || t == 0 {
+            return 0;
+        }
+        (self.util_integral * 1000 / (pool * t)) as u64
+    }
+
+    /// (grants, preemptions, reclamations, migrations, rejects, lost).
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.grants,
+            self.preemptions,
+            self.reclamations,
+            self.migrations,
+            self.rejects,
+            self.lost_leases,
+        )
+    }
+
+    /// Wait-time histogram (ns) for one class.
+    pub fn wait_histogram(&self, class: TenantClass) -> &Histogram {
+        &self.wait_ns[class.rank() as usize]
+    }
+
+    /// Canonical placement snapshot: every (board, region) with its
+    /// occupant lease id, plus pending reservations — the oracle equates
+    /// these between implementations.
+    pub fn placement(&self) -> Vec<PlacementRow> {
+        let mut out = Vec::new();
+        for b in &self.boards {
+            for (i, s) in b.slots.iter().enumerate() {
+                out.push((
+                    RegionRef {
+                        board: b.addr,
+                        region: i as u8,
+                    },
+                    s.lease,
+                    s.pending.map(|(t, r)| (t.as_nanos(), r)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Applies one trace event, returning the decisions it produced.
+    /// Events must arrive in non-decreasing time order.
+    pub fn apply(&mut self, ev: &LeaseEvent) -> Vec<Decision> {
+        let start = self.decisions.len();
+        self.advance_to(ev.at);
+        match &ev.kind {
+            LeaseEventKind::Request {
+                req,
+                tenant,
+                class,
+                alms,
+                preemptible,
+                caps,
+            } => {
+                let _ = self.request(ev.at, *req, *tenant, *class, *alms, *preemptible, *caps);
+            }
+            LeaseEventKind::Release { req } => {
+                let _ = self.release(ev.at, *req);
+            }
+            LeaseEventKind::BoardDown { board } => {
+                let _ = self.board_down(ev.at, *board);
+            }
+            LeaseEventKind::BoardUp { board } => {
+                let _ = self.board_up(ev.at, *board);
+            }
+        }
+        self.decisions[start..].to_vec()
+    }
+
+    /// Runs time forward to `now`, completing due evictions and defrag
+    /// boundaries in time order. Called automatically by [`apply`];
+    /// public so the driver can settle trailing evictions at trace end.
+    ///
+    /// [`apply`]: ElasticScheduler::apply
+    pub fn advance_to(&mut self, now: SimTime) {
+        loop {
+            let next_evict = self
+                .boards
+                .iter()
+                .flat_map(|b| b.slots.iter())
+                .filter_map(|s| s.pending.map(|(t, _)| t))
+                .min();
+            let next_defrag = if self.cfg.defrag_period.as_nanos() == 0 {
+                None
+            } else {
+                Some(SimTime::from_nanos(
+                    (self.defrag_done + 1) * self.cfg.defrag_period.as_nanos(),
+                ))
+            };
+            // Evictions at time T complete before a defrag boundary at T.
+            let step = match (next_evict, next_defrag) {
+                (Some(e), Some(d)) if e <= d => (e, true),
+                (Some(e), None) => (e, true),
+                (_, Some(d)) => (d, false),
+                (None, None) => break,
+            };
+            if step.0 > now {
+                break;
+            }
+            self.account(step.0);
+            if step.1 {
+                self.complete_evictions(step.0);
+            } else {
+                self.defrag_done = step.0.as_nanos() / self.cfg.defrag_period.as_nanos();
+                self.defrag(step.0);
+            }
+        }
+        self.account(now);
+    }
+
+    fn account(&mut self, to: SimTime) {
+        if to > self.clock {
+            let dt = (to.as_nanos() - self.clock.as_nanos()) as u128;
+            self.util_integral += self.used_alms() as u128 * dt;
+            self.clock = to;
+        }
+    }
+
+    fn push(&mut self, d: Decision) {
+        self.fingerprint = fingerprint_decision(self.fingerprint, &d);
+        self.decisions.push(d);
+    }
+
+    /// Submits a request directly (the [`apply`] path for
+    /// [`LeaseEventKind::Request`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ElasticError::RequestTooLarge`] when no region on any up board
+    /// can ever hold `alms`; the request is also recorded as a
+    /// [`Decision::Reject`].
+    ///
+    /// [`apply`]: ElasticScheduler::apply
+    #[allow(clippy::too_many_arguments)]
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        req: u64,
+        tenant: TenantId,
+        class: TenantClass,
+        alms: u32,
+        preemptible: bool,
+        caps: TenantCaps,
+    ) -> Result<(), ElasticError> {
+        self.advance_to(now);
+        let largest = self
+            .boards
+            .iter()
+            .filter(|b| b.up)
+            .flat_map(|b| b.slots.iter())
+            .map(|s| s.alms)
+            .max()
+            .unwrap_or(0);
+        if alms > largest {
+            self.rejects += 1;
+            self.req_state.insert(req, ReqState::Done);
+            self.push(Decision::Reject { req });
+            return Err(ElasticError::RequestTooLarge { alms, largest });
+        }
+        // Spot is always preemptible; guaranteed never is.
+        let preemptible = match class {
+            TenantClass::Guaranteed => false,
+            TenantClass::Standard => preemptible,
+            TenantClass::Spot => true,
+        };
+        let w = Waiting {
+            req,
+            tenant,
+            class,
+            alms,
+            preemptible,
+            caps,
+            arrived: now,
+        };
+        if let Some(slot) = self.best_fit_free(alms) {
+            self.grant(now, &w, slot);
+        } else {
+            self.req_state.insert(req, ReqState::Queued);
+            self.queue.push(w.clone());
+            self.push(Decision::Queue { req });
+            self.try_preempt_for(now, &w);
+        }
+        self.reclaim_if_drained(now);
+        Ok(())
+    }
+
+    /// Releases the lease created by request `req` (or cancels the
+    /// still-queued request).
+    ///
+    /// # Errors
+    ///
+    /// [`ElasticError::UnknownLease`] when `req` was never submitted.
+    pub fn release(&mut self, now: SimTime, req: u64) -> Result<(), ElasticError> {
+        self.advance_to(now);
+        match self.req_state.get(&req).copied() {
+            None => {
+                self.push(Decision::Release { req, lease: None });
+                Err(ElasticError::UnknownLease(req))
+            }
+            Some(ReqState::Queued) => {
+                self.queue.retain(|w| w.req != req);
+                self.req_state.insert(req, ReqState::Done);
+                // Drop any reservation an eviction made for this request;
+                // the eviction itself still completes (the victim is
+                // already checkpointing).
+                for b in &mut self.boards {
+                    for s in &mut b.slots {
+                        if let Some((t, Some(r))) = s.pending {
+                            if r == req {
+                                s.pending = Some((t, None));
+                            }
+                        }
+                    }
+                }
+                self.push(Decision::Release { req, lease: None });
+                Ok(())
+            }
+            Some(ReqState::Active(id)) => {
+                self.req_state.insert(req, ReqState::Done);
+                let lease = self
+                    .leases
+                    .remove(&id)
+                    .ok_or(ElasticError::UnknownLease(id))?;
+                if let Some(slot) = self.slot_mut(lease.at) {
+                    slot.lease = None;
+                }
+                self.push(Decision::Release {
+                    req,
+                    lease: Some(id),
+                });
+                self.grant_queued(now);
+                Ok(())
+            }
+            Some(ReqState::Done) => {
+                self.push(Decision::Release { req, lease: None });
+                Ok(())
+            }
+        }
+    }
+
+    /// Directly preempts one lease (test/diagnostic path; trace-driven
+    /// preemption happens inside [`request`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ElasticError::UnknownLease`] / [`ElasticError::NotPreemptible`].
+    ///
+    /// [`request`]: ElasticScheduler::request
+    pub fn preempt(&mut self, now: SimTime, lease: u64) -> Result<(), ElasticError> {
+        self.advance_to(now);
+        let l = self
+            .leases
+            .get(&lease)
+            .ok_or(ElasticError::UnknownLease(lease))?;
+        if !l.preemptible {
+            return Err(ElasticError::NotPreemptible(lease));
+        }
+        let at = l.at;
+        let due = now + self.cfg.eviction_window;
+        if let Some(slot) = self.slot_mut(at) {
+            if slot.pending.is_none() {
+                slot.pending = Some((due, None));
+            }
+        }
+        self.preemptions += 1;
+        self.push(Decision::Reclaim { victim: lease, at });
+        Ok(())
+    }
+
+    /// Reclaims one spot lease to refill the free pool (the explicit
+    /// form of the automatic low-water reclamation).
+    ///
+    /// # Errors
+    ///
+    /// [`ElasticError::SpotPoolEmpty`] when no spot lease is live.
+    pub fn reclaim_spot(&mut self, now: SimTime) -> Result<u64, ElasticError> {
+        self.advance_to(now);
+        let victim = self
+            .spot_victims()
+            .first()
+            .copied()
+            .ok_or(ElasticError::SpotPoolEmpty)?;
+        self.start_reclaim(now, victim);
+        Ok(victim)
+    }
+
+    /// Marks a board down; leases on it are lost immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ElasticError::UnknownBoard`] for unregistered boards.
+    pub fn board_down(&mut self, now: SimTime, board: NodeAddr) -> Result<(), ElasticError> {
+        self.advance_to(now);
+        let idx = *self
+            .board_index
+            .get(&board)
+            .ok_or(ElasticError::UnknownBoard(board))?;
+        self.boards[idx].up = false;
+        let mut lost = Vec::new();
+        for s in &mut self.boards[idx].slots {
+            if let Some(id) = s.lease.take() {
+                lost.push(id);
+            }
+            // Reserved requests go back to plain queued (they were never
+            // removed from the queue).
+            s.pending = None;
+        }
+        lost.sort_unstable();
+        for id in &lost {
+            if let Some(l) = self.leases.remove(id) {
+                self.req_state.insert(l.req, ReqState::Done);
+            }
+        }
+        self.lost_leases += lost.len() as u64;
+        self.push(Decision::BoardDown { board, lost });
+        // Reservations on the dead board vanished with it; queued
+        // requests that were counting on them must re-arm preemption or
+        // their priority inversion becomes unbounded.
+        self.repreempt_queued(now);
+        Ok(())
+    }
+
+    /// Re-attempts preemption for every queued request that holds no
+    /// reservation and fits no free region, strongest class first — the
+    /// recovery path after a board crash drops in-flight reservations.
+    fn repreempt_queued(&mut self, now: SimTime) {
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by_key(|&i| (self.queue[i].class.rank(), self.queue[i].req));
+        for i in order {
+            let w = self.queue[i].clone();
+            let reserved = self
+                .boards
+                .iter()
+                .flat_map(|b| b.slots.iter())
+                .any(|s| matches!(s.pending, Some((_, Some(r))) if r == w.req));
+            if reserved || self.best_fit_free(w.alms).is_some() {
+                continue;
+            }
+            self.try_preempt_for(now, &w);
+        }
+    }
+
+    /// Marks a board back up, all regions free.
+    ///
+    /// # Errors
+    ///
+    /// [`ElasticError::UnknownBoard`] for unregistered boards.
+    pub fn board_up(&mut self, now: SimTime, board: NodeAddr) -> Result<(), ElasticError> {
+        self.advance_to(now);
+        let idx = *self
+            .board_index
+            .get(&board)
+            .ok_or(ElasticError::UnknownBoard(board))?;
+        self.boards[idx].up = true;
+        self.push(Decision::BoardUp { board });
+        self.grant_queued(now);
+        Ok(())
+    }
+
+    // ----- internals ------------------------------------------------
+
+    fn slot_mut(&mut self, at: RegionRef) -> Option<&mut Slot> {
+        let idx = *self.board_index.get(&at.board)?;
+        self.boards[idx].slots.get_mut(at.region as usize)
+    }
+
+    /// Smallest free, unreserved region on an up board that fits `alms`;
+    /// ties by registration order then region index.
+    fn best_fit_free(&self, alms: u32) -> Option<RegionRef> {
+        let mut best: Option<(u32, RegionRef)> = None;
+        for b in self.boards.iter().filter(|b| b.up) {
+            for (i, s) in b.slots.iter().enumerate() {
+                if s.lease.is_none() && s.pending.is_none() && s.alms >= alms {
+                    let r = RegionRef {
+                        board: b.addr,
+                        region: i as u8,
+                    };
+                    if best.is_none_or(|(sz, _)| s.alms < sz) {
+                        best = Some((s.alms, r));
+                    }
+                }
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+
+    fn grant(&mut self, now: SimTime, w: &Waiting, at: RegionRef) {
+        let id = self.next_lease;
+        self.next_lease += 1;
+        let lease = RegionLease {
+            id,
+            req: w.req,
+            tenant: w.tenant,
+            class: w.class,
+            alms: w.alms,
+            preemptible: w.preemptible,
+            caps: w.caps,
+            at,
+        };
+        if let Some(slot) = self.slot_mut(at) {
+            slot.lease = Some(id);
+        }
+        self.leases.insert(id, lease);
+        self.req_state.insert(w.req, ReqState::Active(id));
+        self.grants += 1;
+        let waited_ns = now.as_nanos().saturating_sub(w.arrived.as_nanos());
+        self.wait_ns[w.class.rank() as usize].record(waited_ns);
+        self.push(Decision::Grant {
+            req: w.req,
+            lease: id,
+            at,
+            waited_ns,
+        });
+    }
+
+    /// Grants queued requests that now fit, strongest class first, then
+    /// arrival order; requests that still don't fit are skipped (no
+    /// head-of-line blocking across sizes).
+    fn grant_queued(&mut self, now: SimTime) {
+        loop {
+            let mut pick: Option<(usize, RegionRef)> = None;
+            let mut order: Vec<usize> = (0..self.queue.len()).collect();
+            order.sort_by_key(|&i| (self.queue[i].class.rank(), self.queue[i].req));
+            for i in order {
+                if let Some(at) = self.best_fit_free(self.queue[i].alms) {
+                    pick = Some((i, at));
+                    break;
+                }
+            }
+            let Some((i, at)) = pick else { break };
+            let w = self.queue.remove(i);
+            self.grant(now, &w, at);
+        }
+    }
+
+    /// Tries to arrange a preemption for a just-queued request: evict the
+    /// weakest preemptible lease of a strictly lower class, in the
+    /// smallest sufficient region; ties by lease id.
+    fn try_preempt_for(&mut self, now: SimTime, w: &Waiting) {
+        // Key order: weakest class first (max rank), then smallest
+        // sufficient region, then lowest lease id.
+        type VictimKey = (core::cmp::Reverse<u8>, u32, u64);
+        let mut best: Option<(VictimKey, u64)> = None;
+        for l in self.leases.values() {
+            if !l.preemptible || l.class.rank() <= w.class.rank() {
+                continue;
+            }
+            let Some(idx) = self.board_index.get(&l.at.board) else {
+                continue;
+            };
+            let b = &self.boards[*idx];
+            if !b.up {
+                continue;
+            }
+            let slot = &b.slots[l.at.region as usize];
+            if slot.pending.is_some() || slot.alms < w.alms {
+                continue;
+            }
+            let key = (core::cmp::Reverse(l.class.rank()), slot.alms, l.id);
+            if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                best = Some((key, l.id));
+            }
+        }
+        let Some((_, victim_id)) = best else {
+            return;
+        };
+        let Some(at) = self.leases.get(&victim_id).map(|l| l.at) else {
+            return;
+        };
+        let due = now + self.cfg.eviction_window;
+        if let Some(slot) = self.slot_mut(at) {
+            slot.pending = Some((due, Some(w.req)));
+        }
+        self.preemptions += 1;
+        self.push(Decision::Evict {
+            victim: victim_id,
+            for_req: w.req,
+            at,
+        });
+    }
+
+    /// Completes every eviction due exactly at `t`, in board/region
+    /// order; freed regions go to their reserved request first, then the
+    /// general queue.
+    fn complete_evictions(&mut self, t: SimTime) {
+        let mut freed: Vec<(RegionRef, Option<u64>)> = Vec::new();
+        for b in &mut self.boards {
+            for (i, s) in b.slots.iter_mut().enumerate() {
+                if let Some((due, reserved)) = s.pending {
+                    if due == t {
+                        s.pending = None;
+                        s.lease = None;
+                        freed.push((
+                            RegionRef {
+                                board: b.addr,
+                                region: i as u8,
+                            },
+                            reserved,
+                        ));
+                    }
+                }
+            }
+        }
+        for (at, reserved) in &freed {
+            // The victim lease dies now (it kept running through the
+            // window to checkpoint).
+            let dead: Vec<u64> = self
+                .leases
+                .values()
+                .filter(|l| l.at == *at)
+                .map(|l| l.id)
+                .collect();
+            for id in dead {
+                if let Some(l) = self.leases.remove(&id) {
+                    self.req_state.insert(l.req, ReqState::Done);
+                }
+            }
+            if let Some(req) = reserved {
+                if let Some(pos) = self.queue.iter().position(|w| w.req == *req) {
+                    let w = self.queue.remove(pos);
+                    self.grant(t, &w, *at);
+                    continue;
+                }
+            }
+        }
+        if !freed.is_empty() {
+            self.grant_queued(t);
+            // A reserved grant may have seated a lower-class lease while
+            // a stronger request kept waiting; re-arm its preemption so
+            // the inversion stays bounded by one eviction window.
+            self.repreempt_queued(t);
+        }
+    }
+
+    /// Spot leases eligible for reclamation, largest region first, ties
+    /// by lease id.
+    fn spot_victims(&self) -> Vec<u64> {
+        let mut v: Vec<(u32, u64)> = self
+            .leases
+            .values()
+            .filter(|l| l.class == TenantClass::Spot)
+            .filter_map(|l| {
+                let idx = *self.board_index.get(&l.at.board)?;
+                let b = &self.boards[idx];
+                if !b.up {
+                    return None;
+                }
+                let slot = &b.slots[l.at.region as usize];
+                if slot.pending.is_some() {
+                    return None;
+                }
+                Some((slot.alms, l.id))
+            })
+            .collect();
+        v.sort_by_key(|&(alms, id)| (core::cmp::Reverse(alms), id));
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    fn start_reclaim(&mut self, now: SimTime, victim: u64) {
+        let Some(at) = self.leases.get(&victim).map(|l| l.at) else {
+            return;
+        };
+        let due = now + self.cfg.eviction_window;
+        if let Some(slot) = self.slot_mut(at) {
+            slot.pending = Some((due, None));
+        }
+        self.reclamations += 1;
+        self.push(Decision::Reclaim { victim, at });
+    }
+
+    /// Automatic reclamation: keep `spot_reserve_permille` of the pool
+    /// free or freeing; counts in-flight evictions so one shortfall does
+    /// not evict every spot lease at once.
+    fn reclaim_if_drained(&mut self, now: SimTime) {
+        if self.cfg.spot_reserve_permille == 0 {
+            return;
+        }
+        loop {
+            let pool = self.pool_alms();
+            if pool == 0 {
+                return;
+            }
+            let freeing: u64 = self
+                .boards
+                .iter()
+                .filter(|b| b.up)
+                .flat_map(|b| b.slots.iter())
+                .filter(|s| s.lease.is_none() || s.pending.is_some())
+                .map(|s| s.alms as u64)
+                .sum();
+            if freeing * 1000 >= pool * self.cfg.spot_reserve_permille as u64 {
+                return;
+            }
+            let Some(victim) = self.spot_victims().first().copied() else {
+                return;
+            };
+            self.start_reclaim(now, victim);
+        }
+    }
+
+    /// Best-fit-decreasing repack of live leases across up boards;
+    /// migrates only leases whose assignment changes, in lease-id order.
+    /// Regions mid-eviction keep their occupant and reservation.
+    fn defrag(&mut self, now: SimTime) {
+        // Candidate slots: up, not mid-eviction.
+        let mut slots: Vec<(u32, RegionRef)> = Vec::new();
+        for b in self.boards.iter().filter(|b| b.up) {
+            for (i, s) in b.slots.iter().enumerate() {
+                if s.pending.is_none() {
+                    slots.push((
+                        s.alms,
+                        RegionRef {
+                            board: b.addr,
+                            region: i as u8,
+                        },
+                    ));
+                }
+            }
+        }
+        // Movable leases, largest demand first.
+        let mut by_size: Vec<(u32, u64)> = self
+            .leases
+            .values()
+            .filter(|l| slots.iter().any(|(_, r)| *r == l.at))
+            .map(|l| (l.alms, l.id))
+            .collect();
+        by_size.sort_by_key(|&(alms, id)| (core::cmp::Reverse(alms), id));
+        // Assign each lease the smallest fitting slot, in registration
+        // order among equals.
+        let mut taken = vec![false; slots.len()];
+        let mut target: BTreeMap<u64, RegionRef> = BTreeMap::new();
+        for (alms, id) in &by_size {
+            let mut best: Option<(u32, usize)> = None;
+            for (i, (sz, _)) in slots.iter().enumerate() {
+                if !taken[i] && *sz >= *alms && best.is_none_or(|(bsz, _)| *sz < bsz) {
+                    best = Some((*sz, i));
+                }
+            }
+            if let Some((_, i)) = best {
+                taken[i] = true;
+                target.insert(*id, slots[i].1);
+            }
+        }
+        // Apply moves in lease-id order.
+        let moves: Vec<(u64, RegionRef, RegionRef)> = target
+            .iter()
+            .filter_map(|(id, to)| {
+                let from = self.leases.get(id)?.at;
+                (from != *to).then_some((*id, from, *to))
+            })
+            .collect();
+        // Two-phase apply: clear every vacated slot before occupying any
+        // target, so overlapping move chains (A into B's old slot while B
+        // moves on) never wipe a freshly placed lease.
+        for &(_, from, _) in &moves {
+            if let Some(slot) = self.slot_mut(from) {
+                slot.lease = None;
+            }
+        }
+        for (id, from, to) in moves {
+            if let Some(slot) = self.slot_mut(to) {
+                slot.lease = Some(id);
+            }
+            if let Some(l) = self.leases.get_mut(&id) {
+                l.at = to;
+                if self.debug_defrag_drop_caps {
+                    l.caps = TenantCaps {
+                        er_mbps: 0,
+                        ltl_credits: 0,
+                    };
+                }
+            }
+            self.migrations += 1;
+            self.push(Decision::Migrate {
+                lease: id,
+                from,
+                to,
+            });
+        }
+        // Consolidation may have opened a fitting region — and may have
+        // displaced a small preemptible lease into a large one, so
+        // stranded waiters also re-arm preemption.
+        self.grant_queued(now);
+        self.repreempt_queued(now);
+    }
+}
+
+/// Folds one decision into an FNV-1a hash (shared with the reference
+/// scheduler so fingerprints compare across implementations).
+pub fn fingerprint_decision(hash: u64, d: &Decision) -> u64 {
+    fn region(hash: u64, r: RegionRef) -> u64 {
+        let h = fnv_fold(hash, &r.board.as_u32().to_le_bytes());
+        fnv_fold(h, &[r.region])
+    }
+    match d {
+        Decision::Grant {
+            req,
+            lease,
+            at,
+            waited_ns,
+        } => {
+            let h = fnv_fold(hash, b"G");
+            let h = fnv_fold(h, &req.to_le_bytes());
+            let h = fnv_fold(h, &lease.to_le_bytes());
+            let h = region(h, *at);
+            fnv_fold(h, &waited_ns.to_le_bytes())
+        }
+        Decision::Queue { req } => fnv_fold(fnv_fold(hash, b"Q"), &req.to_le_bytes()),
+        Decision::Evict {
+            victim,
+            for_req,
+            at,
+        } => {
+            let h = fnv_fold(hash, b"E");
+            let h = fnv_fold(h, &victim.to_le_bytes());
+            let h = fnv_fold(h, &for_req.to_le_bytes());
+            region(h, *at)
+        }
+        Decision::Reclaim { victim, at } => {
+            let h = fnv_fold(hash, b"C");
+            let h = fnv_fold(h, &victim.to_le_bytes());
+            region(h, *at)
+        }
+        Decision::Migrate { lease, from, to } => {
+            let h = fnv_fold(hash, b"M");
+            let h = fnv_fold(h, &lease.to_le_bytes());
+            let h = region(h, *from);
+            region(h, *to)
+        }
+        Decision::Reject { req } => fnv_fold(fnv_fold(hash, b"X"), &req.to_le_bytes()),
+        Decision::Release { req, lease } => {
+            let h = fnv_fold(fnv_fold(hash, b"R"), &req.to_le_bytes());
+            match lease {
+                Some(id) => fnv_fold(h, &id.to_le_bytes()),
+                None => fnv_fold(h, b"-"),
+            }
+        }
+        Decision::BoardDown { board, lost } => {
+            let mut h = fnv_fold(hash, b"D");
+            h = fnv_fold(h, &board.as_u32().to_le_bytes());
+            for id in lost {
+                h = fnv_fold(h, &id.to_le_bytes());
+            }
+            h
+        }
+        Decision::BoardUp { board } => {
+            fnv_fold(fnv_fold(hash, b"U"), &board.as_u32().to_le_bytes())
+        }
+    }
+}
+
+impl MetricSource for ElasticScheduler {
+    fn metrics(&self, m: &mut MetricVisitor<'_>) {
+        m.counter("grants", self.grants);
+        m.counter("preemptions", self.preemptions);
+        m.counter("reclamations", self.reclamations);
+        m.counter("migrations", self.migrations);
+        m.counter("rejects", self.rejects);
+        m.counter("lost_leases", self.lost_leases);
+        m.gauge("queue_len", self.queue.len() as f64);
+        m.gauge("live_leases", self.leases.len() as f64);
+        m.gauge(
+            "avg_utilization_permille",
+            self.avg_utilization_permille() as f64,
+        );
+        for class in TenantClass::ALL {
+            m.histogram(
+                &format!("wait_ns_{}", class.label()),
+                &self.wait_ns[class.rank() as usize],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> TenantCaps {
+        TenantCaps {
+            er_mbps: 10_000,
+            ltl_credits: 64,
+        }
+    }
+
+    fn board(h: u16) -> NodeAddr {
+        NodeAddr::new(0, 0, h)
+    }
+
+    /// Two boards: [10k, 20k] and [30k].
+    fn sched() -> ElasticScheduler {
+        let mut s = ElasticScheduler::new(ElasticConfig {
+            eviction_window: SimDuration::from_millis(100),
+            defrag_period: SimDuration::from_secs(1),
+            spot_reserve_permille: 0,
+        });
+        s.add_board(board(1), &[10_000, 20_000]).unwrap();
+        s.add_board(board(2), &[30_000]).unwrap();
+        s
+    }
+
+    fn req(req: u64, class: TenantClass, alms: u32, preemptible: bool) -> LeaseEventKind {
+        LeaseEventKind::Request {
+            req,
+            tenant: TenantId(req as u32),
+            class,
+            alms,
+            preemptible,
+            caps: caps(),
+        }
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_region() {
+        let mut s = sched();
+        let d = s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(0, TenantClass::Standard, 9_000, false),
+        });
+        assert!(matches!(
+            d[0],
+            Decision::Grant {
+                at: RegionRef { region: 0, .. },
+                ..
+            }
+        ));
+        // Next 9k request: region 0 taken, best fit is the 20k region.
+        let d = s.apply(&LeaseEvent {
+            at: SimTime::from_micros(1),
+            kind: req(1, TenantClass::Standard, 9_000, false),
+        });
+        assert!(
+            matches!(d[0], Decision::Grant { at, .. } if at.region == 1 && at.board == board(1))
+        );
+    }
+
+    #[test]
+    fn preemption_is_bounded_and_grants_after_window() {
+        let mut s = sched();
+        // Fill everything with preemptible spot.
+        for (i, alms) in [(0u64, 10_000u32), (1, 20_000), (2, 30_000)] {
+            let d = s.apply(&LeaseEvent {
+                at: SimTime::ZERO,
+                kind: req(i, TenantClass::Spot, alms, true),
+            });
+            assert!(matches!(d[0], Decision::Grant { .. }));
+        }
+        // Guaranteed 15k arrives: queues, evicts the spot in the 20k
+        // region (smallest sufficient; spot beats standard as victim).
+        let t0 = SimTime::from_millis(10);
+        let d = s.apply(&LeaseEvent {
+            at: t0,
+            kind: req(3, TenantClass::Guaranteed, 15_000, false),
+        });
+        assert_eq!(d[0], Decision::Queue { req: 3 });
+        assert!(matches!(
+            d[1],
+            Decision::Evict {
+                victim: 1,
+                for_req: 3,
+                ..
+            }
+        ));
+        // After the eviction window, the grant lands automatically.
+        s.advance_to(t0 + SimDuration::from_millis(100));
+        let last = s.decisions().last().unwrap().clone();
+        assert!(matches!(last, Decision::Grant { req: 3, waited_ns, .. }
+                if waited_ns == SimDuration::from_millis(100).as_nanos()));
+        assert!(s.queued_reqs().is_empty());
+    }
+
+    #[test]
+    fn guaranteed_is_never_preempted() {
+        let mut s = sched();
+        for (i, alms) in [(0u64, 10_000u32), (1, 20_000), (2, 30_000)] {
+            // `preemptible: true` is ignored for guaranteed.
+            s.apply(&LeaseEvent {
+                at: SimTime::ZERO,
+                kind: req(i, TenantClass::Guaranteed, alms, true),
+            });
+        }
+        let d = s.apply(&LeaseEvent {
+            at: SimTime::from_millis(1),
+            kind: req(3, TenantClass::Guaranteed, 5_000, false),
+        });
+        assert_eq!(d, vec![Decision::Queue { req: 3 }], "no eviction");
+    }
+
+    #[test]
+    fn release_frees_and_backfills_queue() {
+        let mut s = sched();
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(0, TenantClass::Standard, 25_000, false),
+        });
+        s.apply(&LeaseEvent {
+            at: SimTime::from_micros(1),
+            kind: req(1, TenantClass::Standard, 25_000, false),
+        });
+        assert_eq!(s.queued_reqs(), vec![1]);
+        let d = s.apply(&LeaseEvent {
+            at: SimTime::from_micros(2),
+            kind: LeaseEventKind::Release { req: 0 },
+        });
+        assert!(matches!(
+            d[0],
+            Decision::Release {
+                req: 0,
+                lease: Some(0)
+            }
+        ));
+        assert!(matches!(d[1], Decision::Grant { req: 1, .. }));
+    }
+
+    #[test]
+    fn board_down_loses_leases_and_board_up_restores_capacity() {
+        let mut s = sched();
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(0, TenantClass::Standard, 25_000, false),
+        });
+        let d = s.apply(&LeaseEvent {
+            at: SimTime::from_millis(1),
+            kind: LeaseEventKind::BoardDown { board: board(2) },
+        });
+        assert_eq!(
+            d[0],
+            Decision::BoardDown {
+                board: board(2),
+                lost: vec![0]
+            }
+        );
+        // 25k no longer fits anywhere while board 2 is down.
+        let d = s.apply(&LeaseEvent {
+            at: SimTime::from_millis(2),
+            kind: req(1, TenantClass::Standard, 25_000, false),
+        });
+        assert_eq!(d[0], Decision::Reject { req: 1 });
+        let d = s.apply(&LeaseEvent {
+            at: SimTime::from_millis(3),
+            kind: LeaseEventKind::BoardUp { board: board(2) },
+        });
+        assert_eq!(d[0], Decision::BoardUp { board: board(2) });
+    }
+
+    #[test]
+    fn defrag_consolidates_and_preserves_leases() {
+        let mut s = sched();
+        // A 9k lease sits in the 30k region (placed there after the
+        // smaller regions fill), then the small-region leases go away —
+        // defrag should move it into the 10k region.
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(0, TenantClass::Standard, 9_500, false),
+        });
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(1, TenantClass::Standard, 18_000, false),
+        });
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(2, TenantClass::Standard, 9_000, false),
+        });
+        assert_eq!(s.leases.get(&2).unwrap().at.board, board(2));
+        s.apply(&LeaseEvent {
+            at: SimTime::from_millis(1),
+            kind: LeaseEventKind::Release { req: 0 },
+        });
+        let before: Vec<(u64, TenantId, u32, TenantCaps)> = s
+            .leases()
+            .map(|l| (l.id, l.tenant, l.alms, l.caps))
+            .collect();
+        s.advance_to(SimTime::from_secs(1));
+        let moved = s
+            .decisions()
+            .iter()
+            .any(|d| matches!(d, Decision::Migrate { lease: 2, .. }));
+        assert!(moved, "defrag migrated the mis-packed lease");
+        let after: Vec<(u64, TenantId, u32, TenantCaps)> = s
+            .leases()
+            .map(|l| (l.id, l.tenant, l.alms, l.caps))
+            .collect();
+        assert_eq!(before, after, "identity/caps preserved across defrag");
+    }
+
+    #[test]
+    fn planted_defrag_bug_drops_caps() {
+        let mut s = sched();
+        s.set_debug_defrag_drop_caps(true);
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(0, TenantClass::Standard, 9_500, false),
+        });
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(1, TenantClass::Standard, 9_000, false),
+        });
+        s.apply(&LeaseEvent {
+            at: SimTime::from_millis(1),
+            kind: LeaseEventKind::Release { req: 0 },
+        });
+        s.advance_to(SimTime::from_secs(1));
+        let l = s.leases().next().unwrap();
+        assert_eq!(l.caps.er_mbps, 0, "bug visibly corrupts caps");
+    }
+
+    #[test]
+    fn spot_reserve_reclaims_largest_spot_first() {
+        let mut s = ElasticScheduler::new(ElasticConfig {
+            eviction_window: SimDuration::from_millis(100),
+            defrag_period: SimDuration::ZERO,
+            spot_reserve_permille: 300,
+        });
+        s.add_board(board(1), &[10_000, 20_000, 30_000]).unwrap();
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(0, TenantClass::Spot, 28_000, true),
+        });
+        s.apply(&LeaseEvent {
+            at: SimTime::ZERO,
+            kind: req(1, TenantClass::Spot, 18_000, true),
+        });
+        // Free share now 10k/60k < 30% → reclaim the largest spot.
+        let reclaimed = s
+            .decisions()
+            .iter()
+            .any(|d| matches!(d, Decision::Reclaim { victim: 0, .. }));
+        assert!(reclaimed, "decisions: {:?}", s.decisions());
+    }
+
+    #[test]
+    fn identical_traces_produce_identical_fingerprints() {
+        let run = || {
+            let mut s = sched();
+            for i in 0..20u64 {
+                s.apply(&LeaseEvent {
+                    at: SimTime::from_millis(i * 7),
+                    kind: req(
+                        i,
+                        TenantClass::ALL[(i % 3) as usize],
+                        5_000 + (i as u32 * 1_733) % 24_000,
+                        i % 2 == 0,
+                    ),
+                });
+                if i % 3 == 2 {
+                    s.apply(&LeaseEvent {
+                        at: SimTime::from_millis(i * 7 + 3),
+                        kind: LeaseEventKind::Release { req: i - 2 },
+                    });
+                }
+            }
+            s.advance_to(SimTime::from_secs(2));
+            (s.fingerprint(), s.decisions().len())
+        };
+        assert_eq!(run(), run());
+    }
+}

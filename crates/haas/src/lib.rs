@@ -7,6 +7,11 @@
 //! failed nodes; a lightweight [`FpgaManager`] per node handles
 //! configuration and status for the machine it runs on.
 //!
+//! On boards carved into partial-reconfiguration regions the pool becomes
+//! elastic: [`ElasticScheduler`] leases individual regions to tenants with
+//! priority preemption, periodic defragmentation and spot reclamation,
+//! emitting a deterministic [`Decision`] log.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,11 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod elastic;
 mod fm;
 mod health;
 mod rm;
 mod sm;
 
+pub use elastic::{
+    fingerprint_decision, Decision, ElasticConfig, ElasticError, ElasticScheduler, LeaseEvent,
+    LeaseEventKind, PlacementRow, RegionLease, RegionRef, TenantClass,
+};
 pub use fm::{FpgaManager, NodeStatus};
 pub use health::{DeployImage, FailureMonitor, NodeDownReport, RecoveryRecord};
 pub use rm::{AllocError, Constraints, FpgaState, Lease, LeaseId, ResourceManager};

@@ -151,7 +151,9 @@ impl ResourceManager {
             .order
             .iter()
             .copied()
-            .filter(|a| constraints.admits(*a) && matches!(self.fpgas[a], FpgaState::Unallocated))
+            .filter(|a| {
+                constraints.admits(*a) && matches!(self.fpgas.get(a), Some(FpgaState::Unallocated))
+            })
             .take(count)
             .collect();
         if candidates.len() < count {
@@ -187,8 +189,10 @@ impl ResourceManager {
     /// [`AllocError::UnknownLease`] if the id is not outstanding.
     pub fn release(&mut self, id: LeaseId) -> Result<(), AllocError> {
         let addr = self.leases.remove(&id).ok_or(AllocError::UnknownLease)?;
-        // A failed node stays failed even if its lease is released.
-        if matches!(self.fpgas[&addr], FpgaState::Leased { .. }) {
+        // A failed node stays failed even if its lease is released; a node
+        // missing from the map entirely (never possible via the public API)
+        // is left untouched rather than panicking on the lookup.
+        if matches!(self.fpgas.get(&addr), Some(FpgaState::Leased { .. })) {
             self.fpgas.insert(addr, FpgaState::Unallocated);
         }
         Ok(())

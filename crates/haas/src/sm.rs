@@ -88,7 +88,12 @@ impl ServiceManager {
             leases,
             constraints: constraints.clone(),
         });
-        Ok(self.components.last().expect("just pushed"))
+        // Unreachable after the push above; mapped to a typed error rather
+        // than panicking so lease bookkeeping never aborts the control
+        // plane.
+        self.components
+            .last()
+            .ok_or(AllocError::InsufficientCapacity)
     }
 
     /// Shrinks the service by releasing `count` components back to the
@@ -150,7 +155,11 @@ impl ServiceManager {
                 comp.leases.remove(pos);
                 let constraints = comp.constraints.clone();
                 let mut replacement = rm.request(&self.name, 1, &constraints)?;
-                let lease = replacement.pop().expect("one requested");
+                // The RM's contract is all-or-nothing; an empty grant is a
+                // capacity failure, not a reason to abort the service.
+                let Some(lease) = replacement.pop() else {
+                    return Err(AllocError::InsufficientCapacity);
+                };
                 let addr = lease.addr;
                 comp.leases.push(lease);
                 self.replacements += 1;

@@ -1,0 +1,225 @@
+//! Negative-path tests for the elastic multi-tenant API: every bogus
+//! operation returns a typed [`ElasticError`], never a panic, and the
+//! scheduler's books stay consistent afterwards.
+
+use dcnet::NodeAddr;
+use dcsim::SimTime;
+use haas::{ElasticConfig, ElasticError, ElasticScheduler, TenantClass};
+use shell::tenant::{TenantCaps, TenantId};
+
+fn caps() -> TenantCaps {
+    TenantCaps {
+        er_mbps: 1_000,
+        ltl_credits: 16,
+    }
+}
+
+fn sched() -> ElasticScheduler {
+    let mut s = ElasticScheduler::new(ElasticConfig::default());
+    s.add_board(NodeAddr::new(0, 0, 1), &[10_000, 20_000])
+        .unwrap();
+    s
+}
+
+#[test]
+fn oversized_request_is_a_typed_reject() {
+    let mut s = sched();
+    let err = s
+        .request(
+            SimTime::ZERO,
+            0,
+            TenantId(1),
+            TenantClass::Guaranteed,
+            25_000,
+            false,
+            caps(),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ElasticError::RequestTooLarge {
+            alms: 25_000,
+            largest: 20_000
+        }
+    );
+    assert_eq!(s.leases().count(), 0);
+    assert!(s.queued_reqs().is_empty(), "rejected, not queued");
+}
+
+#[test]
+fn oversized_request_against_empty_pool_reports_zero() {
+    let mut s = ElasticScheduler::new(ElasticConfig::default());
+    let err = s
+        .request(
+            SimTime::ZERO,
+            0,
+            TenantId(1),
+            TenantClass::Spot,
+            1,
+            true,
+            caps(),
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ElasticError::RequestTooLarge {
+            alms: 1,
+            largest: 0
+        }
+    );
+}
+
+#[test]
+fn preempting_a_non_preemptible_lease_errors() {
+    let mut s = sched();
+    s.request(
+        SimTime::ZERO,
+        0,
+        TenantId(1),
+        TenantClass::Guaranteed,
+        9_000,
+        false,
+        caps(),
+    )
+    .unwrap();
+    let lease = s.leases().next().unwrap().id;
+    assert_eq!(
+        s.preempt(SimTime::from_micros(1), lease).unwrap_err(),
+        ElasticError::NotPreemptible(lease)
+    );
+    assert_eq!(s.leases().count(), 1, "lease untouched");
+    // A standard lease that did not opt in is equally protected.
+    s.request(
+        SimTime::from_micros(2),
+        1,
+        TenantId(2),
+        TenantClass::Standard,
+        9_000,
+        false,
+        caps(),
+    )
+    .unwrap();
+    let std_lease = s.leases().map(|l| l.id).max().unwrap();
+    assert_eq!(
+        s.preempt(SimTime::from_micros(3), std_lease).unwrap_err(),
+        ElasticError::NotPreemptible(std_lease)
+    );
+}
+
+#[test]
+fn preempting_unknown_lease_errors() {
+    let mut s = sched();
+    assert_eq!(
+        s.preempt(SimTime::ZERO, 42).unwrap_err(),
+        ElasticError::UnknownLease(42)
+    );
+}
+
+#[test]
+fn double_release_is_rejected_not_double_freed() {
+    let mut s = sched();
+    s.request(
+        SimTime::ZERO,
+        0,
+        TenantId(1),
+        TenantClass::Standard,
+        9_000,
+        false,
+        caps(),
+    )
+    .unwrap();
+    s.release(SimTime::from_micros(1), 0).unwrap();
+    assert_eq!(s.leases().count(), 0);
+    // Second release of the same request: accepted as a no-op decision
+    // (the trace path), lease count unchanged, no panic.
+    s.release(SimTime::from_micros(2), 0).unwrap();
+    assert_eq!(s.leases().count(), 0);
+    // A request id that never existed is a typed error.
+    assert_eq!(
+        s.release(SimTime::from_micros(3), 99).unwrap_err(),
+        ElasticError::UnknownLease(99)
+    );
+}
+
+#[test]
+fn reclaiming_from_an_empty_spot_pool_errors() {
+    let mut s = sched();
+    // Only non-spot leases live.
+    s.request(
+        SimTime::ZERO,
+        0,
+        TenantId(1),
+        TenantClass::Guaranteed,
+        9_000,
+        false,
+        caps(),
+    )
+    .unwrap();
+    assert_eq!(
+        s.reclaim_spot(SimTime::from_micros(1)).unwrap_err(),
+        ElasticError::SpotPoolEmpty
+    );
+    assert_eq!(s.leases().count(), 1, "guaranteed lease never reclaimed");
+}
+
+#[test]
+fn board_ops_on_unknown_boards_error() {
+    let mut s = sched();
+    let ghost = NodeAddr::new(3, 3, 3);
+    assert_eq!(
+        s.board_down(SimTime::ZERO, ghost).unwrap_err(),
+        ElasticError::UnknownBoard(ghost)
+    );
+    assert_eq!(
+        s.board_up(SimTime::ZERO, ghost).unwrap_err(),
+        ElasticError::UnknownBoard(ghost)
+    );
+    assert_eq!(
+        s.add_board(NodeAddr::new(0, 0, 1), &[1]).unwrap_err(),
+        ElasticError::DuplicateBoard(NodeAddr::new(0, 0, 1))
+    );
+}
+
+#[test]
+fn errors_display_without_panicking() {
+    let errs: Vec<ElasticError> = vec![
+        ElasticError::RequestTooLarge {
+            alms: 7,
+            largest: 3,
+        },
+        ElasticError::NotPreemptible(1),
+        ElasticError::UnknownLease(2),
+        ElasticError::SpotPoolEmpty,
+        ElasticError::UnknownBoard(NodeAddr::new(1, 2, 3)),
+        ElasticError::DuplicateBoard(NodeAddr::new(1, 2, 3)),
+    ];
+    for e in errs {
+        assert!(!e.to_string().is_empty());
+    }
+}
+
+#[test]
+fn spot_reclaim_respects_eviction_window() {
+    let mut s = sched();
+    s.request(
+        SimTime::ZERO,
+        0,
+        TenantId(9),
+        TenantClass::Spot,
+        9_000,
+        true,
+        caps(),
+    )
+    .unwrap();
+    let victim = s.reclaim_spot(SimTime::from_micros(1)).unwrap();
+    // Victim still live inside the window...
+    assert!(s.leases().any(|l| l.id == victim));
+    // ...and gone after it.
+    s.advance_to(SimTime::from_micros(1) + ElasticConfig::default().eviction_window);
+    assert!(!s.leases().any(|l| l.id == victim));
+    // Immediately after, the pool is empty again.
+    assert_eq!(
+        s.reclaim_spot(SimTime::from_secs(2)).unwrap_err(),
+        ElasticError::SpotPoolEmpty
+    );
+}

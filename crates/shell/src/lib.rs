@@ -9,7 +9,10 @@
 //!   tables, an unacknowledged frame store, ACK/NACK retransmission with a
 //!   50 µs timeout, bandwidth limiting and DC-QCN congestion control;
 //! * [`ElasticRouter`] — the on-chip input-buffered crossbar with virtual
-//!   channels and the elastic shared credit pool.
+//!   channels and the elastic shared credit pool;
+//! * [`tenant`] — per-tenant ER-bandwidth and LTL-credit caps enforced at
+//!   the shell's send-admission point when one board hosts several
+//!   partial-reconfiguration tenants.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ mod er_net;
 pub mod ltl;
 mod shell;
 mod tap;
+pub mod tenant;
 
 pub use er::{CreditPolicy, ElasticRouter, ErConfig, ErStats, Flit, InjectError};
 pub use er_net::{ErMessage, ErNetwork, NetPort};
@@ -50,3 +54,4 @@ pub use shell::{
     LtlConnFailed, LtlDeliver, Shell, ShellCmd, ShellConfig, ShellStats, PORT_NIC, PORT_TOR,
 };
 pub use tap::{NetworkTap, PassthroughTap, TapAction};
+pub use tenant::{CapVerdict, TenantCapTable, TenantCaps, TenantId, DEFAULT_CAP_WINDOW};

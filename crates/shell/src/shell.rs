@@ -14,7 +14,7 @@
 //! [`ShellCmd`] messages and receive [`LtlDeliver`] / [`LtlConnFailed`]
 //! payloads in return.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 use dcnet::{
@@ -25,6 +25,7 @@ use telemetry::{MetricSource, MetricVisitor, TrackTracer};
 
 use crate::ltl::{LtlConfig, LtlEngine, LtlEvent, Poll, RecvConnId, SendConnId};
 use crate::tap::{NetworkTap, PassthroughTap, TapAction};
+use crate::tenant::{CapVerdict, TenantCapTable, TenantCaps, TenantId};
 
 /// Shell port facing the TOR switch.
 pub const PORT_TOR: PortId = PortId(0);
@@ -170,6 +171,23 @@ pub enum ShellCmd {
         /// How long the role stays wedged.
         duration: SimDuration,
     },
+    /// Installs (`Some`) or removes (`None`) per-tenant isolation caps in
+    /// the shell's [`TenantCapTable`]. Sent by the HaaS resource manager
+    /// when a tenant's lease on a PR region of this board starts or ends.
+    SetTenantCaps {
+        /// The tenant whose caps change.
+        tenant: TenantId,
+        /// New caps, or `None` to return the tenant to unrestricted.
+        caps: Option<TenantCaps>,
+    },
+    /// Attributes (`Some`) or detaches (`None`) an LTL send connection to
+    /// a tenant, so its traffic is charged against that tenant's caps.
+    BindTenant {
+        /// The send connection to (re)attribute.
+        conn: SendConnId,
+        /// Owning tenant, or `None` to clear the binding.
+        tenant: Option<TenantId>,
+    },
 }
 
 /// Delivered LTL message, sent to the registered consumer component.
@@ -217,6 +235,9 @@ pub struct ShellStats {
     /// LTL deliveries lost because the role was hung
     /// ([`ShellCmd::HangRole`]).
     pub hang_drops: u64,
+    /// LTL sends refused at admission because the owning tenant exceeded
+    /// its per-window caps ([`ShellCmd::SetTenantCaps`]).
+    pub tenant_cap_drops: u64,
 }
 
 /// Reconfiguration state of the FPGA.
@@ -266,6 +287,8 @@ pub struct Shell {
     ltl_loss_rate: f64,
     hang_until: Option<SimTime>,
     tracer: Option<TrackTracer>,
+    tenant_caps: TenantCapTable,
+    conn_tenants: BTreeMap<SendConnId, TenantId>,
 }
 
 impl Shell {
@@ -287,6 +310,8 @@ impl Shell {
             ltl_loss_rate: 0.0,
             hang_until: None,
             tracer: None,
+            tenant_caps: TenantCapTable::default(),
+            conn_tenants: BTreeMap::new(),
         }
     }
 
@@ -317,6 +342,12 @@ impl Shell {
     /// raw counters between events without a snapshot allocation).
     pub fn stats_view(&self) -> &ShellStats {
         &self.stats
+    }
+
+    /// The per-tenant cap ledger (empty unless the HaaS scheduler has
+    /// programmed caps via [`ShellCmd::SetTenantCaps`]).
+    pub fn tenant_caps(&self) -> &TenantCapTable {
+        &self.tenant_caps
     }
 
     /// Whether the TOR-facing egress is currently PFC-paused for `class`
@@ -644,6 +675,17 @@ impl Component<Msg> for Shell {
                 if let Ok(cmd) = any.downcast::<ShellCmd>() {
                     match *cmd {
                         ShellCmd::LtlSend { conn, vc, payload } => {
+                            // Multi-tenant admission: a send on a
+                            // tenant-bound connection is charged against
+                            // that tenant's per-window caps first.
+                            if let Some(&tenant) = self.conn_tenants.get(&conn) {
+                                let verdict =
+                                    self.tenant_caps.admit(tenant, ctx.now(), payload.len());
+                                if verdict != CapVerdict::Admit {
+                                    self.stats.tenant_cap_drops += 1;
+                                    return;
+                                }
+                            }
                             // Errors surface as ConnectionFailed
                             // notifications; sends on failed
                             // connections are dropped.
@@ -671,6 +713,20 @@ impl Component<Msg> for Shell {
                             }
                             ctx.timer_after(duration, TIMER_ROLE_RECOVERED);
                         }
+                        ShellCmd::SetTenantCaps { tenant, caps } => match caps {
+                            Some(caps) => self.tenant_caps.set_caps(tenant, caps),
+                            None => {
+                                self.tenant_caps.clear(tenant);
+                            }
+                        },
+                        ShellCmd::BindTenant { conn, tenant } => match tenant {
+                            Some(tenant) => {
+                                self.conn_tenants.insert(conn, tenant);
+                            }
+                            None => {
+                                self.conn_tenants.remove(&conn);
+                            }
+                        },
                     }
                 }
             }
@@ -732,9 +788,13 @@ impl MetricSource for Shell {
         m.counter("corrupt_drops", self.stats.corrupt_drops);
         m.counter("injected_drops", self.stats.injected_drops);
         m.counter("hang_drops", self.stats.hang_drops);
+        m.counter("tenant_cap_drops", self.stats.tenant_cap_drops);
         m.gauge("bridge_up", if self.bridge_up() { 1.0 } else { 0.0 });
         m.gauge("role_hung", if self.role_hung() { 1.0 } else { 0.0 });
         m.child("ltl", &self.ltl);
+        if !self.tenant_caps.is_empty() {
+            m.child("tenants", &self.tenant_caps);
+        }
     }
 }
 
@@ -959,6 +1019,116 @@ mod tests {
         // Sender saw the ACK and retired the frame.
         let shell_a = e.component::<Shell>(a).unwrap();
         assert_eq!(shell_a.ltl().in_flight(), 0);
+    }
+
+    #[test]
+    fn tenant_caps_drop_over_budget_sends() {
+        let (mut e, a, _b, consumer, a_send) = back_to_back();
+        // Tenant 3 owns connection `a_send` and gets 2 LTL credits per
+        // 10 µs window with ample bandwidth.
+        e.schedule(
+            SimTime::ZERO,
+            a,
+            Msg::custom(ShellCmd::SetTenantCaps {
+                tenant: TenantId(3),
+                caps: Some(TenantCaps {
+                    er_mbps: 40_000,
+                    ltl_credits: 2,
+                }),
+            }),
+        );
+        e.schedule(
+            SimTime::ZERO,
+            a,
+            Msg::custom(ShellCmd::BindTenant {
+                conn: a_send,
+                tenant: Some(TenantId(3)),
+            }),
+        );
+        // Four sends inside one window: two admitted, two dropped.
+        for i in 0..4u64 {
+            e.schedule(
+                SimTime::from_nanos(100 + i),
+                a,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: a_send,
+                    vc: 0,
+                    payload: Bytes::from_static(b"capped"),
+                }),
+            );
+        }
+        // A fifth send in the next window is admitted again.
+        e.schedule(
+            SimTime::from_micros(15),
+            a,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"capped"),
+            }),
+        );
+        e.run_to_idle();
+        let shell_a = e.component::<Shell>(a).unwrap();
+        assert_eq!(shell_a.stats_view().tenant_cap_drops, 2);
+        assert_eq!(shell_a.tenant_caps().total_drops(), 2);
+        let probe = e.component::<Probe>(consumer).unwrap();
+        assert_eq!(probe.deliveries.len(), 3);
+    }
+
+    #[test]
+    fn unbinding_tenant_restores_unrestricted_sends() {
+        let (mut e, a, _b, consumer, a_send) = back_to_back();
+        e.schedule(
+            SimTime::ZERO,
+            a,
+            Msg::custom(ShellCmd::SetTenantCaps {
+                tenant: TenantId(1),
+                caps: Some(TenantCaps {
+                    er_mbps: 1,
+                    ltl_credits: 0,
+                }),
+            }),
+        );
+        e.schedule(
+            SimTime::ZERO,
+            a,
+            Msg::custom(ShellCmd::BindTenant {
+                conn: a_send,
+                tenant: Some(TenantId(1)),
+            }),
+        );
+        e.schedule(
+            SimTime::from_nanos(50),
+            a,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"blocked"),
+            }),
+        );
+        e.schedule(
+            SimTime::from_nanos(60),
+            a,
+            Msg::custom(ShellCmd::BindTenant {
+                conn: a_send,
+                tenant: None,
+            }),
+        );
+        e.schedule(
+            SimTime::from_nanos(70),
+            a,
+            Msg::custom(ShellCmd::LtlSend {
+                conn: a_send,
+                vc: 0,
+                payload: Bytes::from_static(b"flows"),
+            }),
+        );
+        e.run_to_idle();
+        let shell_a = e.component::<Shell>(a).unwrap();
+        assert_eq!(shell_a.stats_view().tenant_cap_drops, 1);
+        let probe = e.component::<Probe>(consumer).unwrap();
+        assert_eq!(probe.deliveries.len(), 1);
+        assert_eq!(probe.deliveries[0].1.payload.as_ref(), b"flows");
     }
 
     #[test]

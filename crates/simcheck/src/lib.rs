@@ -9,7 +9,9 @@
 //!    go-back-N retransmission protocol, the DC-QCN reaction point) that
 //!    are stepped in lockstep with the real implementations and
 //!    differentially compared after *every* engine event
-//!    ([`model::GbnRefModel`], [`sr_model::SrRefModel`], [`dcqcn_ref`]).
+//!    ([`model::GbnRefModel`], [`sr_model::SrRefModel`], [`dcqcn_ref`],
+//!    and the elastic-scheduler reference [`haas_ref::RefScheduler`]
+//!    driven by [`elastic`]).
 //! 2. **Global invariant checkers** — predicates over whole-cluster state
 //!    (switch queue bounds, PFC pause obedience, Elastic Router flit
 //!    conservation, HaaS lease-state legality, per-flow delivery order)
@@ -29,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod dcqcn_ref;
+pub mod elastic;
 pub mod er_check;
+pub mod haas_ref;
 pub mod invariants;
 pub mod model;
 pub mod repro;

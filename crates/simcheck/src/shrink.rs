@@ -1,22 +1,23 @@
-//! Delta-debugging reduction of failing fault plans.
+//! Delta-debugging reduction of failing event lists.
 //!
-//! Given a fault-event list that makes an oracle fire and a closure that
+//! Given an event list that makes an oracle fire and a closure that
 //! re-runs the simulation, [`ddmin`] finds a 1-minimal sub-list: removing
 //! any single remaining event makes the failure disappear. Because each
 //! probe is a fully deterministic replay, the result is an exact minimal
-//! reproduction, not a statistical one.
+//! reproduction, not a statistical one. Generic over the event type —
+//! chaos [`catapult::chaos::FaultEvent`]s and elastic
+//! [`haas::LeaseEvent`]s shrink through the same machinery.
 
-use catapult::chaos::FaultEvent;
-
-/// Zeller–Hildebrandt ddmin over fault events. `still_fails` must return
+/// Zeller–Hildebrandt ddmin over an event list. `still_fails` must return
 /// `true` when the simulation run with the candidate event list still
 /// exhibits the failure. Returns a 1-minimal failing sub-list (the input
 /// itself must fail; this is debug-asserted by re-running it).
-pub fn ddmin<F>(events: &[FaultEvent], mut still_fails: F) -> Vec<FaultEvent>
+pub fn ddmin<T, F>(events: &[T], mut still_fails: F) -> Vec<T>
 where
-    F: FnMut(&[FaultEvent]) -> bool,
+    T: Clone,
+    F: FnMut(&[T]) -> bool,
 {
-    let mut cur: Vec<FaultEvent> = events.to_vec();
+    let mut cur: Vec<T> = events.to_vec();
     if cur.is_empty() {
         return cur;
     }
@@ -28,10 +29,10 @@ where
         while start < cur.len() {
             let end = (start + chunk).min(cur.len());
             // Complement: everything except [start, end).
-            let candidate: Vec<FaultEvent> = cur[..start]
+            let candidate: Vec<T> = cur[..start]
                 .iter()
                 .chain(cur[end..].iter())
-                .copied()
+                .cloned()
                 .collect();
             if !candidate.is_empty() && still_fails(&candidate) {
                 cur = candidate;
@@ -65,7 +66,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use catapult::chaos::FaultKind;
+    use catapult::chaos::{FaultEvent, FaultKind};
     use dcnet::NodeAddr;
     use dcsim::{SimDuration, SimTime};
 
@@ -114,6 +115,15 @@ mod tests {
 
     #[test]
     fn empty_input_stays_empty() {
-        assert_eq!(ddmin(&[], |_| true), Vec::new());
+        assert_eq!(ddmin::<FaultEvent, _>(&[], |_| true), Vec::new());
+    }
+
+    #[test]
+    fn shrinks_non_copy_event_types() {
+        // The elastic scheduler's trace events are Clone-not-Copy;
+        // ddmin must reduce them identically.
+        let events: Vec<String> = (0..8).map(|i| format!("ev{i}")).collect();
+        let minimal = ddmin(&events, |c| c.iter().any(|e| e == "ev5"));
+        assert_eq!(minimal, vec!["ev5".to_string()]);
     }
 }

@@ -103,6 +103,19 @@ impl MetricVisitor<'_> {
         };
         source.metrics(&mut v);
     }
+
+    /// Recurses into a child source under a stable zero-padded indexed
+    /// segment: `child_indexed("tenant", 7, ..)` publishes under
+    /// `tenant007`. The padding keeps dynamically-sized families (tenants,
+    /// regions) in numeric order under the registry's lexicographic key
+    /// sort, mirroring the fixed `torPP.TT` path convention.
+    pub fn child_indexed(&mut self, prefix: &str, index: u64, source: &dyn MetricSource) {
+        let mut v = MetricVisitor {
+            prefix: self.key(&format!("{prefix}{index:03}")),
+            entries: self.entries,
+        };
+        source.metrics(&mut v);
+    }
 }
 
 /// A frozen, deterministic view of every published metric at one instant

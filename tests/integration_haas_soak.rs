@@ -4,9 +4,10 @@
 //! "failing nodes are removed from the pool with replacements quickly
 //! added."
 
+use catapult::elastic::{generate_trace, run_trace, standard_region_alms, ElasticTraceConfig};
 use dcnet::NodeAddr;
-use dcsim::SimRng;
-use haas::{Constraints, FpgaState, ResourceManager, ServiceManager};
+use dcsim::{SimDuration, SimRng};
+use haas::{Constraints, ElasticConfig, FpgaState, ResourceManager, ServiceManager, TenantClass};
 
 /// A bed of `n` machines registered with the RM.
 fn bed(n: u16) -> ResourceManager {
@@ -95,4 +96,70 @@ fn exhausted_pool_degrades_instead_of_panicking() {
     }
     sm.grow(&mut rm, 12, &Constraints::default()).unwrap();
     assert_eq!(sm.endpoints().len(), 24);
+}
+
+#[test]
+fn multi_tenant_mix_soaks_ten_minutes_deterministically() {
+    // Guaranteed + standard + spot tenants contend for the PR-region pool
+    // for ten simulated minutes under moderate oversubscription, with
+    // chaos board crashes mixed in. The scheduler must serve every class,
+    // exercise preemption and spot reclamation, and produce the exact
+    // same decision stream when the seeded trace is run twice.
+    let cfg = ElasticTraceConfig {
+        seed: 7,
+        boards: 6,
+        horizon: SimDuration::from_secs(600),
+        load: 1.3,
+        fault_rate: 1.0,
+        ..ElasticTraceConfig::default()
+    };
+    let sched = ElasticConfig {
+        spot_reserve_permille: 150,
+        ..ElasticConfig::default()
+    };
+    let regions = standard_region_alms();
+    let trace = generate_trace(&cfg);
+    assert!(
+        trace.len() > 1_000,
+        "ten minutes of load, got {} events",
+        trace.len()
+    );
+
+    let run = || run_trace(cfg.boards, &regions, sched, &trace, cfg.horizon);
+    let (sched_a, report_a) = run();
+    let (_, report_b) = run();
+
+    // Same seed, same trace => byte-for-byte the same decisions.
+    assert_eq!(report_a, report_b, "soak run is not deterministic");
+    assert_eq!(report_a.fingerprint, report_b.fingerprint);
+
+    // Every class got served, and the contention machinery actually ran.
+    for (i, class) in TenantClass::ALL.iter().enumerate() {
+        assert!(
+            report_a.p99_wait_ns[i].is_some(),
+            "{class:?} saw no grants over the soak"
+        );
+        assert!(
+            !sched_a.wait_histogram(*class).is_empty(),
+            "{class:?} wait histogram is empty"
+        );
+    }
+    assert!(report_a.grants > 500, "grants: {}", report_a.grants);
+    assert!(report_a.preemptions > 0, "no preemption over ten minutes");
+    assert!(
+        report_a.reclamations > 0,
+        "no spot reclamation over ten minutes"
+    );
+    assert!(report_a.lost_leases > 0, "chaos crashes never landed");
+    assert!(
+        report_a.utilization_permille > 400,
+        "pool underused: {}permille",
+        report_a.utilization_permille
+    );
+    // The queue drains: nothing waits forever once the trace ends.
+    assert!(
+        report_a.queued_at_end < 20,
+        "queue backlog at end: {}",
+        report_a.queued_at_end
+    );
 }
