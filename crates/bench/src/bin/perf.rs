@@ -304,6 +304,58 @@ impl Component<Msg> for Pinger {
     }
 }
 
+/// One stage of a modelled RPC service pipeline.
+struct ServiceTick;
+
+/// An RPC handler model: each delivery starts a pipeline of service
+/// ticks (self-events, `tick_gap` apart), and the reply leaves `delay`
+/// after the pipeline drains — the component's declared pacing floor.
+/// The tick chain is what adaptive windows feast on: ticks carry the
+/// pacing excess, so a whole service pipeline merges into one window,
+/// while fixed windows pay a barrier round per lookahead-sized slice.
+struct PacedWorker {
+    shell: ComponentId,
+    conn: SendConnId,
+    payload: Bytes,
+    remaining: u64,
+    delay: SimDuration,
+    steps: u32,
+    tick_gap: SimDuration,
+    left: u32,
+}
+
+impl Component<Msg> for PacedWorker {
+    fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        let msg = match msg.downcast::<LtlDeliver>() {
+            Ok(_) => {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    self.left = self.steps;
+                    ctx.send_to_self_after(self.tick_gap, Msg::custom(ServiceTick));
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        if msg.downcast::<ServiceTick>().is_ok() {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.send_to_self_after(self.tick_gap, Msg::custom(ServiceTick));
+            } else {
+                ctx.send_after(
+                    self.delay,
+                    self.shell,
+                    Msg::custom(ShellCmd::LtlSend {
+                        conn: self.conn,
+                        vc: 0,
+                        payload: self.payload.clone(),
+                    }),
+                );
+            }
+        }
+    }
+}
+
 /// The full-stack cluster workload: LTL ping-pong sessions over a real
 /// fabric, crossing the L1 (agg) and L2 (spine) tiers.
 mod cluster_workload {
@@ -394,10 +446,28 @@ mod parallel_cluster_workload {
 
     pub struct ParallelRun {
         pub shards: u32,
+        /// Worker threads the run actually used: `min(shards, cores)`.
+        pub workers: u32,
+        /// Barrier rounds (= synchronization windows) the run executed.
+        pub rounds: u64,
+        /// Per-shard window counters, summed.
+        pub sync: ShardSyncStats,
         pub events: u64,
         pub events_per_sec: f64,
         pub allocs_per_event: f64,
         pub fingerprint: String,
+    }
+
+    /// Folds the per-shard sync counters into one row-friendly total.
+    pub fn sum_sync(stats: &[ShardSyncStats]) -> ShardSyncStats {
+        let mut total = ShardSyncStats::default();
+        for s in stats {
+            total.windows_run += s.windows_run;
+            total.windows_fast_forwarded += s.windows_fast_forwarded;
+            total.window_extensions += s.window_extensions;
+            total.cut_events += s.cut_events;
+        }
+        total
     }
 
     /// Builds and runs the workload on `shards` shards.
@@ -474,6 +544,108 @@ mod parallel_cluster_workload {
         let elapsed = start.elapsed().as_secs_f64();
         ParallelRun {
             shards: got,
+            workers: cluster.effective_workers() as u32,
+            rounds: cluster.sync_rounds(),
+            sync: sum_sync(&cluster.sync_stats()),
+            events,
+            events_per_sec: events as f64 / elapsed,
+            allocs_per_event: (counted::allocs() - a0) as f64 / events.max(1) as f64,
+            fingerprint: cluster.metrics_snapshot().to_json_pretty(),
+        }
+    }
+}
+
+/// The bursty sharded workload: paced RPC pairs (a declared 2 µs reply
+/// floor) whose traffic arrives in short bursts separated by idle gaps.
+/// Fixed lookahead-sized windows burn a barrier round every ~100 ns of
+/// burst; adaptive windows stretch across each burst and fast-forward
+/// over the gaps, so the same event stream takes a fraction of the
+/// rounds. Fixed vs adaptive at the same seed is the headline adaptive-
+/// window speedup, and their fingerprints must match byte for byte.
+mod bursty_cluster_workload {
+    use super::*;
+    pub use parallel_cluster_workload::{sum_sync, ParallelRun};
+
+    /// Runs the bursty workload on `shards` shards under `policy`.
+    pub fn run(seed: u64, msgs_per_pair: u64, shards: u32, policy: WindowPolicy) -> ParallelRun {
+        let mut cluster = ClusterBuilder::paper(seed, 2).build();
+        let delay = SimDuration::from_micros(2);
+        // Rack-crossing and pod-crossing paced pairs: every shard owns
+        // traffic, every cut carries frames, and the declared reply floor
+        // keeps the event stream bursty.
+        let pairs = [
+            (NodeAddr::new(0, 0, 1), NodeAddr::new(0, 6, 2)),
+            (NodeAddr::new(0, 3, 3), NodeAddr::new(1, 4, 4)),
+            (NodeAddr::new(1, 1, 5), NodeAddr::new(1, 9, 6)),
+            (NodeAddr::new(1, 7, 7), NodeAddr::new(0, 9, 8)),
+        ];
+        // Single-frame messages: the network burst stays short, so the
+        // run alternates between in-flight frames and in-service tick
+        // pipelines — the profile adaptive windows are built for.
+        let payload = Bytes::from(vec![0x5Au8; 512]);
+        let steps = 32;
+        let tick_gap = SimDuration::from_nanos(100);
+        let mut kicked = 0u32;
+        for &(a, b) in &pairs {
+            let a_shell = cluster.add_shell(a);
+            let b_shell = cluster.add_shell(b);
+            let (a_send, b_send, _, _) = cluster.connect_pair(a, b);
+            let a_pinger = cluster.add_paced_component_at(
+                a,
+                PacedWorker {
+                    shell: a_shell,
+                    conn: a_send,
+                    payload: payload.clone(),
+                    remaining: msgs_per_pair,
+                    delay,
+                    steps,
+                    tick_gap,
+                    left: 0,
+                },
+                delay,
+            );
+            let b_pinger = cluster.add_paced_component_at(
+                b,
+                PacedWorker {
+                    shell: b_shell,
+                    conn: b_send,
+                    payload: payload.clone(),
+                    remaining: msgs_per_pair,
+                    delay,
+                    steps,
+                    tick_gap,
+                    left: 0,
+                },
+                delay,
+            );
+            cluster.set_consumer(a, a_pinger);
+            cluster.set_consumer(b, b_pinger);
+            // Staggered kickoffs desynchronize the pairs: their tick
+            // pipelines interleave instead of sharing window slices.
+            cluster.engine_mut().schedule(
+                SimTime::from_nanos(137 * (1 + kicked as u64)),
+                a_shell,
+                Msg::custom(ShellCmd::LtlSend {
+                    conn: a_send,
+                    vc: 0,
+                    payload: payload.clone(),
+                }),
+            );
+            kicked += 1;
+        }
+        let got = cluster.shard(shards);
+        assert_eq!(got, shards, "20 racks should accommodate {shards} shards");
+        cluster.set_window_policy(policy);
+        cluster.run_for(SimDuration::from_micros(200));
+        let a0 = counted::allocs();
+        let start = Instant::now();
+        let events = cluster.run_to_idle();
+        let elapsed = start.elapsed().as_secs_f64();
+        ParallelRun {
+            shards: got,
+            workers: cluster.effective_workers() as u32,
+            rounds: cluster.sync_rounds(),
+            sync: sum_sync(&cluster.sync_stats()),
             events,
             events_per_sec: events as f64 / elapsed,
             allocs_per_event: (counted::allocs() - a0) as f64 / events.max(1) as f64,
@@ -523,10 +695,65 @@ struct WorkloadResult {
     workload: String,
     /// Shards the measured run executed on (1 = single-threaded engine).
     shards: u32,
+    /// Worker threads actually used: `min(shards, cores)`. A speedup
+    /// column is only a parallelism claim when this matches `shards`;
+    /// on fewer cores the sharded run measures window overhead instead.
+    shards_effective: u32,
+    /// Barrier rounds (synchronization windows) the measured run took.
+    sync_rounds: u64,
+    /// Summed per-shard window counters for the measured run (all zero
+    /// for single-threaded workloads).
+    windows_run: u64,
+    windows_fast_forwarded: u64,
+    window_extensions: u64,
+    cut_events: u64,
     baseline_events_per_sec: f64,
     events_per_sec: f64,
     speedup: f64,
     allocs_per_event: f64,
+}
+
+impl WorkloadResult {
+    /// A row for a single-threaded workload: no shards, no windows.
+    fn single(workload: &str, baseline: f64, current: f64, speedup: f64, allocs: f64) -> Self {
+        WorkloadResult {
+            workload: workload.to_string(),
+            shards: 1,
+            shards_effective: 1,
+            sync_rounds: 0,
+            windows_run: 0,
+            windows_fast_forwarded: 0,
+            window_extensions: 0,
+            cut_events: 0,
+            baseline_events_per_sec: baseline,
+            events_per_sec: current,
+            speedup,
+            allocs_per_event: allocs,
+        }
+    }
+
+    /// A row for a sharded workload, carrying its sync accounting.
+    fn sharded(
+        workload: &str,
+        run: &parallel_cluster_workload::ParallelRun,
+        baseline: f64,
+        speedup: f64,
+    ) -> Self {
+        WorkloadResult {
+            workload: workload.to_string(),
+            shards: run.shards,
+            shards_effective: run.workers,
+            sync_rounds: run.rounds,
+            windows_run: run.sync.windows_run,
+            windows_fast_forwarded: run.sync.windows_fast_forwarded,
+            window_extensions: run.sync.window_extensions,
+            cut_events: run.sync.cut_events,
+            baseline_events_per_sec: baseline,
+            events_per_sec: run.events_per_sec,
+            speedup,
+            allocs_per_event: run.allocs_per_event,
+        }
+    }
 }
 
 #[derive(Debug, Serialize)]
@@ -569,14 +796,13 @@ fn main() {
             speedup,
             allocs_per_event,
         );
-        results.push(WorkloadResult {
-            workload: workload.name().to_string(),
-            shards: 1,
-            baseline_events_per_sec: heap,
-            events_per_sec: calendar,
+        results.push(WorkloadResult::single(
+            workload.name(),
+            heap,
+            calendar,
             speedup,
             allocs_per_event,
-        });
+        ));
     }
 
     // Cluster workload: warm-up pass, then best-of-3 measured runs. The
@@ -623,14 +849,13 @@ fn main() {
         std::process::exit(1);
     }
 
-    results.push(WorkloadResult {
-        workload: "cluster".to_string(),
-        shards: 1,
-        baseline_events_per_sec: base_eps,
-        events_per_sec: cluster.events_per_sec,
-        speedup: cluster_speedup,
-        allocs_per_event: cluster.allocs_per_event,
-    });
+    results.push(WorkloadResult::single(
+        "cluster",
+        base_eps,
+        cluster.events_per_sec,
+        cluster_speedup,
+        cluster.allocs_per_event,
+    ));
 
     // Sharded cluster workload: the same build on the conservative
     // parallel engine, 1-shard run as the baseline. `CATAPULT_SHARDS`
@@ -664,7 +889,7 @@ fn main() {
     }
     let parallel_speedup = multi.events_per_sec / single.events_per_sec.max(1.0);
     println!(
-        "{:<12}  1-shard {:>11.0} ev/s   {}-shard  {:>11.0} ev/s   speedup {:.2}x   allocs/ev {:.4}  ({} events, {} cores)",
+        "{:<12}  1-shard {:>11.0} ev/s   {}-shard  {:>11.0} ev/s   speedup {:.2}x   allocs/ev {:.4}  ({} events, {} workers on {} cores, {} rounds)",
         "parallel",
         single.events_per_sec,
         multi.shards,
@@ -672,20 +897,85 @@ fn main() {
         parallel_speedup,
         multi.allocs_per_event,
         multi.events,
+        multi.workers,
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        multi.rounds,
     );
     println!(
         "determinism   1-shard and {}-shard fingerprints byte-identical ok",
         multi.shards
     );
-    results.push(WorkloadResult {
-        workload: "parallel_cluster".to_string(),
-        shards: multi.shards,
-        baseline_events_per_sec: single.events_per_sec,
-        events_per_sec: multi.events_per_sec,
-        speedup: parallel_speedup,
-        allocs_per_event: multi.allocs_per_event,
-    });
+    results.push(WorkloadResult::sharded(
+        "parallel_cluster",
+        &multi,
+        single.events_per_sec,
+        parallel_speedup,
+    ));
+
+    // Bursty sharded workload: fixed vs adaptive windows at the same
+    // seed and shard count. The policy must not change a byte of the
+    // fingerprint (also cross-checked against a 1-shard run); the
+    // speedup column isolates what adaptive window sizing buys on an
+    // idle-heavy event stream. Best-of-3 on both sides.
+    let bursty_msgs = msgs_per_pair / 2;
+    bursty_cluster_workload::run(9, bursty_msgs / 10, shards, WindowPolicy::adaptive()); // warm-up
+    let baseline1 = bursty_cluster_workload::run(9, bursty_msgs, 1, WindowPolicy::fixed());
+    let mut fixed = bursty_cluster_workload::run(9, bursty_msgs, shards, WindowPolicy::fixed());
+    let mut adaptive =
+        bursty_cluster_workload::run(9, bursty_msgs, shards, WindowPolicy::adaptive());
+    for _ in 0..2 {
+        let rerun = bursty_cluster_workload::run(9, bursty_msgs, shards, WindowPolicy::fixed());
+        if rerun.events_per_sec > fixed.events_per_sec {
+            fixed = rerun;
+        }
+        let rerun = bursty_cluster_workload::run(9, bursty_msgs, shards, WindowPolicy::adaptive());
+        if rerun.events_per_sec > adaptive.events_per_sec {
+            adaptive = rerun;
+        }
+    }
+    if fixed.fingerprint != adaptive.fingerprint
+        || baseline1.fingerprint != adaptive.fingerprint
+        || fixed.events != adaptive.events
+    {
+        eprintln!("FAIL: bursty fingerprints diverged across window policies or shard counts");
+        std::process::exit(1);
+    }
+    let bursty_speedup = adaptive.events_per_sec / fixed.events_per_sec.max(1.0);
+    println!(
+        "{:<12}  fixed {:>13.0} ev/s   adaptive {:>12.0} ev/s   speedup {:.2}x   allocs/ev {:.4}  ({} events)",
+        "bursty",
+        fixed.events_per_sec,
+        adaptive.events_per_sec,
+        bursty_speedup,
+        adaptive.allocs_per_event,
+        adaptive.events,
+    );
+    println!(
+        "{:<12}  rounds fixed {} -> adaptive {}   extensions {}   fast-forwards {}   cut events {}",
+        "",
+        fixed.rounds,
+        adaptive.rounds,
+        adaptive.sync.window_extensions,
+        adaptive.sync.windows_fast_forwarded,
+        adaptive.sync.cut_events,
+    );
+    println!(
+        "determinism   bursty fixed/adaptive/{}-shard/1-shard fingerprints byte-identical ok",
+        adaptive.shards
+    );
+    results.push(WorkloadResult::sharded(
+        "parallel_cluster_bursty",
+        &adaptive,
+        fixed.events_per_sec,
+        bursty_speedup,
+    ));
+    if std::env::args().any(|a| a == "--check-win") && bursty_speedup < 1.5 {
+        eprintln!(
+            "FAIL: adaptive windows won only {bursty_speedup:.2}x over fixed on the bursty \
+             workload (gate: 1.5x)"
+        );
+        std::process::exit(1);
+    }
 
     let result = PerfResult {
         commit: current_commit(),

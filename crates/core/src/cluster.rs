@@ -11,7 +11,10 @@ use dcnet::{
     needs_flowsim, Fabric, FabricBuilder, FabricConfig, FabricPartition, Fidelity, FidelityMap,
     FlowSim, FlowSimConfig, Msg, NodeAddr, Switch,
 };
-use dcsim::{Component, ComponentId, Engine, ShardPlan, ShardedEngine, SimDuration, SimTime};
+use dcsim::{
+    Component, ComponentId, Engine, ShardPlan, ShardSyncStats, ShardedEngine, SimDuration, SimTime,
+    WindowPolicy,
+};
 use shell::ltl::{RecvConnId, SendConnId};
 use shell::{Shell, ShellConfig, PORT_TOR};
 use telemetry::{MetricsSnapshot, Tracer};
@@ -172,6 +175,8 @@ impl ClusterBuilder {
             flowsim_cfg,
             shells: BTreeMap::new(),
             pins: BTreeMap::new(),
+            consumers: BTreeMap::new(),
+            paced: BTreeMap::new(),
             tracer: None,
         }
     }
@@ -193,6 +198,15 @@ pub struct Cluster {
     /// colocate them with that slot's shell (required for zero-delay
     /// consumer deliveries).
     pins: BTreeMap<ComponentId, NodeAddr>,
+    /// LTL consumers per slot, so [`Cluster::shard`] can chain the
+    /// shell's cut excess through the consumer's (deliveries are
+    /// zero-delay, so the consumer bounds the shell).
+    consumers: BTreeMap<NodeAddr, ComponentId>,
+    /// Declared per-component minimum send delays ([`Cluster::
+    /// add_paced_component_at`]): the floor every send toward another
+    /// component promises, enforced at send time under sharded execution
+    /// and credited as cut excess by adaptive windows.
+    paced: BTreeMap<ComponentId, SimDuration>,
     tracer: Option<Tracer>,
 }
 
@@ -275,6 +289,32 @@ impl Cluster {
         self.pins.insert(id, addr);
     }
 
+    /// Like [`Cluster::add_component_at`], additionally declaring that
+    /// the component schedules every event for *other* components at
+    /// least `min_send_delay` in the future (self-sends and timers are
+    /// exempt). Under sharded execution the promise is asserted at send
+    /// time, and adaptive windows credit it as cut excess: while only
+    /// paced components have pending events, windows stretch to the
+    /// declared delay instead of one lookahead. Declare the honest floor
+    /// of the component's reaction time — an overstated floor panics, an
+    /// understated one merely extends windows less.
+    pub fn add_paced_component_at<C: Component<Msg>>(
+        &mut self,
+        addr: NodeAddr,
+        component: C,
+        min_send_delay: SimDuration,
+    ) -> ComponentId {
+        let id = self.add_component_at(addr, component);
+        self.paced.insert(id, min_send_delay);
+        id
+    }
+
+    /// Declares a send-pacing floor for an already-registered component
+    /// (see [`Cluster::add_paced_component_at`]).
+    pub fn declare_send_pacing(&mut self, id: ComponentId, min_send_delay: SimDuration) {
+        self.paced.insert(id, min_send_delay);
+    }
+
     /// The shell at `addr`, if populated.
     pub fn shell_id(&self, addr: NodeAddr) -> Option<ComponentId> {
         self.shells.get(&addr).copied()
@@ -341,6 +381,7 @@ impl Cluster {
     /// that slot for shard placement (deliveries are zero-delay).
     pub fn set_consumer(&mut self, addr: NodeAddr, consumer: ComponentId) {
         self.pins.insert(consumer, addr);
+        self.consumers.insert(addr, consumer);
         self.shell_mut(addr).set_consumer(consumer);
     }
 
@@ -414,33 +455,148 @@ impl Cluster {
             );
         }
         let shape = self.fabric.shape();
+        let lookahead = partition.lookahead();
+        let ncomp = engine.component_count();
         // Components not covered below (registered via engine_mut without
         // a pin, the flow-level model, unmaterialized pods) default to
         // shard 0; a zero-delay send from one of them across shards is
-        // caught at send time as a lookahead violation.
-        let mut shard_of = vec![0u32; engine.component_count()];
+        // caught at send time as a lookahead violation. Their cut excess
+        // defaults to the universal lookahead floor, and nothing is
+        // pacing-asserted unless declared.
+        let mut shard_of = vec![0u32; ncomp];
+        let mut cut_excess = vec![lookahead; ncomp];
+        let mut min_send = vec![SimDuration::ZERO; ncomp];
+        let cfg = &self.fabric_cfg;
         for (i, &id) in self.fabric.spine_switches().iter().enumerate() {
             shard_of[id.as_raw()] = partition.spine_shard(i as u16);
+            cut_excess[id.as_raw()] = partition.spine_cut_excess(cfg, i as u16);
         }
         for pod in 0..shape.pods {
             if let Some(agg) = self.fabric.try_agg_switch(pod) {
                 shard_of[agg.as_raw()] = partition.agg_shard(pod);
+                cut_excess[agg.as_raw()] = partition.agg_cut_excess(cfg, pod);
             }
             for tor in 0..shape.tors_per_pod {
                 if let Some(id) = self.fabric.try_tor_switch(pod, tor) {
                     shard_of[id.as_raw()] = partition.tor_shard(pod, tor);
+                    cut_excess[id.as_raw()] = partition.tor_cut_excess(cfg, pod, tor);
                 }
             }
-        }
-        for (&addr, &id) in &self.shells {
-            shard_of[id.as_raw()] = partition.endpoint_shard(addr);
         }
         for (&id, &addr) in &self.pins {
             shard_of[id.as_raw()] = partition.endpoint_shard(addr);
         }
-        let plan = ShardPlan::new(partition.shards(), shard_of, partition.lookahead());
+        // Paced components: every send toward another component pays the
+        // declared floor once, the rest of the chain at least the
+        // universal lookahead.
+        for (&id, &delay) in &self.paced {
+            min_send[id.as_raw()] = delay;
+            cut_excess[id.as_raw()] = delay + lookahead;
+        }
+        for (&addr, &id) in &self.shells {
+            shard_of[id.as_raw()] = partition.endpoint_shard(addr);
+            // A shell's chains leave either over its access link (one
+            // propagation hop, then the TOR's excess) or as a zero-delay
+            // delivery to its consumer (the consumer's excess, already
+            // final in `cut_excess` because pins precede shells here).
+            let mut excess =
+                partition.endpoint_cut_excess(cfg, addr, self.shell_cfg.tor_link.propagation);
+            if let Some(&consumer) = self.consumers.get(&addr) {
+                excess = excess.min(cut_excess[consumer.as_raw()]);
+            }
+            cut_excess[id.as_raw()] = excess;
+        }
+        if let Some(id) = self.flowsim {
+            // The flow model presses spine ports (potentially on other
+            // shards) after exactly the adapter delay — asserted above to
+            // be no less than the lookahead.
+            if let Some(fs_cfg) = &self.flowsim_cfg {
+                cut_excess[id.as_raw()] = fs_cfg.adapter_delay;
+            }
+        }
+        let plan = ShardPlan::new(partition.shards(), shard_of, lookahead)
+            .with_cut_excess(cut_excess)
+            .with_min_send_delay(min_send);
         self.exec = Exec::Sharded(ShardedEngine::from_engine(engine, plan));
         partition.shards()
+    }
+
+    /// Overrides the window policy of the sharded engine (fixed vs
+    /// adaptive, stride cap). Event order — and therefore every telemetry
+    /// fingerprint — is policy-independent; only synchronization counts
+    /// and wall-clock change.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not sharded.
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        match &mut self.exec {
+            Exec::Sharded(sharded) => sharded.set_window_policy(policy),
+            Exec::Single(_) => {
+                panic!("window policies apply to sharded execution; call Cluster::shard first")
+            }
+        }
+    }
+
+    /// The window policy in force, when sharded.
+    pub fn window_policy(&self) -> Option<WindowPolicy> {
+        match &self.exec {
+            Exec::Single(_) => None,
+            Exec::Sharded(sharded) => Some(sharded.window_policy()),
+        }
+    }
+
+    /// Per-shard synchronization counters (empty when not sharded).
+    pub fn sync_stats(&self) -> Vec<ShardSyncStats> {
+        match &self.exec {
+            Exec::Single(_) => Vec::new(),
+            Exec::Sharded(sharded) => sharded.sync_stats(),
+        }
+    }
+
+    /// Worker threads a multi-shard run uses: `min(shards, cores)` unless
+    /// capped; 1 when not sharded.
+    pub fn effective_workers(&self) -> usize {
+        match &self.exec {
+            Exec::Single(_) => 1,
+            Exec::Sharded(sharded) => sharded.effective_workers(),
+        }
+    }
+
+    /// Synchronization windows executed so far (0 when not sharded).
+    pub fn sync_rounds(&self) -> u64 {
+        match &self.exec {
+            Exec::Single(_) => 0,
+            Exec::Sharded(sharded) => sharded.rounds(),
+        }
+    }
+
+    /// A registry snapshot of the sharded engine's synchronization
+    /// gauges: `dcsim/shardS/{windows_run, windows_fast_forwarded,
+    /// window_extensions, cut_events}` per shard plus `dcsim/{shards,
+    /// workers, rounds}`. Deliberately separate from
+    /// [`Cluster::metrics_snapshot`]: simulation-content fingerprints are
+    /// byte-identical across shard counts and window policies, while
+    /// these gauges legitimately vary with both.
+    pub fn sync_metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new(self.now());
+        if let Exec::Sharded(sharded) = &self.exec {
+            let mut v = snap.visitor("dcsim");
+            v.gauge("shards", sharded.shard_count() as f64);
+            v.gauge("workers", sharded.effective_workers() as f64);
+            v.gauge("rounds", sharded.rounds() as f64);
+            for (s, stats) in sharded.sync_stats().iter().enumerate() {
+                let mut v = snap.visitor(&format!("dcsim/shard{s}"));
+                v.gauge("windows_run", stats.windows_run as f64);
+                v.gauge(
+                    "windows_fast_forwarded",
+                    stats.windows_fast_forwarded as f64,
+                );
+                v.gauge("window_extensions", stats.window_extensions as f64);
+                v.gauge("cut_events", stats.cut_events as f64);
+            }
+        }
+        snap
     }
 
     /// Reads the `CATAPULT_SHARDS` environment variable and shards the

@@ -81,7 +81,9 @@ pub mod prelude {
         FabricBuilder, FabricConfig, FabricShape, Fidelity, FidelityMap, FlowSim, FlowSimCmd,
         FlowSimConfig, Msg, NodeAddr,
     };
-    pub use dcsim::{Component, ComponentId, Context, Engine, SimDuration, SimTime};
+    pub use dcsim::{
+        Component, ComponentId, Context, Engine, ShardSyncStats, SimDuration, SimTime, WindowPolicy,
+    };
     pub use shell::ltl::LtlConfig;
     pub use shell::{Shell, ShellConfig};
     pub use telemetry::{MetricSource, MetricsSnapshot, Tracer};

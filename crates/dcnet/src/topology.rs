@@ -175,7 +175,7 @@ pub struct FabricPartition {
 /// The earliest event `cfg` can emit toward a link peer: a PFC frame
 /// after one propagation delay, or (PFC impossible) a forwarded packet
 /// after at least propagation plus the fixed pipeline latency.
-fn min_egress_delay(cfg: &SwitchConfig) -> SimDuration {
+pub fn min_egress_delay(cfg: &SwitchConfig) -> SimDuration {
     let pfc_can_fire = cfg.pfc.is_some() && cfg.lossless_mask != 0;
     if pfc_can_fire {
         cfg.link.propagation
@@ -403,6 +403,96 @@ impl FabricPartition {
     /// delay) must be placed on: its TOR's.
     pub fn endpoint_shard(&self, addr: NodeAddr) -> u32 {
         self.tor_shard(addr.pod, addr.tor)
+    }
+
+    /// `true` when the TOR at `(pod, tor)` is a cut member: one of its
+    /// links crosses shards (only possible at rack granularity, where the
+    /// pod's aggregation switch may live on another shard).
+    pub fn tor_is_cut(&self, pod: u16, tor: u16) -> bool {
+        self.shards > 1 && self.tor_shard(pod, tor) != self.agg_shard(pod)
+    }
+
+    /// `true` when `pod`'s aggregation switch is a cut member: it links
+    /// to a spine or one of its own racks on another shard.
+    pub fn agg_is_cut(&self, pod: u16) -> bool {
+        if self.shards <= 1 {
+            return false;
+        }
+        let me = self.agg_shard(pod);
+        self.spine_shard.iter().any(|&s| s != me)
+            || (0..self.shape.tors_per_pod).any(|tor| self.tor_shard(pod, tor) != me)
+    }
+
+    /// `true` when spine `index` is a cut member: some pod's aggregation
+    /// switch lives on another shard.
+    pub fn spine_is_cut(&self, index: u16) -> bool {
+        self.shards > 1 && {
+            let me = self.spine_shard(index);
+            self.agg_shard.iter().any(|&s| s != me)
+        }
+    }
+
+    /// Cut excess of spine `index`: a lower bound on the delay between
+    /// an event processed there and any cross-shard arrival a causal
+    /// chain from it can produce. A cut member's excess is its own
+    /// minimum egress delay (the final hop may cross directly); a
+    /// non-cut switch first pays a shard-local hop, then at least the
+    /// partition lookahead for the rest of the chain.
+    pub fn spine_cut_excess(&self, cfg: &FabricConfig, index: u16) -> SimDuration {
+        if self.shards <= 1 {
+            return SimDuration::MAX;
+        }
+        let egress = min_egress_delay(&cfg.spine);
+        if self.spine_is_cut(index) {
+            egress
+        } else {
+            egress + self.lookahead
+        }
+    }
+
+    /// Cut excess of `pod`'s aggregation switch (see
+    /// [`FabricPartition::spine_cut_excess`] for the bound's shape).
+    pub fn agg_cut_excess(&self, cfg: &FabricConfig, pod: u16) -> SimDuration {
+        if self.shards <= 1 {
+            return SimDuration::MAX;
+        }
+        let egress = min_egress_delay(&cfg.agg);
+        if self.agg_is_cut(pod) {
+            egress
+        } else {
+            egress + self.lookahead
+        }
+    }
+
+    /// Cut excess of the TOR at `(pod, tor)` (see
+    /// [`FabricPartition::spine_cut_excess`] for the bound's shape).
+    pub fn tor_cut_excess(&self, cfg: &FabricConfig, pod: u16, tor: u16) -> SimDuration {
+        if self.shards <= 1 {
+            return SimDuration::MAX;
+        }
+        let egress = min_egress_delay(&cfg.tor);
+        if self.tor_is_cut(pod, tor) {
+            egress
+        } else {
+            egress + self.lookahead
+        }
+    }
+
+    /// Cut excess of an endpoint at `addr` whose first hop onto the
+    /// fabric costs at least `first_hop` (e.g. its access-link
+    /// propagation delay): the hop plus its TOR's excess. Endpoints are
+    /// never cut members themselves ([`FabricPartition::endpoint_shard`]
+    /// colocates them with their TOR).
+    pub fn endpoint_cut_excess(
+        &self,
+        cfg: &FabricConfig,
+        addr: NodeAddr,
+        first_hop: SimDuration,
+    ) -> SimDuration {
+        if self.shards <= 1 {
+            return SimDuration::MAX;
+        }
+        first_hop + self.tor_cut_excess(cfg, addr.pod, addr.tor)
     }
 }
 
@@ -1119,6 +1209,53 @@ mod tests {
                 assert_eq!(p.endpoint_shard(addr), p.tor_shard(pod, tor));
             }
         }
+    }
+
+    #[test]
+    fn cut_metadata_matches_the_partition_geometry() {
+        let cfg = fig10_cfg(2);
+        // Pod granularity: only agg↔spine links are cut.
+        let p = FabricPartition::plan(&cfg, 2);
+        assert!(!p.tor_is_cut(0, 0));
+        assert!(p.agg_is_cut(0) && p.agg_is_cut(1));
+        assert!(p.spine_is_cut(0) && p.spine_is_cut(3));
+        // Cut members' excess is their own egress floor; non-cut TORs
+        // pay one shard-local hop plus the lookahead for the remainder.
+        assert_eq!(p.agg_cut_excess(&cfg, 0), SimDuration::from_nanos(370));
+        assert_eq!(p.spine_cut_excess(&cfg, 1), SimDuration::from_nanos(485));
+        assert_eq!(
+            p.tor_cut_excess(&cfg, 0, 3),
+            SimDuration::from_nanos(100 + 370)
+        );
+        // Endpoint excess chains through the access hop and the TOR.
+        let addr = NodeAddr::new(1, 2, 0);
+        assert_eq!(
+            p.endpoint_cut_excess(&cfg, addr, SimDuration::from_nanos(100)),
+            SimDuration::from_nanos(100 + 100 + 370)
+        );
+        // Every excess respects the universal lookahead floor.
+        for pod in 0..2 {
+            assert!(p.agg_cut_excess(&cfg, pod) >= p.lookahead());
+            for tor in 0..40 {
+                assert!(p.tor_cut_excess(&cfg, pod, tor) >= p.lookahead());
+            }
+        }
+        // Rack granularity: some TOR↔agg links are cut too.
+        let p8 = FabricPartition::plan(&cfg, 8);
+        let p8 = &p8;
+        let cut_tors = (0..2)
+            .flat_map(|pod| (0..40).map(move |tor| p8.tor_is_cut(pod, tor)))
+            .filter(|&c| c)
+            .count();
+        assert!(cut_tors > 0, "rack-granularity plans must cut some TORs");
+        // One shard: nothing is cut, every excess is unbounded.
+        let p1 = FabricPartition::plan(&cfg, 1);
+        assert!(!p1.agg_is_cut(0) && !p1.spine_is_cut(0) && !p1.tor_is_cut(0, 0));
+        assert_eq!(p1.agg_cut_excess(&cfg, 0), SimDuration::MAX);
+        assert_eq!(
+            p1.endpoint_cut_excess(&cfg, NodeAddr::new(0, 0, 0), SimDuration::ZERO),
+            SimDuration::MAX
+        );
     }
 
     #[test]

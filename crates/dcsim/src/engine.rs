@@ -190,8 +190,27 @@ impl<'a, M> Context<'a, M> {
             let at_ns = at.as_nanos();
             let key = sharded::source_key(self.id, *self.seq);
             *self.seq += 1;
+            if dest != self.id {
+                // Declared send pacing: the cut-excess table the adaptive
+                // window end is derived from may rely on this floor, so a
+                // component breaking its promise must fail loudly rather
+                // than silently corrupt the window-safety argument.
+                // Self-sends and timers are exempt — a causal chain still
+                // pays the floor once when it leaves the component.
+                let floor = route.min_send[self.id.as_raw()];
+                assert!(
+                    at_ns >= self.now.as_nanos().saturating_add(floor),
+                    "send-pacing violation: {} declared a minimum send delay \
+                     of {} ns but scheduled an event for {} only {} ns ahead",
+                    self.id,
+                    floor,
+                    dest,
+                    at_ns.saturating_sub(self.now.as_nanos()),
+                );
+            }
             let dst_shard = route.shard_of[dest.as_raw()];
             if dst_shard == route.my_shard {
+                route.cut_counts[route.cut_class[dest.as_raw()] as usize] += 1;
                 self.queue.push(at_ns, key, (dest, kind));
             } else {
                 assert!(
@@ -203,6 +222,16 @@ impl<'a, M> Context<'a, M> {
                     at_ns,
                     route.window_end,
                 );
+                // In-flight minima published at the barrier: the event is
+                // in no queue until the destination drains its mailbox, so
+                // the sender accounts for it in the next round's window
+                // start and cut-ETA reductions.
+                *route.out_min_at = (*route.out_min_at).min(at_ns);
+                *route.out_min_eta =
+                    (*route.out_min_eta).min(at_ns.saturating_add(
+                        route.class_excess[route.cut_class[dest.as_raw()] as usize],
+                    ));
+                *route.remote_sent += 1;
                 route.outboxes[dst_shard as usize].push(RemoteEvent {
                     at: at_ns,
                     key,

@@ -56,6 +56,6 @@ mod time;
 
 pub use engine::{Component, ComponentId, Context, Engine, EventRecord, Observer};
 pub use rng::SimRng;
-pub use sharded::{ShardPlan, ShardedEngine};
+pub use sharded::{ShardPlan, ShardSyncStats, ShardedEngine, WindowPolicy};
 pub use stats::{LogHistogram, PercentileRecorder, StreamingStats};
 pub use time::{SimDuration, SimTime};

@@ -5,24 +5,57 @@
 //! random streams, and advances them together in conservative time
 //! windows (classic CMB-style null-message-free synchronization):
 //!
-//! 1. every shard publishes the due time of its earliest pending event;
-//! 2. a barrier makes the global minimum `T` visible to all shards;
-//! 3. each shard processes its local events in `[T, T + lookahead)`;
-//! 4. cross-shard sends buffered in per-destination outboxes are swapped
-//!    through mailbox slots at a second barrier and drained into the
-//!    destination queues; repeat.
+//! 1. every shard publishes the due time of its earliest pending event
+//!    (local queue minimum plus the minimum over events it just flushed
+//!    to other shards), and a *cut ETA* — a lower bound on when any of
+//!    its pending events could cause a cross-shard arrival;
+//! 2. one sense-reversing barrier makes the published values visible;
+//!    every worker then computes the same window `[T, E)` from them:
+//!    `T` is the global minimum next-event time (jumping straight over
+//!    idle gaps), and `E` is `T + lookahead` stretched up to the global
+//!    cut ETA when every shard's near-cut activity is quiescent;
+//! 3. each shard drains its mailbox, processes local events in `[T, E)`,
+//!    flushes cross-shard sends into per-destination mailboxes, and
+//!    publishes the next round's values before arriving at the barrier
+//!    again. One barrier per window, not two.
 //!
-//! The window is safe because `lookahead` is a lower bound on the delay
-//! of any cross-shard interaction: an event generated at `t >= T` for
-//! another shard lands at `t + lookahead >= T + lookahead`, outside the
-//! window, so no shard can receive an event "from the past". The sending
-//! side asserts this, turning an optimistic partition map into a loud
-//! failure instead of a silent causality break.
+//! # Window safety
+//!
+//! The fixed-window argument (PR 6): `lookahead` is a lower bound on the
+//! delay of any cross-shard interaction, so an event generated at
+//! `t >= T` for another shard lands at `t + lookahead >= T + lookahead`,
+//! outside the window `[T, T + lookahead)`.
+//!
+//! The adaptive extension generalizes this with per-component **cut
+//! excess** values. `cut_excess[c]` is a lower bound on the time between
+//! an event being processed *at component `c`* and the earliest
+//! cross-shard arrival any causal chain it starts can produce (the final
+//! cut-crossing hop included). The fixed argument is the degenerate case
+//! `cut_excess ≡ lookahead`. Given a sound excess table, any window end
+//!
+//! ```text
+//! E  <=  min over pending events e of (at(e) + cut_excess[dest(e)])
+//! ```
+//!
+//! is safe: every cross-shard arrival caused by this window lands at or
+//! beyond `E`. Shards do not track that minimum per event; they bucket
+//! components into a handful of excess *classes* and keep one queued-event
+//! counter per class, publishing `next_at + min(excess of non-empty
+//! classes)` — a lower bound on the true minimum, hence conservative.
+//! In-flight cross-shard events are covered by the *sender* publishing
+//! the minimum ETA over what it just flushed. The send-time lookahead
+//! assert still runs against the (extended) window end, so an excess
+//! table that overstates a component's distance to the cut fails loudly,
+//! exactly like an overstated lookahead.
+//!
+//! Plans without an excess table get `cut_excess ≡ lookahead`, which
+//! reproduces the fixed windows byte-for-byte even in adaptive mode.
 //!
 //! # Determinism, independent of shard count
 //!
 //! Fingerprints must be byte-identical for a given seed whether the run
-//! uses 1, 2, 4 or 8 shards. Two mechanisms make that hold:
+//! uses 1, 2, 4 or 8 shards — and whichever window policy is in force.
+//! Three mechanisms make that hold:
 //!
 //! * **Invariant tie-break keys.** Same-timestamp events are ordered by a
 //!   key derived from the *sending component* and its private send
@@ -37,6 +70,10 @@
 //!   stream seeded by `(engine seed, component id)`. A single engine-wide
 //!   stream would interleave draws in global dispatch order, which
 //!   legitimately differs between shards running concurrently.
+//! * **Policy-independent event order.** Window boundaries only decide
+//!   *when* events are processed relative to wall-clock, never their
+//!   `(time, key)` order, so stretching or splitting windows cannot
+//!   change any component-visible state.
 //!
 //! Consequently a 1-shard `ShardedEngine` run is the determinism baseline
 //! for the sharded family; it differs (deterministically) from the legacy
@@ -83,6 +120,81 @@ fn component_seed(engine_seed: u64, id: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How the window loop chooses window ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPolicy {
+    /// Stretch windows to the published cut ETA when near-cut activity is
+    /// quiescent, and count idle fast-forwards. Off: every window is
+    /// exactly one lookahead (the PR-6 protocol on the single-barrier
+    /// loop). Either way the processed event order is identical.
+    pub adaptive: bool,
+    /// Upper bound on the window length, in lookahead multiples. Keeps a
+    /// huge excess claim (e.g. a fully shard-local phase) from running one
+    /// shard arbitrarily far ahead of a `stop()` or an external observer.
+    pub stride_cap: u32,
+}
+
+impl WindowPolicy {
+    /// Fixed lookahead-sized windows.
+    pub fn fixed() -> WindowPolicy {
+        WindowPolicy {
+            adaptive: false,
+            stride_cap: 1,
+        }
+    }
+
+    /// Adaptive windows with the default stride cap.
+    pub fn adaptive() -> WindowPolicy {
+        WindowPolicy {
+            adaptive: true,
+            stride_cap: 16,
+        }
+    }
+
+    /// Policy from the environment: `CATAPULT_ADAPTIVE_WINDOWS=0|false|off`
+    /// selects fixed windows (default: adaptive), and
+    /// `CATAPULT_WINDOW_STRIDE=k` overrides the stride cap.
+    pub fn from_env() -> WindowPolicy {
+        let adaptive = !matches!(
+            std::env::var("CATAPULT_ADAPTIVE_WINDOWS").as_deref(),
+            Ok("0") | Ok("false") | Ok("off")
+        );
+        let mut policy = if adaptive {
+            WindowPolicy::adaptive()
+        } else {
+            WindowPolicy::fixed()
+        };
+        if let Ok(s) = std::env::var("CATAPULT_WINDOW_STRIDE") {
+            if let Ok(k) = s.trim().parse::<u32>() {
+                policy.stride_cap = k.max(1);
+            }
+        }
+        policy
+    }
+}
+
+impl Default for WindowPolicy {
+    fn default() -> WindowPolicy {
+        WindowPolicy::adaptive()
+    }
+}
+
+/// Per-shard synchronization counters for one `ShardedEngine`. All
+/// values are deterministic for a given (seed, plan, policy) and
+/// independent of the worker thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSyncStats {
+    /// Windows this shard participated in (= global rounds).
+    pub windows_run: u64,
+    /// Windows whose start jumped past the previous window's end — idle
+    /// gaps the loop fast-forwarded over instead of spinning through.
+    pub windows_fast_forwarded: u64,
+    /// Windows stretched beyond one lookahead by quiescent-cut ETAs.
+    pub window_extensions: u64,
+    /// Cross-shard events this shard sent through its outboxes.
+    pub cut_events: u64,
+}
+
 /// A cross-shard event parked in an outbox until the window barrier.
 pub(crate) struct RemoteEvent<M> {
     pub at: u64,
@@ -92,19 +204,38 @@ pub(crate) struct RemoteEvent<M> {
 }
 
 /// Routing state handed to [`Context`] while a shard dispatches: maps
-/// destinations to shards and collects cross-shard sends.
+/// destinations to shards, collects cross-shard sends, and maintains the
+/// per-class queued-event counters the adaptive window end is computed
+/// from.
 pub(crate) struct ShardRoute<'a, M> {
     pub shard_of: &'a [u32],
     pub my_shard: u32,
     /// Exclusive end of the current window; cross-shard events must land
-    /// at or beyond it (the lookahead guarantee).
+    /// at or beyond it (the lookahead/cut-excess guarantee).
     pub window_end: u64,
     /// One outbox per destination shard.
     pub outboxes: &'a mut [Vec<RemoteEvent<M>>],
+    /// Cut-excess class of every component.
+    pub cut_class: &'a [u16],
+    /// Excess value (ns) of every class.
+    pub class_excess: &'a [u64],
+    /// Declared per-component minimum send delay (ns) toward *other*
+    /// components; the excess table is only sound if these hold, so they
+    /// are asserted per send.
+    pub min_send: &'a [u64],
+    /// Queued events per cut-excess class on this shard.
+    pub cut_counts: &'a mut [u64],
+    /// Minimum `at` over remote events pushed this window.
+    pub out_min_at: &'a mut u64,
+    /// Minimum `at + excess(dest)` over remote events pushed this window.
+    pub out_min_eta: &'a mut u64,
+    /// Cross-shard events sent by this shard (all-time).
+    pub remote_sent: &'a mut u64,
 }
 
 /// Assignment of every component to a shard, plus the conservative
-/// lookahead the partition guarantees.
+/// lookahead the partition guarantees — and, optionally, the per-component
+/// cut-excess and send-pacing tables adaptive windows are derived from.
 ///
 /// Build one from a topology helper (e.g. `dcnet`'s fabric partitioner)
 /// or by hand for custom component graphs. Validity contract: any event
@@ -116,6 +247,12 @@ pub struct ShardPlan {
     shards: u32,
     shard_of: Vec<u32>,
     lookahead: SimDuration,
+    /// Per-component cut excess (ns); empty means `lookahead` everywhere
+    /// (adaptive mode degenerates to fixed windows).
+    cut_excess: Vec<u64>,
+    /// Per-component minimum send delay toward other components (ns);
+    /// empty means no pacing is declared.
+    min_send: Vec<u64>,
 }
 
 impl ShardPlan {
@@ -139,12 +276,66 @@ impl ShardPlan {
             shards,
             shard_of,
             lookahead,
+            cut_excess: Vec::new(),
+            min_send: Vec::new(),
         }
     }
 
     /// The trivial single-shard plan over `components` components.
     pub fn single(components: usize) -> ShardPlan {
         ShardPlan::new(1, vec![0; components], SimDuration::MAX)
+    }
+
+    /// Attaches a per-component cut-excess table: `excess[c]` must lower-
+    /// bound the delay between an event processed at component `c` and
+    /// any cross-shard arrival a causal chain from it can produce.
+    /// `SimDuration::MAX` marks a component whose events can never reach
+    /// a cut (a fully shard-local subgraph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length disagrees with the plan or any entry is
+    /// below the lookahead (the universal floor: every cross-shard
+    /// arrival already pays at least one cut-crossing hop).
+    pub fn with_cut_excess(mut self, excess: Vec<SimDuration>) -> ShardPlan {
+        assert_eq!(
+            excess.len(),
+            self.shard_of.len(),
+            "cut-excess table covers {} components but the plan has {}",
+            excess.len(),
+            self.shard_of.len(),
+        );
+        if self.shards > 1 {
+            assert!(
+                excess.iter().all(|&e| e >= self.lookahead),
+                "cut excess below the plan lookahead: the lookahead is a \
+                 universal lower bound on cross-shard arrival delay"
+            );
+        }
+        self.cut_excess = excess.iter().map(|e| e.as_nanos()).collect();
+        self
+    }
+
+    /// Declares per-component minimum send delays: component `c` promises
+    /// every event it schedules for *another* component to be at least
+    /// `floor[c]` in the future (self-sends and timers are exempt — a
+    /// chain that leaves the component still pays the floor once). The
+    /// engine asserts the promise at send time; cut-excess tables may
+    /// rely on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length disagrees with the plan.
+    pub fn with_min_send_delay(mut self, floor: Vec<SimDuration>) -> ShardPlan {
+        assert_eq!(
+            floor.len(),
+            self.shard_of.len(),
+            "min-send table covers {} components but the plan has {}",
+            floor.len(),
+            self.shard_of.len(),
+        );
+        self.min_send = floor.iter().map(|f| f.as_nanos()).collect();
+        self
     }
 
     /// Number of shards.
@@ -163,9 +354,51 @@ impl ShardPlan {
     }
 }
 
+/// The plan's per-component tables in dispatch-ready form: components
+/// bucketed into excess classes (one queued-event counter per class is
+/// cheaper than a per-event priority structure) plus the pacing floors.
+struct PlanTables {
+    cut_class: Vec<u16>,
+    class_excess: Vec<u64>,
+    min_send: Vec<u64>,
+}
+
+impl PlanTables {
+    fn build(plan: &ShardPlan, ncomp: usize) -> PlanTables {
+        let lookahead = plan.lookahead.as_nanos();
+        let (cut_class, class_excess) = if plan.cut_excess.is_empty() {
+            (vec![0u16; ncomp], vec![lookahead])
+        } else {
+            let mut distinct: Vec<u64> = plan.cut_excess.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(
+                distinct.len() <= u16::MAX as usize,
+                "too many distinct cut-excess values"
+            );
+            let class = |e: u64| distinct.binary_search(&e).expect("value present") as u16;
+            (
+                plan.cut_excess.iter().map(|&e| class(e)).collect(),
+                distinct,
+            )
+        };
+        let min_send = if plan.min_send.is_empty() {
+            vec![0u64; ncomp]
+        } else {
+            plan.min_send.clone()
+        };
+        PlanTables {
+            cut_class,
+            class_excess,
+            min_send,
+        }
+    }
+}
+
 /// One shard: a slice of the component table with its own event queue,
-/// per-component random streams and send counters, and outboxes for
-/// cross-shard traffic.
+/// per-component random streams and send counters, outboxes for
+/// cross-shard traffic, and the per-class counters behind the adaptive
+/// window end.
 struct Shard<M> {
     queue: CalendarQueue<(ComponentId, EventKind<M>)>,
     /// Sparse, full-length table: only this shard's components are
@@ -174,14 +407,21 @@ struct Shard<M> {
     rngs: Vec<SimRng>,
     src_seq: Vec<u64>,
     outboxes: Vec<Vec<RemoteEvent<M>>>,
+    /// Queued events per cut-excess class (mirrors `queue` contents).
+    cut_counts: Vec<u64>,
+    /// Minimum `at` / `at + excess` over remote events pushed since the
+    /// last publish; reset to `MAX` every round.
+    out_min_at: u64,
+    out_min_eta: u64,
     /// Timestamp of the last event this shard processed.
     last_at: u64,
     processed: u64,
     stopped: bool,
+    sync: ShardSyncStats,
 }
 
 impl<M: 'static> Shard<M> {
-    fn new(seed: u64, ncomponents: usize, nshards: usize) -> Shard<M> {
+    fn new(seed: u64, ncomponents: usize, nshards: usize, nclasses: usize) -> Shard<M> {
         Shard {
             queue: CalendarQueue::new(),
             components: (0..ncomponents).map(|_| None).collect(),
@@ -190,24 +430,77 @@ impl<M: 'static> Shard<M> {
                 .collect(),
             src_seq: vec![0; ncomponents],
             outboxes: (0..nshards).map(|_| Vec::new()).collect(),
+            cut_counts: vec![0; nclasses],
+            out_min_at: u64::MAX,
+            out_min_eta: u64::MAX,
             last_at: 0,
             processed: 0,
             stopped: false,
+            sync: ShardSyncStats::default(),
         }
+    }
+
+    /// Queues an event, keeping the class counters in sync.
+    fn push_local(
+        &mut self,
+        at: u64,
+        key: u64,
+        dest: ComponentId,
+        kind: EventKind<M>,
+        tables: &PlanTables,
+    ) {
+        self.cut_counts[tables.cut_class[dest.as_raw()] as usize] += 1;
+        self.queue.push(at, key, (dest, kind));
+    }
+
+    /// A lower bound on `min over queued events e of (at(e) + excess(e))`:
+    /// every queued event is at or after the queue head, so the head time
+    /// plus the smallest excess among non-empty classes bounds them all.
+    fn eta_floor(&self, class_excess: &[u64]) -> u64 {
+        let Some(next) = self.queue.next_at() else {
+            return u64::MAX;
+        };
+        let mut excess = u64::MAX;
+        for (class, &count) in self.cut_counts.iter().enumerate() {
+            if count > 0 {
+                excess = excess.min(class_excess[class]);
+            }
+        }
+        next.saturating_add(excess)
+    }
+
+    /// Takes and resets the flushed-events minima published as this
+    /// shard's in-flight contribution to the next round's `T` and ETA.
+    fn take_out_mins(&mut self) -> (u64, u64) {
+        let mins = (self.out_min_at, self.out_min_eta);
+        self.out_min_at = u64::MAX;
+        self.out_min_eta = u64::MAX;
+        mins
     }
 
     /// Processes local events with `at <= until_incl` in `(time, key)`
     /// order; cross-shard sends must land at or beyond `window_end`.
-    fn run_window(&mut self, my_shard: u32, until_incl: u64, window_end: u64, shard_of: &[u32]) {
+    fn run_window(
+        &mut self,
+        my_shard: u32,
+        until_incl: u64,
+        window_end: u64,
+        shard_of: &[u32],
+        tables: &PlanTables,
+    ) {
         let Shard {
             queue,
             components,
             rngs,
             src_seq,
             outboxes,
+            cut_counts,
+            out_min_at,
+            out_min_eta,
             last_at,
             processed,
             stopped,
+            sync,
         } = self;
         while !*stopped {
             let Some(ev) = queue.pop_due(until_incl) else {
@@ -216,6 +509,7 @@ impl<M: 'static> Shard<M> {
             *last_at = ev.at;
             let (dest, kind) = ev.value;
             let idx = dest.as_raw();
+            cut_counts[tables.cut_class[idx] as usize] -= 1;
             let mut component = components
                 .get_mut(idx)
                 .unwrap_or_else(|| panic!("event addressed to unregistered component {dest}"))
@@ -227,6 +521,13 @@ impl<M: 'static> Shard<M> {
                     my_shard,
                     window_end,
                     outboxes,
+                    cut_class: &tables.cut_class,
+                    class_excess: &tables.class_excess,
+                    min_send: &tables.min_send,
+                    cut_counts,
+                    out_min_at,
+                    out_min_eta,
+                    remote_sent: &mut sync.cut_events,
                 };
                 let mut ctx = Context::for_shard(
                     SimTime::from_nanos(ev.at),
@@ -264,10 +565,17 @@ impl<M: 'static> Shard<M> {
     }
 
     /// Drains every mailbox addressed to shard `me` into the local queue.
-    fn drain_mail(&mut self, me: usize, nshards: usize, mail: &[Mutex<Vec<RemoteEvent<M>>>]) {
+    fn drain_mail(
+        &mut self,
+        me: usize,
+        nshards: usize,
+        mail: &[Mutex<Vec<RemoteEvent<M>>>],
+        tables: &PlanTables,
+    ) {
         for src in 0..nshards {
             let mut slot = mail[src * nshards + me].lock().expect("mailbox poisoned");
             for ev in slot.drain(..) {
+                self.cut_counts[tables.cut_class[ev.dest.as_raw()] as usize] += 1;
                 self.queue.push(ev.at, ev.key, (ev.dest, ev.kind));
             }
         }
@@ -318,61 +626,148 @@ impl SpinBarrier {
     }
 }
 
+/// One round's published per-shard values. Two of these alternate by
+/// round parity: workers read round `p` from `bufs[p]` and publish round
+/// `p+1` into `bufs[p^1]`, so a worker racing ahead after the (single)
+/// barrier never overwrites values a peer is still reading.
+struct RoundBuf {
+    /// Earliest pending event in each shard's queue (`MAX` when idle).
+    next_at: Vec<AtomicU64>,
+    /// Earliest event each shard flushed to a mailbox last window (`MAX`
+    /// if none) — in-flight events not yet in any queue.
+    out_next: Vec<AtomicU64>,
+    /// Each shard's queued-events cut-ETA floor ([`Shard::eta_floor`]).
+    eta: Vec<AtomicU64>,
+    /// Minimum cut ETA over each shard's just-flushed events.
+    out_eta: Vec<AtomicU64>,
+}
+
+impl RoundBuf {
+    fn new(nshards: usize) -> RoundBuf {
+        RoundBuf {
+            next_at: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            out_next: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            eta: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            out_eta: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
 /// Shared synchronization state for one parallel run.
 struct SyncState<'a, M> {
     barrier: SpinBarrier,
-    /// Per-shard earliest pending event time (`u64::MAX` when idle).
-    next_at: &'a [AtomicU64],
+    bufs: &'a [RoundBuf; 2],
     stop: AtomicBool,
     /// `nshards * nshards` mailbox slots, indexed `src * nshards + dst`.
     mail: &'a [Mutex<Vec<RemoteEvent<M>>>],
     rounds: AtomicU64,
+    /// When recording, every executed window's `(start, end)`.
+    window_log: Option<&'a Mutex<Vec<(u64, u64)>>>,
 }
 
-/// The window loop one worker thread runs over its chunk of shards.
-fn worker_loop<M: 'static>(
-    shards: &mut [Shard<M>],
-    base: usize,
+/// Per-run constants every worker computes windows from.
+struct RunCfg<'a> {
     nshards: usize,
     horizon_excl: u64,
     lookahead: u64,
-    shard_of: &[u32],
+    /// Maximum window length in ns (`stride_cap * lookahead`, saturated).
+    cap: u64,
+    adaptive: bool,
+    shard_of: &'a [u32],
+    tables: &'a PlanTables,
+}
+
+/// The single-barrier window loop one worker thread runs over its chunk
+/// of shards. Per round: compute `[T, E)` from the values published
+/// before the last barrier, drain mail, run the window, flush outboxes,
+/// publish next round's values into the other parity buffer, barrier.
+fn worker_loop<M: 'static>(
+    shards: &mut [Shard<M>],
+    base: usize,
+    cfg: &RunCfg<'_>,
     sync: &SyncState<'_, M>,
 ) {
+    // Entry: deliver mail left in flight by a previous `run_until` call
+    // (its last window may have flushed events it never got to drain),
+    // then publish the initial state into the parity-0 buffer.
+    for (i, shard) in shards.iter_mut().enumerate() {
+        let s = base + i;
+        shard.drain_mail(s, cfg.nshards, sync.mail, cfg.tables);
+        sync.bufs[0].next_at[s].store(shard.queue.next_at().unwrap_or(u64::MAX), Ordering::Release);
+        sync.bufs[0].out_next[s].store(u64::MAX, Ordering::Release);
+        sync.bufs[0].eta[s].store(shard.eta_floor(&cfg.tables.class_excess), Ordering::Release);
+        sync.bufs[0].out_eta[s].store(u64::MAX, Ordering::Release);
+    }
+    sync.barrier.wait();
+    let mut parity = 0usize;
+    let mut prev_end: Option<u64> = None;
     loop {
-        for (i, shard) in shards.iter_mut().enumerate() {
-            let next = shard.queue.next_at().unwrap_or(u64::MAX);
-            sync.next_at[base + i].store(next, Ordering::Release);
+        // Every worker computes the same window from the same published
+        // values, so all of them agree without a leader.
+        let cur = &sync.bufs[parity];
+        let mut window_start = u64::MAX;
+        let mut eta = u64::MAX;
+        for s in 0..cfg.nshards {
+            window_start = window_start
+                .min(cur.next_at[s].load(Ordering::Acquire))
+                .min(cur.out_next[s].load(Ordering::Acquire));
+            eta = eta
+                .min(cur.eta[s].load(Ordering::Acquire))
+                .min(cur.out_eta[s].load(Ordering::Acquire));
         }
-        sync.barrier.wait();
-        // Every worker computes the same minimum from the same published
-        // values, so all of them agree on the window without a leader.
-        let window_start = sync
-            .next_at
-            .iter()
-            .map(|at| at.load(Ordering::Acquire))
-            .min()
-            .expect("at least one shard");
-        if window_start >= horizon_excl || sync.stop.load(Ordering::Acquire) {
+        if window_start >= cfg.horizon_excl || sync.stop.load(Ordering::Acquire) {
             break;
         }
-        let window_end = window_start.saturating_add(lookahead).min(horizon_excl);
+        let floor = window_start.saturating_add(cfg.lookahead);
+        let window_end = if cfg.adaptive {
+            // `eta >= floor` for sound tables (excess >= lookahead and
+            // every pending event is at or after `window_start`); the max
+            // is a defensive clamp, never a correctness requirement.
+            eta.max(floor)
+        } else {
+            floor
+        }
+        .min(window_start.saturating_add(cfg.cap))
+        .min(cfg.horizon_excl);
+        let extended = window_end > floor.min(cfg.horizon_excl);
+        let fast_forwarded = prev_end.is_some_and(|end| window_start > end);
+        prev_end = Some(window_end);
+        if base == 0 {
+            sync.rounds.fetch_add(1, Ordering::Relaxed);
+            if let Some(log) = sync.window_log {
+                log.lock()
+                    .expect("window log poisoned")
+                    .push((window_start, window_end));
+            }
+        }
+        let nxt = &sync.bufs[parity ^ 1];
         let mut stopped = false;
         for (i, shard) in shards.iter_mut().enumerate() {
-            shard.run_window((base + i) as u32, window_end - 1, window_end, shard_of);
-            shard.flush_outboxes(base + i, nshards, sync.mail);
+            let s = base + i;
+            shard.drain_mail(s, cfg.nshards, sync.mail, cfg.tables);
+            shard.run_window(
+                s as u32,
+                window_end - 1,
+                window_end,
+                cfg.shard_of,
+                cfg.tables,
+            );
+            shard.flush_outboxes(s, cfg.nshards, sync.mail);
+            let (out_at, out_eta) = shard.take_out_mins();
+            nxt.next_at[s].store(shard.queue.next_at().unwrap_or(u64::MAX), Ordering::Release);
+            nxt.out_next[s].store(out_at, Ordering::Release);
+            nxt.eta[s].store(shard.eta_floor(&cfg.tables.class_excess), Ordering::Release);
+            nxt.out_eta[s].store(out_eta, Ordering::Release);
+            shard.sync.windows_run += 1;
+            shard.sync.window_extensions += extended as u64;
+            shard.sync.windows_fast_forwarded += fast_forwarded as u64;
             stopped |= shard.stopped;
         }
         if stopped {
             sync.stop.store(true, Ordering::Release);
         }
-        if base == 0 {
-            sync.rounds.fetch_add(1, Ordering::Relaxed);
-        }
         sync.barrier.wait();
-        for (i, shard) in shards.iter_mut().enumerate() {
-            shard.drain_mail(base + i, nshards, sync.mail);
-        }
+        parity ^= 1;
     }
 }
 
@@ -388,6 +783,8 @@ pub struct ShardedEngine<M> {
     shards: Vec<Shard<M>>,
     shard_of: Vec<u32>,
     lookahead: SimDuration,
+    tables: PlanTables,
+    policy: WindowPolicy,
     now: SimTime,
     seed: u64,
     /// The build-phase global stream, preserved for `into_engine`.
@@ -397,14 +794,18 @@ pub struct ShardedEngine<M> {
     stopped: bool,
     rounds: u64,
     worker_cap: Option<usize>,
-    /// Persistent mailbox + next-at buffers so repeated runs reuse warm
-    /// capacity instead of reallocating.
+    /// Persistent mailbox + published-value buffers so repeated runs
+    /// reuse warm capacity instead of reallocating.
     mail: Vec<Mutex<Vec<RemoteEvent<M>>>>,
-    next_at: Vec<AtomicU64>,
+    bufs: [RoundBuf; 2],
+    /// `Some` while window recording is on; every executed multi-shard
+    /// window's `(start, end)` in order.
+    window_log: Option<Vec<(u64, u64)>>,
 }
 
 impl<M: Send + 'static> ShardedEngine<M> {
-    /// Partitions `engine` under `plan`.
+    /// Partitions `engine` under `plan`. The window policy defaults to
+    /// [`WindowPolicy::from_env`].
     ///
     /// # Panics
     ///
@@ -430,8 +831,9 @@ impl<M: Send + 'static> ShardedEngine<M> {
         );
         let nshards = plan.shards as usize;
         let ncomp = parts.components.len();
+        let tables = PlanTables::build(&plan, ncomp);
         let mut shards: Vec<Shard<M>> = (0..nshards)
-            .map(|_| Shard::new(parts.seed, ncomp, nshards))
+            .map(|_| Shard::new(parts.seed, ncomp, nshards, tables.class_excess.len()))
             .collect();
         for (i, slot) in parts.components.into_iter().enumerate() {
             if let Some(component) = slot {
@@ -444,13 +846,15 @@ impl<M: Send + 'static> ShardedEngine<M> {
         let mut boot_seq = 0u64;
         for (at, dest, kind) in parts.pending {
             let shard = plan.shard_of[dest.as_raw()] as usize;
-            shards[shard].queue.push(at, boot_seq, (dest, kind));
+            shards[shard].push_local(at, boot_seq, dest, kind, &tables);
             boot_seq += 1;
         }
         ShardedEngine {
             shards,
             shard_of: plan.shard_of,
             lookahead: plan.lookahead,
+            tables,
+            policy: WindowPolicy::from_env(),
             now: parts.now,
             seed: parts.seed,
             build_rng: parts.rng,
@@ -462,7 +866,8 @@ impl<M: Send + 'static> ShardedEngine<M> {
             mail: (0..nshards * nshards)
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
-            next_at: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            bufs: [RoundBuf::new(nshards), RoundBuf::new(nshards)],
+            window_log: None,
         }
     }
 
@@ -471,6 +876,11 @@ impl<M: Send + 'static> ShardedEngine<M> {
     /// merged engine pops them exactly as the shards would have.
     pub fn into_engine(mut self) -> Engine<M> {
         let events_processed = self.events_processed();
+        // Undelivered cross-shard mail is still pending work.
+        let nshards = self.shards.len();
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.drain_mail(s, nshards, &self.mail, &self.tables);
+        }
         let mut pending: Vec<(u64, u64, ComponentId, EventKind<M>)> = Vec::new();
         let mut components: Vec<Option<Box<dyn Component<M>>>> =
             (0..self.shard_of.len()).map(|_| None).collect();
@@ -538,6 +948,49 @@ impl<M: Send + 'static> ShardedEngine<M> {
         self.rounds
     }
 
+    /// The window policy in force.
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.policy
+    }
+
+    /// Overrides the window policy (fixed vs adaptive, stride cap).
+    /// Event order — and therefore every fingerprint — is policy-
+    /// independent; only window counts and wall-clock change.
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        self.policy = WindowPolicy {
+            adaptive: policy.adaptive,
+            stride_cap: policy.stride_cap.max(1),
+        };
+    }
+
+    /// Per-shard synchronization counters (windows, fast-forwards,
+    /// extensions, cross-shard events). Deterministic for a given
+    /// (seed, plan, policy); independent of the worker thread count.
+    pub fn sync_stats(&self) -> Vec<ShardSyncStats> {
+        self.shards.iter().map(|s| s.sync).collect()
+    }
+
+    /// Worker threads the next multi-shard run will use.
+    pub fn effective_workers(&self) -> usize {
+        self.workers()
+    }
+
+    /// Starts (or stops) recording every executed window's
+    /// `(start, end)`. Recording is for tests and diagnostics; the
+    /// sequential 1-shard path runs no windows and records nothing.
+    pub fn record_windows(&mut self, on: bool) {
+        self.window_log = if on {
+            Some(self.window_log.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// The recorded windows so far (empty unless recording is on).
+    pub fn window_log(&self) -> &[(u64, u64)] {
+        self.window_log.as_deref().unwrap_or(&[])
+    }
+
     /// Whether a component stopped the simulation.
     pub fn is_stopped(&self) -> bool {
         self.stopped
@@ -578,11 +1031,8 @@ impl<M: Send + 'static> ShardedEngine<M> {
         assert!(at >= self.now, "cannot schedule into the past");
         let shard = self.shard_of[dest.as_raw()] as usize;
         debug_assert!(self.boot_seq < 1 << SEQ_BITS);
-        self.shards[shard].queue.push(
-            at.as_nanos(),
-            self.boot_seq,
-            (dest, EventKind::Message(msg)),
-        );
+        let (at_ns, seq) = (at.as_nanos(), self.boot_seq);
+        self.shards[shard].push_local(at_ns, seq, dest, EventKind::Message(msg), &self.tables);
         self.boot_seq += 1;
     }
 
@@ -659,35 +1109,42 @@ impl<M: Send + 'static> ShardedEngine<M> {
     /// and the speedup denominator.
     fn run_sequential(&mut self, horizon: SimTime) {
         let shard = &mut self.shards[0];
-        shard.run_window(0, horizon.as_nanos(), u64::MAX, &self.shard_of);
+        shard.run_window(
+            0,
+            horizon.as_nanos(),
+            u64::MAX,
+            &self.shard_of,
+            &self.tables,
+        );
         self.rounds += 1;
     }
 
     fn run_windows(&mut self, horizon: SimTime) {
-        let horizon_excl = horizon.as_nanos().saturating_add(1);
-        let lookahead = self.lookahead.as_nanos();
         let nshards = self.shards.len();
         let nworkers = self.workers();
+        let lookahead = self.lookahead.as_nanos();
+        let cfg = RunCfg {
+            nshards,
+            horizon_excl: horizon.as_nanos().saturating_add(1),
+            lookahead,
+            cap: lookahead.saturating_mul(self.policy.stride_cap.max(1) as u64),
+            adaptive: self.policy.adaptive,
+            shard_of: &self.shard_of,
+            tables: &self.tables,
+        };
+        let log = self.window_log.as_ref().map(|_| Mutex::new(Vec::new()));
         let sync = SyncState {
             barrier: SpinBarrier::new(nworkers),
-            next_at: &self.next_at,
+            bufs: &self.bufs,
             stop: AtomicBool::new(false),
             mail: &self.mail,
             rounds: AtomicU64::new(0),
+            window_log: log.as_ref(),
         };
-        let shard_of = &self.shard_of[..];
         if nworkers == 1 {
-            worker_loop(
-                &mut self.shards,
-                0,
-                nshards,
-                horizon_excl,
-                lookahead,
-                shard_of,
-                &sync,
-            );
+            worker_loop(&mut self.shards, 0, &cfg, &sync);
         } else {
-            let sync = &sync;
+            let (sync, cfg) = (&sync, &cfg);
             std::thread::scope(|scope| {
                 let mut rest = &mut self.shards[..];
                 let mut base = 0usize;
@@ -695,22 +1152,19 @@ impl<M: Send + 'static> ShardedEngine<M> {
                     let count = (nshards - base) / (nworkers - worker);
                     let (chunk, tail) = rest.split_at_mut(count);
                     rest = tail;
-                    scope.spawn(move || {
-                        worker_loop(
-                            chunk,
-                            base,
-                            nshards,
-                            horizon_excl,
-                            lookahead,
-                            shard_of,
-                            sync,
-                        )
-                    });
+                    scope.spawn(move || worker_loop(chunk, base, cfg, sync));
                     base += count;
                 }
             });
         }
         self.rounds += sync.rounds.into_inner();
+        if let Some(log) = log {
+            let mut recorded = log.into_inner().expect("window log poisoned");
+            self.window_log
+                .as_mut()
+                .expect("recording enabled")
+                .append(&mut recorded);
+        }
     }
 }
 
@@ -719,6 +1173,7 @@ impl<M: 'static> std::fmt::Debug for ShardedEngine<M> {
         f.debug_struct("ShardedEngine")
             .field("shards", &self.shards.len())
             .field("lookahead", &self.lookahead)
+            .field("policy", &self.policy)
             .field("now", &self.now)
             .field("events_processed", &self.base_processed)
             .field("rounds", &self.rounds)
@@ -912,5 +1367,115 @@ mod tests {
             fingerprint(&e, 2)
         };
         assert_eq!(build_and_poke(1), build_and_poke(2));
+    }
+
+    /// Colocated pairs can never reach a cut, so a `MAX` excess table
+    /// lets every window stretch to the stride cap: same results, far
+    /// fewer rounds than fixed windows.
+    #[test]
+    fn adaptive_windows_merge_rounds_without_changing_results() {
+        const PAIRS: usize = 6;
+        const VOLLEYS: u64 = 400;
+        let run = |policy: WindowPolicy| {
+            let plan = colocated_plan(PAIRS, 4).with_cut_excess(vec![SimDuration::MAX; 2 * PAIRS]);
+            let mut e = ShardedEngine::from_engine(build(21, PAIRS, VOLLEYS), plan);
+            e.set_window_policy(policy);
+            e.run_to_idle();
+            (fingerprint(&e, PAIRS), e.rounds(), e.sync_stats())
+        };
+        let (fixed_fp, fixed_rounds, fixed_stats) = run(WindowPolicy::fixed());
+        let (adaptive_fp, adaptive_rounds, adaptive_stats) = run(WindowPolicy::adaptive());
+        assert_eq!(adaptive_fp, fixed_fp, "window policy changed results");
+        assert!(
+            adaptive_rounds * 4 <= fixed_rounds,
+            "extension should merge windows: adaptive {adaptive_rounds} vs fixed {fixed_rounds}"
+        );
+        assert!(
+            adaptive_stats.iter().all(|s| s.window_extensions > 0),
+            "quiescent cuts never stretched a window: {adaptive_stats:?}"
+        );
+        assert!(
+            fixed_stats.iter().all(|s| s.window_extensions == 0),
+            "fixed policy must never extend: {fixed_stats:?}"
+        );
+        // Counters are per-round and identical across shards.
+        for stats in [&fixed_stats, &adaptive_stats] {
+            assert!(stats.iter().all(|s| s.windows_run == stats[0].windows_run));
+            assert!(
+                stats.iter().all(|s| s.cut_events == 0),
+                "colocated pairs never cross shards"
+            );
+        }
+    }
+
+    /// With the default (no-table) plan, adaptive mode is byte-identical
+    /// to fixed — including the number of windows run.
+    #[test]
+    fn default_excess_table_degenerates_to_fixed_windows() {
+        const PAIRS: usize = 4;
+        let run = |policy: WindowPolicy| {
+            let mut e = ShardedEngine::from_engine(build(13, PAIRS, 200), split_plan(PAIRS, 4));
+            e.set_window_policy(policy);
+            e.run_to_idle();
+            (fingerprint(&e, PAIRS), e.rounds())
+        };
+        let (fixed_fp, fixed_rounds) = run(WindowPolicy::fixed());
+        let (adaptive_fp, adaptive_rounds) = run(WindowPolicy::adaptive());
+        assert_eq!(adaptive_fp, fixed_fp);
+        assert_eq!(
+            adaptive_rounds, fixed_rounds,
+            "lookahead-everywhere excess must not extend windows"
+        );
+    }
+
+    /// The recorded window log respects the lookahead lower bound and the
+    /// stride cap, and fast-forward jumps only skip genuinely idle gaps.
+    #[test]
+    fn window_log_respects_bounds() {
+        const PAIRS: usize = 5;
+        let plan = colocated_plan(PAIRS, 4).with_cut_excess(vec![SimDuration::MAX; 2 * PAIRS]);
+        let mut e = ShardedEngine::from_engine(build(17, PAIRS, 300), plan);
+        e.set_window_policy(WindowPolicy {
+            adaptive: true,
+            stride_cap: 8,
+        });
+        e.record_windows(true);
+        e.run_to_idle();
+        let log = e.window_log();
+        assert!(!log.is_empty());
+        let lookahead = 100u64;
+        let mut prev_end = 0u64;
+        for &(start, end) in log {
+            assert!(start >= prev_end, "windows overlap: {log:?}");
+            assert!(
+                end >= start.saturating_add(lookahead).min(u64::MAX) || end == u64::MAX,
+                "window shorter than lookahead: [{start}, {end})"
+            );
+            assert!(
+                end <= start.saturating_add(8 * lookahead),
+                "window beyond stride cap: [{start}, {end})"
+            );
+            prev_end = end;
+        }
+    }
+
+    /// A component that violates its declared send pacing trips the
+    /// engine's soundness assert.
+    #[test]
+    #[should_panic(expected = "send-pacing violation")]
+    fn pacing_violation_is_caught_at_send_time() {
+        const PAIRS: usize = 2;
+        // Pingers reply after 200..1000 ns but declare a 5 us floor.
+        let plan = colocated_plan(PAIRS, 2)
+            .with_min_send_delay(vec![SimDuration::from_micros(5); 2 * PAIRS]);
+        let mut e = ShardedEngine::from_engine(build(19, PAIRS, 50), plan);
+        e.run_to_idle();
+    }
+
+    /// An excess table below the lookahead is rejected at plan build.
+    #[test]
+    #[should_panic(expected = "cut excess below the plan lookahead")]
+    fn undersized_excess_is_rejected() {
+        let _ = colocated_plan(2, 2).with_cut_excess(vec![SimDuration::from_nanos(1); 4]);
     }
 }

@@ -39,6 +39,20 @@ impl Component<Msg> for Volley {
 
 #[test]
 fn sharded_cluster_holds_invariants_between_windows() {
+    // Fixed and adaptive windows must both hold every invariant — and the
+    // windowed stepping must see identical event totals, since the window
+    // policy never changes event order.
+    let fixed = run_windowed_scenario(WindowPolicy::fixed());
+    let adaptive = run_windowed_scenario(WindowPolicy::adaptive());
+    assert_eq!(
+        fixed, adaptive,
+        "window policy changed the observable event stream"
+    );
+}
+
+/// Drives the windowed cluster-invariant scenario under `policy` and
+/// returns the observable summary (events per step boundary).
+fn run_windowed_scenario(policy: WindowPolicy) -> Vec<(u64, u64)> {
     let mut cluster = ClusterBuilder::paper(97, 2).build();
     let pairs = [
         (NodeAddr::new(0, 0, 1), NodeAddr::new(1, 4, 2)),
@@ -92,11 +106,14 @@ fn sharded_cluster_holds_invariants_between_windows() {
     let mut oracle = InvariantObserver::windowed(switches, shells, None);
 
     assert_eq!(cluster.shard(4), 4);
+    cluster.set_window_policy(policy);
     let step = SimDuration::from_micros(5);
     let mut events = 0;
+    let mut trace = Vec::new();
     for i in 1..=100u64 {
         events += cluster.run_until(SimTime::ZERO + step * i);
         oracle.check_now(cluster.now(), &cluster);
+        trace.push((cluster.now().as_nanos(), events));
     }
     assert!(events > 0, "volleys produced no events");
     assert!(oracle.checks() > 0, "oracle evaluated nothing");
@@ -105,4 +122,5 @@ fn sharded_cluster_holds_invariants_between_windows() {
         &[],
         "invariant violations under the sharded engine"
     );
+    trace
 }
